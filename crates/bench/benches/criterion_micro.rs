@@ -1,0 +1,124 @@
+//! Criterion micro-benchmarks of the system's kernels: lexing, parsing,
+//! lowering, object-file encode/decode, and the three solvers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cla_cfront::{lexer, parser, FileId, MemoryFs, PpOptions};
+use cla_cladb::{write_object, Database};
+use cla_core::{solve_database, solve_unit, steensgaard, worklist, SolveOptions};
+use cla_ir::{compile_file, CompiledUnit, LowerOptions};
+use cla_workload::{by_name, generate, GenOptions};
+
+/// A mid-size program used by every micro-benchmark (vortex profile at 2%).
+fn sample_program() -> (CompiledUnit, String) {
+    let spec = by_name("vortex").unwrap();
+    let w = generate(spec, &GenOptions { scale: 0.02, files: 4, ..Default::default() });
+    let mut fs = MemoryFs::new();
+    let mut all_src = String::new();
+    for (p, c) in &w.files {
+        fs.add(p.clone(), c.clone());
+        if p.ends_with(".c") {
+            all_src.push_str(c);
+        }
+    }
+    let mut units = Vec::new();
+    for f in w.source_files() {
+        units.push(
+            compile_file(&fs, f, &PpOptions::default(), &LowerOptions::default())
+                .expect("compile")
+                .0,
+        );
+    }
+    let (program, _) = cla_cladb::link(&units, "bench");
+    // A single concatenated source for frontend benches (without includes).
+    let src = w
+        .files
+        .iter()
+        .filter(|(p, _)| p.ends_with(".c"))
+        .map(|(_, c)| {
+            c.lines()
+                .filter(|l| !l.starts_with("#include"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    (program, src)
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let (_, src) = sample_program();
+    // A deduplicated single file parses standalone (each file redefines the
+    // shared pool), so lex+parse just the first file's worth.
+    let first: String = src.lines().take(2000).collect::<Vec<_>>().join("\n");
+    c.bench_function("lex", |b| {
+        b.iter(|| lexer::lex(black_box(&first), FileId(0)).unwrap().len())
+    });
+    let toks = lexer::lex(&first, FileId(0)).unwrap();
+    c.bench_function("parse", |b| {
+        b.iter_batched(
+            || toks.clone(),
+            |t| parser::parse(t, "bench.c").map(|tu| tu.items.len()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_database(c: &mut Criterion) {
+    let (program, _) = sample_program();
+    c.bench_function("object_file_write", |b| {
+        b.iter(|| write_object(black_box(&program)).len())
+    });
+    let bytes = write_object(&program);
+    c.bench_function("object_file_open", |b| {
+        b.iter(|| Database::open(black_box(bytes.clone())).unwrap().objects().len())
+    });
+    let db = Database::open(bytes).unwrap();
+    c.bench_function("block_fetch", |b| {
+        let n = db.objects().len() as u32;
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % n;
+            db.block(cla_ir::ObjId(i)).unwrap().len()
+        })
+    });
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let (program, _) = sample_program();
+    let bytes = write_object(&program);
+    c.bench_function("solve_pretransitive", |b| {
+        b.iter(|| solve_unit(black_box(&program), SolveOptions::default()).0.relations())
+    });
+    c.bench_function("solve_pretransitive_demand", |b| {
+        b.iter_batched(
+            || Database::open(bytes.clone()).unwrap(),
+            |db| solve_database(&db, SolveOptions::default()).0.relations(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("solve_pretransitive_nocache", |b| {
+        b.iter(|| {
+            solve_unit(
+                black_box(&program),
+                SolveOptions { cache: false, cycle_elim: true },
+            )
+            .0
+            .relations()
+        })
+    });
+    c.bench_function("solve_worklist", |b| {
+        b.iter(|| worklist::solve(black_box(&program)).relations())
+    });
+    c.bench_function("solve_steensgaard", |b| {
+        b.iter(|| steensgaard::solve(black_box(&program)).relations())
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frontend, bench_database, bench_solvers
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Table 1: classification of operations (strong / weak / none per operand).
+//!
+//! This is a specification table; the "benchmark" prints the classification
+//! as implemented and verifies it matches the paper row by row.
+
+use cla_cfront::ast::{BinaryOp, UnaryOp};
+use cla_ir::strength::{classify_binary, classify_unary, OpClass};
+
+fn cls(c: OpClass) -> &'static str {
+    match c {
+        OpClass::Strong => "Strong",
+        OpClass::Weak => "Weak",
+        OpClass::None => "None",
+    }
+}
+
+fn main() {
+    cla_bench::header("Table 1: Classification of operations");
+    println!("{:<16} {:>10} {:>10}   paper", "Operations", "Argument 1", "Argument 2");
+
+    let rows: &[(&str, &[BinaryOp], (OpClass, OpClass))] = &[
+        (
+            "+, -, |, &, ^",
+            &[BinaryOp::Add, BinaryOp::Sub, BinaryOp::BitOr, BinaryOp::BitAnd, BinaryOp::BitXor],
+            (OpClass::Strong, OpClass::Strong),
+        ),
+        ("*", &[BinaryOp::Mul], (OpClass::Weak, OpClass::Weak)),
+        (
+            "%, >>, <<",
+            &[BinaryOp::Rem, BinaryOp::Shr, BinaryOp::Shl],
+            (OpClass::Weak, OpClass::None),
+        ),
+        (
+            "&&, ||",
+            &[BinaryOp::LogAnd, BinaryOp::LogOr],
+            (OpClass::None, OpClass::None),
+        ),
+    ];
+    let mut all_ok = true;
+    for (label, ops, expected) in rows {
+        for op in *ops {
+            let got = classify_binary(*op);
+            if got != *expected {
+                all_ok = false;
+            }
+        }
+        let got = classify_binary(ops[0]);
+        println!(
+            "{:<16} {:>10} {:>10}   ({}/{})",
+            label,
+            cls(got.0),
+            cls(got.1),
+            cls(expected.0),
+            cls(expected.1)
+        );
+    }
+    // Unary rows.
+    for (label, op, expected) in [
+        ("unary: +, -", UnaryOp::Neg, OpClass::Strong),
+        ("!", UnaryOp::LogicalNot, OpClass::None),
+    ] {
+        let got = classify_unary(op);
+        if got != expected {
+            all_ok = false;
+        }
+        println!("{:<16} {:>10} {:>10}   ({})", label, cls(got), "n/a", cls(expected));
+    }
+    assert!(classify_unary(UnaryOp::Pos) == OpClass::Strong);
+
+    println!();
+    println!("documented extensions beyond the paper's table:");
+    println!("  /   -> ({}, {})  (classified with %)", cls(classify_binary(BinaryOp::Div).0), cls(classify_binary(BinaryOp::Div).1));
+    println!("  ~   -> {}          (bit-preserving, like ^)", cls(classify_unary(UnaryOp::BitNot)));
+    println!("  <,> -> ({}, {})  (boolean result, like &&)", cls(classify_binary(BinaryOp::Lt).0), cls(classify_binary(BinaryOp::Lt).1));
+    println!();
+    println!("result: {}", if all_ok { "MATCHES the paper's Table 1" } else { "MISMATCH" });
+    assert!(all_ok, "Table 1 classification diverged from the paper");
+}

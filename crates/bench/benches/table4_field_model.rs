@@ -1,0 +1,60 @@
+//! Table 4: effect of a field-independent treatment of structs.
+//!
+//! Runs each benchmark twice — once field-based (the paper's default), once
+//! field-independent — and prints pointers / relations / time / space for
+//! both, next to the paper's rows. The expected shape: field-independent is
+//! slower and larger, dramatically so on struct-heavy code (the paper
+//! measures 30x on gimp and 300x on lucent).
+
+use cla_bench::{fmt_count, fmt_mb, header, materialize};
+use cla_core::pipeline::{analyze, PipelineOptions, Report};
+use cla_ir::LowerOptions;
+use cla_workload::{table3, table4, PAPER_BENCHMARKS};
+
+fn run(spec: &cla_workload::BenchSpec, lower: LowerOptions) -> Report {
+    let (fs, w) = materialize(spec);
+    let sources = w.source_files();
+    let opts = PipelineOptions { parallel_compile: true, lower, ..Default::default() };
+    analyze(&fs, &sources, &opts).expect("pipeline").report
+}
+
+fn main() {
+    header("Table 4: field-based vs field-independent structs");
+    println!(
+        "{:<8} | {:>9} {:>13} {:>9} {:>9} | {:>9} {:>13} {:>9} {:>9}",
+        "", "fb ptrs", "fb rels", "fb time", "fb space", "fi ptrs", "fi rels", "fi time", "fi space"
+    );
+    for spec in &PAPER_BENCHMARKS {
+        let fb = run(spec, LowerOptions::default());
+        let fi = run(spec, LowerOptions::default().field_independent());
+        println!(
+            "{:<8} | {:>9} {:>13} {:>8.3}s {:>9} | {:>9} {:>13} {:>8.3}s {:>9}",
+            spec.name,
+            fmt_count(fb.pointer_variables as u64),
+            fmt_count(fb.relations as u64),
+            fb.solve_time.as_secs_f64(),
+            fmt_mb(fb.approx_analysis_bytes()),
+            fmt_count(fi.pointer_variables as u64),
+            fmt_count(fi.relations as u64),
+            fi.solve_time.as_secs_f64(),
+            fmt_mb(fi.approx_analysis_bytes()),
+        );
+        if let (Some(p3), Some(p4)) = (table3(spec.name), table4(spec.name)) {
+            println!(
+                "{:<8} | {:>9} {:>13} {:>8.3}s {:>9} | {:>9} {:>13} {:>8.3}s {:>9}",
+                "  paper",
+                fmt_count(u64::from(p3.pointer_variables)),
+                fmt_count(p3.relations),
+                p3.user_time_s,
+                format!("{:.1}MB", p3.space_mb),
+                fmt_count(u64::from(p4.pointer_variables)),
+                fmt_count(p4.relations),
+                p4.user_time_s,
+                format!("{:.1}MB", p4.space_mb),
+            );
+        }
+    }
+    println!("\n(the paper cautions its field-independent numbers are preliminary; the");
+    println!(" claim reproduced here is the *direction*: field-independent relations and");
+    println!(" times blow up on struct-heavy code)");
+}

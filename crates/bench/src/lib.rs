@@ -1,0 +1,93 @@
+//! # cla-bench — evaluation harness
+//!
+//! One bench target per table and figure of the paper (run with
+//! `cargo bench -p cla-bench`, or a single one with e.g.
+//! `cargo bench -p cla-bench --bench table3_results`):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_strength` | Table 1 (operation classification) |
+//! | `table2_benchmarks` | Table 2 (benchmark characteristics) |
+//! | `table3_results` | Table 3 (main points-to results) |
+//! | `table4_field_model` | Table 4 (field-based vs field-independent) |
+//! | `table_fig1_chains` | Figure 1 (dependence chains) |
+//! | `table_fig3_example` | Figure 3 (example derivation) |
+//! | `table_ablation` | §5's caching/cycle-elimination ablation |
+//! | `table_solvers` | §6's comparison with worklist Andersen and Steensgaard |
+//! | `criterion_micro` | Criterion micro-benchmarks of the solver kernels |
+//!
+//! The synthetic benchmarks are scaled by the `CLA_SCALE` environment
+//! variable (default 0.1 = 10% of the paper's sizes; use `CLA_SCALE=1.0`
+//! for full size).
+
+use cla_cfront::MemoryFs;
+use cla_workload::{generate, BenchSpec, GenOptions, Workload};
+
+/// The benchmark scale factor from `CLA_SCALE` (default 0.1).
+pub fn scale() -> f64 {
+    std::env::var("CLA_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
+}
+
+/// Generates a workload at the harness scale and loads it into an in-memory
+/// file system.
+pub fn materialize(spec: &BenchSpec) -> (MemoryFs, Workload) {
+    let w = generate(spec, &GenOptions { scale: scale(), ..Default::default() });
+    let mut fs = MemoryFs::new();
+    for (p, c) in &w.files {
+        fs.add(p.clone(), c.clone());
+    }
+    (fs, w)
+}
+
+/// Formats a count with thousands separators.
+pub fn fmt_count(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a byte count as MB with one decimal.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.1}MB", bytes as f64 / 1e6)
+}
+
+/// Prints a standard header naming the experiment and scale.
+pub fn header(title: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("scale = {} (set CLA_SCALE to change; 1.0 = paper size)", scale());
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+        assert_eq!(fmt_mb(12_100_000), "12.1MB");
+    }
+
+    #[test]
+    fn materialize_small() {
+        use cla_cfront::FileProvider as _;
+        std::env::set_var("CLA_SCALE", "0.01");
+        let spec = cla_workload::by_name("nethack").unwrap();
+        let (fs, w) = materialize(spec);
+        assert!(!w.source_files().is_empty());
+        assert!(fs.read("shared.h").is_some());
+    }
+}

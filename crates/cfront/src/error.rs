@@ -1,0 +1,79 @@
+//! Frontend error types.
+
+use crate::span::Loc;
+use std::fmt;
+
+/// Result alias used throughout the frontend.
+pub type Result<T> = std::result::Result<T, CError>;
+
+/// An error produced by the lexer, preprocessor, or parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CError {
+    /// Lexical error (bad literal, stray character, unterminated comment).
+    Lex { msg: String, loc: Loc },
+    /// Preprocessor error (bad directive, macro arity mismatch, missing
+    /// include, `#error`).
+    Pp { msg: String, loc: Loc },
+    /// Parse error (unexpected token, malformed declaration).
+    Parse { msg: String, loc: Loc },
+}
+
+impl CError {
+    /// Constructs a lexical error.
+    pub fn lex(msg: impl Into<String>, loc: Loc) -> Self {
+        CError::Lex { msg: msg.into(), loc }
+    }
+
+    /// Constructs a preprocessor error.
+    pub fn pp(msg: impl Into<String>, loc: Loc) -> Self {
+        CError::Pp { msg: msg.into(), loc }
+    }
+
+    /// Constructs a parse error.
+    pub fn parse(msg: impl Into<String>, loc: Loc) -> Self {
+        CError::Parse { msg: msg.into(), loc }
+    }
+
+    /// The location the error points at.
+    pub fn loc(&self) -> Loc {
+        match self {
+            CError::Lex { loc, .. } | CError::Pp { loc, .. } | CError::Parse { loc, .. } => *loc,
+        }
+    }
+
+    /// The error message without the phase prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            CError::Lex { msg, .. } | CError::Pp { msg, .. } | CError::Parse { msg, .. } => msg,
+        }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CError::Lex { msg, loc } => write!(f, "lex error at {loc}: {msg}"),
+            CError::Pp { msg, loc } => write!(f, "preprocess error at {loc}: {msg}"),
+            CError::Parse { msg, loc } => write!(f, "parse error at {loc}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let e = CError::parse("expected `;`", Loc::BUILTIN);
+        assert_eq!(e.message(), "expected `;`");
+        assert_eq!(e.loc(), Loc::BUILTIN);
+        assert!(format!("{e}").contains("parse error"));
+        let e = CError::lex("bad char", Loc::BUILTIN);
+        assert!(format!("{e}").contains("lex error"));
+        let e = CError::pp("no such file", Loc::BUILTIN);
+        assert!(format!("{e}").contains("preprocess error"));
+    }
+}

@@ -1,0 +1,655 @@
+//! The C lexer.
+//!
+//! Converts raw source text into a stream of [`Token`]s. Handles line
+//! splicing (`\` + newline), both comment styles, all C89 literals plus the
+//! common `//` and `long long` extensions, and records the layout flags the
+//! preprocessor needs (`first_on_line`, `space_before`).
+
+use crate::error::{CError, Result};
+use crate::span::{FileId, Loc};
+use crate::token::{IntSuffix, Punct, Token, TokenKind};
+
+/// Lexes a whole file into a token vector (without a trailing `Eof` token).
+///
+/// # Errors
+///
+/// Returns [`CError::Lex`] on malformed literals, unterminated comments or
+/// strings, or characters outside the C source character set.
+pub fn lex(src: &str, file: FileId) -> Result<Vec<Token>> {
+    Lexer::new(src, file).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    file: FileId,
+    line: u32,
+    col: u32,
+    first_on_line: bool,
+    space_before: bool,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str, file: FileId) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            file,
+            line: 1,
+            col: 1,
+            first_on_line: true,
+            space_before: false,
+            out: Vec::new(),
+        }
+    }
+
+    fn loc(&self) -> Loc {
+        Loc::new(self.file, self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.peek_at(0)
+    }
+
+    /// Peeks `n` bytes ahead, transparently skipping line splices.
+    fn peek_at(&self, n: usize) -> Option<u8> {
+        let mut p = self.pos;
+        let mut remaining = n;
+        loop {
+            // Skip any backslash-newline splices at p.
+            while p + 1 < self.src.len()
+                && self.src[p] == b'\\'
+                && (self.src[p + 1] == b'\n'
+                    || (self.src[p + 1] == b'\r'
+                        && p + 2 < self.src.len()
+                        && self.src[p + 2] == b'\n'))
+            {
+                p += if self.src[p + 1] == b'\r' { 3 } else { 2 };
+            }
+            let b = *self.src.get(p)?;
+            if remaining == 0 {
+                return Some(b);
+            }
+            remaining -= 1;
+            p += 1;
+        }
+    }
+
+    /// Consumes one byte, maintaining line/column and splicing lines.
+    fn bump(&mut self) -> Option<u8> {
+        loop {
+            if self.pos + 1 < self.src.len()
+                && self.src[self.pos] == b'\\'
+                && (self.src[self.pos + 1] == b'\n'
+                    || (self.src[self.pos + 1] == b'\r'
+                        && self.pos + 2 < self.src.len()
+                        && self.src[self.pos + 2] == b'\n'))
+            {
+                self.pos += if self.src[self.pos + 1] == b'\r' { 3 } else { 2 };
+                self.line += 1;
+                self.col = 1;
+                continue;
+            }
+            let b = *self.src.get(self.pos)?;
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            return Some(b);
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CError {
+        CError::lex(msg, self.loc())
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_ws_and_comments()?;
+            let loc = self.loc();
+            let Some(b) = self.peek() else { break };
+            let first = self.first_on_line;
+            let space = self.space_before;
+            let kind = self.next_kind(b)?;
+            self.out.push(Token { kind, loc, first_on_line: first, space_before: space });
+            self.first_on_line = false;
+            self.space_before = false;
+        }
+        Ok(self.out)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(b'\n') => {
+                    self.bump();
+                    self.first_on_line = true;
+                    self.space_before = true;
+                }
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(0x0b) | Some(0x0c) => {
+                    self.bump();
+                    self.space_before = true;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    self.space_before = true;
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.loc();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(CError::lex("unterminated block comment", start))
+                            }
+                        }
+                    }
+                    self.space_before = true;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_kind(&mut self, b: u8) -> Result<TokenKind> {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            b'0'..=b'9' => self.lex_number(),
+            b'.' if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) => self.lex_number(),
+            b'\'' => self.lex_char(),
+            b'"' => self.lex_string(),
+            _ => self.lex_punct(),
+        }
+    }
+
+    fn lex_ident(&mut self) -> Result<TokenKind> {
+        let mut s = String::new();
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                s.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        // Wide literal prefixes: treat L"..." / L'...' as plain literals.
+        if s == "L" {
+            if self.peek() == Some(b'"') {
+                return self.lex_string();
+            }
+            if self.peek() == Some(b'\'') {
+                return self.lex_char();
+            }
+        }
+        Ok(TokenKind::Ident(s))
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind> {
+        let mut text = String::new();
+        // Gather the full preprocessing-number first (digits, letters, dots,
+        // exponent signs), then classify.
+        let mut prev = 0u8;
+        while let Some(b) = self.peek() {
+            let is_exp_sign = (b == b'+' || b == b'-')
+                && matches!(prev, b'e' | b'E' | b'p' | b'P');
+            if b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || is_exp_sign {
+                text.push(self.bump().unwrap() as char);
+                prev = b;
+            } else {
+                break;
+            }
+        }
+        parse_pp_number(&text).ok_or_else(|| self.err(format!("malformed number `{text}`")))
+    }
+
+    fn lex_escape(&mut self) -> Result<i64> {
+        // Caller has consumed the backslash.
+        let Some(b) = self.bump() else {
+            return Err(self.err("unterminated escape sequence"));
+        };
+        Ok(match b {
+            b'n' => b'\n' as i64,
+            b't' => b'\t' as i64,
+            b'r' => b'\r' as i64,
+            b'0'..=b'7' => {
+                let mut v = (b - b'0') as i64;
+                for _ in 0..2 {
+                    match self.peek() {
+                        Some(c @ b'0'..=b'7') => {
+                            self.bump();
+                            v = v * 8 + (c - b'0') as i64;
+                        }
+                        _ => break,
+                    }
+                }
+                v
+            }
+            b'x' => {
+                let mut v: i64 = 0;
+                let mut any = false;
+                while let Some(c) = self.peek() {
+                    if let Some(d) = (c as char).to_digit(16) {
+                        self.bump();
+                        v = v.wrapping_mul(16).wrapping_add(d as i64);
+                        any = true;
+                    } else {
+                        break;
+                    }
+                }
+                if !any {
+                    return Err(self.err("\\x with no hex digits"));
+                }
+                v
+            }
+            b'a' => 7,
+            b'b' => 8,
+            b'f' => 12,
+            b'v' => 11,
+            b'\\' => b'\\' as i64,
+            b'\'' => b'\'' as i64,
+            b'"' => b'"' as i64,
+            b'?' => b'?' as i64,
+            other => other as i64, // lenient: unknown escape is the char itself
+        })
+    }
+
+    fn lex_char(&mut self) -> Result<TokenKind> {
+        let start = self.loc();
+        self.bump(); // opening quote
+        let mut value: i64 = 0;
+        let mut any = false;
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    return Err(CError::lex("unterminated character constant", start))
+                }
+                Some(b'\'') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    let v = self.lex_escape()?;
+                    value = (value << 8) | (v & 0xff);
+                    any = true;
+                }
+                Some(c) => {
+                    self.bump();
+                    value = (value << 8) | c as i64;
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return Err(CError::lex("empty character constant", start));
+        }
+        Ok(TokenKind::Char(value))
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind> {
+        let start = self.loc();
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => return Err(CError::lex("unterminated string literal", start)),
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    let v = self.lex_escape()?;
+                    s.push((v as u8) as char);
+                }
+                Some(c) => {
+                    self.bump();
+                    s.push(c as char);
+                }
+            }
+        }
+        Ok(TokenKind::Str(s))
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind> {
+        use Punct::*;
+        let b = self.bump().unwrap();
+        let p = match b {
+            b'(' => LParen,
+            b')' => RParen,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b',' => Comma,
+            b';' => Semi,
+            b':' => Colon,
+            b'?' => Question,
+            b'~' => Tilde,
+            b'.' => {
+                if self.peek() == Some(b'.') && self.peek_at(1) == Some(b'.') {
+                    self.bump();
+                    self.bump();
+                    Ellipsis
+                } else {
+                    Dot
+                }
+            }
+            b'+' => {
+                if self.eat(b'+') {
+                    PlusPlus
+                } else if self.eat(b'=') {
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'-') {
+                    MinusMinus
+                } else if self.eat(b'=') {
+                    MinusEq
+                } else if self.eat(b'>') {
+                    Arrow
+                } else {
+                    Minus
+                }
+            }
+            b'&' => {
+                if self.eat(b'&') {
+                    AmpAmp
+                } else if self.eat(b'=') {
+                    AmpEq
+                } else {
+                    Amp
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    BangEq
+                } else {
+                    Bang
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            b'%' => {
+                if self.eat(b'=') {
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            b'<' => {
+                if self.eat(b'<') {
+                    if self.eat(b'=') {
+                        ShlEq
+                    } else {
+                        Shl
+                    }
+                } else if self.eat(b'=') {
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'>') {
+                    if self.eat(b'=') {
+                        ShrEq
+                    } else {
+                        Shr
+                    }
+                } else if self.eat(b'=') {
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    EqEq
+                } else {
+                    Eq
+                }
+            }
+            b'^' => {
+                if self.eat(b'=') {
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    PipePipe
+                } else if self.eat(b'=') {
+                    PipeEq
+                } else {
+                    Pipe
+                }
+            }
+            b'#' => {
+                if self.eat(b'#') {
+                    HashHash
+                } else {
+                    Hash
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+/// Parses a preprocessing-number into an `Int` or `Float` token kind.
+/// Returns `None` when the text is not a valid C number.
+fn parse_pp_number(text: &str) -> Option<TokenKind> {
+    let bytes = text.as_bytes();
+    let is_float = {
+        let hex = text.starts_with("0x") || text.starts_with("0X");
+        text.contains('.')
+            || (!hex && (text.contains('e') || text.contains('E')))
+            || (hex && (text.contains('p') || text.contains('P')))
+    };
+    if is_float {
+        // Strip a trailing f/F/l/L suffix.
+        let mut end = bytes.len();
+        while end > 0 && matches!(bytes[end - 1], b'f' | b'F' | b'l' | b'L') {
+            end -= 1;
+        }
+        let v: f64 = text[..end].parse().ok()?;
+        return Some(TokenKind::Float(v));
+    }
+    // Integer: radix prefix, digits, suffix.
+    let (radix, digits_start) = if text.starts_with("0x") || text.starts_with("0X") {
+        (16, 2)
+    } else if bytes.len() > 1 && bytes[0] == b'0' {
+        (8, 1)
+    } else {
+        (10, 0)
+    };
+    let mut end = bytes.len();
+    let mut suffix = IntSuffix::default();
+    loop {
+        if end <= digits_start {
+            break;
+        }
+        match bytes[end - 1] {
+            b'u' | b'U' => {
+                if suffix.unsigned {
+                    return None;
+                }
+                suffix.unsigned = true;
+                end -= 1;
+            }
+            b'l' | b'L' => {
+                if suffix.long >= 2 {
+                    return None;
+                }
+                suffix.long += 1;
+                end -= 1;
+            }
+            _ => break,
+        }
+    }
+    let digits = &text[digits_start..end];
+    if digits.is_empty() {
+        // `0u` / `0L`: the leading zero itself is the whole value (the octal
+        // prefix consumed it). `0x` with no digits stays an error.
+        if radix == 8 {
+            return Some(TokenKind::Int(0, suffix));
+        }
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in digits.as_bytes() {
+        let d = (b as char).to_digit(radix)?;
+        v = v.wrapping_mul(radix as u64).wrapping_add(d as u64);
+    }
+    Some(TokenKind::Int(v, suffix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src, FileId(0)).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("int *p = &x;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Punct(Punct::Star),
+                TokenKind::Ident("p".into()),
+                TokenKind::Punct(Punct::Eq),
+                TokenKind::Punct(Punct::Amp),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Semi),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("0"), vec![TokenKind::Int(0, IntSuffix::default())]);
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42, IntSuffix::default())]);
+        assert_eq!(kinds("0x1F"), vec![TokenKind::Int(31, IntSuffix::default())]);
+        assert_eq!(kinds("017"), vec![TokenKind::Int(15, IntSuffix::default())]);
+        assert_eq!(
+            kinds("42ul"),
+            vec![TokenKind::Int(42, IntSuffix { unsigned: true, long: 1 })]
+        );
+        assert_eq!(
+            kinds("0u"),
+            vec![TokenKind::Int(0, IntSuffix { unsigned: true, long: 0 })]
+        );
+        assert_eq!(
+            kinds("0L"),
+            vec![TokenKind::Int(0, IntSuffix { unsigned: false, long: 1 })]
+        );
+        assert_eq!(kinds("1.5"), vec![TokenKind::Float(1.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5f"), vec![TokenKind::Float(2.5)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Float(0.5)]);
+    }
+
+    #[test]
+    fn char_and_string() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::Char('a' as i64)]);
+        assert_eq!(kinds(r"'\n'"), vec![TokenKind::Char(10)]);
+        assert_eq!(kinds(r"'\x41'"), vec![TokenKind::Char(0x41)]);
+        assert_eq!(kinds(r"'\0'"), vec![TokenKind::Char(0)]);
+        assert_eq!(kinds(r#""hi\n""#), vec![TokenKind::Str("hi\n".into())]);
+        assert_eq!(kinds(r#"L"wide""#), vec![TokenKind::Str("wide".into())]);
+    }
+
+    #[test]
+    fn comments_and_layout_flags() {
+        let ts = lex("a /* c */ b\n  c // x\nd", FileId(0)).unwrap();
+        let names: Vec<_> = ts.iter().map(|t| t.kind.ident().unwrap().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+        assert!(ts[0].first_on_line);
+        assert!(!ts[1].first_on_line);
+        assert!(ts[1].space_before);
+        assert!(ts[2].first_on_line);
+        assert!(ts[3].first_on_line);
+        assert_eq!(ts[3].loc.line, 3);
+    }
+
+    #[test]
+    fn line_splice() {
+        let ts = lex("ab\\\ncd", FileId(0)).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert!(ts[0].is_ident("abcd"));
+        let ts = lex("#def\\\nine X 1", FileId(0)).unwrap();
+        assert!(ts[1].is_ident("define"));
+    }
+
+    #[test]
+    fn multi_char_puncts() {
+        let ks = kinds("a <<= b >>= c ... p->q");
+        assert!(ks.contains(&TokenKind::Punct(Punct::ShlEq)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::ShrEq)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Ellipsis)));
+        assert!(ks.contains(&TokenKind::Punct(Punct::Arrow)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"abc", FileId(0)).is_err());
+        assert!(lex("/* abc", FileId(0)).is_err());
+        assert!(lex("''", FileId(0)).is_err());
+        assert!(lex("@", FileId(0)).is_err());
+        assert!(lex("0x", FileId(0)).is_err());
+    }
+
+    #[test]
+    fn locations() {
+        let ts = lex("x\n  y", FileId(7)).unwrap();
+        assert_eq!(ts[0].loc, Loc::new(FileId(7), 1, 1));
+        assert_eq!(ts[1].loc, Loc::new(FileId(7), 2, 3));
+    }
+}

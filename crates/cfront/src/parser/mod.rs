@@ -1,0 +1,403 @@
+//! Recursive-descent parser for C.
+//!
+//! Consumes the preprocessed token stream and produces a
+//! [`TranslationUnit`]. Keywords are classified here (the lexer emits plain
+//! identifiers), and typedef names are tracked through a scope stack — the
+//! classic "lexer hack" done parser-side.
+
+mod decl;
+mod expr;
+mod stmt;
+
+use crate::ast::{Expr, ExprKind, TranslationUnit, UnaryOp};
+use crate::error::{CError, Result};
+use crate::span::Loc;
+use crate::token::{Punct, Token, TokenKind};
+use crate::types::{Type, TypeTable};
+use std::collections::{HashMap, HashSet};
+
+/// Parses a preprocessed token stream into a translation unit.
+///
+/// # Errors
+///
+/// Returns [`CError::Parse`] on any syntax error. The parser does not attempt
+/// error recovery; the first error aborts the unit.
+pub fn parse(tokens: Vec<Token>, file: impl Into<String>) -> Result<TranslationUnit> {
+    let mut p = Parser::new(tokens);
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        if let Some(item) = p.parse_external_decl()? {
+            items.push(item);
+        }
+    }
+    Ok(TranslationUnit {
+        file: file.into(),
+        items,
+        types: p.types,
+        enum_constants: p.enum_constants,
+    })
+}
+
+/// C keywords (C89 + `inline` + common GNU spellings handled elsewhere).
+const KEYWORDS: &[&str] = &[
+    "auto", "break", "case", "char", "const", "continue", "default", "do", "double", "else",
+    "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long", "register",
+    "return", "short", "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while", "restrict", "_Bool",
+];
+
+/// What a name means in the current scope.
+#[derive(Debug, Clone)]
+pub(crate) enum NameKind {
+    /// A typedef name aliasing this type.
+    Typedef(Type),
+    /// An ordinary identifier (variable/function), which shadows any outer
+    /// typedef of the same name.
+    Ordinary,
+}
+
+pub(crate) struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    /// Current expression/declarator recursion depth (guards the
+    /// recursive-descent parser against stack overflow on pathological
+    /// nesting).
+    depth: u32,
+    pub(crate) types: TypeTable,
+    scopes: Vec<HashMap<String, NameKind>>,
+    pub(crate) enum_constants: HashSet<String>,
+    /// Values of enum constants, for constant folding.
+    pub(crate) enum_values: HashMap<String, i64>,
+}
+
+impl Parser {
+    fn new(toks: Vec<Token>) -> Self {
+        Parser {
+            toks,
+            pos: 0,
+            depth: 0,
+            types: TypeTable::new(),
+            scopes: vec![HashMap::new()],
+            enum_constants: HashSet::new(),
+            enum_values: HashMap::new(),
+        }
+    }
+
+    // ----- cursor -------------------------------------------------------
+
+    pub(crate) fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    pub(crate) fn peek(&self) -> &TokenKind {
+        self.toks.get(self.pos).map_or(&TokenKind::Eof, |t| &t.kind)
+    }
+
+    pub(crate) fn peek_ahead(&self, n: usize) -> &TokenKind {
+        self.toks.get(self.pos + n).map_or(&TokenKind::Eof, |t| &t.kind)
+    }
+
+    pub(crate) fn loc(&self) -> Loc {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(Loc::BUILTIN, |t| t.loc)
+    }
+
+    pub(crate) fn bump(&mut self) -> TokenKind {
+        let k = self.peek().clone();
+        self.pos += 1;
+        k
+    }
+
+    /// Raw cursor position, for save/replay of declarator tokens.
+    pub(crate) fn pos_raw(&self) -> usize {
+        self.pos
+    }
+
+    /// Restores a cursor position previously obtained from [`Self::pos_raw`].
+    pub(crate) fn restore_pos(&mut self, p: usize) {
+        self.pos = p;
+    }
+
+    /// Enters one level of recursive parsing; errors beyond the nesting
+    /// limit instead of overflowing the stack.
+    pub(crate) fn enter(&mut self) -> Result<DepthGuard> {
+        const MAX_DEPTH: u32 = 64;
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("expression or declarator nested too deeply"));
+        }
+        self.depth += 1;
+        Ok(DepthGuard)
+    }
+
+    pub(crate) fn leave(&mut self, _g: DepthGuard) {
+        self.depth -= 1;
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> CError {
+        let mut msg = msg.into();
+        if !self.at_eof() {
+            msg = format!("{msg} (found `{}`)", self.peek());
+        } else {
+            msg = format!("{msg} (at end of input)");
+        }
+        CError::parse(msg, self.loc())
+    }
+
+    /// True if the current token is the punctuator `p`.
+    pub(crate) fn at_punct(&self, p: Punct) -> bool {
+        matches!(self.peek(), TokenKind::Punct(q) if *q == p)
+    }
+
+    /// Consumes `p` when present.
+    pub(crate) fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.at_punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires and consumes `p`.
+    pub(crate) fn expect_punct(&mut self, p: Punct) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", p.as_str())))
+        }
+    }
+
+    /// True if the current token is the identifier/keyword `kw`.
+    pub(crate) fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Consumes the keyword when present.
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires and consumes the keyword.
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    /// Consumes and returns an identifier that is not a keyword.
+    pub(crate) fn expect_ident(&mut self) -> Result<(String, Loc)> {
+        let loc = self.loc();
+        match self.peek() {
+            TokenKind::Ident(s) if !is_keyword(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok((s, loc))
+            }
+            _ => Err(self.err("expected identifier")),
+        }
+    }
+
+    // ----- scopes -------------------------------------------------------
+
+    pub(crate) fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    pub(crate) fn pop_scope(&mut self) {
+        self.scopes.pop();
+        debug_assert!(!self.scopes.is_empty(), "popped file scope");
+    }
+
+    pub(crate) fn declare_typedef(&mut self, name: &str, ty: Type) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), NameKind::Typedef(ty));
+    }
+
+    pub(crate) fn declare_ordinary(&mut self, name: &str) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), NameKind::Ordinary);
+    }
+
+    /// Resolves a name to a typedef'd type, respecting shadowing.
+    pub(crate) fn typedef_lookup(&self, name: &str) -> Option<&Type> {
+        for scope in self.scopes.iter().rev() {
+            match scope.get(name) {
+                Some(NameKind::Typedef(t)) => return Some(t),
+                Some(NameKind::Ordinary) => return None,
+                None => {}
+            }
+        }
+        None
+    }
+
+    // ----- GNU extensions we skip over ----------------------------------
+
+    /// Skips `__attribute__((...))`, `__asm__("...")`, `__extension__`,
+    /// `__restrict`, and similar decorations. Returns true if anything was
+    /// consumed.
+    pub(crate) fn skip_gnu_extensions(&mut self) -> Result<bool> {
+        let mut any = false;
+        loop {
+            match self.peek() {
+                TokenKind::Ident(s)
+                    if matches!(
+                        s.as_str(),
+                        "__extension__"
+                            | "__restrict"
+                            | "__restrict__"
+                            | "__inline"
+                            | "__inline__"
+                            | "__const"
+                            | "__volatile__"
+                            | "__signed__"
+                    ) =>
+                {
+                    self.pos += 1;
+                    any = true;
+                }
+                TokenKind::Ident(s) if s == "__attribute__" || s == "__asm__" || s == "__asm" => {
+                    self.pos += 1;
+                    self.skip_balanced_parens()?;
+                    any = true;
+                }
+                _ => return Ok(any),
+            }
+        }
+    }
+
+    /// Skips a balanced `( ... )` group.
+    pub(crate) fn skip_balanced_parens(&mut self) -> Result<()> {
+        self.expect_punct(Punct::LParen)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                TokenKind::Punct(Punct::LParen) => depth += 1,
+                TokenKind::Punct(Punct::RParen) => depth -= 1,
+                TokenKind::Eof => return Err(self.err("unterminated parentheses")),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    // ----- constant folding ---------------------------------------------
+
+    /// Best-effort integer constant folding, used for array sizes, enum
+    /// values and bit-field widths. Returns `None` for non-constant or
+    /// unsupported expressions.
+    pub(crate) fn eval_const(&self, e: &Expr) -> Option<i64> {
+        use crate::ast::BinaryOp::*;
+        Some(match &e.kind {
+            ExprKind::IntLit(v) => *v as i64,
+            ExprKind::CharLit(v) => *v,
+            ExprKind::Ident(name) => *self.enum_values.get(name)?,
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval_const(inner)?;
+                match op {
+                    UnaryOp::Neg => v.wrapping_neg(),
+                    UnaryOp::Pos => v,
+                    UnaryOp::LogicalNot => i64::from(v == 0),
+                    UnaryOp::BitNot => !v,
+                    _ => return None,
+                }
+            }
+            ExprKind::Binary(op, l, r) => {
+                let l = self.eval_const(l)?;
+                let r = self.eval_const(r)?;
+                match op {
+                    Add => l.wrapping_add(r),
+                    Sub => l.wrapping_sub(r),
+                    Mul => l.wrapping_mul(r),
+                    Div => {
+                        if r == 0 {
+                            return None;
+                        }
+                        l.wrapping_div(r)
+                    }
+                    Rem => {
+                        if r == 0 {
+                            return None;
+                        }
+                        l.wrapping_rem(r)
+                    }
+                    Shl => l.wrapping_shl(r as u32 & 63),
+                    Shr => l.wrapping_shr(r as u32 & 63),
+                    Lt => i64::from(l < r),
+                    Gt => i64::from(l > r),
+                    Le => i64::from(l <= r),
+                    Ge => i64::from(l >= r),
+                    Eq => i64::from(l == r),
+                    Ne => i64::from(l != r),
+                    BitAnd => l & r,
+                    BitXor => l ^ r,
+                    BitOr => l | r,
+                    LogAnd => i64::from(l != 0 && r != 0),
+                    LogOr => i64::from(l != 0 || r != 0),
+                }
+            }
+            ExprKind::Cond(c, t, f) => {
+                if self.eval_const(c)? != 0 {
+                    self.eval_const(t)?
+                } else {
+                    self.eval_const(f)?
+                }
+            }
+            ExprKind::Cast(_, inner) => self.eval_const(inner)?,
+            ExprKind::SizeofType(ty) => self.types.size_of(ty)? as i64,
+            ExprKind::SizeofExpr(_) => return None,
+            _ => return None,
+        })
+    }
+}
+
+/// Token for one level of parser recursion (returned by [`Parser::enter`]).
+pub(crate) struct DepthGuard;
+
+/// True when `s` is a C keyword.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::span::FileId;
+
+    pub(crate) fn parse_str(src: &str) -> Result<TranslationUnit> {
+        let toks = lex(src, FileId(0)).unwrap();
+        parse(toks, "test.c")
+    }
+
+    #[test]
+    fn keyword_table() {
+        assert!(is_keyword("int"));
+        assert!(is_keyword("while"));
+        assert!(!is_keyword("x"));
+        assert!(!is_keyword("main"));
+    }
+
+    #[test]
+    fn empty_unit() {
+        let tu = parse_str("").unwrap();
+        assert!(tu.items.is_empty());
+    }
+
+    #[test]
+    fn stray_token_is_error() {
+        assert!(parse_str("42;").is_err());
+    }
+}

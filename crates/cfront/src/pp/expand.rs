@@ -1,0 +1,453 @@
+//! Macro expansion.
+//!
+//! A simplified variant of Prosser's hide-set algorithm: every token in
+//! flight carries the set of macro names whose expansion produced it; a
+//! name in its own hide set is never re-expanded, which guarantees
+//! termination on self-referential macros (`#define a a`).
+
+use crate::error::{CError, Result};
+use crate::lexer;
+use crate::span::Loc;
+use crate::token::{Punct, Token, TokenKind};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// A macro definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MacroDef {
+    /// `#define NAME body...`
+    Object { body: Vec<Token> },
+    /// `#define NAME(params...) body...`
+    Function { params: Vec<String>, variadic: bool, body: Vec<Token> },
+}
+
+/// Table of live macro definitions.
+pub type MacroTable = HashMap<String, MacroDef>;
+
+/// A token in flight through the expander, with its hide set.
+#[derive(Debug, Clone)]
+struct PTok {
+    tok: Token,
+    hide: Rc<Vec<String>>,
+}
+
+impl PTok {
+    fn fresh(tok: Token) -> Self {
+        PTok { tok, hide: Rc::new(Vec::new()) }
+    }
+
+    fn hidden(&self, name: &str) -> bool {
+        self.hide.iter().any(|h| h == name)
+    }
+}
+
+fn extend_hide(hide: &Rc<Vec<String>>, name: &str) -> Rc<Vec<String>> {
+    let mut v = (**hide).clone();
+    v.push(name.to_string());
+    Rc::new(v)
+}
+
+/// Statistics from macro expansion.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExpandStats {
+    /// Number of macro invocations expanded.
+    pub expansions: usize,
+}
+
+/// Fully macro-expands `tokens` against `macros`.
+///
+/// # Errors
+///
+/// Returns [`CError::Pp`] on malformed invocations (unterminated argument
+/// list, wrong arity) or invalid `##` pastes.
+pub fn expand(
+    tokens: Vec<Token>,
+    macros: &MacroTable,
+    stats: &mut ExpandStats,
+) -> Result<Vec<Token>> {
+    let mut input: VecDeque<PTok> = tokens.into_iter().map(PTok::fresh).collect();
+    let mut out = Vec::new();
+    expand_into(&mut input, macros, &mut out, stats)?;
+    Ok(out)
+}
+
+fn expand_into(
+    input: &mut VecDeque<PTok>,
+    macros: &MacroTable,
+    out: &mut Vec<Token>,
+    stats: &mut ExpandStats,
+) -> Result<()> {
+    while let Some(pt) = input.pop_front() {
+        let name = match pt.tok.kind.ident() {
+            Some(n) => n.to_string(),
+            None => {
+                out.push(pt.tok);
+                continue;
+            }
+        };
+        if pt.hidden(&name) {
+            out.push(pt.tok);
+            continue;
+        }
+        match macros.get(&name) {
+            None => out.push(pt.tok),
+            Some(MacroDef::Object { body }) => {
+                stats.expansions += 1;
+                let hide = extend_hide(&pt.hide, &name);
+                let replaced = paste_tokens(body.clone(), pt.tok.loc)?;
+                for t in replaced.into_iter().rev() {
+                    let mut t = t;
+                    t.loc = pt.tok.loc;
+                    input.push_front(PTok { tok: t, hide: Rc::clone(&hide) });
+                }
+            }
+            Some(MacroDef::Function { params, variadic, body }) => {
+                // A function-like macro name not followed by `(` is an
+                // ordinary identifier.
+                if !matches!(input.front(), Some(n) if n.tok.is_punct(Punct::LParen)) {
+                    out.push(pt.tok);
+                    continue;
+                }
+                input.pop_front(); // `(`
+                let args = collect_args(input, pt.tok.loc)?;
+                let arity_ok = if *variadic {
+                    args.len() >= params.len()
+                } else {
+                    args.len() == params.len()
+                        || (params.is_empty() && args.len() == 1 && args[0].is_empty())
+                };
+                if !arity_ok {
+                    return Err(CError::pp(
+                        format!(
+                            "macro `{name}` expects {} argument(s), got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                        pt.tok.loc,
+                    ));
+                }
+                stats.expansions += 1;
+                let substituted =
+                    substitute(body, params, *variadic, &args, macros, pt.tok.loc, stats)?;
+                let hide = extend_hide(&pt.hide, &name);
+                for t in substituted.into_iter().rev() {
+                    let mut t = t;
+                    t.loc = pt.tok.loc;
+                    input.push_front(PTok { tok: t, hide: Rc::clone(&hide) });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects macro arguments after the opening parenthesis (which the caller
+/// consumed). Arguments are comma-separated at paren/bracket/brace depth 0.
+fn collect_args(input: &mut VecDeque<PTok>, loc: Loc) -> Result<Vec<Vec<PTok>>> {
+    let mut args: Vec<Vec<PTok>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    loop {
+        let Some(pt) = input.pop_front() else {
+            return Err(CError::pp("unterminated macro argument list", loc));
+        };
+        match &pt.tok.kind {
+            TokenKind::Punct(Punct::LParen)
+            | TokenKind::Punct(Punct::LBracket)
+            | TokenKind::Punct(Punct::LBrace) => {
+                depth += 1;
+                args.last_mut().unwrap().push(pt);
+            }
+            TokenKind::Punct(Punct::RParen) if depth == 0 => return Ok(args),
+            TokenKind::Punct(Punct::RParen)
+            | TokenKind::Punct(Punct::RBracket)
+            | TokenKind::Punct(Punct::RBrace) => {
+                depth = depth.saturating_sub(1);
+                args.last_mut().unwrap().push(pt);
+            }
+            TokenKind::Punct(Punct::Comma) if depth == 0 => args.push(Vec::new()),
+            _ => args.last_mut().unwrap().push(pt),
+        }
+    }
+}
+
+/// Substitutes parameters into a function-like macro body, handling `#`
+/// (stringification, unexpanded argument) and `##` (token paste, unexpanded
+/// operands). Other parameter uses receive the *fully expanded* argument.
+#[allow(clippy::too_many_arguments)]
+fn substitute(
+    body: &[Token],
+    params: &[String],
+    variadic: bool,
+    args: &[Vec<PTok>],
+    macros: &MacroTable,
+    loc: Loc,
+    stats: &mut ExpandStats,
+) -> Result<Vec<Token>> {
+    let param_index = |name: &str| -> Option<usize> {
+        if let Some(i) = params.iter().position(|p| p == name) {
+            return Some(i);
+        }
+        if variadic && name == "__VA_ARGS__" {
+            return Some(usize::MAX);
+        }
+        None
+    };
+    let arg_tokens = |idx: usize| -> Vec<Token> {
+        if idx == usize::MAX {
+            // __VA_ARGS__: the trailing arguments, comma-separated.
+            let mut v = Vec::new();
+            for (i, a) in args.iter().enumerate().skip(params.len()) {
+                if i > params.len() {
+                    v.push(Token::synth(TokenKind::Punct(Punct::Comma), loc));
+                }
+                v.extend(a.iter().map(|p| p.tok.clone()));
+            }
+            v
+        } else {
+            args.get(idx).map(|a| a.iter().map(|p| p.tok.clone()).collect()).unwrap_or_default()
+        }
+    };
+
+    let mut out: Vec<Token> = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let t = &body[i];
+        // Stringification: `#param`.
+        if t.is_punct(Punct::Hash) {
+            if let Some(next) = body.get(i + 1) {
+                if let Some(idx) = next.kind.ident().and_then(param_index) {
+                    out.push(Token::synth(
+                        TokenKind::Str(stringify(&arg_tokens(idx))),
+                        loc,
+                    ));
+                    i += 2;
+                    continue;
+                }
+            }
+            return Err(CError::pp("`#` not followed by a macro parameter", loc));
+        }
+        // Token paste: `lhs ## rhs` (left-associative chains).
+        if body.get(i + 1).is_some_and(|n| n.is_punct(Punct::HashHash)) {
+            let mut pasted: Vec<Token> = expand_one(t, param_index, &arg_tokens);
+            let mut j = i + 1;
+            while j < body.len() && body[j].is_punct(Punct::HashHash) {
+                let rhs = body.get(j + 1).ok_or_else(|| {
+                    CError::pp("`##` at end of macro body", loc)
+                })?;
+                let rhs_toks = expand_one(rhs, param_index, &arg_tokens);
+                pasted = paste_join(pasted, rhs_toks, loc)?;
+                j += 2;
+            }
+            out.extend(pasted);
+            i = j;
+            continue;
+        }
+        // Ordinary parameter: fully expanded argument.
+        if let Some(idx) = t.kind.ident().and_then(param_index) {
+            let expanded = expand(arg_tokens(idx), macros, stats)?;
+            out.extend(expanded);
+            i += 1;
+            continue;
+        }
+        out.push(t.clone());
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// For `##` operands: a parameter becomes its unexpanded argument tokens,
+/// anything else stays itself.
+fn expand_one(
+    t: &Token,
+    param_index: impl Fn(&str) -> Option<usize>,
+    arg_tokens: &impl Fn(usize) -> Vec<Token>,
+) -> Vec<Token> {
+    match t.kind.ident().and_then(param_index) {
+        Some(idx) => arg_tokens(idx),
+        None => vec![t.clone()],
+    }
+}
+
+/// Joins the last token of `lhs` with the first of `rhs` by re-lexing their
+/// concatenated spelling.
+fn paste_join(mut lhs: Vec<Token>, mut rhs: Vec<Token>, loc: Loc) -> Result<Vec<Token>> {
+    if lhs.is_empty() {
+        return Ok(rhs);
+    }
+    if rhs.is_empty() {
+        return Ok(lhs);
+    }
+    let l = lhs.pop().unwrap();
+    let r = rhs.remove(0);
+    let text = format!("{}{}", spell(&l), spell(&r));
+    let mut lexed = lexer::lex(&text, loc.file)
+        .map_err(|_| CError::pp(format!("`##` produced invalid token `{text}`"), loc))?;
+    if lexed.len() != 1 {
+        return Err(CError::pp(format!("`##` produced invalid token `{text}`"), loc));
+    }
+    let mut t = lexed.pop().unwrap();
+    t.loc = loc;
+    lhs.push(t);
+    lhs.extend(rhs);
+    Ok(lhs)
+}
+
+/// Handles `##` occurrences in an *object-like* macro body.
+fn paste_tokens(body: Vec<Token>, loc: Loc) -> Result<Vec<Token>> {
+    if !body.iter().any(|t| t.is_punct(Punct::HashHash)) {
+        return Ok(body);
+    }
+    let mut out: Vec<Token> = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body.get(i + 1).is_some_and(|n| n.is_punct(Punct::HashHash)) {
+            let mut pasted = vec![body[i].clone()];
+            let mut j = i + 1;
+            while j < body.len() && body[j].is_punct(Punct::HashHash) {
+                let rhs = body
+                    .get(j + 1)
+                    .ok_or_else(|| CError::pp("`##` at end of macro body", loc))?;
+                pasted = paste_join(pasted, vec![rhs.clone()], loc)?;
+                j += 2;
+            }
+            out.extend(pasted);
+            i = j;
+        } else {
+            out.push(body[i].clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// The source spelling of a token (used for `#` and `##`).
+pub fn spell(t: &Token) -> String {
+    match &t.kind {
+        TokenKind::Ident(s) => s.clone(),
+        TokenKind::Str(s) => format!("{s:?}"),
+        other => format!("{other}"),
+    }
+}
+
+/// Renders argument tokens as a string literal body (for `#param`).
+fn stringify(tokens: &[Token]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i > 0 && t.space_before {
+            s.push(' ');
+        }
+        s.push_str(&spell(t));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::FileId;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lexer::lex(src, FileId(0)).unwrap()
+    }
+
+    fn run(src: &str, defs: &[(&str, MacroDef)]) -> String {
+        let macros: MacroTable =
+            defs.iter().map(|(n, d)| (n.to_string(), d.clone())).collect();
+        let mut stats = ExpandStats::default();
+        let out = expand(toks(src), &macros, &mut stats).unwrap();
+        out.iter().map(spell).collect::<Vec<_>>().join(" ")
+    }
+
+    fn obj(body: &str) -> MacroDef {
+        MacroDef::Object { body: toks(body) }
+    }
+
+    fn func(params: &[&str], body: &str) -> MacroDef {
+        MacroDef::Function {
+            params: params.iter().map(|s| s.to_string()).collect(),
+            variadic: false,
+            body: toks(body),
+        }
+    }
+
+    #[test]
+    fn object_macro() {
+        assert_eq!(run("x = N ;", &[("N", obj("42"))]), "x = 42 ;");
+    }
+
+    #[test]
+    fn nested_object_macros() {
+        assert_eq!(run("A", &[("A", obj("B + B")), ("B", obj("1"))]), "1 + 1");
+    }
+
+    #[test]
+    fn self_reference_terminates() {
+        assert_eq!(run("a", &[("a", obj("a"))]), "a");
+        assert_eq!(run("x", &[("x", obj("y")), ("y", obj("x"))]), "x");
+    }
+
+    #[test]
+    fn function_macro() {
+        assert_eq!(run("MAX(1, 2)", &[("MAX", func(&["a", "b"], "((a)>(b)?(a):(b))"))]),
+            "( ( 1 ) > ( 2 ) ? ( 1 ) : ( 2 ) )");
+    }
+
+    #[test]
+    fn function_macro_name_without_parens() {
+        assert_eq!(run("F + 1", &[("F", func(&["x"], "x"))]), "F + 1");
+    }
+
+    #[test]
+    fn nested_call_arguments() {
+        let defs = [("ID", func(&["x"], "x")), ("TWO", obj("2"))];
+        assert_eq!(run("ID(ID(TWO))", &defs), "2");
+        assert_eq!(run("ID((1, 2))", &defs[..1]), "( 1 , 2 )");
+    }
+
+    #[test]
+    fn stringify() {
+        assert_eq!(run("S(a + b)", &[("S", func(&["x"], "#x"))]), "\"a + b\"");
+    }
+
+    #[test]
+    fn paste() {
+        assert_eq!(run("CAT(foo, bar)", &[("CAT", func(&["a", "b"], "a ## b"))]), "foobar");
+        assert_eq!(run("X", &[("X", obj("pre ## fix"))]), "prefix");
+        assert_eq!(run("C3(a, b, c)", &[("C3", func(&["x", "y", "z"], "x ## y ## z"))]), "abc");
+    }
+
+    #[test]
+    fn variadic() {
+        let m = MacroDef::Function {
+            params: vec!["f".into()],
+            variadic: true,
+            body: toks("f(__VA_ARGS__)"),
+        };
+        assert_eq!(run("CALL(g, 1, 2)", &[("CALL", m)]), "g ( 1 , 2 )");
+    }
+
+    #[test]
+    fn arity_errors() {
+        let macros: MacroTable =
+            [("F".to_string(), func(&["a", "b"], "a b"))].into_iter().collect();
+        let mut stats = ExpandStats::default();
+        assert!(expand(toks("F(1)"), &macros, &mut stats).is_err());
+        assert!(expand(toks("F(1, 2, 3)"), &macros, &mut stats).is_err());
+        assert!(expand(toks("F(1, 2"), &macros, &mut stats).is_err());
+    }
+
+    #[test]
+    fn zero_arg_macro() {
+        let m = MacroDef::Function { params: vec![], variadic: false, body: toks("99") };
+        assert_eq!(run("Z()", &[("Z", m)]), "99");
+    }
+
+    #[test]
+    fn bad_paste_is_error() {
+        let macros: MacroTable =
+            [("P".to_string(), func(&["a"], "a ## ="))].into_iter().collect();
+        let mut stats = ExpandStats::default();
+        // `;=` is not a single valid token.
+        assert!(expand(toks("P(;)"), &macros, &mut stats).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! File providers for the preprocessor.
+//!
+//! The preprocessor reads files through the [`FileProvider`] trait so that
+//! analyses can run over in-memory code bases (the synthetic benchmark
+//! generator, tests) as well as on-disk trees.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Source of file contents for `#include` resolution.
+pub trait FileProvider: Sync {
+    /// Returns the contents of `path`, or `None` when it does not exist.
+    /// `path` is a normalized, `/`-separated path.
+    fn read(&self, path: &str) -> Option<Arc<str>>;
+}
+
+/// An in-memory file system: a map from path to contents.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryFs {
+    files: HashMap<String, Arc<str>>,
+}
+
+impl MemoryFs {
+    /// Creates an empty in-memory file system.
+    pub fn new() -> Self {
+        MemoryFs::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn add(&mut self, path: impl Into<String>, contents: impl Into<Arc<str>>) -> &mut Self {
+        self.files.insert(normalize_path(&path.into()), contents.into());
+        self
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the file system holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates over `(path, contents)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<str>)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl FromIterator<(String, String)> for MemoryFs {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        let mut fs = MemoryFs::new();
+        for (p, c) in iter {
+            fs.add(p, c);
+        }
+        fs
+    }
+}
+
+impl FileProvider for MemoryFs {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
+        self.files.get(&normalize_path(path)).cloned()
+    }
+}
+
+/// A file provider backed by the operating system's file system.
+#[derive(Debug, Default, Clone)]
+pub struct OsFs;
+
+impl FileProvider for OsFs {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
+        if !Path::new(path).is_file() {
+            return None;
+        }
+        std::fs::read_to_string(path).ok().map(Arc::from)
+    }
+}
+
+/// Normalizes a `/`-separated path: collapses `.` and `..` segments and
+/// duplicate separators. Does not touch the file system.
+pub fn normalize_path(path: &str) -> String {
+    let absolute = path.starts_with('/');
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                if matches!(parts.last(), Some(&p) if p != "..") {
+                    parts.pop();
+                } else if !absolute {
+                    parts.push("..");
+                }
+            }
+            s => parts.push(s),
+        }
+    }
+    let joined = parts.join("/");
+    if absolute {
+        format!("/{joined}")
+    } else {
+        joined
+    }
+}
+
+/// Returns the directory component of a normalized path (`""` when none).
+pub fn dir_of(path: &str) -> &str {
+    match path.rfind('/') {
+        Some(i) => &path[..i],
+        None => "",
+    }
+}
+
+/// Joins a directory and a relative path, normalizing the result.
+pub fn join_path(dir: &str, rel: &str) -> String {
+    if dir.is_empty() || rel.starts_with('/') {
+        normalize_path(rel)
+    } else {
+        normalize_path(&format!("{dir}/{rel}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize() {
+        assert_eq!(normalize_path("a/./b"), "a/b");
+        assert_eq!(normalize_path("a/x/../b"), "a/b");
+        assert_eq!(normalize_path("./a//b/"), "a/b");
+        assert_eq!(normalize_path("/usr/../include"), "/include");
+        assert_eq!(normalize_path("../a"), "../a");
+        assert_eq!(normalize_path("a/../../b"), "../b");
+    }
+
+    #[test]
+    fn dirs_and_joins() {
+        assert_eq!(dir_of("a/b/c.h"), "a/b");
+        assert_eq!(dir_of("c.h"), "");
+        assert_eq!(join_path("a/b", "x.h"), "a/b/x.h");
+        assert_eq!(join_path("a/b", "../x.h"), "a/x.h");
+        assert_eq!(join_path("", "x.h"), "x.h");
+        assert_eq!(join_path("a", "/abs.h"), "/abs.h");
+    }
+
+    #[test]
+    fn memory_fs() {
+        let mut fs = MemoryFs::new();
+        fs.add("inc/a.h", "#define A 1\n");
+        assert!(fs.read("inc/a.h").is_some());
+        assert!(fs.read("inc/./a.h").is_some());
+        assert!(fs.read("inc/b.h").is_none());
+        assert_eq!(fs.len(), 1);
+        assert!(!fs.is_empty());
+    }
+
+    #[test]
+    fn memory_fs_from_iter() {
+        let fs: MemoryFs =
+            vec![("a.c".to_string(), "int x;".to_string())].into_iter().collect();
+        assert_eq!(fs.read("a.c").unwrap().as_ref(), "int x;");
+    }
+}

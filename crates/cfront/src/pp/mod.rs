@@ -1,0 +1,619 @@
+//! The C preprocessor.
+//!
+//! Directive handling (`#include`, `#define`, conditionals, …) plus macro
+//! expansion over the token stream produced by the [`crate::lexer`] module.
+//! The output is a flat token vector ready for the parser, together with the
+//! [`SourceMap`] of all files read and byte/line statistics used by the
+//! Table 2 benchmark harness.
+
+mod cond;
+mod expand;
+mod fs;
+
+pub use expand::{spell, ExpandStats, MacroDef, MacroTable};
+pub use fs::{dir_of, join_path, normalize_path, FileProvider, MemoryFs, OsFs};
+
+use crate::error::{CError, Result};
+use crate::lexer;
+use crate::span::{Loc, SourceMap};
+use crate::token::{Punct, Token, TokenKind};
+
+/// Preprocessor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PpOptions {
+    /// Directories searched for `#include` (both forms; quoted includes try
+    /// the including file's directory first).
+    pub include_dirs: Vec<String>,
+    /// Predefined object-like macros, as `(name, body)` pairs.
+    pub defines: Vec<(String, String)>,
+    /// Maximum `#include` nesting depth (default 64).
+    pub max_include_depth: usize,
+}
+
+impl PpOptions {
+    /// Options with a predefined macro added.
+    pub fn define(mut self, name: impl Into<String>, body: impl Into<String>) -> Self {
+        self.defines.push((name.into(), body.into()));
+        self
+    }
+
+    /// Options with an include directory added.
+    pub fn include_dir(mut self, dir: impl Into<String>) -> Self {
+        self.include_dirs.push(dir.into());
+        self
+    }
+}
+
+/// Statistics gathered while preprocessing one translation unit.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PpStats {
+    /// Files read (main file + headers, counting repeats).
+    pub files_read: usize,
+    /// Total bytes of source consumed.
+    pub bytes_in: u64,
+    /// Tokens emitted after preprocessing.
+    pub tokens_out: usize,
+    /// Approximate preprocessed line count (distinct source lines that
+    /// contributed at least one output token).
+    pub lines_out: usize,
+    /// Macro invocations expanded.
+    pub macro_expansions: usize,
+}
+
+/// The result of preprocessing one translation unit.
+#[derive(Debug)]
+pub struct Preprocessed {
+    /// The fully expanded token stream (no `Eof` sentinel).
+    pub tokens: Vec<Token>,
+    /// All files read, for location rendering.
+    pub sources: SourceMap,
+    /// Statistics.
+    pub stats: PpStats,
+}
+
+/// Preprocesses `main_path` read from `fs` into a token stream.
+///
+/// # Errors
+///
+/// Returns [`CError::Pp`] when the main file is missing, an include cannot be
+/// resolved, a directive is malformed, or `#error` fires; lexical errors from
+/// any included file propagate as [`CError::Lex`].
+pub fn preprocess(
+    fs: &dyn FileProvider,
+    main_path: &str,
+    opts: &PpOptions,
+) -> Result<Preprocessed> {
+    let mut pp = Pp {
+        fs,
+        opts,
+        sources: SourceMap::new(),
+        macros: MacroTable::new(),
+        out: Vec::new(),
+        stats: PpStats::default(),
+        expand_stats: ExpandStats::default(),
+        cond_stack: Vec::new(),
+        lines_seen: std::collections::HashSet::new(),
+        line_adjust: 0,
+        line_file: None,
+    };
+    for (name, body) in &opts.defines {
+        let toks = lexer::lex(body, crate::span::FileId::BUILTIN)?;
+        pp.macros.insert(name.clone(), MacroDef::Object { body: toks });
+    }
+    pp.process_file(main_path, Loc::BUILTIN, 0)?;
+    if let Some(open) = pp.cond_stack.last() {
+        return Err(CError::pp("unterminated conditional (#if without #endif)", open.loc));
+    }
+    pp.stats.tokens_out = pp.out.len();
+    pp.stats.macro_expansions = pp.expand_stats.expansions;
+    pp.stats.lines_out = pp.lines_seen.len();
+    Ok(Preprocessed { tokens: pp.out, sources: pp.sources, stats: pp.stats })
+}
+
+/// One level of `#if` nesting.
+#[derive(Debug)]
+struct Cond {
+    /// Location of the opening `#if`, for error reporting.
+    loc: Loc,
+    /// Whether the enclosing context is active.
+    parent_active: bool,
+    /// Whether the current branch is being emitted.
+    active: bool,
+    /// Whether any branch of this conditional has been taken yet.
+    taken: bool,
+    /// Whether `#else` has been seen.
+    seen_else: bool,
+}
+
+struct Pp<'a> {
+    fs: &'a dyn FileProvider,
+    opts: &'a PpOptions,
+    sources: SourceMap,
+    macros: MacroTable,
+    out: Vec<Token>,
+    stats: PpStats,
+    expand_stats: ExpandStats,
+    cond_stack: Vec<Cond>,
+    lines_seen: std::collections::HashSet<(crate::span::FileId, u32)>,
+    /// Active `#line` remapping for the current file: (line delta, optional
+    /// presumed file).
+    line_adjust: i64,
+    line_file: Option<crate::span::FileId>,
+}
+
+impl<'a> Pp<'a> {
+    fn active(&self) -> bool {
+        self.cond_stack.iter().all(|c| c.active)
+    }
+
+    fn process_file(&mut self, path: &str, from: Loc, depth: usize) -> Result<()> {
+        let max_depth = if self.opts.max_include_depth == 0 {
+            64
+        } else {
+            self.opts.max_include_depth
+        };
+        if depth > max_depth {
+            return Err(CError::pp(format!("#include nesting too deep at `{path}`"), from));
+        }
+        let src = self
+            .fs
+            .read(path)
+            .ok_or_else(|| CError::pp(format!("cannot open `{path}`"), from))?;
+        self.stats.files_read += 1;
+        self.stats.bytes_in += src.len() as u64;
+        let file = self.sources.add_file(path, src.clone());
+        let tokens = lexer::lex(&src, file)?;
+        let cond_depth_at_entry = self.cond_stack.len();
+        // #line remappings are per-file.
+        let (saved_adjust, saved_file) = (self.line_adjust, self.line_file);
+        self.line_adjust = 0;
+        self.line_file = None;
+
+        // Walk logical lines.
+        let mut i = 0;
+        while i < tokens.len() {
+            // A logical line runs until the next `first_on_line` token.
+            let mut j = i + 1;
+            while j < tokens.len() && !tokens[j].first_on_line {
+                j += 1;
+            }
+            let line = &tokens[i..j];
+            if line[0].is_punct(Punct::Hash) {
+                self.directive(&line[1..], line[0].loc, path, depth)?;
+            } else if self.active() {
+                let mut expanded =
+                    expand::expand(line.to_vec(), &self.macros, &mut self.expand_stats)?;
+                if self.line_adjust != 0 || self.line_file.is_some() {
+                    for t in &mut expanded {
+                        if t.loc.file == file {
+                            t.loc.line =
+                                (i64::from(t.loc.line) + self.line_adjust).max(1) as u32;
+                            if let Some(f) = self.line_file {
+                                t.loc.file = f;
+                            }
+                        }
+                    }
+                }
+                for t in &expanded {
+                    self.lines_seen.insert((t.loc.file, t.loc.line));
+                }
+                self.out.extend(expanded);
+            }
+            i = j;
+        }
+        self.line_adjust = saved_adjust;
+        self.line_file = saved_file;
+        if self.cond_stack.len() != cond_depth_at_entry {
+            let open = &self.cond_stack[self.cond_stack.len() - 1];
+            return Err(CError::pp("unterminated conditional (#if without #endif)", open.loc));
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, rest: &[Token], loc: Loc, cur_path: &str, depth: usize) -> Result<()> {
+        // A lone `#` is a null directive.
+        let Some(first) = rest.first() else { return Ok(()) };
+        let name = first.kind.ident().unwrap_or("");
+        let args = &rest[1..];
+        match name {
+            "if" => {
+                // An #if inside a skipped region is pushed but its expression
+                // is not evaluated (it may use constructs we cannot resolve).
+                let parent = self.parent_active();
+                let v = if parent {
+                    cond::eval_condition(args, &self.macros, loc, &mut self.expand_stats)?
+                } else {
+                    false
+                };
+                self.cond_stack.push(Cond {
+                    loc,
+                    parent_active: parent,
+                    active: parent && v,
+                    taken: v,
+                    seen_else: false,
+                });
+                Ok(())
+            }
+            "ifdef" | "ifndef" => {
+                let id = args
+                    .first()
+                    .and_then(|t| t.kind.ident())
+                    .ok_or_else(|| CError::pp(format!("#{name} needs an identifier"), loc))?;
+                let mut cond = self.macros.contains_key(id);
+                if name == "ifndef" {
+                    cond = !cond;
+                }
+                self.cond_stack.push(Cond {
+                    loc,
+                    parent_active: self.parent_active(),
+                    active: self.parent_active() && cond,
+                    taken: cond,
+                    seen_else: false,
+                });
+                Ok(())
+            }
+            "elif" => {
+                let Some(top) = self.cond_stack.last_mut() else {
+                    return Err(CError::pp("#elif without #if", loc));
+                };
+                if top.seen_else {
+                    return Err(CError::pp("#elif after #else", loc));
+                }
+                if top.taken || !top.parent_active {
+                    top.active = false;
+                } else {
+                    let v =
+                        cond::eval_condition(args, &self.macros, loc, &mut self.expand_stats)?;
+                    top.active = v;
+                    top.taken = v;
+                }
+                Ok(())
+            }
+            "else" => {
+                let Some(top) = self.cond_stack.last_mut() else {
+                    return Err(CError::pp("#else without #if", loc));
+                };
+                if top.seen_else {
+                    return Err(CError::pp("duplicate #else", loc));
+                }
+                top.seen_else = true;
+                top.active = top.parent_active && !top.taken;
+                top.taken = true;
+                Ok(())
+            }
+            "endif" => {
+                if self.cond_stack.pop().is_none() {
+                    return Err(CError::pp("#endif without #if", loc));
+                }
+                Ok(())
+            }
+            _ if !self.active() => Ok(()), // other directives in skipped regions are ignored
+            "define" => self.define(args, loc),
+            "undef" => {
+                let id = args
+                    .first()
+                    .and_then(|t| t.kind.ident())
+                    .ok_or_else(|| CError::pp("#undef needs an identifier", loc))?;
+                self.macros.remove(id);
+                Ok(())
+            }
+            "include" => self.include(args, loc, cur_path, depth),
+            "error" => {
+                let msg: Vec<String> = args.iter().map(spell).collect();
+                Err(CError::pp(format!("#error {}", msg.join(" ")), loc))
+            }
+            "line" => {
+                // `#line N ["file"]`: subsequent lines are presumed to come
+                // from line N (of the given file). Common in generated code.
+                let toks =
+                    expand::expand(args.to_vec(), &self.macros, &mut self.expand_stats)?;
+                let Some(TokenKind::Int(n, _)) = toks.first().map(|t| &t.kind) else {
+                    return Err(CError::pp("#line needs a line number", loc));
+                };
+                // The next physical line is loc.line + 1 and must appear as n.
+                self.line_adjust = *n as i64 - i64::from(loc.line) - 1;
+                // A bare `#line N` keeps the current presumed file name.
+                if let Some(TokenKind::Str(name)) = toks.get(1).map(|t| &t.kind) {
+                    let id = self.sources.add_file(name.clone(), "".into());
+                    self.line_file = Some(id);
+                }
+                Ok(())
+            }
+            "warning" | "pragma" | "ident" => Ok(()), // accepted and ignored
+            other => Err(CError::pp(format!("unknown directive #{other}"), loc)),
+        }
+    }
+
+    fn parent_active(&self) -> bool {
+        self.cond_stack.iter().all(|c| c.active)
+    }
+
+    fn define(&mut self, args: &[Token], loc: Loc) -> Result<()> {
+        let Some((name_tok, rest)) = args.split_first() else {
+            return Err(CError::pp("#define needs a name", loc));
+        };
+        let Some(name) = name_tok.kind.ident() else {
+            return Err(CError::pp("#define needs an identifier", loc));
+        };
+        // Function-like iff `(` immediately follows the name (no whitespace).
+        let function_like =
+            rest.first().is_some_and(|t| t.is_punct(Punct::LParen) && !t.space_before);
+        if !function_like {
+            self.macros.insert(name.to_string(), MacroDef::Object { body: rest.to_vec() });
+            return Ok(());
+        }
+        let mut params = Vec::new();
+        let mut variadic = false;
+        let mut i = 1; // after `(`
+        if rest.get(i).is_some_and(|t| t.is_punct(Punct::RParen)) {
+            i += 1;
+        } else {
+            loop {
+                match rest.get(i) {
+                    Some(t) if t.is_punct(Punct::Ellipsis) => {
+                        variadic = true;
+                        i += 1;
+                    }
+                    Some(t) => {
+                        let p = t.kind.ident().ok_or_else(|| {
+                            CError::pp("expected macro parameter name", t.loc)
+                        })?;
+                        params.push(p.to_string());
+                        i += 1;
+                    }
+                    None => return Err(CError::pp("unterminated macro parameter list", loc)),
+                }
+                match rest.get(i) {
+                    Some(t) if t.is_punct(Punct::Comma) && !variadic => i += 1,
+                    Some(t) if t.is_punct(Punct::RParen) => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {
+                        return Err(CError::pp(
+                            "expected `,` or `)` in macro parameter list",
+                            loc,
+                        ))
+                    }
+                }
+            }
+        }
+        let body = rest[i..].to_vec();
+        self.macros
+            .insert(name.to_string(), MacroDef::Function { params, variadic, body });
+        Ok(())
+    }
+
+    fn include(&mut self, args: &[Token], loc: Loc, cur_path: &str, depth: usize) -> Result<()> {
+        // Two spellings: #include "path" and #include <path>. A macro that
+        // expands to one of these forms is also accepted.
+        let toks: Vec<Token>;
+        let args = if args.first().is_some_and(|t| t.kind.is_ident()) {
+            toks = expand::expand(args.to_vec(), &self.macros, &mut self.expand_stats)?;
+            &toks[..]
+        } else {
+            args
+        };
+        let (path, angled) = match args.first().map(|t| &t.kind) {
+            Some(TokenKind::Str(s)) => (s.clone(), false),
+            Some(TokenKind::Punct(Punct::Lt)) => {
+                let mut s = String::new();
+                for t in &args[1..] {
+                    if t.is_punct(Punct::Gt) {
+                        break;
+                    }
+                    s.push_str(&spell(t));
+                }
+                if !args.iter().any(|t| t.is_punct(Punct::Gt)) {
+                    return Err(CError::pp("unterminated <...> include", loc));
+                }
+                (s, true)
+            }
+            _ => return Err(CError::pp("malformed #include", loc)),
+        };
+        // Resolution order: quoted tries the includer's directory first,
+        // then the include path; angled tries only the include path (plus
+        // the bare name, so absolute/virtual paths work).
+        let mut candidates = Vec::new();
+        if !angled {
+            candidates.push(join_path(dir_of(cur_path), &path));
+        }
+        for dir in &self.opts.include_dirs {
+            candidates.push(join_path(dir, &path));
+        }
+        candidates.push(normalize_path(&path));
+        for cand in &candidates {
+            if self.fs.read(cand).is_some() {
+                return self.process_file(cand, loc, depth + 1);
+            }
+        }
+        Err(CError::pp(format!("include file not found: `{path}`"), loc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)], opts: PpOptions) -> Result<Preprocessed> {
+        let mut fs = MemoryFs::new();
+        for (p, c) in files {
+            fs.add(*p, *c);
+        }
+        preprocess(&fs, files[0].0, &opts)
+    }
+
+    fn text(p: &Preprocessed) -> String {
+        p.tokens.iter().map(spell).collect::<Vec<_>>().join(" ")
+    }
+
+    #[test]
+    fn passthrough() {
+        let p = run(&[("a.c", "int x = 1;\n")], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int x = 1 ;");
+        assert_eq!(p.stats.files_read, 1);
+    }
+
+    #[test]
+    fn object_and_function_macros() {
+        let src = "#define N 10\n#define SQ(x) ((x)*(x))\nint a = SQ(N);\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int a = ( ( 10 ) * ( 10 ) ) ;");
+        assert!(p.stats.macro_expansions >= 2);
+    }
+
+    #[test]
+    fn include_and_guard() {
+        let h = "#ifndef H\n#define H\nint from_header;\n#endif\n";
+        let c = "#include \"h.h\"\n#include \"h.h\"\nint main_var;\n";
+        let p = run(&[("a.c", c), ("h.h", h)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int from_header ; int main_var ;");
+        assert_eq!(p.stats.files_read, 3);
+    }
+
+    #[test]
+    fn include_relative_to_includer() {
+        let files = [
+            ("src/a.c", "#include \"sub/x.h\"\n"),
+            ("src/sub/x.h", "#include \"y.h\"\n"),
+            ("src/sub/y.h", "int deep;\n"),
+        ];
+        let p = run(&files, PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int deep ;");
+    }
+
+    #[test]
+    fn angled_include_uses_include_dirs() {
+        let files = [("a.c", "#include <lib.h>\nint b;\n"), ("inc/lib.h", "int a;\n")];
+        let p = run(&files, PpOptions::default().include_dir("inc")).unwrap();
+        assert_eq!(text(&p), "int a ; int b ;");
+        assert!(run(&files, PpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn conditionals() {
+        let src = "#if FOO\nint yes;\n#else\nint no;\n#endif\n";
+        let p = run(&[("a.c", src)], PpOptions::default().define("FOO", "1")).unwrap();
+        assert_eq!(text(&p), "int yes ;");
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int no ;");
+    }
+
+    #[test]
+    fn elif_chain() {
+        let src = "#if A\nint a;\n#elif B\nint b;\n#elif C\nint c;\n#else\nint d;\n#endif\n";
+        let p = run(&[("x.c", src)], PpOptions::default().define("B", "1")).unwrap();
+        assert_eq!(text(&p), "int b ;");
+        let p = run(&[("x.c", src)], PpOptions::default().define("C", "1")).unwrap();
+        assert_eq!(text(&p), "int c ;");
+        let p = run(&[("x.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int d ;");
+        // Only the first true branch is taken.
+        let p = run(
+            &[("x.c", src)],
+            PpOptions::default().define("B", "1").define("C", "1"),
+        )
+        .unwrap();
+        assert_eq!(text(&p), "int b ;");
+    }
+
+    #[test]
+    fn nested_conditionals_in_skipped_region() {
+        let src = "#if 0\n#if 1\nint skipped;\n#endif\n#else\nint kept;\n#endif\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int kept ;");
+    }
+
+    #[test]
+    fn undef() {
+        let src = "#define X 1\n#undef X\n#ifdef X\nint yes;\n#endif\nint always;\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int always ;");
+    }
+
+    #[test]
+    fn error_directive() {
+        let src = "#if 0\n#error never\n#endif\nint ok;\n";
+        assert_eq!(text(&run(&[("a.c", src)], PpOptions::default()).unwrap()), "int ok ;");
+        let src = "#error boom here\n";
+        let e = run(&[("a.c", src)], PpOptions::default()).unwrap_err();
+        assert!(e.message().contains("boom here"));
+    }
+
+    #[test]
+    fn missing_things_error() {
+        assert!(run(&[("a.c", "#include \"nope.h\"\n")], PpOptions::default()).is_err());
+        assert!(run(&[("a.c", "#if 1\nint x;\n")], PpOptions::default()).is_err());
+        assert!(run(&[("a.c", "#endif\n")], PpOptions::default()).is_err());
+        assert!(run(&[("a.c", "#else\n")], PpOptions::default()).is_err());
+        assert!(run(&[("a.c", "#bogus\n")], PpOptions::default()).is_err());
+        let mut fs = MemoryFs::new();
+        fs.add("self.h", "#include \"self.h\"\n");
+        assert!(preprocess(&fs, "self.h", &PpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn pragma_and_null_directive_ignored() {
+        let src = "#pragma once\n#\nint x;\nint y;\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int x ; int y ;");
+    }
+
+    #[test]
+    fn line_directive_remaps_locations() {
+        let src = "int a;\n#line 100 \"gen.y\"\nint b;\nint c;\n#line 7\nint d;\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(text(&p), "int a ; int b ; int c ; int d ;");
+        let find = |name: &str| {
+            p.tokens
+                .iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| (p.sources.file_name(t.loc.file).to_string(), t.loc.line))
+                .unwrap()
+        };
+        assert_eq!(find("a"), ("a.c".to_string(), 1));
+        assert_eq!(find("b"), ("gen.y".to_string(), 100));
+        assert_eq!(find("c"), ("gen.y".to_string(), 101));
+        assert_eq!(find("d"), ("gen.y".to_string(), 7));
+    }
+
+    #[test]
+    fn line_directive_resets_per_file() {
+        let files = [
+            ("main.c", "#include \"gen.h\"\nint after;\n"),
+            ("gen.h", "#line 500\nint inside;\n"),
+        ];
+        let p = run(&files, PpOptions::default()).unwrap();
+        let after = p.tokens.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.loc.line, 2, "the includer's numbering is unaffected");
+        let inside = p.tokens.iter().find(|t| t.is_ident("inside")).unwrap();
+        assert_eq!(inside.loc.line, 500);
+    }
+
+    #[test]
+    fn bad_line_directive_errors() {
+        assert!(run(&[("a.c", "#line nope\n")], PpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn stats_counts() {
+        let src = "#define A 1\nint x = A;\nint y = A;\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        assert_eq!(p.stats.tokens_out, 10);
+        assert_eq!(p.stats.macro_expansions, 2);
+        assert_eq!(p.stats.lines_out, 2);
+        assert_eq!(p.stats.bytes_in, src.len() as u64);
+    }
+
+    #[test]
+    fn macro_locations_point_at_invocation() {
+        let src = "#define M 42\nint x = M;\n";
+        let p = run(&[("a.c", src)], PpOptions::default()).unwrap();
+        let forty_two = p
+            .tokens
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::Int(42, _)))
+            .unwrap();
+        assert_eq!(forty_two.loc.line, 2);
+    }
+}

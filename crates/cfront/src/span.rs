@@ -1,0 +1,148 @@
+//! Source locations and the source map.
+//!
+//! Every token and AST node carries a [`Loc`] identifying the file, line and
+//! column it came from. Locations survive preprocessing: tokens produced by
+//! macro expansion keep the location of the macro *invocation*, which is what
+//! the dependence-chain renderer (paper Figure 1) reports to the user.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a source file registered in a [`SourceMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// A dummy file id for synthesized tokens (e.g. built-in macros).
+    pub const BUILTIN: FileId = FileId(u32::MAX);
+}
+
+/// A source location: file, 1-based line, 1-based column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Loc {
+    pub file: FileId,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Loc {
+    /// Location used for synthesized constructs with no source counterpart.
+    pub const BUILTIN: Loc = Loc { file: FileId::BUILTIN, line: 0, col: 0 };
+
+    /// Creates a new location.
+    pub fn new(file: FileId, line: u32, col: u32) -> Self {
+        Loc { file, line, col }
+    }
+}
+
+impl Default for Loc {
+    fn default() -> Self {
+        Loc::BUILTIN
+    }
+}
+
+/// A source file registered in a [`SourceMap`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path (or virtual path) of the file.
+    pub name: String,
+    /// Complete source text.
+    pub src: Arc<str>,
+}
+
+/// Registry of all files touched while preprocessing a translation unit.
+///
+/// The map is append-only; [`FileId`]s index into it.
+#[derive(Debug, Default, Clone)]
+pub struct SourceMap {
+    files: Vec<SourceFile>,
+}
+
+impl SourceMap {
+    /// Creates an empty source map.
+    pub fn new() -> Self {
+        SourceMap::default()
+    }
+
+    /// Registers a file and returns its id.
+    pub fn add_file(&mut self, name: impl Into<String>, src: Arc<str>) -> FileId {
+        let id = FileId(self.files.len() as u32);
+        self.files.push(SourceFile { name: name.into(), src });
+        id
+    }
+
+    /// Looks up a file by id. Returns `None` for [`FileId::BUILTIN`].
+    pub fn file(&self, id: FileId) -> Option<&SourceFile> {
+        self.files.get(id.0 as usize)
+    }
+
+    /// Name of a file, or `"<builtin>"`.
+    pub fn file_name(&self, id: FileId) -> &str {
+        self.file(id).map_or("<builtin>", |f| f.name.as_str())
+    }
+
+    /// Number of registered files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no file has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Renders a location as `file:line` (the paper's `<eg1.c:3>` form,
+    /// without the angle brackets).
+    pub fn display(&self, loc: Loc) -> String {
+        format!("{}:{}", self.file_name(loc.file), loc.line)
+    }
+
+    /// Iterates over `(FileId, &SourceFile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &SourceFile)> {
+        self.files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FileId(i as u32), f))
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.file == FileId::BUILTIN {
+            write!(f, "<builtin>")
+        } else {
+            write!(f, "file#{}:{}:{}", self.file.0, self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut sm = SourceMap::new();
+        let a = sm.add_file("a.c", "int x;".into());
+        let b = sm.add_file("b.c", "int y;".into());
+        assert_ne!(a, b);
+        assert_eq!(sm.file_name(a), "a.c");
+        assert_eq!(sm.file_name(b), "b.c");
+        assert_eq!(sm.file(a).unwrap().src.as_ref(), "int x;");
+        assert_eq!(sm.len(), 2);
+    }
+
+    #[test]
+    fn builtin_loc_display() {
+        let sm = SourceMap::new();
+        assert_eq!(sm.file_name(FileId::BUILTIN), "<builtin>");
+        assert_eq!(format!("{}", Loc::BUILTIN), "<builtin>");
+    }
+
+    #[test]
+    fn display_loc() {
+        let mut sm = SourceMap::new();
+        let a = sm.add_file("eg1.c", "short target;".into());
+        assert_eq!(sm.display(Loc::new(a, 3, 1)), "eg1.c:3");
+    }
+}

@@ -1,0 +1,253 @@
+//! Lexical tokens.
+//!
+//! The lexer deliberately does *not* distinguish keywords from identifiers:
+//! the preprocessor must treat `int` and `while` as ordinary identifiers when
+//! expanding macros, so keyword recognition happens in the parser.
+
+use crate::span::Loc;
+use std::fmt;
+
+/// All C punctuators (plus the preprocessing-only `#` and `##`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Question,
+    Tilde,
+    Dot,
+    Arrow,
+    PlusPlus,
+    MinusMinus,
+    Amp,
+    Star,
+    Plus,
+    Minus,
+    Bang,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    BangEq,
+    Caret,
+    Pipe,
+    AmpAmp,
+    PipePipe,
+    Eq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    PlusEq,
+    MinusEq,
+    ShlEq,
+    ShrEq,
+    AmpEq,
+    CaretEq,
+    PipeEq,
+    Ellipsis,
+    Hash,
+    HashHash,
+}
+
+impl Punct {
+    /// The textual spelling of the punctuator.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Comma => ",",
+            Semi => ";",
+            Colon => ":",
+            Question => "?",
+            Tilde => "~",
+            Dot => ".",
+            Arrow => "->",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Amp => "&",
+            Star => "*",
+            Plus => "+",
+            Minus => "-",
+            Bang => "!",
+            Slash => "/",
+            Percent => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            BangEq => "!=",
+            Caret => "^",
+            Pipe => "|",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Eq => "=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            AmpEq => "&=",
+            CaretEq => "^=",
+            PipeEq => "|=",
+            Ellipsis => "...",
+            Hash => "#",
+            HashHash => "##",
+        }
+    }
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Suffix attached to an integer literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IntSuffix {
+    pub unsigned: bool,
+    /// Number of `l`s: 0, 1, or 2.
+    pub long: u8,
+}
+
+/// The payload of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are classified by the parser).
+    Ident(String),
+    /// Integer constant (value after radix conversion) plus its suffix.
+    Int(u64, IntSuffix),
+    /// Floating constant.
+    Float(f64),
+    /// Character constant (value of the character, host `char` semantics).
+    Char(i64),
+    /// String literal (escapes decoded). Adjacent literals are concatenated
+    /// by the parser.
+    Str(String),
+    /// Punctuator.
+    Punct(Punct),
+    /// End of input. Emitted once, at the very end of a token stream.
+    Eof,
+}
+
+impl TokenKind {
+    /// True for identifier tokens.
+    pub fn is_ident(&self) -> bool {
+        matches!(self, TokenKind::Ident(_))
+    }
+
+    /// Returns the identifier text if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => f.write_str(s),
+            TokenKind::Int(v, sfx) => {
+                write!(f, "{v}")?;
+                if sfx.unsigned {
+                    write!(f, "u")?;
+                }
+                for _ in 0..sfx.long {
+                    write!(f, "l")?;
+                }
+                Ok(())
+            }
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Char(v) => write!(f, "'\\x{v:x}'"),
+            TokenKind::Str(s) => write!(f, "{s:?}"),
+            TokenKind::Punct(p) => write!(f, "{p}"),
+            TokenKind::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+/// A lexed token with location and layout metadata used by the preprocessor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub loc: Loc,
+    /// True when this token is the first on its (logical) source line.
+    /// Directive recognition (`#` first on a line) relies on this.
+    pub first_on_line: bool,
+    /// True when whitespace (or a comment) immediately precedes this token.
+    /// Needed for correct stringification (`#arg`).
+    pub space_before: bool,
+}
+
+impl Token {
+    /// Creates a synthesized token (no meaningful layout flags).
+    pub fn synth(kind: TokenKind, loc: Loc) -> Self {
+        Token { kind, loc, first_on_line: false, space_before: true }
+    }
+
+    /// True if this token is the punctuator `p`.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        self.kind == TokenKind::Punct(p)
+    }
+
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn punct_spellings_roundtrip() {
+        assert_eq!(Punct::Arrow.as_str(), "->");
+        assert_eq!(Punct::ShlEq.as_str(), "<<=");
+        assert_eq!(format!("{}", Punct::Ellipsis), "...");
+    }
+
+    #[test]
+    fn token_helpers() {
+        let t = Token::synth(TokenKind::Ident("foo".into()), Loc::BUILTIN);
+        assert!(t.is_ident("foo"));
+        assert!(!t.is_ident("bar"));
+        assert!(t.kind.is_ident());
+        assert_eq!(t.kind.ident(), Some("foo"));
+        let p = Token::synth(TokenKind::Punct(Punct::Star), Loc::BUILTIN);
+        assert!(p.is_punct(Punct::Star));
+        assert!(!p.is_punct(Punct::Amp));
+    }
+
+    #[test]
+    fn display_tokens() {
+        assert_eq!(
+            format!("{}", TokenKind::Int(42, IntSuffix { unsigned: true, long: 1 })),
+            "42ul"
+        );
+        assert_eq!(format!("{}", TokenKind::Str("a\"b".into())), "\"a\\\"b\"");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the frontend: token spell/relex round-trips and
+//! preprocessor robustness over generated inputs.
+
+use cla_cfront::lexer::lex;
+use cla_cfront::pp::{self, spell, MemoryFs, PpOptions};
+use cla_cfront::span::FileId;
+use cla_cfront::token::TokenKind;
+use proptest::prelude::*;
+
+/// A strategy over single tokens that spell unambiguously when separated by
+/// spaces.
+fn token_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}",
+        (0u64..1_000_000).prop_map(|v| v.to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just(";".to_string()),
+        Just(",".to_string()),
+        Just("->".to_string()),
+        Just("<<=".to_string()),
+        Just("...".to_string()),
+        Just("&&".to_string()),
+        Just("==".to_string()),
+        Just("*".to_string()),
+        Just("\"str lit\"".to_string()),
+        Just("'c'".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lexing space-separated tokens, spelling them back, and relexing
+    /// yields the same token kinds.
+    #[test]
+    fn lex_spell_relex(tokens in prop::collection::vec(token_text(), 0..40)) {
+        let src = tokens.join(" ");
+        let first = lex(&src, FileId(0)).unwrap();
+        let spelled: String = first
+            .iter()
+            .map(spell)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let second = lex(&spelled, FileId(0)).unwrap();
+        let kinds = |ts: &[cla_cfront::token::Token]| -> Vec<TokenKind> {
+            ts.iter().map(|t| t.kind.clone()).collect()
+        };
+        prop_assert_eq!(kinds(&first), kinds(&second), "spelled: {}", spelled);
+    }
+
+    /// The lexer never panics on arbitrary ASCII input (it may error).
+    #[test]
+    fn lexer_total_on_ascii(src in "[ -~\n\t]{0,200}") {
+        let _ = lex(&src, FileId(0));
+    }
+
+    /// The preprocessor never panics on arbitrary directive-shaped input.
+    #[test]
+    fn preprocessor_total(body in "[a-zA-Z0-9_ #\n(),]{0,200}") {
+        let mut fs = MemoryFs::new();
+        fs.add("f.c", body);
+        let _ = pp::preprocess(&fs, "f.c", &PpOptions::default());
+    }
+
+    /// Object-like macro definitions + uses always terminate and produce
+    /// relexable output.
+    #[test]
+    fn macros_terminate(
+        bodies in prop::collection::vec("[a-z0-9+ ()A-Z]{0,16}", 1..5),
+        uses in prop::collection::vec(0usize..5, 0..10),
+    ) {
+        let mut src = String::new();
+        for (i, b) in bodies.iter().enumerate() {
+            src.push_str(&format!("#define M{i} {b}\n"));
+        }
+        src.push_str("int sink[] = {");
+        for u in &uses {
+            src.push_str(&format!(" M{} ,", u % bodies.len()));
+        }
+        src.push_str(" 0 };\n");
+        let mut fs = MemoryFs::new();
+        fs.add("m.c", src);
+        let _ = pp::preprocess(&fs, "m.c", &PpOptions::default());
+    }
+}
+
+/// Deterministic regression corpus for odd-but-valid inputs.
+#[test]
+fn regression_corpus() {
+    for src in [
+        "a//\nb",
+        "a/**/b",
+        "x\\\ny",
+        "0x1fULL_not_a_suffix", // pp-number that fails to classify -> error ok
+        "1.e5",
+        ".5f",
+        "'\\377'",
+        "\"\\x41\\n\"",
+        "a+++b",   // lexes as a ++ + b
+        "a---b",
+        "x<<<<y",
+    ] {
+        let _ = lex(src, FileId(0));
+    }
+    // Greedy punctuation: a+++b == a ++ + b.
+    let ts = lex("a+++b", FileId(0)).unwrap();
+    let spelled: Vec<String> = ts.iter().map(spell).collect();
+    assert_eq!(spelled, vec!["a", "++", "+", "b"]);
+}

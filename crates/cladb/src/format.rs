@@ -1,0 +1,167 @@
+//! The CLA object-file binary format.
+//!
+//! A sectioned, indexed container (in the spirit of COFF/ELF — paper §4):
+//!
+//! ```text
+//! header    magic, version, section table (id, offset, length)
+//! string    interned strings (names, types, file names)
+//! file      file-name table (string ids)
+//! object    object metadata records
+//! global    linking information: (link name, object) pairs
+//! static    address-of assignments `x = &y` — always loaded for points-to
+//! dynamic   per-object blocks of assignments keyed by *source* object,
+//!           with an offset index so a block is found in one lookup
+//! funsig    function / function-pointer signature records
+//! target    name → objects index for dependence-analysis targets
+//! meta      unit name, assignment totals
+//! ```
+//!
+//! New sections can be added without breaking existing readers: readers look
+//! sections up by id and ignore unknown ids (paper §4: "new sections can be
+//! transparently added ... existing analysis systems do not need to be
+//! rewritten").
+
+use std::fmt;
+
+/// Magic number at offset 0: `"CLA\x01"` little-endian.
+pub const MAGIC: u32 = 0x014C_4143;
+
+/// Format version written by this crate.
+pub const VERSION: u32 = 1;
+
+/// Section identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum SectionId {
+    String = 1,
+    File = 2,
+    Object = 3,
+    Global = 4,
+    Static = 5,
+    Dynamic = 6,
+    FunSig = 7,
+    Target = 8,
+    Meta = 9,
+}
+
+impl SectionId {
+    /// All known sections, in canonical order.
+    pub const ALL: [SectionId; 9] = [
+        SectionId::String,
+        SectionId::File,
+        SectionId::Object,
+        SectionId::Global,
+        SectionId::Static,
+        SectionId::Dynamic,
+        SectionId::FunSig,
+        SectionId::Target,
+        SectionId::Meta,
+    ];
+
+    /// Section id from its wire value.
+    pub fn from_u32(v: u32) -> Option<SectionId> {
+        use SectionId::*;
+        Some(match v {
+            1 => String,
+            2 => File,
+            3 => Object,
+            4 => Global,
+            5 => Static,
+            6 => Dynamic,
+            7 => FunSig,
+            8 => Target,
+            9 => Meta,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable section name (for dumps).
+    pub fn name(self) -> &'static str {
+        match self {
+            SectionId::String => "string",
+            SectionId::File => "file",
+            SectionId::Object => "object",
+            SectionId::Global => "global",
+            SectionId::Static => "static",
+            SectionId::Dynamic => "dynamic",
+            SectionId::FunSig => "funsig",
+            SectionId::Target => "target",
+            SectionId::Meta => "meta",
+        }
+    }
+}
+
+impl fmt::Display for SectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One entry of the section table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    pub id: u32,
+    pub offset: u64,
+    pub len: u64,
+}
+
+/// Sentinel for "no string" / "no object" references on the wire.
+pub const NONE_U32: u32 = u32::MAX;
+
+/// Size in bytes of one encoded assignment record.
+pub const ASSIGN_RECORD_SIZE: usize = 19;
+
+/// Errors from reading an object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Not a CLA object file (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A required section is missing.
+    MissingSection(&'static str),
+    /// Structurally invalid data (truncation, bad enum value, out-of-range
+    /// reference).
+    Corrupt(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::BadMagic => f.write_str("not a CLA object file (bad magic)"),
+            DbError::BadVersion(v) => write!(f, "unsupported CLA object version {v}"),
+            DbError::MissingSection(s) => write!(f, "missing required section `{s}`"),
+            DbError::Corrupt(msg) => write!(f, "corrupt object file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_ids_roundtrip() {
+        for s in SectionId::ALL {
+            assert_eq!(SectionId::from_u32(s as u32), Some(s));
+        }
+        assert_eq!(SectionId::from_u32(0), None);
+        assert_eq!(SectionId::from_u32(100), None);
+    }
+
+    #[test]
+    fn section_names() {
+        assert_eq!(SectionId::Dynamic.name(), "dynamic");
+        assert_eq!(format!("{}", SectionId::Static), "static");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", DbError::BadMagic).contains("magic"));
+        assert!(format!("{}", DbError::BadVersion(9)).contains('9'));
+        assert!(format!("{}", DbError::MissingSection("object")).contains("object"));
+        assert!(format!("{}", DbError::Corrupt("x".into())).contains('x'));
+    }
+}

@@ -1,0 +1,287 @@
+//! The CLA linker.
+//!
+//! Merges the databases of many separately compiled units into one program
+//! database: objects with external linkage are unified by link name (the
+//! same global symbol may be referenced in many files — paper §4), file-local
+//! objects are kept distinct, assignments and signatures are remapped, and
+//! indexing information is recomputed when the result is re-serialized.
+
+use cla_ir::{CompiledUnit, FileIdx, FunSig, ObjId, PrimAssign, SrcLoc};
+use std::collections::HashMap;
+
+/// Statistics from one link.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    pub units: usize,
+    pub objects_in: usize,
+    pub objects_out: usize,
+    /// Global symbol references unified away.
+    pub symbols_merged: usize,
+    pub assigns: usize,
+}
+
+/// Links compiled units into a single program database.
+///
+/// The result has the same shape as a per-unit database (the paper: "the
+/// 'executable' file produced has the same format as the object files").
+pub fn link(units: &[CompiledUnit], program_name: &str) -> (CompiledUnit, LinkStats) {
+    let mut out = CompiledUnit::new(program_name);
+    let mut by_link_name: HashMap<String, ObjId> = HashMap::new();
+    let mut stats = LinkStats { units: units.len(), ..Default::default() };
+    // Signature merging: linked function objects may carry a signature from
+    // several units (e.g. a definition and extern call sites).
+    let mut sig_by_obj: HashMap<ObjId, FunSig> = HashMap::new();
+    let mut indirect_sigs: Vec<FunSig> = Vec::new();
+
+    for unit in units {
+        stats.objects_in += unit.objects.len();
+        // File table remap.
+        let file_map: Vec<FileIdx> = unit
+            .files
+            .names()
+            .iter()
+            .map(|n| out.files.intern(n))
+            .collect();
+        let remap_loc = |loc: SrcLoc| -> SrcLoc {
+            if loc.is_none() {
+                loc
+            } else {
+                SrcLoc::new(file_map[loc.file.0 as usize], loc.line)
+            }
+        };
+
+        // Object remap.
+        let mut obj_map: Vec<ObjId> = Vec::with_capacity(unit.objects.len());
+        for info in &unit.objects {
+            let new_id = match &info.link_name {
+                Some(link) => {
+                    if let Some(&existing) = by_link_name.get(link) {
+                        stats.symbols_merged += 1;
+                        // Prefer metadata with a real location (a definition
+                        // over a mere reference).
+                        let have = &mut out.objects[existing.index()];
+                        if have.loc.is_none() && !info.loc.is_none() {
+                            have.loc = remap_loc(info.loc);
+                        }
+                        if have.ty.is_empty() && !info.ty.is_empty() {
+                            have.ty = info.ty.clone();
+                        }
+                        existing
+                    } else {
+                        let mut new_info = info.clone();
+                        new_info.loc = remap_loc(info.loc);
+                        new_info.in_func = None; // fixed up below
+                        let id = out.push_object(new_info);
+                        by_link_name.insert(link.clone(), id);
+                        id
+                    }
+                }
+                None => {
+                    let mut new_info = info.clone();
+                    new_info.loc = remap_loc(info.loc);
+                    new_info.in_func = None;
+                    out.push_object(new_info)
+                }
+            };
+            obj_map.push(new_id);
+        }
+        // Second pass: in_func links.
+        for (old_ix, info) in unit.objects.iter().enumerate() {
+            if let Some(f) = info.in_func {
+                let new_id = obj_map[old_ix];
+                let target = &mut out.objects[new_id.index()];
+                if target.in_func.is_none() {
+                    target.in_func = Some(obj_map[f.index()]);
+                }
+            }
+        }
+
+        // Assignments.
+        for a in &unit.assigns {
+            out.push_assign(PrimAssign {
+                kind: a.kind,
+                dst: obj_map[a.dst.index()],
+                src: obj_map[a.src.index()],
+                strength: a.strength,
+                op: a.op,
+                loc: remap_loc(a.loc),
+            });
+        }
+
+        // Signatures.
+        for sig in &unit.funsigs {
+            let obj = obj_map[sig.obj.index()];
+            let remapped = FunSig {
+                obj,
+                params: sig.params.iter().map(|p| obj_map[p.index()]).collect(),
+                ret: obj_map[sig.ret.index()],
+                is_indirect: sig.is_indirect,
+            };
+            if sig.is_indirect {
+                // Indirect-call signatures never merge: each calling unit
+                // has its own file-local standardized parameter objects
+                // (`p$1`, ...), and collapsing two units' signatures for the
+                // same global function pointer would silently drop one
+                // unit's argument flows.
+                indirect_sigs.push(remapped);
+            } else {
+                let entry = sig_by_obj.entry(obj).or_insert_with(|| remapped.clone());
+                // Keep the longest parameter list seen (call sites may pass
+                // more arguments than the shortest declaration).
+                if remapped.params.len() > entry.params.len() {
+                    entry.params = remapped.params.clone();
+                }
+            }
+        }
+    }
+
+    out.funsigs = sig_by_obj.into_values().collect();
+    out.funsigs.extend(indirect_sigs);
+    out.funsigs.sort_by_key(|s| s.obj);
+    stats.objects_out = out.objects.len();
+    stats.assigns = out.assigns.len();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_ir::{compile_source, AssignKind, LowerOptions, ObjKind};
+
+    fn unit(src: &str, name: &str) -> CompiledUnit {
+        compile_source(src, name, &LowerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn globals_unify_by_name() {
+        let a = unit("int shared; int *p; void f(void) { p = &shared; }", "a.c");
+        let b = unit("extern int shared; int q; void g(void) { q = shared; }", "b.c");
+        let (linked, stats) = link(&[a, b], "prog");
+        assert_eq!(stats.units, 2);
+        assert!(stats.symbols_merged >= 1);
+        // Exactly one `shared` object.
+        assert_eq!(linked.find_objects("shared").count(), 1);
+        // Both assignments reference it.
+        let shared = linked.find_object("shared").unwrap();
+        assert!(linked.assigns.iter().any(|x| x.src == shared && x.kind == AssignKind::Addr));
+        assert!(linked.assigns.iter().any(|x| x.src == shared && x.kind == AssignKind::Copy));
+    }
+
+    #[test]
+    fn statics_stay_distinct() {
+        let a = unit("static int s; int *p; void f(void) { p = &s; }", "a.c");
+        let b = unit("static int s; int *q; void g(void) { q = &s; }", "b.c");
+        let (linked, _) = link(&[a, b], "prog");
+        assert_eq!(linked.find_objects("s").count(), 2);
+    }
+
+    #[test]
+    fn cross_unit_calls_link_params() {
+        let a = unit("int f(int x) { return x; }", "a.c");
+        let b = unit("int f(int); int r, v; void g(void) { r = f(v); }", "b.c");
+        let (linked, _) = link(&[a, b], "prog");
+        // One f, one f$1, one f$ret.
+        assert_eq!(linked.find_objects("f").count(), 1);
+        assert_eq!(linked.find_objects("f$1").count(), 1);
+        assert_eq!(linked.find_objects("f$ret").count(), 1);
+        // One merged signature for f.
+        let f = linked.find_object("f").unwrap();
+        let sigs: Vec<_> = linked.funsigs.iter().filter(|s| s.obj == f).collect();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].params.len(), 1);
+    }
+
+    #[test]
+    fn fields_unify_across_units() {
+        let a = unit("struct S { int *x; }; struct S s1; int v1; void f(void) { s1.x = &v1; }", "a.c");
+        let b = unit("struct S { int *x; }; struct S s2; int *p; void g(void) { p = s2.x; }", "b.c");
+        let (linked, _) = link(&[a, b], "prog");
+        assert_eq!(linked.find_objects("S.x").count(), 1);
+    }
+
+    #[test]
+    fn locations_remap() {
+        let a = unit("int x;", "a.c");
+        let b = unit("int y;", "b.c");
+        let (linked, _) = link(&[a, b], "prog");
+        let x = linked.find_object("x").unwrap();
+        let y = linked.find_object("y").unwrap();
+        assert_eq!(linked.files.display(linked.object(x).loc), "a.c:1");
+        assert_eq!(linked.files.display(linked.object(y).loc), "b.c:1");
+    }
+
+    #[test]
+    fn empty_link() {
+        let (linked, stats) = link(&[], "prog");
+        assert_eq!(linked.objects.len(), 0);
+        assert_eq!(stats.objects_out, 0);
+    }
+
+    #[test]
+    fn linked_database_roundtrips() {
+        let a = unit("int shared; int *p; void f(void) { p = &shared; }", "a.c");
+        let b = unit("extern int shared; int *q; void g(void) { q = p_alias(); } int *p_alias(void);", "b.c");
+        let (linked, _) = link(&[a, b], "prog");
+        let bytes = crate::writer::write_object(&linked);
+        let db = crate::reader::Database::open(bytes).unwrap();
+        let back = db.to_unit().unwrap();
+        assert_eq!(back.assign_counts(), linked.assign_counts());
+        assert_eq!(back.objects.len(), linked.objects.len());
+    }
+
+    #[test]
+    fn indirect_sigs_survive_linking_per_unit() {
+        // A *global* function pointer called indirectly from two units: the
+        // argument flows of BOTH call sites must survive the link (each
+        // unit has its own file-local fp$1 objects; merging the signatures
+        // would drop one unit's).
+        let a = unit(
+            "int *(*handler)(int *);
+             int xa; int *ra;
+             void ca(void) { ra = handler(&xa); }",
+            "a.c",
+        );
+        let b = unit(
+            "extern int *(*handler)(int *);
+             int xb; int *rb;
+             void cb(void) { rb = handler(&xb); }",
+            "b.c",
+        );
+        let c = unit(
+            "int *id(int *v) { return v; }
+             extern int *(*handler)(int *);
+             void init(void) { handler = id; }",
+            "c.c",
+        );
+        let (linked, _) = link(&[a, b, c], "prog");
+        let handler = linked.find_object("handler").unwrap();
+        let indirect: Vec<_> = linked
+            .funsigs
+            .iter()
+            .filter(|s| s.obj == handler && s.is_indirect)
+            .collect();
+        assert_eq!(
+            indirect.len(),
+            2,
+            "one indirect signature per calling unit must survive: {:?}",
+            linked.funsigs
+        );
+        // And their parameter objects are distinct (per-unit).
+        assert_ne!(indirect[0].params, indirect[1].params);
+    }
+
+    #[test]
+    fn heap_and_temp_objects_stay_local() {
+        let a = unit(
+            "void *malloc(unsigned long); int *p; void f(void) { p = malloc(4); }",
+            "a.c",
+        );
+        let b = unit(
+            "void *malloc(unsigned long); int *q; void g(void) { q = malloc(4); }",
+            "b.c",
+        );
+        let (linked, _) = link(&[a, b], "prog");
+        let heaps = linked.objects.iter().filter(|o| o.kind == ObjKind::Heap).count();
+        assert_eq!(heaps, 2);
+    }
+}

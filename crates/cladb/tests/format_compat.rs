@@ -1,0 +1,94 @@
+//! Object-file format tests: forward compatibility (unknown sections are
+//! ignored, as §4 promises for COFF/ELF-style containers) and corruption
+//! detection.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use cla_cladb::{write_object, Database, MAGIC, VERSION};
+use cla_ir::{compile_source, LowerOptions};
+
+fn sample_bytes() -> Bytes {
+    let unit = compile_source(
+        "int x, *p, *q; void f(void) { p = &x; q = p; x = *q; }",
+        "a.c",
+        &LowerOptions::default(),
+    )
+    .unwrap();
+    write_object(&unit)
+}
+
+/// Rebuilds an object file with one extra (unknown) section appended.
+fn with_extra_section(orig: &Bytes, section_id: u32, payload: &[u8]) -> Bytes {
+    let mut hdr = orig.clone();
+    assert_eq!(hdr.get_u32_le(), MAGIC);
+    assert_eq!(hdr.get_u32_le(), VERSION);
+    let nsections = hdr.get_u32_le() as usize;
+    let mut entries: Vec<(u32, u64, u64)> = (0..nsections)
+        .map(|_| (hdr.get_u32_le(), hdr.get_u64_le(), hdr.get_u64_le()))
+        .collect();
+    let old_header_len = 12 + nsections * 20;
+    let new_header_len = 12 + (nsections + 1) * 20;
+    let shift = (new_header_len - old_header_len) as u64;
+    for e in &mut entries {
+        e.1 += shift;
+    }
+    let body = &orig[old_header_len..];
+    entries.push((section_id, new_header_len as u64 + body.len() as u64, payload.len() as u64));
+
+    let mut out = BytesMut::new();
+    out.put_u32_le(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u32_le((nsections + 1) as u32);
+    for (id, off, len) in &entries {
+        out.put_u32_le(*id);
+        out.put_u64_le(*off);
+        out.put_u64_le(*len);
+    }
+    out.extend_from_slice(body);
+    out.extend_from_slice(payload);
+    out.freeze()
+}
+
+#[test]
+fn unknown_sections_are_ignored() {
+    let orig = sample_bytes();
+    let extended = with_extra_section(&orig, 999, b"future feature data");
+    let db_orig = Database::open(orig).unwrap();
+    let db_ext = Database::open(extended).expect("readers skip unknown sections");
+    assert_eq!(db_orig.objects().len(), db_ext.objects().len());
+    assert_eq!(
+        db_orig.to_unit().unwrap().assign_counts(),
+        db_ext.to_unit().unwrap().assign_counts()
+    );
+}
+
+#[test]
+fn every_truncation_point_is_rejected_or_consistent() {
+    // Cutting the file anywhere must never panic; it either errors at open
+    // or (if all sections happen to remain intact) behaves identically.
+    let orig = sample_bytes();
+    let full = Database::open(orig.clone()).unwrap().to_unit().unwrap();
+    for cut in (0..orig.len()).step_by(7) {
+        let sliced = orig.slice(..cut);
+        match Database::open(sliced) {
+            Err(_) => {}
+            Ok(db) => match db.to_unit() {
+                Err(_) => {}
+                Ok(unit) => assert_eq!(unit.assign_counts(), full.assign_counts()),
+            },
+        }
+    }
+}
+
+#[test]
+fn byte_flips_in_header_never_panic() {
+    let orig = sample_bytes();
+    for pos in 0..orig.len().min(200) {
+        let mut bytes = orig.to_vec();
+        bytes[pos] ^= 0xff;
+        // Must not panic; errors (or degraded-but-consistent reads) are fine.
+        if let Ok(db) = Database::open(Bytes::from(bytes)) {
+            let _ = db.to_unit();
+            let _ = db.static_assigns();
+        }
+    }
+}

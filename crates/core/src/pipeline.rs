@@ -1,0 +1,244 @@
+//! The end-to-end compile-link-analyze pipeline.
+//!
+//! Drives the three CLA phases over a set of source files: parallel
+//! per-file compilation (the architecture explicitly supports separate
+//! and/or parallel compilation — paper §1), linking into one program
+//! database, and demand-driven points-to analysis. Produces the timing and
+//! space measurements the paper's Tables 2 and 3 report.
+
+use crate::pretransitive::{solve_database, SolveOptions, SolveStats};
+use crate::solution::PointsTo;
+use cla_cfront::{CError, FileProvider, PpOptions};
+use cla_cladb::{link, write_object, Database, LinkStats, LoadStats};
+use cla_ir::{compile_file, AssignCounts, CompileStats, CompiledUnit, LowerOptions};
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    pub pp: PpOptions,
+    pub lower: LowerOptions,
+    pub solver: SolveOptions,
+    /// Compile source files on a thread pool (one thread per CPU).
+    pub parallel_compile: bool,
+}
+
+/// Everything measured across one pipeline run (one row of Table 2+3).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub files: usize,
+    /// Bytes of source consumed by the compile phase (after include
+    /// expansion — the paper's "LOC preproc." proxy).
+    pub source_bytes: u64,
+    /// Approximate preprocessed line count.
+    pub preprocessed_lines: usize,
+    /// Program variables (Table 2).
+    pub program_variables: usize,
+    /// Counts of the five assignment forms (Table 2).
+    pub assign_counts: AssignCounts,
+    /// Linked object file size in bytes (Table 2 "object size").
+    pub object_size: usize,
+    pub link_stats: LinkStats,
+    /// Demand-loading counters (Table 3 in-core/loaded/in-file).
+    pub load_stats: LoadStats,
+    pub solve_stats: SolveStats,
+    /// Table 3 "pointer variables".
+    pub pointer_variables: usize,
+    /// Table 3 "points-to relations".
+    pub relations: usize,
+    pub compile_time: Duration,
+    pub link_time: Duration,
+    pub solve_time: Duration,
+}
+
+impl Report {
+    /// Table 3 "in core": complex assignments retained by the solver.
+    pub fn assigns_in_core(&self) -> usize {
+        self.solve_stats.complex_in_core
+    }
+
+    /// A rough analysis-memory figure: solver structures plus resident
+    /// object metadata (the object file itself is demand-paged).
+    pub fn approx_analysis_bytes(&self) -> usize {
+        self.solve_stats.approx_bytes
+    }
+}
+
+/// The outcome of a full compile-link-analyze run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Points-to sets over the linked program's objects.
+    pub points_to: PointsTo,
+    /// The linked program database (shared with the dependence analysis).
+    pub database: Database,
+    /// Measurements.
+    pub report: Report,
+}
+
+/// Compiles `files` from `fs`, links them, writes the program database, and
+/// runs the demand-driven pre-transitive solver.
+///
+/// # Errors
+///
+/// Returns the first frontend error encountered. Database errors cannot
+/// occur (we just wrote the bytes we read) and would indicate a bug, so
+/// they panic.
+pub fn analyze(
+    fs: &dyn FileProvider,
+    files: &[&str],
+    opts: &PipelineOptions,
+) -> Result<Analysis, CError> {
+    let t0 = Instant::now();
+    let units = compile_all(fs, files, opts)?;
+    let compile_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) =
+        units.into_iter().unzip();
+    let (program, link_stats) = link(&compiled, "a.out");
+    compiled.clear();
+    let bytes = write_object(&program);
+    let object_size = bytes.len();
+    let db = Database::open(bytes).expect("freshly written database must be valid");
+    let link_time = t1.elapsed();
+
+    let t2 = Instant::now();
+    let (points_to, solve_stats) = solve_database(&db, opts.solver);
+    let solve_time = t2.elapsed();
+
+    let report = Report {
+        files: files.len(),
+        source_bytes: stats.iter().map(|s| s.source_bytes).sum(),
+        preprocessed_lines: stats.iter().map(|s| s.preprocessed_lines).sum(),
+        program_variables: program.program_variable_count(),
+        assign_counts: program.assign_counts(),
+        object_size,
+        link_stats,
+        load_stats: db.load_stats(),
+        solve_stats,
+        pointer_variables: points_to.pointer_variables(),
+        relations: points_to.relations(),
+        compile_time,
+        link_time,
+        solve_time,
+    };
+    Ok(Analysis { points_to, database: db, report })
+}
+
+/// Compiles every file, optionally in parallel.
+fn compile_all(
+    fs: &dyn FileProvider,
+    files: &[&str],
+    opts: &PipelineOptions,
+) -> Result<Vec<(CompiledUnit, CompileStats)>, CError> {
+    if !opts.parallel_compile || files.len() < 2 {
+        return files
+            .iter()
+            .map(|f| compile_file(fs, f, &opts.pp, &opts.lower))
+            .collect();
+    }
+    let nthreads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(files.len());
+    let mut results: Vec<Option<Result<(CompiledUnit, CompileStats), CError>>> =
+        (0..files.len()).map(|_| None).collect();
+    let chunk = files.len().div_ceil(nthreads);
+    crossbeam::scope(|scope| {
+        for (slot_chunk, file_chunk) in
+            results.chunks_mut(chunk).zip(files.chunks(chunk))
+        {
+            scope.spawn(move |_| {
+                for (slot, f) in slot_chunk.iter_mut().zip(file_chunk) {
+                    *slot = Some(compile_file(fs, f, &opts.pp, &opts.lower));
+                }
+            });
+        }
+    })
+    .expect("compile worker panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_cfront::MemoryFs;
+
+    fn fs_of(files: &[(&str, &str)]) -> MemoryFs {
+        let mut fs = MemoryFs::new();
+        for (p, c) in files {
+            fs.add(*p, *c);
+        }
+        fs
+    }
+
+    #[test]
+    fn end_to_end_two_files() {
+        let fs = fs_of(&[
+            ("a.c", "int target; int *p; void fa(void) { p = &target; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ]);
+        let analysis = analyze(&fs, &["a.c", "b.c"], &PipelineOptions::default()).unwrap();
+        let db = &analysis.database;
+        let q = db.targets("q")[0];
+        let target = db.targets("target")[0];
+        assert!(analysis.points_to.may_point_to(q, target));
+        let r = &analysis.report;
+        assert_eq!(r.files, 2);
+        assert!(r.object_size > 0);
+        assert!(r.pointer_variables >= 2);
+        assert!(r.relations >= 2);
+        assert!(r.source_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_compile_matches_serial() {
+        let files: Vec<(String, String)> = (0..8)
+            .map(|i| {
+                (
+                    format!("f{i}.c"),
+                    format!("int g{i}; int *p{i}; void fn{i}(void) {{ p{i} = &g{i}; }}"),
+                )
+            })
+            .collect();
+        let mut fs = MemoryFs::new();
+        for (p, c) in &files {
+            fs.add(p.clone(), c.clone());
+        }
+        let names: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let serial = analyze(&fs, &names, &PipelineOptions::default()).unwrap();
+        let par = analyze(
+            &fs,
+            &names,
+            &PipelineOptions { parallel_compile: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(serial.points_to, par.points_to);
+        assert_eq!(serial.report.assign_counts, par.report.assign_counts);
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        let fs = fs_of(&[("bad.c", "int x = ;")]);
+        assert!(analyze(&fs, &["bad.c"], &PipelineOptions::default()).is_err());
+        let fs = fs_of(&[("missing_include.c", "#include \"nope.h\"\n")]);
+        assert!(analyze(&fs, &["missing_include.c"], &PipelineOptions::default()).is_err());
+    }
+
+    #[test]
+    fn report_load_accounting() {
+        let fs = fs_of(&[(
+            "a.c",
+            "int x, *p; void f(void) { p = &x; }
+             int i0, i1; void g(void) { i0 = i1; }",
+        )]);
+        let a = analyze(&fs, &["a.c"], &PipelineOptions::default()).unwrap();
+        let ls = a.report.load_stats;
+        assert!(ls.assigns_in_file >= 2);
+        // The integer-only chain must not be loaded.
+        assert!(ls.assigns_loaded < ls.assigns_in_file);
+    }
+}

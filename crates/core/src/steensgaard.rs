@@ -1,0 +1,266 @@
+//! Baseline: Steensgaard's unification-based points-to analysis
+//! (near-linear time, coarser results).
+//!
+//! Each abstract location lives in a union-find equivalence class; a class
+//! carries at most one pointee class and at most one function signature.
+//! Every assignment unifies the relevant classes, so the analysis runs in
+//! practically linear time but conflates everything that ever flows
+//! together (the paper cites Das's measurements of this accuracy/speed
+//! trade-off; Section 3 explains why CLA's dependence tool prefers the
+//! subset-based approach).
+
+use crate::solution::PointsTo;
+use cla_ir::{AssignKind, CompiledUnit, ObjId};
+use std::collections::HashMap;
+
+/// Per-run counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SteensgaardStats {
+    /// Class unifications performed.
+    pub joins: u64,
+    /// Cells allocated (objects + fresh pointee cells).
+    pub cells: usize,
+}
+
+struct Uf {
+    parent: Vec<u32>,
+    /// Pointee class of this class, if any.
+    pts: Vec<Option<u32>>,
+    /// Function signature carried by this class.
+    sig: Vec<Option<(Vec<u32>, u32)>>,
+    stats: SteensgaardStats,
+}
+
+impl Uf {
+    fn new(n: usize) -> Uf {
+        Uf {
+            parent: (0..n as u32).collect(),
+            pts: vec![None; n],
+            sig: vec![None; n],
+            stats: SteensgaardStats::default(),
+        }
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.pts.push(None);
+        self.sig.push(None);
+        id
+    }
+
+    fn find(&mut self, mut c: u32) -> u32 {
+        let mut root = c;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        while self.parent[c as usize] != root {
+            let next = self.parent[c as usize];
+            self.parent[c as usize] = root;
+            c = next;
+        }
+        root
+    }
+
+    /// The pointee class of `c`, creating a fresh one on first use.
+    fn pts_of(&mut self, c: u32) -> u32 {
+        let c = self.find(c);
+        if let Some(p) = self.pts[c as usize] {
+            return self.find(p);
+        }
+        let p = self.fresh();
+        self.pts[c as usize] = Some(p);
+        p
+    }
+
+    /// Unifies two classes, merging pointees and signatures recursively
+    /// (iteratively, via a pending queue).
+    fn join(&mut self, a: u32, b: u32) {
+        let mut pending = vec![(a, b)];
+        while let Some((a, b)) = pending.pop() {
+            let a = self.find(a);
+            let b = self.find(b);
+            if a == b {
+                continue;
+            }
+            self.stats.joins += 1;
+            self.parent[a as usize] = b;
+            // Merge pointees.
+            match (self.pts[a as usize].take(), self.pts[b as usize]) {
+                (Some(pa), Some(pb)) => pending.push((pa, pb)),
+                (Some(pa), None) => self.pts[b as usize] = Some(pa),
+                (None, _) => {}
+            }
+            // Merge signatures.
+            match (self.sig[a as usize].take(), self.sig[b as usize].clone()) {
+                (Some((pa, ra)), Some((pb, rb))) => {
+                    for (x, y) in pa.iter().zip(pb.iter()) {
+                        pending.push((*x, *y));
+                    }
+                    pending.push((ra, rb));
+                    // Keep the longer parameter list.
+                    if pa.len() > pb.len() {
+                        self.sig[b as usize] = Some((pa, rb));
+                    }
+                }
+                (Some(sa), None) => self.sig[b as usize] = Some(sa),
+                (None, _) => {}
+            }
+        }
+    }
+}
+
+/// Runs Steensgaard's analysis over a fully loaded unit.
+pub fn solve(unit: &CompiledUnit) -> PointsTo {
+    solve_with_stats(unit).0
+}
+
+/// Runs Steensgaard's analysis, also returning counters.
+pub fn solve_with_stats(unit: &CompiledUnit) -> (PointsTo, SteensgaardStats) {
+    let n = unit.objects.len();
+    let mut uf = Uf::new(n);
+
+    // Attach direct function signatures before processing assignments so
+    // address-taken functions carry them into joined classes.
+    for s in &unit.funsigs {
+        let params: Vec<u32> = s.params.iter().map(|p| p.0).collect();
+        if s.is_indirect {
+            // The signature constrains whatever the pointer points at.
+            let callee = uf.pts_of(s.obj.0);
+            attach_sig(&mut uf, callee, params, s.ret.0);
+        } else {
+            let c = uf.find(s.obj.0);
+            attach_sig(&mut uf, c, params, s.ret.0);
+        }
+    }
+
+    for a in &unit.assigns {
+        let (x, y) = (a.dst.0, a.src.0);
+        match a.kind {
+            AssignKind::Copy => {
+                let px = uf.pts_of(x);
+                let py = uf.pts_of(y);
+                uf.join(px, py);
+            }
+            AssignKind::Addr => {
+                let px = uf.pts_of(x);
+                uf.join(px, y);
+            }
+            AssignKind::Load => {
+                let px = uf.pts_of(x);
+                let py = uf.pts_of(y);
+                let ppy = uf.pts_of(py);
+                uf.join(px, ppy);
+            }
+            AssignKind::Store => {
+                let px = uf.pts_of(x);
+                let ppx = uf.pts_of(px);
+                let py = uf.pts_of(y);
+                uf.join(ppx, py);
+            }
+            AssignKind::StoreLoad => {
+                let px = uf.pts_of(x);
+                let ppx = uf.pts_of(px);
+                let py = uf.pts_of(y);
+                let ppy = uf.pts_of(py);
+                uf.join(ppx, ppy);
+            }
+        }
+    }
+
+    // Extraction: pts(x) = all objects whose cell is in the class x points
+    // to.
+    let mut members: HashMap<u32, Vec<ObjId>> = HashMap::new();
+    for o in 0..n as u32 {
+        let c = uf.find(o);
+        members.entry(c).or_default().push(ObjId(o));
+    }
+    let mut pts = Vec::with_capacity(n);
+    for o in 0..n as u32 {
+        let c = uf.find(o);
+        let set = match uf.pts[c as usize] {
+            Some(p) => {
+                let p = uf.find(p);
+                members.get(&p).cloned().unwrap_or_default()
+            }
+            None => Vec::new(),
+        };
+        pts.push(set);
+    }
+    uf.stats.cells = uf.parent.len();
+    let stats = uf.stats;
+    (PointsTo::new(pts, &unit.objects), stats)
+}
+
+fn attach_sig(uf: &mut Uf, class: u32, params: Vec<u32>, ret: u32) {
+    let c = uf.find(class);
+    match uf.sig[c as usize].clone() {
+        None => uf.sig[c as usize] = Some((params, ret)),
+        Some((have_params, have_ret)) => {
+            for (a, b) in have_params.iter().zip(params.iter()) {
+                uf.join(*a, *b);
+            }
+            uf.join(have_ret, ret);
+            if params.len() > have_params.len() {
+                let c = uf.find(class);
+                uf.sig[c as usize] = Some((params, have_ret));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_ir::{compile_source, LowerOptions};
+
+    fn unit_of(src: &str) -> CompiledUnit {
+        compile_source(src, "t.c", &LowerOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn basic_address_of() {
+        let unit = unit_of("int x, *p; void f(void) { p = &x; }");
+        let pts = solve(&unit);
+        let p = unit.find_object("p").unwrap();
+        let x = unit.find_object("x").unwrap();
+        assert!(pts.may_point_to(p, x));
+    }
+
+    #[test]
+    fn unification_conflates() {
+        // p = &x; q = &y; p = q : Andersen keeps pts(q) = {y}, Steensgaard
+        // unifies x and y so both p and q point to both.
+        let unit = unit_of(
+            "int x, y, *p, *q;
+             void f(void) { p = &x; q = &y; p = q; }",
+        );
+        let pts = solve(&unit);
+        let (p, q) = (unit.find_object("p").unwrap(), unit.find_object("q").unwrap());
+        let (x, y) = (unit.find_object("x").unwrap(), unit.find_object("y").unwrap());
+        assert!(pts.may_point_to(p, x));
+        assert!(pts.may_point_to(p, y));
+        assert!(pts.may_point_to(q, x));
+        assert!(pts.may_point_to(q, y));
+    }
+
+    #[test]
+    fn indirect_call_sound() {
+        let unit = unit_of(
+            "int x; int *id(int *a) { return a; } int *(*fp)(int *); int *r;
+             void main_(void) { fp = id; r = fp(&x); }",
+        );
+        let pts = solve(&unit);
+        let r = unit.find_object("r").unwrap();
+        let x = unit.find_object("x").unwrap();
+        assert!(pts.may_point_to(r, x));
+    }
+
+    #[test]
+    fn stats() {
+        let unit = unit_of("int x, *p, *q; void f(void) { p = &x; q = p; }");
+        let (_, stats) = solve_with_stats(&unit);
+        assert!(stats.joins >= 1);
+        assert!(stats.cells >= unit.objects.len());
+    }
+}

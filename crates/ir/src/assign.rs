@@ -1,0 +1,323 @@
+//! Primitive assignments — the paper's intermediate language.
+//!
+//! Every C construct is compiled down to the five assignment forms of
+//! Table 2 (`x = y`, `x = &y`, `*x = y`, `x = *y`, `*x = *y`) plus function
+//! signature records used to wire calls and indirect calls.
+
+use crate::loc::{FileTable, SrcLoc};
+use crate::object::{ObjId, ObjectInfo};
+use crate::strength::{OpKind, Strength};
+use std::fmt;
+
+/// The five primitive assignment forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AssignKind {
+    /// `x = y`
+    Copy = 0,
+    /// `x = &y`
+    Addr,
+    /// `*x = y`
+    Store,
+    /// `x = *y`
+    Load,
+    /// `*x = *y`
+    StoreLoad,
+}
+
+impl AssignKind {
+    /// Inverse of `as u8`, for the object-file reader.
+    pub fn from_u8(v: u8) -> Option<AssignKind> {
+        use AssignKind::*;
+        Some(match v {
+            0 => Copy,
+            1 => Addr,
+            2 => Store,
+            3 => Load,
+            4 => StoreLoad,
+            _ => return None,
+        })
+    }
+
+    /// True for the forms the solver treats as *complex* (involving `*`);
+    /// `Copy` and `Addr` are represented directly in the constraint graph.
+    pub fn is_complex(self) -> bool {
+        matches!(self, AssignKind::Store | AssignKind::Load | AssignKind::StoreLoad)
+    }
+}
+
+impl fmt::Display for AssignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssignKind::Copy => "x = y",
+            AssignKind::Addr => "x = &y",
+            AssignKind::Store => "*x = y",
+            AssignKind::Load => "x = *y",
+            AssignKind::StoreLoad => "*x = *y",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One primitive assignment `dst (op)= src` of the given form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrimAssign {
+    pub kind: AssignKind,
+    /// The `x` side.
+    pub dst: ObjId,
+    /// The `y` side.
+    pub src: ObjId,
+    /// Dependence strength of this edge (Table 1).
+    pub strength: Strength,
+    /// The operation the value passed through (`+`, `>>`, `arg`, ...).
+    pub op: OpKind,
+    pub loc: SrcLoc,
+}
+
+impl PrimAssign {
+    /// Renders the assignment for dumps and dependence chains.
+    pub fn display(&self, objs: &[ObjectInfo], files: &FileTable) -> String {
+        let d = &objs[self.dst.index()].name;
+        let s = &objs[self.src.index()].name;
+        let text = match self.kind {
+            AssignKind::Copy => format!("{d} = {s}"),
+            AssignKind::Addr => format!("{d} = &{s}"),
+            AssignKind::Store => format!("*{d} = {s}"),
+            AssignKind::Load => format!("{d} = *{s}"),
+            AssignKind::StoreLoad => format!("*{d} = *{s}"),
+        };
+        let op = if self.op == OpKind::Direct {
+            String::new()
+        } else {
+            format!(" [{}]", self.op)
+        };
+        format!("{text}{op} @ {}", files.display(self.loc))
+    }
+}
+
+/// Parameter/return record for a function or function-pointer object
+/// (paper §4: "an object file entry that records the argument and return
+/// variables").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunSig {
+    /// The function object (kind [`Func`](crate::ObjKind::Func)) or the
+    /// function-pointer object this signature is attached to.
+    pub obj: ObjId,
+    /// Standardized parameter objects `f$1`, `f$2`, ... in order.
+    pub params: Vec<ObjId>,
+    /// Standardized return object `f$ret`.
+    pub ret: ObjId,
+    /// True when `obj` is a function *pointer* used at an indirect call
+    /// site, rather than a function definition/declaration.
+    pub is_indirect: bool,
+}
+
+/// Counts of the five assignment forms (Table 2's last five columns).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AssignCounts {
+    pub copy: usize,
+    pub addr: usize,
+    pub store: usize,
+    pub store_load: usize,
+    pub load: usize,
+}
+
+impl AssignCounts {
+    /// Total number of primitive assignments.
+    pub fn total(&self) -> usize {
+        self.copy + self.addr + self.store + self.store_load + self.load
+    }
+
+    /// Tallies one assignment.
+    pub fn add(&mut self, kind: AssignKind) {
+        match kind {
+            AssignKind::Copy => self.copy += 1,
+            AssignKind::Addr => self.addr += 1,
+            AssignKind::Store => self.store += 1,
+            AssignKind::Load => self.load += 1,
+            AssignKind::StoreLoad => self.store_load += 1,
+        }
+    }
+
+    /// Tallies a whole assignment list.
+    pub fn from_assigns(assigns: &[PrimAssign]) -> Self {
+        let mut c = AssignCounts::default();
+        for a in assigns {
+            c.add(a.kind);
+        }
+        c
+    }
+}
+
+/// The output of the compile phase for one translation unit, and (after
+/// linking) the representation of a whole program database.
+#[derive(Debug, Default, Clone)]
+pub struct CompiledUnit {
+    /// The main source file.
+    pub file: String,
+    /// File-name table for all locations in this unit.
+    pub files: FileTable,
+    /// All objects; [`ObjId`] indexes here.
+    pub objects: Vec<ObjectInfo>,
+    /// All primitive assignments.
+    pub assigns: Vec<PrimAssign>,
+    /// Function and function-pointer signatures.
+    pub funsigs: Vec<FunSig>,
+}
+
+impl CompiledUnit {
+    /// Creates an empty unit for `file`.
+    pub fn new(file: impl Into<String>) -> Self {
+        CompiledUnit { file: file.into(), ..Default::default() }
+    }
+
+    /// Adds an object, returning its id.
+    pub fn push_object(&mut self, info: ObjectInfo) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(info);
+        id
+    }
+
+    /// Metadata of an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this unit.
+    pub fn object(&self, id: ObjId) -> &ObjectInfo {
+        &self.objects[id.index()]
+    }
+
+    /// Adds a primitive assignment.
+    pub fn push_assign(&mut self, a: PrimAssign) {
+        self.assigns.push(a);
+    }
+
+    /// Counts of the five assignment forms.
+    pub fn assign_counts(&self) -> AssignCounts {
+        AssignCounts::from_assigns(&self.assigns)
+    }
+
+    /// Number of objects the paper counts as "program variables"
+    /// (variables, fields, functions — not temps or heap sites).
+    pub fn program_variable_count(&self) -> usize {
+        self.objects.iter().filter(|o| o.kind.is_program_object()).count()
+    }
+
+    /// Finds an object by display name (first match). Intended for tests and
+    /// small examples, not hot paths.
+    pub fn find_object(&self, name: &str) -> Option<ObjId> {
+        self.objects
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| ObjId(i as u32))
+    }
+
+    /// All objects whose display name is `name`.
+    pub fn find_objects<'a>(&'a self, name: &'a str) -> impl Iterator<Item = ObjId> + 'a {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(move |(_, o)| o.name == name)
+            .map(|(i, _)| ObjId(i as u32))
+    }
+
+    /// The signature attached to `obj`, if any.
+    pub fn funsig(&self, obj: ObjId) -> Option<&FunSig> {
+        self.funsigs.iter().find(|s| s.obj == obj)
+    }
+
+    /// Renders every assignment, one per line (for dumps and tests).
+    pub fn dump_assigns(&self) -> String {
+        let mut out = String::new();
+        for a in &self.assigns {
+            out.push_str(&a.display(&self.objects, &self.files));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loc::FileIdx;
+    use crate::object::ObjKind;
+
+    fn unit_with(names: &[&str]) -> (CompiledUnit, Vec<ObjId>) {
+        let mut u = CompiledUnit::new("t.c");
+        let ids = names
+            .iter()
+            .map(|n| u.push_object(ObjectInfo::global(*n, ObjKind::Var, "int", SrcLoc::NONE)))
+            .collect();
+        (u, ids)
+    }
+
+    #[test]
+    fn assign_kind_roundtrip() {
+        for v in 0..=4u8 {
+            assert_eq!(AssignKind::from_u8(v).unwrap() as u8, v);
+        }
+        assert_eq!(AssignKind::from_u8(5), None);
+        assert!(AssignKind::Store.is_complex());
+        assert!(AssignKind::Load.is_complex());
+        assert!(AssignKind::StoreLoad.is_complex());
+        assert!(!AssignKind::Copy.is_complex());
+        assert!(!AssignKind::Addr.is_complex());
+    }
+
+    #[test]
+    fn counts() {
+        let (mut u, ids) = unit_with(&["a", "b"]);
+        for kind in [
+            AssignKind::Copy,
+            AssignKind::Copy,
+            AssignKind::Addr,
+            AssignKind::Store,
+            AssignKind::Load,
+            AssignKind::StoreLoad,
+        ] {
+            u.push_assign(PrimAssign {
+                kind,
+                dst: ids[0],
+                src: ids[1],
+                strength: Strength::Strong,
+                op: OpKind::Direct,
+                loc: SrcLoc::NONE,
+            });
+        }
+        let c = u.assign_counts();
+        assert_eq!(c.copy, 2);
+        assert_eq!(c.addr, 1);
+        assert_eq!(c.store, 1);
+        assert_eq!(c.load, 1);
+        assert_eq!(c.store_load, 1);
+        assert_eq!(c.total(), 6);
+    }
+
+    #[test]
+    fn display_assign() {
+        let (mut u, ids) = unit_with(&["x", "y"]);
+        let f = u.files.intern("a.c");
+        let a = PrimAssign {
+            kind: AssignKind::Load,
+            dst: ids[0],
+            src: ids[1],
+            strength: Strength::Weak,
+            op: OpKind::Shr,
+            loc: SrcLoc::new(f, 7),
+        };
+        assert_eq!(a.display(&u.objects, &u.files), "x = *y [>>] @ a.c:7");
+        assert_eq!(format!("{}", AssignKind::StoreLoad), "*x = *y");
+    }
+
+    #[test]
+    fn lookups() {
+        let (mut u, ids) = unit_with(&["x", "y"]);
+        assert_eq!(u.find_object("y"), Some(ids[1]));
+        assert_eq!(u.find_object("z"), None);
+        assert_eq!(u.program_variable_count(), 2);
+        u.funsigs.push(FunSig { obj: ids[0], params: vec![ids[1]], ret: ids[1], is_indirect: false });
+        assert!(u.funsig(ids[0]).is_some());
+        assert!(u.funsig(ids[1]).is_none());
+    }
+}

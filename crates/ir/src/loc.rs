@@ -1,0 +1,142 @@
+//! Compact source locations for the IR.
+//!
+//! The frontend's [`cla_cfront::Loc`] indexes a per-parse `SourceMap`; the IR
+//! re-anchors locations against a per-unit file-name table so compiled units
+//! are self-contained (they must survive being written to an object file and
+//! linked with other units).
+
+use std::fmt;
+
+/// Index into a [`FileTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileIdx(pub u32);
+
+/// A source location: file index + 1-based line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrcLoc {
+    pub file: FileIdx,
+    pub line: u32,
+}
+
+impl SrcLoc {
+    /// Location for synthesized objects with no source counterpart.
+    pub const NONE: SrcLoc = SrcLoc { file: FileIdx(u32::MAX), line: 0 };
+
+    /// Creates a location.
+    pub fn new(file: FileIdx, line: u32) -> Self {
+        SrcLoc { file, line }
+    }
+
+    /// True for the sentinel "no location".
+    pub fn is_none(&self) -> bool {
+        self.file.0 == u32::MAX
+    }
+}
+
+impl Default for SrcLoc {
+    fn default() -> Self {
+        SrcLoc::NONE
+    }
+}
+
+/// Per-unit table of file names.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FileTable {
+    names: Vec<String>,
+}
+
+impl FileTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FileTable::default()
+    }
+
+    /// Interns a file name, returning its index.
+    pub fn intern(&mut self, name: &str) -> FileIdx {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return FileIdx(i as u32);
+        }
+        self.names.push(name.to_string());
+        FileIdx((self.names.len() - 1) as u32)
+    }
+
+    /// The name at an index, or `"<none>"` for the sentinel.
+    pub fn name(&self, idx: FileIdx) -> &str {
+        self.names.get(idx.0 as usize).map_or("<none>", |s| s.as_str())
+    }
+
+    /// Renders `loc` as `file:line` (the paper's `<eg1.c:3>` form).
+    pub fn display(&self, loc: SrcLoc) -> String {
+        if loc.is_none() {
+            "<none>".to_string()
+        } else {
+            format!("{}:{}", self.name(loc.file), loc.line)
+        }
+    }
+
+    /// All names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Rebuilds a table from a name list (used by the object-file reader).
+    pub fn from_names(names: Vec<String>) -> Self {
+        FileTable { names }
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "<none>")
+        } else {
+            write!(f, "file#{}:{}", self.file.0, self.line)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups() {
+        let mut t = FileTable::new();
+        let a = t.intern("a.c");
+        let b = t.intern("b.c");
+        let a2 = t.intern("a.c");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "a.c");
+    }
+
+    #[test]
+    fn display() {
+        let mut t = FileTable::new();
+        let a = t.intern("eg1.c");
+        assert_eq!(t.display(SrcLoc::new(a, 3)), "eg1.c:3");
+        assert_eq!(t.display(SrcLoc::NONE), "<none>");
+        assert!(SrcLoc::NONE.is_none());
+        assert!(!SrcLoc::new(a, 1).is_none());
+    }
+
+    #[test]
+    fn roundtrip_names() {
+        let mut t = FileTable::new();
+        t.intern("x.c");
+        t.intern("y.h");
+        let t2 = FileTable::from_names(t.names().to_vec());
+        assert_eq!(t, t2);
+    }
+}

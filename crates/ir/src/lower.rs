@@ -1,0 +1,1002 @@
+//! Lowering: C AST → primitive assignments (the compile phase of CLA).
+//!
+//! Complex expressions are decomposed into the five primitive forms by
+//! introducing temporaries (sparingly — the paper notes "considerable
+//! implementation effort is required to avoid introducing too many temporary
+//! variables"). Structs are handled *field-based* (one object per
+//! `Tag.field`, bases ignored) or *field-independent* (one object per
+//! variable, fields ignored); arrays are index-independent; functions use
+//! standardized parameter/return variables `f$1`, `f$ret`; indirect calls
+//! attach a signature to the function-pointer object for analysis-time
+//! linking.
+
+use crate::assign::{AssignKind, CompiledUnit, FunSig, PrimAssign};
+use crate::loc::SrcLoc;
+use crate::object::{ObjId, ObjKind, ObjectInfo};
+use crate::strength::{classify_binary, classify_unary, OpKind, Strength};
+use cla_cfront::ast::{
+    BinaryOp, Block, BlockItem, Declaration, Designator, Expr, ExprKind, ExternalDecl, ForInit,
+    FunctionDef, Initializer, Stmt, Storage, TranslationUnit, UnaryOp,
+};
+use cla_cfront::span::{Loc, SourceMap};
+use cla_cfront::types::{Type, TypeTable};
+use std::collections::HashMap;
+
+/// Struct model (paper Section 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FieldModel {
+    /// One abstract object per `Tag.field`; the base is ignored. This is
+    /// Andersen's treatment and the paper's default.
+    #[default]
+    FieldBased,
+    /// The whole struct variable is one unstructured object; the field is
+    /// ignored (the model of Shapiro/Horwitz, Fähndrich et al.).
+    FieldIndependent,
+}
+
+/// Lowering configuration.
+#[derive(Debug, Clone)]
+pub struct LowerOptions {
+    pub field_model: FieldModel,
+    /// Model string literals as objects (default false: the paper's default
+    /// setup "ignores constant strings").
+    pub model_strings: bool,
+    /// Functions treated as allocators; each static call site becomes a
+    /// fresh heap object (the paper's default setup (a)).
+    pub allocator_names: Vec<String>,
+}
+
+impl Default for LowerOptions {
+    fn default() -> Self {
+        LowerOptions {
+            field_model: FieldModel::FieldBased,
+            model_strings: false,
+            allocator_names: ["malloc", "calloc", "realloc", "valloc", "memalign", "strdup"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+impl LowerOptions {
+    /// Field-independent variant of these options.
+    pub fn field_independent(mut self) -> Self {
+        self.field_model = FieldModel::FieldIndependent;
+        self
+    }
+}
+
+/// Lowers one parsed translation unit to primitive assignments.
+pub fn lower_unit(
+    tu: &TranslationUnit,
+    sources: &SourceMap,
+    opts: &LowerOptions,
+) -> CompiledUnit {
+    let mut lw = Lowerer {
+        types: &tu.types,
+        enum_constants: &tu.enum_constants,
+        sources,
+        opts,
+        unit: CompiledUnit::new(tu.file.clone()),
+        globals: HashMap::new(),
+        global_types: HashMap::new(),
+        scopes: Vec::new(),
+        fields: HashMap::new(),
+        funsig_ix: HashMap::new(),
+        obj_types: HashMap::new(),
+        temp_count: 0,
+        cur_func: None,
+        str_count: 0,
+    };
+    for item in &tu.items {
+        match item {
+            ExternalDecl::Declaration(d) => lw.lower_file_scope_decl(d),
+            ExternalDecl::Function(f) => lw.lower_function(f),
+        }
+    }
+    lw.unit
+}
+
+/// An lvalue place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Place {
+    /// A named object.
+    Obj(ObjId),
+    /// `*obj`.
+    Deref(ObjId),
+    /// Not an assignable object (error recovery / unsupported construct).
+    None,
+}
+
+/// Where a value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RPlace {
+    Obj(ObjId),
+    Deref(ObjId),
+    Addr(ObjId),
+}
+
+/// One source contributing to an rvalue, with the strength/op it passed
+/// through.
+#[derive(Debug, Clone, Copy)]
+struct RSrc {
+    place: RPlace,
+    strength: Strength,
+    op: OpKind,
+}
+
+impl RSrc {
+    fn obj(id: ObjId) -> Self {
+        RSrc { place: RPlace::Obj(id), strength: Strength::Strong, op: OpKind::Direct }
+    }
+
+    fn addr(id: ObjId) -> Self {
+        RSrc { place: RPlace::Addr(id), strength: Strength::Strong, op: OpKind::Direct }
+    }
+
+    fn deref(id: ObjId) -> Self {
+        RSrc { place: RPlace::Deref(id), strength: Strength::Strong, op: OpKind::Direct }
+    }
+
+    /// Weakens this source through an operation of the given strength,
+    /// recording the op if none is recorded yet.
+    fn through(mut self, s: Strength, op: OpKind) -> Self {
+        self.strength = self.strength.and(s);
+        if self.op == OpKind::Direct {
+            self.op = op;
+        }
+        self
+    }
+}
+
+struct Lowerer<'a> {
+    types: &'a TypeTable,
+    enum_constants: &'a std::collections::HashSet<String>,
+    sources: &'a SourceMap,
+    opts: &'a LowerOptions,
+    unit: CompiledUnit,
+    /// File-scope name → object (variables and functions, any linkage).
+    globals: HashMap<String, ObjId>,
+    /// File-scope name → declared type.
+    global_types: HashMap<String, Type>,
+    /// Local scopes: name → (object, type).
+    scopes: Vec<HashMap<String, (ObjId, Type)>>,
+    /// (record tag, field name) → field object.
+    fields: HashMap<(String, String), ObjId>,
+    /// Object → index into `unit.funsigs`.
+    funsig_ix: HashMap<ObjId, usize>,
+    /// Types of objects created for expressions (for display).
+    obj_types: HashMap<ObjId, Type>,
+    temp_count: u32,
+    cur_func: Option<ObjId>,
+    str_count: u32,
+}
+
+impl<'a> Lowerer<'a> {
+    // ----- locations ------------------------------------------------------
+
+    fn srcloc(&mut self, loc: Loc) -> SrcLoc {
+        if loc.file == cla_cfront::FileId::BUILTIN {
+            return SrcLoc::NONE;
+        }
+        let name = self.sources.file_name(loc.file).to_string();
+        SrcLoc::new(self.unit.files.intern(&name), loc.line)
+    }
+
+    // ----- object creation -------------------------------------------------
+
+    fn ty_str(&self, ty: &Type) -> String {
+        self.types.display(ty)
+    }
+
+    fn new_temp(&mut self, ty: &Type, loc: SrcLoc) -> ObjId {
+        self.temp_count += 1;
+        let name = format!("tmp${}", self.temp_count);
+        let mut info = ObjectInfo::local(name, ObjKind::Temp, self.ty_str(ty), loc);
+        info.in_func = self.cur_func;
+        let id = self.unit.push_object(info);
+        self.obj_types.insert(id, ty.clone());
+        id
+    }
+
+    /// File-scope variable or function object (created on first sight).
+    fn global_object(&mut self, name: &str, ty: &Type, storage: Storage, loc: Loc) -> ObjId {
+        if let Some(&id) = self.globals.get(name) {
+            // A later declaration may sharpen the type (e.g. tentative
+            // definitions, or a prototype following an implicit call).
+            self.global_types.entry(name.to_string()).or_insert_with(|| ty.clone());
+            return id;
+        }
+        let loc = self.srcloc(loc);
+        let kind = if matches!(ty, Type::Function(_)) { ObjKind::Func } else { ObjKind::Var };
+        let info = if storage == Storage::Static {
+            ObjectInfo::local(name, kind, self.ty_str(ty), loc)
+        } else {
+            ObjectInfo::global(name, kind, self.ty_str(ty), loc)
+        };
+        let id = self.unit.push_object(info);
+        self.globals.insert(name.to_string(), id);
+        self.global_types.insert(name.to_string(), ty.clone());
+        self.obj_types.insert(id, ty.clone());
+        id
+    }
+
+    /// Local variable object in the innermost scope.
+    fn local_object(&mut self, name: &str, ty: &Type, loc: Loc) -> ObjId {
+        let loc = self.srcloc(loc);
+        let mut info = ObjectInfo::local(name, ObjKind::Var, self.ty_str(ty), loc);
+        info.in_func = self.cur_func;
+        let id = self.unit.push_object(info);
+        self.obj_types.insert(id, ty.clone());
+        self.scopes
+            .last_mut()
+            .expect("local_object outside any scope")
+            .insert(name.to_string(), (id, ty.clone()));
+        id
+    }
+
+    /// The field object for `(tag, field)` (field-based model). Fields of
+    /// named tags link across units; anonymous tags stay file-local.
+    fn field_object(&mut self, tag: &str, field: &str, ty: &Type, loc: Loc) -> ObjId {
+        if let Some(&id) = self.fields.get(&(tag.to_string(), field.to_string())) {
+            return id;
+        }
+        let loc = self.srcloc(loc);
+        let name = format!("{tag}.{field}");
+        let anonymous = tag.starts_with("<anon");
+        let info = if anonymous {
+            ObjectInfo::local(&name, ObjKind::Field, self.ty_str(ty), loc)
+        } else {
+            ObjectInfo::global(&name, ObjKind::Field, self.ty_str(ty), loc)
+        };
+        let id = self.unit.push_object(info);
+        self.fields.insert((tag.to_string(), field.to_string()), id);
+        self.obj_types.insert(id, ty.clone());
+        id
+    }
+
+    /// Resolves an identifier to its object, creating an implicit global for
+    /// undeclared names (C89 implicit declaration).
+    fn resolve(&mut self, name: &str, loc: Loc) -> ObjId {
+        for scope in self.scopes.iter().rev() {
+            if let Some((id, _)) = scope.get(name) {
+                return *id;
+            }
+        }
+        if let Some(&id) = self.globals.get(name) {
+            return id;
+        }
+        self.global_object(name, &Type::int(), Storage::None, loc)
+    }
+
+    fn type_of_name(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some((_, ty)) = scope.get(name) {
+                return Some(ty.clone());
+            }
+        }
+        self.global_types.get(name).cloned()
+    }
+
+    // ----- function signatures ---------------------------------------------
+
+    /// The signature record for a function or function-pointer object,
+    /// creating it (with `ret`) on first use.
+    fn ensure_funsig(&mut self, obj: ObjId, is_indirect: bool) -> usize {
+        if let Some(&ix) = self.funsig_ix.get(&obj) {
+            return ix;
+        }
+        let base = self.unit.object(obj).name.clone();
+        let linked = self.unit.object(obj).is_global() && !is_indirect;
+        let ret_name = format!("{base}$ret");
+        let mut info = if linked {
+            ObjectInfo::global(&ret_name, ObjKind::Ret, "", SrcLoc::NONE)
+        } else {
+            ObjectInfo::local(&ret_name, ObjKind::Ret, "", SrcLoc::NONE)
+        };
+        info.in_func = Some(obj);
+        let ret = self.unit.push_object(info);
+        let ix = self.unit.funsigs.len();
+        self.unit.funsigs.push(FunSig { obj, params: Vec::new(), ret, is_indirect });
+        self.funsig_ix.insert(obj, ix);
+        ix
+    }
+
+    /// The `i`-th (0-based) standardized parameter object, created on demand.
+    fn param_object(&mut self, sig_ix: usize, i: usize) -> ObjId {
+        if let Some(&p) = self.unit.funsigs[sig_ix].params.get(i) {
+            return p;
+        }
+        let obj = self.unit.funsigs[sig_ix].obj;
+        let is_indirect = self.unit.funsigs[sig_ix].is_indirect;
+        let base = self.unit.object(obj).name.clone();
+        let linked = self.unit.object(obj).is_global() && !is_indirect;
+        while self.unit.funsigs[sig_ix].params.len() <= i {
+            let n = self.unit.funsigs[sig_ix].params.len() + 1;
+            let name = format!("{base}${n}");
+            let mut info = if linked {
+                ObjectInfo::global(&name, ObjKind::Param, "", SrcLoc::NONE)
+            } else {
+                ObjectInfo::local(&name, ObjKind::Param, "", SrcLoc::NONE)
+            };
+            info.in_func = Some(obj);
+            let id = self.unit.push_object(info);
+            self.unit.funsigs[sig_ix].params.push(id);
+        }
+        self.unit.funsigs[sig_ix].params[i]
+    }
+
+    // ----- assignment emission ----------------------------------------------
+
+    fn emit(&mut self, kind: AssignKind, dst: ObjId, src: ObjId, s: Strength, op: OpKind, loc: SrcLoc) {
+        // Skip no-op self copies (e.g. from `x++`).
+        if kind == AssignKind::Copy && dst == src {
+            return;
+        }
+        self.unit.push_assign(PrimAssign { kind, dst, src, strength: s, op, loc });
+    }
+
+    fn emit_assign(&mut self, dst: Place, src: RSrc, loc: SrcLoc) {
+        let (s, op) = (src.strength, src.op);
+        match (dst, src.place) {
+            (Place::Obj(x), RPlace::Obj(y)) => self.emit(AssignKind::Copy, x, y, s, op, loc),
+            (Place::Obj(x), RPlace::Deref(y)) => self.emit(AssignKind::Load, x, y, s, op, loc),
+            (Place::Obj(x), RPlace::Addr(y)) => self.emit(AssignKind::Addr, x, y, s, op, loc),
+            (Place::Deref(x), RPlace::Obj(y)) => self.emit(AssignKind::Store, x, y, s, op, loc),
+            (Place::Deref(x), RPlace::Deref(y)) => {
+                self.emit(AssignKind::StoreLoad, x, y, s, op, loc)
+            }
+            (Place::Deref(x), RPlace::Addr(y)) => {
+                // `*x = &y` is not primitive: introduce a temporary.
+                let yty = self.obj_types.get(&y).cloned().unwrap_or_else(Type::int);
+                let t = self.new_temp(&yty.ptr_to(), loc);
+                self.emit(AssignKind::Addr, t, y, Strength::Strong, OpKind::Direct, loc);
+                self.emit(AssignKind::Store, x, t, s, op, loc);
+            }
+            (Place::None, _) => {}
+        }
+    }
+
+    fn emit_all(&mut self, dst: Place, srcs: &[RSrc], loc: SrcLoc) {
+        for s in srcs {
+            self.emit_assign(dst, *s, loc);
+        }
+    }
+
+    /// Materializes an rvalue as a single object, introducing a temporary
+    /// only when necessary.
+    fn materialize(&mut self, srcs: &[RSrc], ty: &Type, loc: SrcLoc) -> ObjId {
+        if let [one] = srcs {
+            if let RPlace::Obj(id) = one.place {
+                if one.op == OpKind::Direct && one.strength == Strength::Strong {
+                    return id;
+                }
+            }
+        }
+        let t = self.new_temp(ty, loc);
+        self.emit_all(Place::Obj(t), srcs, loc);
+        t
+    }
+
+    // ----- type inference ---------------------------------------------------
+
+    /// Best-effort static type of an expression; used to distinguish array
+    /// indexing from pointer indexing, find struct tags for member access,
+    /// and type temporaries. `None` means "unknown" and lowering falls back
+    /// to pointer-like behaviour.
+    fn type_of(&self, e: &Expr) -> Option<Type> {
+        match &e.kind {
+            ExprKind::Ident(n) => self.type_of_name(n),
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) => Some(Type::int()),
+            ExprKind::FloatLit(_) => Some(Type::Float(cla_cfront::types::FloatKind::Double)),
+            ExprKind::StrLit(s) => {
+                Some(Type::Array(Box::new(Type::char_()), Some(s.len() as u64 + 1)))
+            }
+            ExprKind::Unary(UnaryOp::Deref, inner) => {
+                self.type_of(inner)?.dereferenced().cloned()
+            }
+            ExprKind::Unary(UnaryOp::AddrOf, inner) => Some(self.type_of(inner)?.ptr_to()),
+            ExprKind::Unary(_, inner) => self.type_of(inner),
+            ExprKind::Binary(op, l, r) => {
+                use BinaryOp::*;
+                if matches!(op, Lt | Gt | Le | Ge | Eq | Ne | LogAnd | LogOr) {
+                    return Some(Type::int());
+                }
+                let lt = self.type_of(l);
+                if lt.as_ref().is_some_and(Type::is_pointer_like) {
+                    return lt;
+                }
+                let rt = self.type_of(r);
+                if rt.as_ref().is_some_and(Type::is_pointer_like) {
+                    return rt;
+                }
+                lt.or(rt)
+            }
+            ExprKind::Assign(_, l, _) => self.type_of(l),
+            ExprKind::Cond(_, t, f) => self.type_of(t).or_else(|| self.type_of(f)),
+            ExprKind::Cast(ty, _) => Some(ty.clone()),
+            ExprKind::Call(callee, _) => {
+                let mut ty = self.type_of(callee)?;
+                loop {
+                    match ty {
+                        Type::Function(f) => return Some(f.ret.clone()),
+                        Type::Pointer(inner) => ty = *inner,
+                        _ => return None,
+                    }
+                }
+            }
+            ExprKind::Index(base, _) => self.type_of(base)?.dereferenced().cloned(),
+            ExprKind::Member { base, field, arrow } => {
+                let mut bt = self.type_of(base)?;
+                if *arrow {
+                    bt = bt.dereferenced().cloned()?;
+                }
+                let Type::Record(id) = bt else { return None };
+                Some(self.types.field(id, field)?.ty.clone())
+            }
+            ExprKind::SizeofExpr(_) | ExprKind::SizeofType(_) => Some(Type::int()),
+            ExprKind::Comma(_, r) => self.type_of(r),
+            ExprKind::PostIncDec(_, inner) => self.type_of(inner),
+            ExprKind::CompoundLit(ty, _) => Some(ty.clone()),
+        }
+    }
+
+    /// The record tag and field type a member access goes through.
+    fn member_tag(&self, base: &Expr, field: &str, arrow: bool) -> Option<(String, Type)> {
+        let mut bt = self.type_of(base)?;
+        if arrow {
+            bt = bt.dereferenced().cloned()?;
+        }
+        let Type::Record(id) = bt else { return None };
+        let rec = self.types.record(id);
+        let fty = self.types.field(id, field).map(|f| f.ty.clone()).unwrap_or_else(Type::int);
+        Some((rec.tag.clone(), fty))
+    }
+
+    // ----- lvalues ------------------------------------------------------------
+
+    fn lower_lvalue(&mut self, e: &Expr) -> Place {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if self.enum_constants.contains(name) {
+                    return Place::None;
+                }
+                Place::Obj(self.resolve(name, e.loc))
+            }
+            ExprKind::Unary(UnaryOp::Deref, inner) => {
+                // `*a` where a is an array collapses to the array object
+                // (index-independent model).
+                if self.type_of(inner).is_some_and(|t| matches!(t, Type::Array(..))) {
+                    return self.lower_lvalue(inner);
+                }
+                let obj = self.rvalue_to_obj(inner);
+                match obj {
+                    Some(o) => Place::Deref(o),
+                    None => Place::None,
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                // Evaluate the index for side effects; its value is ignored
+                // (index-independent arrays).
+                self.lower_effects(idx);
+                if self.type_of(base).is_some_and(|t| matches!(t, Type::Array(..))) {
+                    self.lower_lvalue(base)
+                } else {
+                    match self.rvalue_to_obj(base) {
+                        Some(o) => Place::Deref(o),
+                        None => Place::None,
+                    }
+                }
+            }
+            ExprKind::Member { base, field, arrow } => {
+                self.lower_member(base, field, *arrow, e.loc)
+            }
+            ExprKind::Cast(_, inner) => self.lower_lvalue(inner),
+            ExprKind::Comma(l, r) => {
+                self.lower_effects(l);
+                self.lower_lvalue(r)
+            }
+            _ => {
+                // Not an lvalue (or unsupported as one); evaluate for effects.
+                self.lower_effects(e);
+                Place::None
+            }
+        }
+    }
+
+    /// Member access as a place, per the configured field model.
+    fn lower_member(&mut self, base: &Expr, field: &str, arrow: bool, loc: Loc) -> Place {
+        match self.opts.field_model {
+            FieldModel::FieldBased => {
+                // Evaluate the base for side effects only; the base object is
+                // ignored (paper: "an assignment to x.f is viewed as an
+                // assignment to f and the base object x is ignored").
+                // The base is evaluated for side effects only; a plain
+                // identifier base has none worth lowering.
+                if arrow || !matches!(base.kind, ExprKind::Ident(_)) {
+                    self.lower_effects(base);
+                }
+                // Unknown base type falls back to a per-name field pool so
+                // same-named fields still unify.
+                let (tag, fty) = self
+                    .member_tag(base, field, arrow)
+                    .unwrap_or_else(|| ("?".to_string(), Type::int()));
+                Place::Obj(self.field_object(&tag, field, &fty, loc))
+            }
+            FieldModel::FieldIndependent => {
+                if arrow {
+                    match self.rvalue_to_obj(base) {
+                        Some(o) => Place::Deref(o),
+                        None => Place::None,
+                    }
+                } else {
+                    self.lower_lvalue(base)
+                }
+            }
+        }
+    }
+
+    // ----- rvalues ---------------------------------------------------------
+
+    fn place_as_rvalue(&self, p: Place) -> Vec<RSrc> {
+        match p {
+            Place::Obj(o) => vec![RSrc::obj(o)],
+            Place::Deref(o) => vec![RSrc::deref(o)],
+            Place::None => vec![],
+        }
+    }
+
+    fn rvalue_to_obj(&mut self, e: &Expr) -> Option<ObjId> {
+        let srcs = self.lower_rvalue(e);
+        if srcs.is_empty() {
+            return None;
+        }
+        let ty = self.type_of(e).unwrap_or_else(Type::int);
+        let loc = self.srcloc(e.loc);
+        Some(self.materialize(&srcs, &ty, loc))
+    }
+
+    /// Evaluates an expression purely for its side effects.
+    fn lower_effects(&mut self, e: &Expr) {
+        let _ = self.lower_rvalue(e);
+    }
+
+    fn lower_rvalue(&mut self, e: &Expr) -> Vec<RSrc> {
+        let loc = self.srcloc(e.loc);
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if self.enum_constants.contains(name) {
+                    return vec![];
+                }
+                let id = self.resolve(name, e.loc);
+                // A function designator used as a value denotes its address.
+                if self.unit.object(id).kind == ObjKind::Func {
+                    return vec![RSrc::addr(id)];
+                }
+                // So does an array (array-to-pointer decay).
+                if self
+                    .obj_types
+                    .get(&id)
+                    .is_some_and(|t| matches!(t, Type::Array(..)))
+                {
+                    return vec![RSrc::addr(id)];
+                }
+                vec![RSrc::obj(id)]
+            }
+            ExprKind::IntLit(_) | ExprKind::FloatLit(_) | ExprKind::CharLit(_) => vec![],
+            ExprKind::SizeofExpr(_) | ExprKind::SizeofType(_) => vec![],
+            ExprKind::StrLit(s) => {
+                if self.opts.model_strings {
+                    self.str_count += 1;
+                    let preview: String = s.chars().take(8).collect();
+                    let mut info = ObjectInfo::local(
+                        format!("str${}\"{preview}\"", self.str_count),
+                        ObjKind::Str,
+                        "char []",
+                        loc,
+                    );
+                    info.in_func = self.cur_func;
+                    let id = self.unit.push_object(info);
+                    vec![RSrc::addr(id)]
+                } else {
+                    vec![]
+                }
+            }
+            ExprKind::Unary(UnaryOp::Deref, _)
+            | ExprKind::Index(..)
+            | ExprKind::Member { .. } => {
+                // Check for array collapse producing a decayed value: `a[i]`
+                // where the element itself is an array decays to `&a`.
+                let place = self.lower_lvalue(e);
+                if let Place::Obj(o) = place {
+                    if self
+                        .type_of(e)
+                        .is_some_and(|t| matches!(t, Type::Array(..)))
+                        && self
+                            .obj_types
+                            .get(&o)
+                            .is_some_and(|t| matches!(t, Type::Array(..)))
+                    {
+                        return vec![RSrc::addr(o)];
+                    }
+                }
+                self.place_as_rvalue(place)
+            }
+            ExprKind::Unary(UnaryOp::AddrOf, inner) => {
+                let place = self.lower_lvalue(inner);
+                match place {
+                    Place::Obj(o) => vec![RSrc::addr(o)],
+                    Place::Deref(o) => vec![RSrc::obj(o)], // &*p == p
+                    Place::None => vec![],
+                }
+            }
+            ExprKind::Unary(op @ (UnaryOp::PreInc | UnaryOp::PreDec), inner) => {
+                let _ = op;
+                // ++x is x = x + 1: shape-preserving, no new sources.
+                let place = self.lower_lvalue(inner);
+                self.place_as_rvalue(place)
+            }
+            ExprKind::Unary(op, inner) => {
+                let class = classify_unary(*op);
+                let Some(s) = Strength::from_class(class) else {
+                    self.lower_effects(inner);
+                    return vec![];
+                };
+                let opk = match op {
+                    UnaryOp::Neg => OpKind::Neg,
+                    UnaryOp::BitNot => OpKind::BitNot,
+                    _ => OpKind::Direct,
+                };
+                self.lower_rvalue(inner)
+                    .into_iter()
+                    .map(|r| r.through(s, opk))
+                    .collect()
+            }
+            ExprKind::Binary(op, l, r) => {
+                let (c1, c2) = classify_binary(*op);
+                let opk = OpKind::from_binary(*op);
+                let mut out = Vec::new();
+                match Strength::from_class(c1) {
+                    Some(s) => out.extend(
+                        self.lower_rvalue(l).into_iter().map(|x| x.through(s, opk)),
+                    ),
+                    None => self.lower_effects(l),
+                }
+                match Strength::from_class(c2) {
+                    Some(s) => out.extend(
+                        self.lower_rvalue(r).into_iter().map(|x| x.through(s, opk)),
+                    ),
+                    None => self.lower_effects(r),
+                }
+                out
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                let place = self.lower_lvalue(lhs);
+                let srcs = match op {
+                    None => self.lower_rvalue(rhs),
+                    Some(bop) => {
+                        // x op= y behaves as x = x op y; the x = x part is a
+                        // self-copy, so only y's contribution is emitted.
+                        let (_, c2) = classify_binary(*bop);
+                        let opk = OpKind::from_binary(*bop);
+                        match Strength::from_class(c2) {
+                            Some(s) => self
+                                .lower_rvalue(rhs)
+                                .into_iter()
+                                .map(|x| x.through(s, opk))
+                                .collect(),
+                            None => {
+                                self.lower_effects(rhs);
+                                vec![]
+                            }
+                        }
+                    }
+                };
+                self.emit_all(place, &srcs, loc);
+                self.place_as_rvalue(place)
+            }
+            ExprKind::Cond(c, t, f) => {
+                self.lower_effects(c);
+                let mut out = self.lower_rvalue(t);
+                out.extend(self.lower_rvalue(f));
+                out.into_iter()
+                    .map(|r| r.through(Strength::Strong, OpKind::Cond))
+                    .collect()
+            }
+            ExprKind::Cast(_, inner) => self
+                .lower_rvalue(inner)
+                .into_iter()
+                .map(|r| r.through(Strength::Strong, OpKind::Cast))
+                .collect(),
+            ExprKind::Call(callee, args) => self.lower_call(callee, args, e.loc),
+            ExprKind::Comma(l, r) => {
+                self.lower_effects(l);
+                self.lower_rvalue(r)
+            }
+            ExprKind::PostIncDec(_, inner) => {
+                let place = self.lower_lvalue(inner);
+                self.place_as_rvalue(place)
+            }
+            ExprKind::CompoundLit(ty, inits) => {
+                let t = self.new_temp(ty, loc);
+                self.lower_braced_init(Place::Obj(t), ty, inits, e.loc);
+                vec![RSrc::obj(t)]
+            }
+        }
+    }
+
+    // ----- calls -----------------------------------------------------------
+
+    /// Identifies the call target: a direct function object, or an object
+    /// holding a function pointer.
+    fn callee_object(&mut self, callee: &Expr) -> Option<(ObjId, bool)> {
+        match &callee.kind {
+            // `(*f)(...)` and `f(...)` are the same call — but only strip the
+            // `*` when the operand is itself the function (pointer); for
+            // `(**fpp)()` the inner deref is a real load.
+            ExprKind::Unary(UnaryOp::Deref, inner) => match self.type_of(inner) {
+                Some(Type::Pointer(p)) if matches!(*p, Type::Function(_)) => {
+                    self.callee_object(inner)
+                }
+                Some(Type::Function(_)) | None => self.callee_object(inner),
+                _ => {
+                    let obj = self.rvalue_to_obj(callee)?;
+                    Some((obj, true))
+                }
+            },
+            ExprKind::Ident(name) => {
+                // Local variable holding a function pointer?
+                for scope in self.scopes.iter().rev() {
+                    if let Some((id, _)) = scope.get(name) {
+                        return Some((*id, true));
+                    }
+                }
+                if let Some(&id) = self.globals.get(name) {
+                    let direct = self.unit.object(id).kind == ObjKind::Func;
+                    return Some((id, !direct));
+                }
+                // Implicit function declaration.
+                let fty = Type::Function(Box::new(cla_cfront::types::FuncType {
+                    ret: Type::int(),
+                    params: vec![],
+                    variadic: false,
+                    kr: true,
+                }));
+                Some((self.global_object(name, &fty, Storage::None, callee.loc), false))
+            }
+            _ => {
+                let obj = self.rvalue_to_obj(callee)?;
+                Some((obj, true))
+            }
+        }
+    }
+
+    fn lower_call(&mut self, callee: &Expr, args: &[Expr], cloc: Loc) -> Vec<RSrc> {
+        let loc = self.srcloc(cloc);
+        // Allocation sites: a fresh heap object per static occurrence.
+        if let ExprKind::Ident(name) = &callee.kind {
+            if self.opts.allocator_names.iter().any(|a| a == name)
+                && self.type_of_name(name).is_none_or(|t| matches!(t, Type::Function(_)))
+            {
+                for a in args {
+                    self.lower_effects(a);
+                }
+                let file = self.unit.files.name(loc.file).to_string();
+                let mut info = ObjectInfo::local(
+                    format!("heap@{}:{}", file, loc.line),
+                    ObjKind::Heap,
+                    "<heap>",
+                    loc,
+                );
+                info.in_func = self.cur_func;
+                let id = self.unit.push_object(info);
+                return vec![RSrc::addr(id)];
+            }
+        }
+        let Some((fobj, indirect)) = self.callee_object(callee) else {
+            for a in args {
+                self.lower_effects(a);
+            }
+            return vec![];
+        };
+        let sig = self.ensure_funsig(fobj, indirect);
+        for (i, a) in args.iter().enumerate() {
+            let param = self.param_object(sig, i);
+            let srcs: Vec<RSrc> = self
+                .lower_rvalue(a)
+                .into_iter()
+                .map(|r| r.through(Strength::Strong, OpKind::Arg))
+                .collect();
+            self.emit_all(Place::Obj(param), &srcs, loc);
+        }
+        let ret = self.unit.funsigs[sig].ret;
+        vec![RSrc { place: RPlace::Obj(ret), strength: Strength::Strong, op: OpKind::RetVal }]
+    }
+
+    // ----- declarations & initializers --------------------------------------
+
+    fn lower_file_scope_decl(&mut self, d: &Declaration) {
+        if d.is_typedef {
+            return;
+        }
+        for item in &d.items {
+            let obj = self.global_object(&item.name, &item.ty, d.storage, item.loc);
+            if let Some(init) = &item.init {
+                self.lower_init(Place::Obj(obj), &item.ty, init, item.loc);
+            }
+        }
+    }
+
+    fn lower_local_decl(&mut self, d: &Declaration) {
+        if d.is_typedef {
+            return;
+        }
+        for item in &d.items {
+            let obj = if d.storage == Storage::Extern {
+                self.global_object(&item.name, &item.ty, Storage::None, item.loc)
+            } else {
+                // `static` locals are still file-local objects; the scope
+                // entry makes the name resolve to them.
+                self.local_object(&item.name, &item.ty, item.loc)
+            };
+            if let Some(init) = &item.init {
+                self.lower_init(Place::Obj(obj), &item.ty, init, item.loc);
+            }
+        }
+    }
+
+    fn lower_init(&mut self, place: Place, ty: &Type, init: &Initializer, loc: Loc) {
+        match init {
+            Initializer::Expr(e) => {
+                // Char-array = string literal: nothing flows (strings are
+                // ignored by default; with strings modeled, the literal is
+                // an object whose address flows only into pointers).
+                if matches!(ty, Type::Array(..)) && matches!(e.kind, ExprKind::StrLit(_)) {
+                    return;
+                }
+                let sloc = self.srcloc(loc);
+                let srcs: Vec<RSrc> = self
+                    .lower_rvalue(e)
+                    .into_iter()
+                    .map(|r| r.through(Strength::Strong, OpKind::Init))
+                    .collect();
+                self.emit_all(place, &srcs, sloc);
+            }
+            Initializer::List(items) => self.lower_braced_init(place, ty, items, loc),
+        }
+    }
+
+    fn lower_braced_init(
+        &mut self,
+        place: Place,
+        ty: &Type,
+        items: &[(Designator, Initializer)],
+        loc: Loc,
+    ) {
+        match ty {
+            Type::Array(elem, _) => {
+                // Index-independent: every element initializes the same
+                // abstract object.
+                for (_, init) in items {
+                    self.lower_init(place, elem, init, loc);
+                }
+            }
+            Type::Record(id) => {
+                let rec = self.types.record(*id).clone();
+                let mut cursor = 0usize;
+                for (desig, init) in items {
+                    let field = match desig {
+                        Designator::Field(f) => {
+                            cursor = rec
+                                .fields
+                                .iter()
+                                .position(|x| &x.name == f)
+                                .map_or(cursor, |p| p);
+                            rec.fields.iter().find(|x| &x.name == f)
+                        }
+                        Designator::Index(_) | Designator::None => rec.fields.get(cursor),
+                    };
+                    let Some(field) = field else { continue };
+                    let fplace = match self.opts.field_model {
+                        FieldModel::FieldBased => {
+                            Place::Obj(self.field_object(&rec.tag, &field.name, &field.ty, loc))
+                        }
+                        FieldModel::FieldIndependent => place,
+                    };
+                    self.lower_init(fplace, &field.ty.clone(), init, loc);
+                    cursor += 1;
+                }
+            }
+            // Scalar with redundant braces: `int x = {1};`
+            _ => {
+                if let Some((_, init)) = items.first() {
+                    self.lower_init(place, ty, init, loc);
+                }
+            }
+        }
+    }
+
+    // ----- functions ---------------------------------------------------------
+
+    fn lower_function(&mut self, f: &FunctionDef) {
+        let fty = Type::Function(Box::new(f.ty.clone()));
+        let fobj = self.global_object(&f.name, &fty, f.storage, f.loc);
+        let sig = self.ensure_funsig(fobj, false);
+        self.cur_func = Some(fobj);
+        self.scopes.push(HashMap::new());
+        // Parameters: local objects initialized from the standardized
+        // parameter variables (paper: `x = f1, y = f2`).
+        let loc = self.srcloc(f.loc);
+        for (i, p) in f.ty.params.iter().enumerate() {
+            let Some(name) = &p.name else { continue };
+            let pobj = self.param_object(sig, i);
+            let lobj = self.local_object(name, &p.ty, p.loc);
+            self.emit(AssignKind::Copy, lobj, pobj, Strength::Strong, OpKind::Direct, loc);
+        }
+        let ret = self.unit.funsigs[sig].ret;
+        self.lower_block(&f.body, ret);
+        self.scopes.pop();
+        self.cur_func = None;
+    }
+
+    fn lower_block(&mut self, b: &Block, ret: ObjId) {
+        self.scopes.push(HashMap::new());
+        for item in &b.items {
+            match item {
+                BlockItem::Decl(d) => self.lower_local_decl(d),
+                BlockItem::Stmt(s) => self.lower_stmt(s, ret),
+            }
+        }
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, ret: ObjId) {
+        match s {
+            Stmt::Expr(None) | Stmt::Break | Stmt::Continue | Stmt::Goto(_) => {}
+            Stmt::Expr(Some(e)) => self.lower_effects(e),
+            Stmt::Block(b) => self.lower_block(b, ret),
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.lower_effects(cond);
+                self.lower_stmt(then_branch, ret);
+                if let Some(e) = else_branch {
+                    self.lower_stmt(e, ret);
+                }
+            }
+            Stmt::While { cond, body } | Stmt::DoWhile { body, cond } => {
+                self.lower_effects(cond);
+                self.lower_stmt(body, ret);
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(HashMap::new());
+                match init {
+                    Some(ForInit::Decl(d)) => self.lower_local_decl(d),
+                    Some(ForInit::Expr(e)) => self.lower_effects(e),
+                    None => {}
+                }
+                if let Some(c) = cond {
+                    self.lower_effects(c);
+                }
+                if let Some(st) = step {
+                    self.lower_effects(st);
+                }
+                self.lower_stmt(body, ret);
+                self.scopes.pop();
+            }
+            Stmt::Switch { cond, body } => {
+                self.lower_effects(cond);
+                self.lower_stmt(body, ret);
+            }
+            Stmt::Case { value: _, body } | Stmt::Default { body } | Stmt::Label { body, .. } => {
+                self.lower_stmt(body, ret)
+            }
+            Stmt::Return { value, loc } => {
+                if let Some(e) = value {
+                    let sloc = self.srcloc(*loc);
+                    let srcs = self.lower_rvalue(e);
+                    self.emit_all(Place::Obj(ret), &srcs, sloc);
+                }
+            }
+        }
+    }
+}

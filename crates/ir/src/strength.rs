@@ -1,0 +1,261 @@
+//! Operation strength classification (paper Table 1).
+//!
+//! The dependence analysis weighs a dependence chain by the operations the
+//! value passed through: a direct copy or `+` preserves shape and size
+//! (*strong*); `*` or `>>` is likely to change it (*weak*); `!` destroys it
+//! entirely (*none* — no dependence edge is generated at all).
+
+use cla_cfront::ast::{BinaryOp, UnaryOp};
+use std::fmt;
+
+/// How much of a value's "shape and size" an operation preserves for one of
+/// its operands. Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// No dependence: the operand cannot influence the result's range in a
+    /// way that matters for type migration (`!`, `&&`, comparisons).
+    None,
+    /// The operand influences the result but the operation likely changes
+    /// its range (`*`, `%`, shifts).
+    Weak,
+    /// The result has essentially the operand's shape and size
+    /// (`+`, `-`, `|`, `&`, `^`, unary `+`/`-`, plain copies).
+    Strong,
+}
+
+/// Strength recorded on an emitted primitive assignment. Assignments whose
+/// operand class is [`OpClass::None`] are never emitted, so only two levels
+/// remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Strength {
+    /// Range-changing operation on the path.
+    Weak,
+    /// Shape/size-preserving.
+    #[default]
+    Strong,
+}
+
+impl Strength {
+    /// Combines strengths along a path: a single weak link makes the
+    /// composite weak.
+    pub fn and(self, other: Strength) -> Strength {
+        self.min(other)
+    }
+
+    /// Conversion from an operand class; `None` has no strength.
+    pub fn from_class(c: OpClass) -> Option<Strength> {
+        match c {
+            OpClass::None => None,
+            OpClass::Weak => Some(Strength::Weak),
+            OpClass::Strong => Some(Strength::Strong),
+        }
+    }
+}
+
+impl fmt::Display for Strength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strength::Strong => f.write_str("strong"),
+            Strength::Weak => f.write_str("weak"),
+        }
+    }
+}
+
+/// Classifies a binary operator: `(class of operand 1, class of operand 2)`.
+///
+/// Paper Table 1, with two documented extensions: `/` is classified like `%`
+/// (weak dividend, no dependence on the divisor), and comparisons are
+/// `(None, None)` like the logical operators since their result is boolean.
+pub fn classify_binary(op: BinaryOp) -> (OpClass, OpClass) {
+    use BinaryOp::*;
+    use OpClass::*;
+    match op {
+        Add | Sub | BitOr | BitAnd | BitXor => (Strong, Strong),
+        Mul => (Weak, Weak),
+        Div | Rem | Shl | Shr => (Weak, None),
+        LogAnd | LogOr => (None, None),
+        Lt | Gt | Le | Ge | Eq | Ne => (None, None),
+    }
+}
+
+/// Classifies a prefix unary operator's single operand.
+///
+/// `~` is classified strong (bit-preserving, like `^`); the paper's table
+/// lists only `+`, `-` and `!`.
+pub fn classify_unary(op: UnaryOp) -> OpClass {
+    use OpClass::*;
+    match op {
+        UnaryOp::Neg | UnaryOp::Pos => Strong,
+        UnaryOp::BitNot => Strong,
+        UnaryOp::LogicalNot => None,
+        // ++/-- preserve shape (x+1); deref/addr-of are structural and never
+        // reach this classifier.
+        UnaryOp::PreInc | UnaryOp::PreDec => Strong,
+        UnaryOp::Deref | UnaryOp::AddrOf => Strong,
+    }
+}
+
+/// The operation a value passed through on its way into an assignment;
+/// retained in the object file for dependence-chain rendering (paper §4:
+/// "each would retain information about the `+` operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpKind {
+    /// Plain copy, no operation.
+    Direct = 0,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Neg,
+    BitNot,
+    Cast,
+    /// Value selected by `?:`.
+    Cond,
+    /// Value passed as a call argument.
+    Arg,
+    /// Value returned from a call.
+    RetVal,
+    /// Value written by an initializer.
+    Init,
+}
+
+impl OpKind {
+    /// The display spelling used in dependence chains.
+    pub fn as_str(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Direct => "=",
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            BitAnd => "&",
+            BitOr => "|",
+            BitXor => "^",
+            Neg => "neg",
+            BitNot => "~",
+            Cast => "cast",
+            Cond => "?:",
+            Arg => "arg",
+            RetVal => "ret",
+            Init => "init",
+        }
+    }
+
+    /// Inverse of `as u8`, for the object-file reader.
+    pub fn from_u8(v: u8) -> Option<OpKind> {
+        use OpKind::*;
+        Some(match v {
+            0 => Direct,
+            1 => Add,
+            2 => Sub,
+            3 => Mul,
+            4 => Div,
+            5 => Rem,
+            6 => Shl,
+            7 => Shr,
+            8 => BitAnd,
+            9 => BitOr,
+            10 => BitXor,
+            11 => Neg,
+            12 => BitNot,
+            13 => Cast,
+            14 => Cond,
+            15 => Arg,
+            16 => RetVal,
+            17 => Init,
+            _ => return None,
+        })
+    }
+
+    /// The op recorded for a binary operator.
+    pub fn from_binary(op: BinaryOp) -> OpKind {
+        use BinaryOp::*;
+        match op {
+            Add => OpKind::Add,
+            Sub => OpKind::Sub,
+            Mul => OpKind::Mul,
+            Div => OpKind::Div,
+            Rem => OpKind::Rem,
+            Shl => OpKind::Shl,
+            Shr => OpKind::Shr,
+            BitAnd => OpKind::BitAnd,
+            BitOr => OpKind::BitOr,
+            BitXor => OpKind::BitXor,
+            // These never produce assignments (class None); Direct is a safe
+            // placeholder.
+            LogAnd | LogOr | Lt | Gt | Le | Ge | Eq | Ne => OpKind::Direct,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        use BinaryOp::*;
+        use OpClass::*;
+        // +, -, |, &, ^ : Strong / Strong
+        for op in [Add, Sub, BitOr, BitAnd, BitXor] {
+            assert_eq!(classify_binary(op), (Strong, Strong), "{op:?}");
+        }
+        // * : Weak / Weak
+        assert_eq!(classify_binary(Mul), (Weak, Weak));
+        // %, >>, << : Weak / None
+        for op in [Rem, Shr, Shl] {
+            assert_eq!(classify_binary(op), (Weak, None), "{op:?}");
+        }
+        // &&, || : None / None
+        for op in [LogAnd, LogOr] {
+            assert_eq!(classify_binary(op), (None, None), "{op:?}");
+        }
+        // unary +, - : Strong ; ! : None
+        assert_eq!(classify_unary(UnaryOp::Pos), Strong);
+        assert_eq!(classify_unary(UnaryOp::Neg), Strong);
+        assert_eq!(classify_unary(UnaryOp::LogicalNot), None);
+    }
+
+    #[test]
+    fn strength_combination() {
+        assert_eq!(Strength::Strong.and(Strength::Strong), Strength::Strong);
+        assert_eq!(Strength::Strong.and(Strength::Weak), Strength::Weak);
+        assert_eq!(Strength::Weak.and(Strength::Strong), Strength::Weak);
+        assert!(Strength::Strong > Strength::Weak);
+    }
+
+    #[test]
+    fn strength_from_class() {
+        assert_eq!(Strength::from_class(OpClass::Strong), Some(Strength::Strong));
+        assert_eq!(Strength::from_class(OpClass::Weak), Some(Strength::Weak));
+        assert_eq!(Strength::from_class(OpClass::None), None);
+    }
+
+    #[test]
+    fn opkind_roundtrip() {
+        for v in 0..=17u8 {
+            let k = OpKind::from_u8(v).unwrap();
+            assert_eq!(k as u8, v);
+        }
+        assert_eq!(OpKind::from_u8(99), None);
+        assert_eq!(OpKind::Add.as_str(), "+");
+        assert_eq!(format!("{}", OpKind::Shr), ">>");
+    }
+}

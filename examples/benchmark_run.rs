@@ -1,0 +1,75 @@
+//! Run the full pipeline over a synthetic benchmark calibrated to one of
+//! the paper's Table 2 rows, and print a Table 3-style result line.
+//!
+//! ```sh
+//! cargo run --release --example benchmark_run -- gimp 0.1
+//! ```
+//!
+//! The first argument picks the benchmark (default `nethack`), the second
+//! the scale factor (default 0.1 = 10% of the paper's size).
+
+use cla::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "nethack".to_string());
+    let scale: f64 = args.next().map_or(0.1, |s| s.parse().expect("scale must be a number"));
+
+    let Some(spec) = by_name(&name) else {
+        eprintln!(
+            "unknown benchmark `{name}`; available: {}",
+            PAPER_BENCHMARKS.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(1);
+    };
+
+    println!("generating `{name}` at scale {scale} ...");
+    let workload = generate(spec, &GenOptions { scale, ..Default::default() });
+    println!(
+        "  {} files, {} lines, {} bytes",
+        workload.source_files().len(),
+        workload.total_lines(),
+        workload.total_bytes()
+    );
+
+    let mut fs = MemoryFs::new();
+    for (p, c) in &workload.files {
+        fs.add(p.clone(), c.clone());
+    }
+    let sources = workload.source_files();
+
+    let opts = PipelineOptions { parallel_compile: true, ..Default::default() };
+    let analysis = analyze(&fs, &sources, &opts)?;
+    let r = &analysis.report;
+
+    println!("\n== Table 2-style characteristics (generated vs paper x scale) ==");
+    let sc = |v: u32| (f64::from(v) * scale).round() as usize;
+    println!("  variables:  {:>8}  (paper x scale: {})", r.program_variables, sc(spec.variables));
+    println!("  x = y    :  {:>8}  ({})", r.assign_counts.copy, sc(spec.copy));
+    println!("  x = &y   :  {:>8}  ({})", r.assign_counts.addr, sc(spec.addr));
+    println!("  *x = y   :  {:>8}  ({})", r.assign_counts.store, sc(spec.store));
+    println!("  *x = *y  :  {:>8}  ({})", r.assign_counts.store_load, sc(spec.store_load));
+    println!("  x = *y   :  {:>8}  ({})", r.assign_counts.load, sc(spec.load));
+    println!("  object size: {} bytes", r.object_size);
+
+    println!("\n== Table 3-style results ==");
+    println!("  pointer variables:   {}", r.pointer_variables);
+    println!("  points-to relations: {}", r.relations);
+    println!("  compile time:        {:?}", r.compile_time);
+    println!("  link time:           {:?}", r.link_time);
+    println!("  analysis time:       {:?}", r.solve_time);
+    println!(
+        "  assignments in core: {}   loaded: {}   in file: {}",
+        r.assigns_in_core(),
+        r.load_stats.assigns_loaded,
+        r.load_stats.assigns_in_file
+    );
+    println!(
+        "  solver: {} passes, {} edges, {} unifications, ~{} KiB",
+        r.solve_stats.passes,
+        r.solve_stats.edges_added,
+        r.solve_stats.unifications,
+        r.solve_stats.approx_bytes / 1024
+    );
+    Ok(())
+}

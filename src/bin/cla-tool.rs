@@ -1,0 +1,265 @@
+//! `cla-tool` — command-line driver for the CLA analysis system.
+//!
+//! ```text
+//! cla-tool compile a.c b.c -o prog.clao      compile + link to a database
+//! cla-tool dump prog.clao                    Figure 4-style object dump
+//! cla-tool solve prog.clao [--print p q]     points-to analysis
+//! cla-tool depend prog.clao --target x       forward dependence query
+//! cla-tool ctx prog.clao -k 4 -o dup.clao    context-duplication transform
+//! ```
+//!
+//! Compile accepts `-I <dir>` include paths, `-D NAME[=VALUE]` defines,
+//! `--field-independent`, and `--solver pretransitive|worklist|steensgaard|
+//! bitvector` on `solve`.
+
+use cla::prelude::*;
+use cla_cladb::transform;
+use cla_depend::{DependOptions, DependenceAnalysis};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("depend") => cmd_depend(&args[1..]),
+        Some("ctx") => cmd_ctx(&args[1..]),
+        Some("help") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cla-tool: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cla-tool compile <src.c>... [-o out.clao] [-I dir] [-D NAME[=V]] [--field-independent]
+  cla-tool dump <prog.clao>
+  cla-tool solve <prog.clao> [--solver NAME] [--print var...]
+  cla-tool depend <prog.clao> --target NAME [--tree] [--non-target NAME]...
+  cla-tool ctx <prog.clao> -k N -o out.clao";
+
+/// Splits out flag values of the form `--flag value` / `-f value`.
+struct Args<'a> {
+    rest: Vec<&'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Args { rest: args.iter().map(String::as_str).collect() }
+    }
+
+    /// Removes every `flag value` pair, returning the values.
+    fn take_values(&mut self, flag: &str) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        while let Some(pos) = self.rest.iter().position(|a| *a == flag) {
+            if pos + 1 >= self.rest.len() {
+                return Err(format!("`{flag}` needs a value"));
+            }
+            out.push(self.rest[pos + 1].to_string());
+            self.rest.drain(pos..=pos + 1);
+        }
+        Ok(out)
+    }
+
+    /// Removes a boolean flag; true when present.
+    fn take_flag(&mut self, flag: &str) -> bool {
+        let before = self.rest.len();
+        self.rest.retain(|a| *a != flag);
+        self.rest.len() != before
+    }
+
+    /// Everything after `marker` (inclusive removal), e.g. `--print a b c`.
+    fn take_tail(&mut self, marker: &str) -> Vec<String> {
+        if let Some(pos) = self.rest.iter().position(|a| *a == marker) {
+            let tail: Vec<String> =
+                self.rest.drain(pos..).skip(1).map(str::to_string).collect();
+            tail
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn positional(self) -> Vec<String> {
+        self.rest.into_iter().map(str::to_string).collect()
+    }
+}
+
+fn load_database(path: &str) -> Result<Database, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Database::open(bytes.into()).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let out = a
+        .take_values("-o")?
+        .pop()
+        .unwrap_or_else(|| "a.clao".to_string());
+    let include_dirs = a.take_values("-I")?;
+    let defines = a
+        .take_values("-D")?
+        .into_iter()
+        .map(|d| match d.split_once('=') {
+            Some((n, v)) => (n.to_string(), v.to_string()),
+            None => (d, "1".to_string()),
+        })
+        .collect();
+    let field_independent = a.take_flag("--field-independent");
+    let sources = a.positional();
+    if sources.is_empty() {
+        return Err("no source files".to_string());
+    }
+
+    let fs = OsFs;
+    let pp = PpOptions { include_dirs, defines, max_include_depth: 0 };
+    let lower = if field_independent {
+        LowerOptions::default().field_independent()
+    } else {
+        LowerOptions::default()
+    };
+    let mut units = Vec::new();
+    for src in &sources {
+        let (unit, _) = compile_file(&fs, src, &pp, &lower).map_err(|e| e.to_string())?;
+        let c = unit.assign_counts();
+        eprintln!(
+            "compiled {src}: {} objects, {} assignments",
+            unit.objects.len(),
+            c.total()
+        );
+        units.push(unit);
+    }
+    let (program, stats) = link(&units, &out);
+    let bytes = write_object(&program);
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!(
+        "linked {} units -> {out}: {} objects ({} symbols merged), {} assignments, {} bytes",
+        stats.units,
+        stats.objects_out,
+        stats.symbols_merged,
+        stats.assigns,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn cmd_dump(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("dump needs a .clao file")?;
+    let db = load_database(path)?;
+    print!("{}", dump(&db));
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let solver = a
+        .take_values("--solver")?
+        .pop()
+        .unwrap_or_else(|| "pretransitive".to_string());
+    let print = a.take_tail("--print");
+    let pos = a.positional();
+    let path = pos.first().ok_or("solve needs a .clao file")?;
+    let db = load_database(path)?;
+
+    let t = std::time::Instant::now();
+    let pts = match solver.as_str() {
+        "pretransitive" => solve_database(&db, SolveOptions::default()).0,
+        "worklist" => cla::core::worklist::solve(&db.to_unit().map_err(|e| e.to_string())?),
+        "steensgaard" => {
+            cla::core::steensgaard::solve(&db.to_unit().map_err(|e| e.to_string())?)
+        }
+        "bitvector" => {
+            cla::core::bitvector::solve(&db.to_unit().map_err(|e| e.to_string())?)
+        }
+        other => {
+            return Err(format!(
+                "unknown solver `{other}` (pretransitive, worklist, steensgaard, bitvector)"
+            ))
+        }
+    };
+    let dt = t.elapsed();
+    let ls = db.load_stats();
+    println!(
+        "solver={solver} time={dt:?} pointer-variables={} relations={}",
+        pts.pointer_variables(),
+        pts.relations()
+    );
+    println!(
+        "assignments: loaded {} of {} in file",
+        ls.assigns_loaded, ls.assigns_in_file
+    );
+    for name in &print {
+        let targets = db.targets(name);
+        if targets.is_empty() {
+            println!("pts({name}) = <no such object>");
+        }
+        for &o in targets {
+            let set: Vec<String> = pts
+                .points_to(o)
+                .iter()
+                .map(|&t| db.object(t).name.clone())
+                .collect();
+            println!("pts({name}) = {{{}}}", set.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_depend(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let target = a
+        .take_values("--target")?
+        .pop()
+        .ok_or("depend needs --target NAME")?;
+    let tree = a.take_flag("--tree");
+    let non_targets = a.take_values("--non-target")?;
+    let pos = a.positional();
+    let path = pos.first().ok_or("depend needs a .clao file")?;
+    let db = load_database(path)?;
+    let (pts, _) = solve_database(&db, SolveOptions::default());
+    let dep = DependenceAnalysis::new(&db, &pts);
+    let report = dep
+        .analyze(&target, &DependOptions { non_targets })
+        .ok_or_else(|| format!("no object named `{target}`"))?;
+    println!(
+        "{} dependents of `{target}`:",
+        report.dependents().len()
+    );
+    if tree {
+        print!("{}", dep.render_tree(&report));
+    } else {
+        print!("{}", dep.render_report(&report));
+    }
+    Ok(())
+}
+
+fn cmd_ctx(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let k: usize = a
+        .take_values("-k")?
+        .pop()
+        .ok_or("ctx needs -k N")?
+        .parse()
+        .map_err(|_| "-k needs a number")?;
+    let out = a.take_values("-o")?.pop().ok_or("ctx needs -o out.clao")?;
+    let pos = a.positional();
+    let path = pos.first().ok_or("ctx needs a .clao file")?;
+    let db = load_database(path)?;
+    let unit = db.to_unit().map_err(|e| e.to_string())?;
+    let (dup, stats) = transform::duplicate_contexts(&unit, k);
+    let bytes = write_object(&dup);
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!(
+        "duplicated {} functions ({} sites over up to {k} contexts), +{} objects, +{} assignments -> {out}",
+        stats.functions_cloned, stats.sites_distributed, stats.objects_added, stats.assigns_added
+    );
+    Ok(())
+}

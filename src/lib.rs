@@ -1,0 +1,70 @@
+//! # cla — ultra-fast aliasing analysis using compile-link-analyze
+//!
+//! A Rust reproduction of Heintze & Tardieu, *"Ultra-fast Aliasing Analysis
+//! using CLA: A Million Lines of C Code in a Second"* (PLDI 2001).
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! * [`cfront`] — a hand-written C frontend (lexer, preprocessor, parser).
+//! * [`ir`] — lowering to the paper's five primitive assignment forms.
+//! * [`cladb`] — the indexed object-file database, linker, demand loader.
+//! * [`core`] — the pre-transitive points-to solver and the baselines
+//!   (worklist Andersen, Steensgaard) plus the compile-link-analyze
+//!   pipeline.
+//! * [`depend`] — the forward data-dependence (type migration) tool.
+//! * [`workload`] — synthetic benchmarks calibrated to the paper's Table 2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cla::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut fs = MemoryFs::new();
+//! fs.add("a.c", "int x; int *p; void f(void) { p = &x; }");
+//! fs.add("b.c", "extern int *p; int *q; void g(void) { q = p; }");
+//! let analysis = analyze(&fs, &["a.c", "b.c"], &PipelineOptions::default())?;
+//! let q = analysis.database.targets("q")[0];
+//! let x = analysis.database.targets("x")[0];
+//! assert!(analysis.points_to.may_point_to(q, x));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cla_cfront as cfront;
+pub use cla_cladb as cladb;
+pub use cla_core as core;
+pub use cla_depend as depend;
+pub use cla_ir as ir;
+pub use cla_workload as workload;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use cla_cfront::{FileProvider, MemoryFs, OsFs, PpOptions};
+    pub use cla_cladb::{dump, link, write_object, Database};
+    pub use cla_core::pipeline::{analyze, Analysis, PipelineOptions, Report};
+    pub use cla_core::{solve_database, solve_unit, PointsTo, SolveOptions};
+    pub use cla_depend::{DependOptions, DependenceAnalysis};
+    pub use cla_ir::{
+        compile_file, compile_source, AssignKind, CompiledUnit, FieldModel, LowerOptions, ObjId,
+        ObjKind, Strength,
+    };
+    pub use cla_workload::{by_name, generate, GenOptions, PAPER_BENCHMARKS};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exports_work() {
+        let unit = compile_source(
+            "int x, *p; void f(void) { p = &x; }",
+            "a.c",
+            &LowerOptions::default(),
+        )
+        .unwrap();
+        let (pts, _) = solve_unit(&unit, SolveOptions::default());
+        assert_eq!(pts.pointer_variables(), 1);
+    }
+}

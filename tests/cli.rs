@@ -1,0 +1,147 @@
+//! End-to-end tests of the `cla-tool` command-line driver, run against the
+//! real binary with real files on disk.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cla-tool"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cla-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &PathBuf, name: &str, contents: &str) -> String {
+    let p = dir.join(name);
+    std::fs::write(&p, contents).unwrap();
+    p.to_string_lossy().into_owned()
+}
+
+fn run(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("tool runs");
+    assert!(
+        out.status.success(),
+        "tool failed: {}\nstdout: {}\nstderr: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn compile_solve_depend_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let a = write(
+        &dir,
+        "a.c",
+        "int shared; int *p;\nvoid fa(void) { p = &shared; }\n",
+    );
+    let b = write(
+        &dir,
+        "b.c",
+        "extern int *p; int *q; short src, dst;\nvoid fb(void) { q = p; dst = src; }\n",
+    );
+    let obj = dir.join("prog.clao").to_string_lossy().into_owned();
+
+    run(tool().args(["compile", &a, &b, "-o", &obj]));
+    assert!(std::fs::metadata(&obj).unwrap().len() > 100);
+
+    // Dump shows the Figure 4 sections.
+    let out = run(tool().args(["dump", &obj]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("static section"), "{text}");
+    assert!(text.contains("dynamic section"), "{text}");
+    assert!(text.contains("p = &shared"), "{text}");
+
+    // Solve prints the points-to set of q.
+    let out = run(tool().args(["solve", &obj, "--print", "q"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("pts(q) = {shared}"), "{text}");
+    assert!(text.contains("pointer-variables=2"), "{text}");
+
+    // All four solvers run.
+    for solver in ["pretransitive", "worklist", "steensgaard", "bitvector"] {
+        let out = run(tool().args(["solve", &obj, "--solver", solver]));
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(text.contains(&format!("solver={solver}")), "{text}");
+    }
+
+    // Dependence query, flat and as a chain tree.
+    let out = run(tool().args(["depend", &obj, "--target", "src"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("dst/short"), "{text}");
+    let out = run(tool().args(["depend", &obj, "--target", "src", "--tree"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.lines().any(|l| l.starts_with("src/short")), "{text}");
+    assert!(text.lines().any(|l| l.starts_with("  dst/short")), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compile_with_includes_and_defines() {
+    let dir = tmpdir("includes");
+    std::fs::create_dir_all(dir.join("inc")).unwrap();
+    write(&dir, "inc/cfg.h", "#define WIDTH TYPE\n");
+    let m = write(
+        &dir,
+        "m.c",
+        "#include <cfg.h>\nWIDTH x; WIDTH *ptr;\nvoid f(void) { ptr = &x; }\n",
+    );
+    let obj = dir.join("m.clao").to_string_lossy().into_owned();
+    let inc = dir.join("inc").to_string_lossy().into_owned();
+    run(tool().args(["compile", &m, "-o", &obj, "-I", &inc, "-D", "TYPE=long"]));
+    let out = run(tool().args(["solve", &obj, "--print", "ptr"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("pts(ptr) = {x}"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ctx_transform() {
+    let dir = tmpdir("ctx");
+    let src = write(
+        &dir,
+        "c.c",
+        "int x, y;
+int *id(int *a) { return a; }
+int *r1, *r2;
+void main_(void) {
+  r1 = id(&x);
+  r2 = id(&y);
+}
+",
+    );
+    let obj = dir.join("c.clao").to_string_lossy().into_owned();
+    let dup = dir.join("dup.clao").to_string_lossy().into_owned();
+    run(tool().args(["compile", &src, "-o", &obj]));
+
+    // Context-insensitive: r1 sees both.
+    let out = run(tool().args(["solve", &obj, "--print", "r1"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("pts(r1) = {x, y}"), "{text}");
+
+    // After duplication: r1 sees only x.
+    run(tool().args(["ctx", &obj, "-k", "2", "-o", &dup]));
+    let out = run(tool().args(["solve", &dup, "--print", "r1", "r2"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("pts(r1) = {x}"), "{text}");
+    assert!(text.contains("pts(r2) = {y}"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    let out = tool().args(["dump", "/nonexistent.clao"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = tool().args(["bogus-subcommand"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = tool().args(["solve"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,164 @@
+//! Cross-cutting property tests: linker order-independence, dependence
+//! monotonicity, and analysis determinism over generated workloads.
+
+use cla::core::pipeline::{analyze, PipelineOptions};
+use cla::prelude::*;
+use cla_depend::{DependOptions, DependenceAnalysis};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Builds N small files with cross-references; returns (fs, names).
+fn gen_files(parts: &[(u8, u8)]) -> (MemoryFs, Vec<String>) {
+    let n = parts.len();
+    let mut fs = MemoryFs::new();
+    let mut names = Vec::new();
+    // A shared header declaring one global pointer/int pair per file.
+    let mut header = String::new();
+    for i in 0..n {
+        header.push_str(&format!("extern int g{i}; extern int *gp{i};\n"));
+    }
+    fs.add("shared.h", header);
+    for (i, (a, b)) in parts.iter().enumerate() {
+        let t1 = (*a as usize) % n;
+        let t2 = (*b as usize) % n;
+        let src = format!(
+            "#include \"shared.h\"\nint g{i}; int *gp{i};\nvoid f{i}(void) {{\n  gp{i} = &g{t1};\n  gp{i} = gp{t2};\n}}\n"
+        );
+        let name = format!("part{i}.c");
+        fs.add(name.clone(), src);
+        names.push(name);
+    }
+    (fs, names)
+}
+
+/// Name-keyed view of the points-to relation (object ids vary with link
+/// order; names do not).
+fn named_relation(a: &cla::core::pipeline::Analysis) -> BTreeMap<String, Vec<String>> {
+    let db = &a.database;
+    let mut out = BTreeMap::new();
+    for (i, o) in db.objects().iter().enumerate() {
+        let set: Vec<String> = a
+            .points_to
+            .points_to(cla::ir::ObjId(i as u32))
+            .iter()
+            .map(|&t| db.object(t).name.clone())
+            .collect();
+        if !set.is_empty() {
+            let mut set = set;
+            set.sort();
+            out.entry(o.name.clone()).or_insert(set);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Linking the same units in any order yields the same analysis.
+    #[test]
+    fn link_order_is_irrelevant(
+        parts in prop::collection::vec((0u8..8, 0u8..8), 2..6),
+        seed in 0u64..1000,
+    ) {
+        let (fs, names) = gen_files(&parts);
+        let fwd: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        // A deterministic shuffle driven by the seed.
+        let mut shuffled = fwd.clone();
+        let k = shuffled.len();
+        for i in 0..k {
+            shuffled.swap(i, ((seed as usize) + i * 7) % k);
+        }
+        let a1 = analyze(&fs, &fwd, &PipelineOptions::default()).unwrap();
+        let a2 = analyze(&fs, &rev, &PipelineOptions::default()).unwrap();
+        let a3 = analyze(&fs, &shuffled, &PipelineOptions::default()).unwrap();
+        prop_assert_eq!(named_relation(&a1), named_relation(&a2));
+        prop_assert_eq!(named_relation(&a1), named_relation(&a3));
+    }
+}
+
+/// Adding non-targets can only shrink the dependent set and never improve
+/// any surviving chain's cost.
+#[test]
+fn non_targets_are_monotone() {
+    let mut fs = MemoryFs::new();
+    fs.add(
+        "m.c",
+        "int t;
+         int a, b, c, d, e;
+         void f(void) {
+           a = t;
+           b = a;
+           c = b * 2;
+           d = t >> 1;
+           e = d + c;
+         }",
+    );
+    let an = analyze(&fs, &["m.c"], &PipelineOptions::default()).unwrap();
+    let dep = DependenceAnalysis::new(&an.database, &an.points_to);
+    let base = dep.analyze("t", &DependOptions::default()).unwrap();
+    let base_costs: BTreeMap<String, _> = base
+        .dependents()
+        .iter()
+        .map(|d| (an.database.object(d.obj).name.clone(), d.cost))
+        .collect();
+
+    for blocked in ["a", "b", "c", "d", "e"] {
+        let pruned = dep
+            .analyze("t", &DependOptions { non_targets: vec![blocked.to_string()] })
+            .unwrap();
+        for d in pruned.dependents() {
+            let name = an.database.object(d.obj).name.clone();
+            assert_ne!(name, blocked, "blocked object must not appear");
+            let base_cost = base_costs
+                .get(&name)
+                .unwrap_or_else(|| panic!("{name} appeared only after pruning"));
+            assert!(
+                d.cost >= *base_cost,
+                "pruning improved {name}: {:?} < {:?}",
+                d.cost,
+                base_cost
+            );
+        }
+    }
+}
+
+/// Field-based and field-independent agree on programs without structs.
+#[test]
+fn field_models_agree_without_structs() {
+    let src = "int x, y; int *p, *q, **pp;
+               void f(void) { p = &x; q = &y; pp = &p; *pp = q; p = *pp; }";
+    let mut fs = MemoryFs::new();
+    fs.add("m.c", src);
+    let fb = analyze(&fs, &["m.c"], &PipelineOptions::default()).unwrap();
+    let fi = analyze(
+        &fs,
+        &["m.c"],
+        &PipelineOptions {
+            lower: LowerOptions::default().field_independent(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(named_relation(&fb), named_relation(&fi));
+}
+
+/// The workload generator + pipeline is deterministic end to end.
+#[test]
+fn workload_pipeline_deterministic() {
+    let spec = by_name("povray").unwrap();
+    let run = || {
+        let w = generate(spec, &GenOptions { scale: 0.02, files: 3, ..Default::default() });
+        let mut fs = MemoryFs::new();
+        for (p, c) in &w.files {
+            fs.add(p.clone(), c.clone());
+        }
+        let names: Vec<String> = w.source_files().iter().map(|s| s.to_string()).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let a = analyze(&fs, &refs, &PipelineOptions::default()).unwrap();
+        (a.report.relations, a.report.pointer_variables, a.report.object_size)
+    };
+    assert_eq!(run(), run());
+}
