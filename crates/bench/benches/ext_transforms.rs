@@ -22,7 +22,11 @@ fn main() {
         let opts = PipelineOptions::default();
         let mut units = Vec::new();
         for f in w.source_files() {
-            units.push(compile_file(&fs, f, &opts.pp, &opts.lower).expect("compile").0);
+            units.push(
+                compile_file(&fs, f, &opts.pp, &opts.lower)
+                    .expect("compile")
+                    .0,
+            );
         }
         let (program, _) = cla_cladb::link(&units, spec.name);
 

@@ -1,0 +1,145 @@
+//! Micro-benchmarks of the system's kernels: lexing, parsing, lowering,
+//! object-file encode/decode, and the three solvers.
+//!
+//! Self-timed (median of repeated runs) rather than statistics-heavy: the
+//! harness needs to run in minimal environments with no benchmarking
+//! dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use cla_cfront::{lexer, parser, FileId, MemoryFs, PpOptions};
+use cla_cladb::{write_object, Database};
+use cla_core::{solve_database, solve_unit, steensgaard, worklist, SolveOptions};
+use cla_ir::{compile_file, CompiledUnit, LowerOptions};
+use cla_workload::{by_name, generate, GenOptions};
+
+/// Runs `f` repeatedly and prints the median per-iteration time.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm up, then time individual iterations until we have 20 samples or
+    // have spent ~2s, whichever comes first.
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while samples.len() < 20 && budget.elapsed() < Duration::from_secs(2) {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{name:32} {median:>12.2?}   ({} samples)", samples.len());
+}
+
+/// A mid-size program used by every micro-benchmark (vortex profile at 2%).
+fn sample_program() -> (CompiledUnit, String) {
+    let spec = by_name("vortex").unwrap();
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale: 0.02,
+            files: 4,
+            ..Default::default()
+        },
+    );
+    let mut fs = MemoryFs::new();
+    for (p, c) in &w.files {
+        fs.add(p.clone(), c.clone());
+    }
+    let mut units = Vec::new();
+    for f in w.source_files() {
+        units.push(
+            compile_file(&fs, f, &PpOptions::default(), &LowerOptions::default())
+                .expect("compile")
+                .0,
+        );
+    }
+    let (program, _) = cla_cladb::link(&units, "bench");
+    // A single concatenated source for frontend benches (without includes).
+    let src = w
+        .files
+        .iter()
+        .filter(|(p, _)| p.ends_with(".c"))
+        .map(|(_, c)| {
+            c.lines()
+                .filter(|l| !l.starts_with("#include"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    (program, src)
+}
+
+fn bench_frontend(src: &str) {
+    // A deduplicated single file parses standalone (each file redefines the
+    // shared pool), so lex+parse just the first file's worth.
+    let first: String = src.lines().take(2000).collect::<Vec<_>>().join("\n");
+    bench("lex", || {
+        lexer::lex(black_box(&first), FileId(0)).unwrap().len()
+    });
+    let toks = lexer::lex(&first, FileId(0)).unwrap();
+    bench("parse", || {
+        parser::parse(toks.clone(), "bench.c").map(|tu| tu.items.len())
+    });
+}
+
+fn bench_database(program: &CompiledUnit) {
+    bench("object_file_write", || {
+        write_object(black_box(program)).len()
+    });
+    let bytes = write_object(program);
+    bench("object_file_open", || {
+        Database::open(black_box(bytes.clone()))
+            .unwrap()
+            .objects()
+            .len()
+    });
+    let db = Database::open(bytes).unwrap();
+    let n = db.objects().len() as u32;
+    let mut i = 0u32;
+    bench("block_fetch", || {
+        i = (i + 97) % n;
+        db.block(cla_ir::ObjId(i)).unwrap().len()
+    });
+}
+
+fn bench_solvers(program: &CompiledUnit) {
+    let bytes = write_object(program);
+    bench("solve_pretransitive", || {
+        solve_unit(black_box(program), SolveOptions::default())
+            .0
+            .relations()
+    });
+    bench("solve_pretransitive_demand", || {
+        let db = Database::open(bytes.clone()).unwrap();
+        solve_database(&db, SolveOptions::default()).0.relations()
+    });
+    bench("solve_pretransitive_nocache", || {
+        solve_unit(
+            black_box(program),
+            SolveOptions {
+                cache: false,
+                cycle_elim: true,
+            },
+        )
+        .0
+        .relations()
+    });
+    bench("solve_worklist", || {
+        worklist::solve(black_box(program)).relations()
+    });
+    bench("solve_steensgaard", || {
+        steensgaard::solve(black_box(program)).relations()
+    });
+}
+
+fn main() {
+    cla_bench::header("micro-benchmarks: frontend, database, solver kernels");
+    let (program, src) = sample_program();
+    bench_frontend(&src);
+    bench_database(&program);
+    bench_solvers(&program);
+}

@@ -16,12 +16,21 @@ fn cls(c: OpClass) -> &'static str {
 
 fn main() {
     cla_bench::header("Table 1: Classification of operations");
-    println!("{:<16} {:>10} {:>10}   paper", "Operations", "Argument 1", "Argument 2");
+    println!(
+        "{:<16} {:>10} {:>10}   paper",
+        "Operations", "Argument 1", "Argument 2"
+    );
 
     let rows: &[(&str, &[BinaryOp], (OpClass, OpClass))] = &[
         (
             "+, -, |, &, ^",
-            &[BinaryOp::Add, BinaryOp::Sub, BinaryOp::BitOr, BinaryOp::BitAnd, BinaryOp::BitXor],
+            &[
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::BitOr,
+                BinaryOp::BitAnd,
+                BinaryOp::BitXor,
+            ],
             (OpClass::Strong, OpClass::Strong),
         ),
         ("*", &[BinaryOp::Mul], (OpClass::Weak, OpClass::Weak)),
@@ -63,16 +72,40 @@ fn main() {
         if got != expected {
             all_ok = false;
         }
-        println!("{:<16} {:>10} {:>10}   ({})", label, cls(got), "n/a", cls(expected));
+        println!(
+            "{:<16} {:>10} {:>10}   ({})",
+            label,
+            cls(got),
+            "n/a",
+            cls(expected)
+        );
     }
     assert!(classify_unary(UnaryOp::Pos) == OpClass::Strong);
 
     println!();
     println!("documented extensions beyond the paper's table:");
-    println!("  /   -> ({}, {})  (classified with %)", cls(classify_binary(BinaryOp::Div).0), cls(classify_binary(BinaryOp::Div).1));
-    println!("  ~   -> {}          (bit-preserving, like ^)", cls(classify_unary(UnaryOp::BitNot)));
-    println!("  <,> -> ({}, {})  (boolean result, like &&)", cls(classify_binary(BinaryOp::Lt).0), cls(classify_binary(BinaryOp::Lt).1));
+    println!(
+        "  /   -> ({}, {})  (classified with %)",
+        cls(classify_binary(BinaryOp::Div).0),
+        cls(classify_binary(BinaryOp::Div).1)
+    );
+    println!(
+        "  ~   -> {}          (bit-preserving, like ^)",
+        cls(classify_unary(UnaryOp::BitNot))
+    );
+    println!(
+        "  <,> -> ({}, {})  (boolean result, like &&)",
+        cls(classify_binary(BinaryOp::Lt).0),
+        cls(classify_binary(BinaryOp::Lt).1)
+    );
     println!();
-    println!("result: {}", if all_ok { "MATCHES the paper's Table 1" } else { "MISMATCH" });
+    println!(
+        "result: {}",
+        if all_ok {
+            "MATCHES the paper's Table 1"
+        } else {
+            "MISMATCH"
+        }
+    );
     assert!(all_ok, "Table 1 classification diverged from the paper");
 }

@@ -46,7 +46,11 @@ fn main() {
         println!(
             "{:<8} {:>9} {:>9} {:>9} {:>10} {:>10} {:>8} {:>7} {:>7}",
             "  paper*",
-            if spec.loc_source > 0 { t(spec.loc_source) } else { "-".into() },
+            if spec.loc_source > 0 {
+                t(spec.loc_source)
+            } else {
+                "-".into()
+            },
             "-",
             t(spec.variables),
             t(spec.copy),

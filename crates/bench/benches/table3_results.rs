@@ -20,7 +20,10 @@ fn main() {
     for spec in &PAPER_BENCHMARKS {
         let (fs, w) = materialize(spec);
         let sources = w.source_files();
-        let opts = PipelineOptions { parallel_compile: true, ..Default::default() };
+        let opts = PipelineOptions {
+            parallel_compile: true,
+            ..Default::default()
+        };
         let analysis = analyze(&fs, &sources, &opts).expect("pipeline");
         let r = &analysis.report;
         println!(

@@ -14,7 +14,11 @@ use cla_workload::{table3, table4, PAPER_BENCHMARKS};
 fn run(spec: &cla_workload::BenchSpec, lower: LowerOptions) -> Report {
     let (fs, w) = materialize(spec);
     let sources = w.source_files();
-    let opts = PipelineOptions { parallel_compile: true, lower, ..Default::default() };
+    let opts = PipelineOptions {
+        parallel_compile: true,
+        lower,
+        ..Default::default()
+    };
     analyze(&fs, &sources, &opts).expect("pipeline").report
 }
 
@@ -22,7 +26,15 @@ fn main() {
     header("Table 4: field-based vs field-independent structs");
     println!(
         "{:<8} | {:>9} {:>13} {:>9} {:>9} | {:>9} {:>13} {:>9} {:>9}",
-        "", "fb ptrs", "fb rels", "fb time", "fb space", "fi ptrs", "fi rels", "fi time", "fi space"
+        "",
+        "fb ptrs",
+        "fb rels",
+        "fb time",
+        "fb space",
+        "fi ptrs",
+        "fi rels",
+        "fi time",
+        "fi space"
     );
     for spec in &PAPER_BENCHMARKS {
         let fb = run(spec, LowerOptions::default());

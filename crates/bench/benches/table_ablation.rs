@@ -1,5 +1,5 @@
-//! §5 ablation: "We have observed a slow down by a factor in excess of
-//! >50K for gimp (45,000s c.f. 0.8s user time) when both of these
+//! §5 ablation: "We have observed a slow down by a factor in excess
+//! of \>50K for gimp (45,000s c.f. 0.8s user time) when both of these
 //! components of the algorithm are turned off."
 //!
 //! Runs the pre-transitive solver with caching and cycle elimination
@@ -28,7 +28,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.04);
     let spec = by_name("emacs").unwrap();
-    let w = generate(spec, &GenOptions { scale, ..Default::default() });
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale,
+            ..Default::default()
+        },
+    );
     let mut fs = MemoryFs::new();
     for (p, c) in &w.files {
         fs.add(p.clone(), c.clone());
@@ -36,7 +42,11 @@ fn main() {
     let opts = PipelineOptions::default();
     let mut units = Vec::new();
     for f in w.source_files() {
-        units.push(compile_file(&fs, f, &opts.pp, &opts.lower).expect("compile").0);
+        units.push(
+            compile_file(&fs, f, &opts.pp, &opts.lower)
+                .expect("compile")
+                .0,
+        );
     }
     let (program, _) = cla_cladb::link(&units, "emacs");
     println!(
@@ -53,7 +63,13 @@ fn main() {
     let mut reference = None;
     for (cache, cycle) in [(true, true), (true, false), (false, true), (false, false)] {
         let t = Instant::now();
-        let (pts, stats) = solve_unit(&program, SolveOptions { cache, cycle_elim: cycle });
+        let (pts, stats) = solve_unit(
+            &program,
+            SolveOptions {
+                cache,
+                cycle_elim: cycle,
+            },
+        );
         let dt = t.elapsed().as_secs_f64();
         let base = *baseline.get_or_insert(dt);
         let label = format!(

@@ -26,7 +26,9 @@ void f(void) {
     );
     let analysis = analyze(&fs, &["eg1.c"], &PipelineOptions::default()).expect("pipeline");
     let dep = DependenceAnalysis::new(&analysis.database, &analysis.points_to);
-    let report = dep.analyze("target", &DependOptions::default()).expect("target exists");
+    let report = dep
+        .analyze("target", &DependOptions::default())
+        .expect("target exists");
 
     println!("target: target (declared <eg1.c:1>)\n");
     print!("{}", dep.render_report(&report));
@@ -38,9 +40,15 @@ void f(void) {
         .collect();
     println!("\npaper's expected dependents: u, w, S.x");
     for expected in ["u", "w", "S.x"] {
-        assert!(names.contains(&expected.to_string()), "missing dependent {expected}");
+        assert!(
+            names.contains(&expected.to_string()),
+            "missing dependent {expected}"
+        );
     }
-    assert!(!names.contains(&"S.y".to_string()), "S.y must not be dependent");
+    assert!(
+        !names.contains(&"S.y".to_string()),
+        "S.y must not be dependent"
+    );
     assert!(!names.contains(&"t".to_string()), "t must not be dependent");
     println!("result: MATCHES Figure 1");
 }

@@ -21,7 +21,10 @@ fn main() {
     let oracle = deductive::solve_oracle(&unit);
     println!("deductive system (Figure 2 rules):");
     println!("  z -> &y : {}", oracle.may_point_to(z, y));
-    println!("  y -> &x : {}  (the derivation of Figure 3)", oracle.may_point_to(y, x));
+    println!(
+        "  y -> &x : {}  (the derivation of Figure 3)",
+        oracle.may_point_to(y, x)
+    );
     assert!(oracle.may_point_to(z, y));
     assert!(oracle.may_point_to(y, x));
 
@@ -41,7 +44,10 @@ fn main() {
         println!("  {name:<32} derives y -> &x : {ok}");
         assert!(ok, "{name} failed to derive y -> &x");
     }
-    assert_eq!(pre, oracle, "pre-transitive must match the deductive system exactly");
+    assert_eq!(
+        pre, oracle,
+        "pre-transitive must match the deductive system exactly"
+    );
     assert_eq!(dbp, oracle, "demand-loaded solve must match too");
     println!("\nresult: all solvers derive Figure 3's conclusion");
 }

@@ -26,7 +26,11 @@ fn main() {
         let opts = PipelineOptions::default();
         let mut units = Vec::new();
         for f in w.source_files() {
-            units.push(compile_file(&fs, f, &opts.pp, &opts.lower).expect("compile").0);
+            units.push(
+                compile_file(&fs, f, &opts.pp, &opts.lower)
+                    .expect("compile")
+                    .0,
+            );
         }
         let (program, _) = cla_cladb::link(&units, spec.name);
 
@@ -44,7 +48,11 @@ fn main() {
 
         // Correctness cross-checks: exact agreement between the Andersen
         // solvers, over-approximation by Steensgaard.
-        assert_eq!(pre, wl, "{}: pre-transitive and worklist disagree", spec.name);
+        assert_eq!(
+            pre, wl,
+            "{}: pre-transitive and worklist disagree",
+            spec.name
+        );
         assert!(
             pre.subsumed_by(&st),
             "{}: Steensgaard must over-approximate Andersen",

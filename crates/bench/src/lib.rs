@@ -14,7 +14,7 @@
 //! | `table_fig3_example` | Figure 3 (example derivation) |
 //! | `table_ablation` | §5's caching/cycle-elimination ablation |
 //! | `table_solvers` | §6's comparison with worklist Andersen and Steensgaard |
-//! | `criterion_micro` | Criterion micro-benchmarks of the solver kernels |
+//! | `micro` | micro-benchmarks of the frontend, database, and solver kernels |
 //!
 //! The synthetic benchmarks are scaled by the `CLA_SCALE` environment
 //! variable (default 0.1 = 10% of the paper's sizes; use `CLA_SCALE=1.0`
@@ -34,7 +34,13 @@ pub fn scale() -> f64 {
 /// Generates a workload at the harness scale and loads it into an in-memory
 /// file system.
 pub fn materialize(spec: &BenchSpec) -> (MemoryFs, Workload) {
-    let w = generate(spec, &GenOptions { scale: scale(), ..Default::default() });
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale: scale(),
+            ..Default::default()
+        },
+    );
     let mut fs = MemoryFs::new();
     for (p, c) in &w.files {
         fs.add(p.clone(), c.clone());
@@ -64,7 +70,10 @@ pub fn fmt_mb(bytes: usize) -> String {
 pub fn header(title: &str) {
     println!("================================================================");
     println!("{title}");
-    println!("scale = {} (set CLA_SCALE to change; 1.0 = paper size)", scale());
+    println!(
+        "scale = {} (set CLA_SCALE to change; 1.0 = paper size)",
+        scale()
+    );
     println!("================================================================");
 }
 

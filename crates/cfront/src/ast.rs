@@ -104,23 +104,47 @@ pub enum Stmt {
     /// Expression statement; `None` for the empty statement `;`.
     Expr(Option<Expr>),
     Block(Block),
-    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>> },
-    While { cond: Expr, body: Box<Stmt> },
-    DoWhile { body: Box<Stmt>, cond: Expr },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+    },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        cond: Expr,
+    },
     For {
         init: Option<ForInit>,
         cond: Option<Expr>,
         step: Option<Expr>,
         body: Box<Stmt>,
     },
-    Switch { cond: Expr, body: Box<Stmt> },
-    Case { value: Expr, body: Box<Stmt> },
-    Default { body: Box<Stmt> },
-    Return { value: Option<Expr>, loc: Loc },
+    Switch {
+        cond: Expr,
+        body: Box<Stmt>,
+    },
+    Case {
+        value: Expr,
+        body: Box<Stmt>,
+    },
+    Default {
+        body: Box<Stmt>,
+    },
+    Return {
+        value: Option<Expr>,
+        loc: Loc,
+    },
     Break,
     Continue,
     Goto(String),
-    Label { name: String, body: Box<Stmt> },
+    Label {
+        name: String,
+        body: Box<Stmt>,
+    },
 }
 
 /// The first clause of a `for`.
@@ -160,7 +184,11 @@ pub enum ExprKind {
     Cast(Type, Box<Expr>),
     Call(Box<Expr>, Vec<Expr>),
     Index(Box<Expr>, Box<Expr>),
-    Member { base: Box<Expr>, field: String, arrow: bool },
+    Member {
+        base: Box<Expr>,
+        field: String,
+        arrow: bool,
+    },
     SizeofExpr(Box<Expr>),
     SizeofType(Type),
     Comma(Box<Expr>, Box<Expr>),

@@ -21,17 +21,26 @@ pub enum CError {
 impl CError {
     /// Constructs a lexical error.
     pub fn lex(msg: impl Into<String>, loc: Loc) -> Self {
-        CError::Lex { msg: msg.into(), loc }
+        CError::Lex {
+            msg: msg.into(),
+            loc,
+        }
     }
 
     /// Constructs a preprocessor error.
     pub fn pp(msg: impl Into<String>, loc: Loc) -> Self {
-        CError::Pp { msg: msg.into(), loc }
+        CError::Pp {
+            msg: msg.into(),
+            loc,
+        }
     }
 
     /// Constructs a parse error.
     pub fn parse(msg: impl Into<String>, loc: Loc) -> Self {
-        CError::Parse { msg: msg.into(), loc }
+        CError::Parse {
+            msg: msg.into(),
+            loc,
+        }
     }
 
     /// The location the error points at.

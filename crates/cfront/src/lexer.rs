@@ -86,7 +86,11 @@ impl<'s> Lexer<'s> {
                         && self.pos + 2 < self.src.len()
                         && self.src[self.pos + 2] == b'\n'))
             {
-                self.pos += if self.src[self.pos + 1] == b'\r' { 3 } else { 2 };
+                self.pos += if self.src[self.pos + 1] == b'\r' {
+                    3
+                } else {
+                    2
+                };
                 self.line += 1;
                 self.col = 1;
                 continue;
@@ -124,7 +128,12 @@ impl<'s> Lexer<'s> {
             let first = self.first_on_line;
             let space = self.space_before;
             let kind = self.next_kind(b)?;
-            self.out.push(Token { kind, loc, first_on_line: first, space_before: space });
+            self.out.push(Token {
+                kind,
+                loc,
+                first_on_line: first,
+                space_before: space,
+            });
             self.first_on_line = false;
             self.space_before = false;
         }
@@ -163,9 +172,7 @@ impl<'s> Lexer<'s> {
                                 break;
                             }
                             Some(_) => {}
-                            None => {
-                                return Err(CError::lex("unterminated block comment", start))
-                            }
+                            None => return Err(CError::lex("unterminated block comment", start)),
                         }
                     }
                     self.space_before = true;
@@ -213,8 +220,7 @@ impl<'s> Lexer<'s> {
         // exponent signs), then classify.
         let mut prev = 0u8;
         while let Some(b) = self.peek() {
-            let is_exp_sign = (b == b'+' || b == b'-')
-                && matches!(prev, b'e' | b'E' | b'p' | b'P');
+            let is_exp_sign = (b == b'+' || b == b'-') && matches!(prev, b'e' | b'E' | b'p' | b'P');
             if b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || is_exp_sign {
                 text.push(self.bump().unwrap() as char);
                 prev = b;
@@ -315,7 +321,9 @@ impl<'s> Lexer<'s> {
         let mut s = String::new();
         loop {
             match self.peek() {
-                None | Some(b'\n') => return Err(CError::lex("unterminated string literal", start)),
+                None | Some(b'\n') => {
+                    return Err(CError::lex("unterminated string literal", start))
+                }
                 Some(b'"') => {
                     self.bump();
                     break;
@@ -552,7 +560,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src, FileId(0)).unwrap().into_iter().map(|t| t.kind).collect()
+        lex(src, FileId(0))
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -576,19 +588,40 @@ mod tests {
     fn numbers() {
         assert_eq!(kinds("0"), vec![TokenKind::Int(0, IntSuffix::default())]);
         assert_eq!(kinds("42"), vec![TokenKind::Int(42, IntSuffix::default())]);
-        assert_eq!(kinds("0x1F"), vec![TokenKind::Int(31, IntSuffix::default())]);
+        assert_eq!(
+            kinds("0x1F"),
+            vec![TokenKind::Int(31, IntSuffix::default())]
+        );
         assert_eq!(kinds("017"), vec![TokenKind::Int(15, IntSuffix::default())]);
         assert_eq!(
             kinds("42ul"),
-            vec![TokenKind::Int(42, IntSuffix { unsigned: true, long: 1 })]
+            vec![TokenKind::Int(
+                42,
+                IntSuffix {
+                    unsigned: true,
+                    long: 1
+                }
+            )]
         );
         assert_eq!(
             kinds("0u"),
-            vec![TokenKind::Int(0, IntSuffix { unsigned: true, long: 0 })]
+            vec![TokenKind::Int(
+                0,
+                IntSuffix {
+                    unsigned: true,
+                    long: 0
+                }
+            )]
         );
         assert_eq!(
             kinds("0L"),
-            vec![TokenKind::Int(0, IntSuffix { unsigned: false, long: 1 })]
+            vec![TokenKind::Int(
+                0,
+                IntSuffix {
+                    unsigned: false,
+                    long: 1
+                }
+            )]
         );
         assert_eq!(kinds("1.5"), vec![TokenKind::Float(1.5)]);
         assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
@@ -609,7 +642,10 @@ mod tests {
     #[test]
     fn comments_and_layout_flags() {
         let ts = lex("a /* c */ b\n  c // x\nd", FileId(0)).unwrap();
-        let names: Vec<_> = ts.iter().map(|t| t.kind.ident().unwrap().to_string()).collect();
+        let names: Vec<_> = ts
+            .iter()
+            .map(|t| t.kind.ident().unwrap().to_string())
+            .collect();
         assert_eq!(names, vec!["a", "b", "c", "d"]);
         assert!(ts[0].first_on_line);
         assert!(!ts[1].first_on_line);

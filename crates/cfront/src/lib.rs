@@ -48,14 +48,14 @@ pub struct ParsedUnit {
 /// # Errors
 ///
 /// Propagates lexical, preprocessing, and parse errors.
-pub fn parse_file(
-    fs: &dyn FileProvider,
-    path: &str,
-    opts: &PpOptions,
-) -> Result<ParsedUnit> {
+pub fn parse_file(fs: &dyn FileProvider, path: &str, opts: &PpOptions) -> Result<ParsedUnit> {
     let pre = pp::preprocess(fs, path, opts)?;
     let tu = parser::parse(pre.tokens, path)?;
-    Ok(ParsedUnit { tu, sources: pre.sources, pp_stats: pre.stats })
+    Ok(ParsedUnit {
+        tu,
+        sources: pre.sources,
+        pp_stats: pre.stats,
+    })
 }
 
 /// Convenience: preprocesses and parses a single in-memory source string
@@ -76,11 +76,7 @@ mod tests {
 
     #[test]
     fn end_to_end_single_file() {
-        let tu = parse_source(
-            "#define PTR(t) t *\nint x;\nPTR(int) p = &x;\n",
-            "main.c",
-        )
-        .unwrap();
+        let tu = parse_source("#define PTR(t) t *\nint x;\nPTR(int) p = &x;\n", "main.c").unwrap();
         assert_eq!(tu.items.len(), 2);
         assert_eq!(tu.file, "main.c");
     }

@@ -3,8 +3,7 @@
 
 use super::Parser;
 use crate::ast::{
-    Declaration, Designator, ExternalDecl, FunctionDef, InitDeclarator,
-    Initializer, Storage,
+    Declaration, Designator, ExternalDecl, FunctionDef, InitDeclarator, Initializer, Storage,
 };
 use crate::error::{CError, Result};
 use crate::span::Loc;
@@ -115,7 +114,9 @@ impl Parser {
         let mut any = false;
         loop {
             self.skip_gnu_extensions()?;
-            let TokenKind::Ident(s) = self.peek() else { break };
+            let TokenKind::Ident(s) = self.peek() else {
+                break;
+            };
             let s = s.clone();
             match s.as_str() {
                 "typedef" => {
@@ -254,7 +255,11 @@ impl Parser {
                 // but we accept an identical-arity one leniently.
                 if rec.fields.len() != fields.len() {
                     return Err(CError::parse(
-                        format!("redefinition of {} `{}`", if is_union { "union" } else { "struct" }, rec.tag),
+                        format!(
+                            "redefinition of {} `{}`",
+                            if is_union { "union" } else { "struct" },
+                            rec.tag
+                        ),
                         loc,
                     ));
                 }
@@ -447,9 +452,12 @@ impl Parser {
         for s in suffixes.into_iter().rev() {
             ty = match s {
                 Suffix::Array(n) => Type::Array(Box::new(ty), n),
-                Suffix::Func(params, variadic, kr) => {
-                    Type::Function(Box::new(FuncType { ret: ty, params, variadic, kr }))
-                }
+                Suffix::Func(params, variadic, kr) => Type::Function(Box::new(FuncType {
+                    ret: ty,
+                    params,
+                    variadic,
+                    kr,
+                })),
             };
         }
 
@@ -522,7 +530,11 @@ impl Parser {
                 let mut params = Vec::new();
                 loop {
                     let (name, loc) = self.expect_ident()?;
-                    params.push(Param { name: Some(name), ty: Type::int(), loc });
+                    params.push(Param {
+                        name: Some(name),
+                        ty: Type::int(),
+                        loc,
+                    });
                     if !self.eat_punct(Punct::Comma) {
                         break;
                     }
@@ -550,7 +562,11 @@ impl Parser {
             {
                 break;
             }
-            params.push(Param { name, ty: decay(ty), loc });
+            params.push(Param {
+                name,
+                ty: decay(ty),
+                loc,
+            });
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -688,8 +704,7 @@ impl Parser {
         }
 
         // Ordinary declaration (possibly a typedef), with more declarators.
-        let decl =
-            self.finish_declaration(storage, is_typedef, base, name, ty, first_loc, loc)?;
+        let decl = self.finish_declaration(storage, is_typedef, base, name, ty, first_loc, loc)?;
         Ok(Some(ExternalDecl::Declaration(decl)))
     }
 
@@ -719,7 +734,12 @@ impl Parser {
         } else {
             None
         };
-        items.push(InitDeclarator { name: first_name, ty: first_ty, init, loc: first_loc });
+        items.push(InitDeclarator {
+            name: first_name,
+            ty: first_ty,
+            init,
+            loc: first_loc,
+        });
         while self.eat_punct(Punct::Comma) {
             let (name, ty, dloc) = self.parse_named_declarator(base.clone())?;
             register(self, &name, &ty);
@@ -728,10 +748,20 @@ impl Parser {
             } else {
                 None
             };
-            items.push(InitDeclarator { name, ty, init, loc: dloc });
+            items.push(InitDeclarator {
+                name,
+                ty,
+                init,
+                loc: dloc,
+            });
         }
         self.expect_punct(Punct::Semi)?;
-        Ok(Declaration { storage, is_typedef, items, loc })
+        Ok(Declaration {
+            storage,
+            is_typedef,
+            items,
+            loc,
+        })
     }
 
     /// Parses a declaration inside a block (specifiers already known to
@@ -740,7 +770,12 @@ impl Parser {
         let loc = self.loc();
         let (storage, is_typedef, base) = self.parse_decl_specs()?;
         if self.eat_punct(Punct::Semi) {
-            return Ok(Declaration { storage, is_typedef, items: Vec::new(), loc });
+            return Ok(Declaration {
+                storage,
+                is_typedef,
+                items: Vec::new(),
+                loc,
+            });
         }
         let first_loc = self.loc();
         let (name, ty, _) = self.parse_named_declarator(base.clone())?;
@@ -788,11 +823,23 @@ mod tests {
 
         let tu = parse_ok("unsigned long y;");
         let (_, t) = first_var(&tu);
-        assert_eq!(*t, Type::Int { kind: IntKind::Long, signed: false });
+        assert_eq!(
+            *t,
+            Type::Int {
+                kind: IntKind::Long,
+                signed: false
+            }
+        );
 
         let tu = parse_ok("long long z;");
         let (_, t) = first_var(&tu);
-        assert_eq!(*t, Type::Int { kind: IntKind::LongLong, signed: true });
+        assert_eq!(
+            *t,
+            Type::Int {
+                kind: IntKind::LongLong,
+                signed: true
+            }
+        );
 
         let tu = parse_ok("long double d;");
         let (_, t) = first_var(&tu);
@@ -806,11 +853,17 @@ mod tests {
         let tu = parse_ok("int **pp;");
         assert_eq!(*first_var(&tu).1, Type::int().ptr_to().ptr_to());
         let tu = parse_ok("int a[10];");
-        assert_eq!(*first_var(&tu).1, Type::Array(Box::new(Type::int()), Some(10)));
+        assert_eq!(
+            *first_var(&tu).1,
+            Type::Array(Box::new(Type::int()), Some(10))
+        );
         let tu = parse_ok("int m[2][3];");
         assert_eq!(
             *first_var(&tu).1,
-            Type::Array(Box::new(Type::Array(Box::new(Type::int()), Some(3))), Some(2))
+            Type::Array(
+                Box::new(Type::Array(Box::new(Type::int()), Some(3))),
+                Some(2)
+            )
         );
         let tu = parse_ok("int *ap[4];");
         assert_eq!(
@@ -823,7 +876,10 @@ mod tests {
             Type::Pointer(Box::new(Type::Array(Box::new(Type::int()), Some(4))))
         );
         let tu = parse_ok("int sz[sizeof(int) * 2];");
-        assert_eq!(*first_var(&tu).1, Type::Array(Box::new(Type::int()), Some(8)));
+        assert_eq!(
+            *first_var(&tu).1,
+            Type::Array(Box::new(Type::int()), Some(8))
+        );
     }
 
     #[test]
@@ -831,46 +887,62 @@ mod tests {
         let tu = parse_ok("int f(int a, char *b);");
         let (n, t) = first_var(&tu);
         assert_eq!(n, "f");
-        let Type::Function(ft) = t else { panic!("{t:?}") };
+        let Type::Function(ft) = t else {
+            panic!("{t:?}")
+        };
         assert_eq!(ft.ret, Type::int());
         assert_eq!(ft.params.len(), 2);
         assert_eq!(ft.params[1].ty, Type::char_().ptr_to());
         assert!(!ft.variadic);
 
         let tu = parse_ok("int g(void);");
-        let Type::Function(ft) = first_var(&tu).1 else { panic!() };
+        let Type::Function(ft) = first_var(&tu).1 else {
+            panic!()
+        };
         assert!(ft.params.is_empty());
         assert!(!ft.kr);
 
         let tu = parse_ok("int h();");
-        let Type::Function(ft) = first_var(&tu).1 else { panic!() };
+        let Type::Function(ft) = first_var(&tu).1 else {
+            panic!()
+        };
         assert!(ft.kr);
 
         let tu = parse_ok("int v(char *fmt, ...);");
-        let Type::Function(ft) = first_var(&tu).1 else { panic!() };
+        let Type::Function(ft) = first_var(&tu).1 else {
+            panic!()
+        };
         assert!(ft.variadic);
     }
 
     #[test]
     fn function_pointers() {
         let tu = parse_ok("int (*fp)(int);");
-        let Type::Pointer(inner) = first_var(&tu).1 else { panic!() };
+        let Type::Pointer(inner) = first_var(&tu).1 else {
+            panic!()
+        };
         assert!(matches!(**inner, Type::Function(_)));
 
         let tu = parse_ok("void (*table[8])(void);");
-        let Type::Array(elem, Some(8)) = first_var(&tu).1 else { panic!() };
+        let Type::Array(elem, Some(8)) = first_var(&tu).1 else {
+            panic!()
+        };
         assert!(matches!(**elem, Type::Pointer(_)));
 
         // Function returning a function pointer.
         let tu = parse_ok("int (*get(void))(char);");
-        let Type::Function(ft) = first_var(&tu).1 else { panic!() };
+        let Type::Function(ft) = first_var(&tu).1 else {
+            panic!()
+        };
         assert!(matches!(ft.ret, Type::Pointer(_)));
     }
 
     #[test]
     fn array_params_decay() {
         let tu = parse_ok("void f(int a[10], int g(void));");
-        let Type::Function(ft) = first_var(&tu).1 else { panic!() };
+        let Type::Function(ft) = first_var(&tu).1 else {
+            panic!()
+        };
         assert_eq!(ft.params[0].ty, Type::int().ptr_to());
         assert!(matches!(ft.params[1].ty, Type::Pointer(_)));
     }
@@ -882,7 +954,9 @@ mod tests {
         assert_eq!(rec.tag, "S");
         assert_eq!(rec.fields.len(), 2);
         assert!(rec.complete);
-        let ExternalDecl::Declaration(d) = &tu.items[0] else { panic!() };
+        let ExternalDecl::Declaration(d) = &tu.items[0] else {
+            panic!()
+        };
         assert_eq!(d.items.len(), 2);
         assert!(matches!(d.items[1].ty, Type::Pointer(_)));
     }
@@ -950,7 +1024,9 @@ mod tests {
         for item in &tu.items {
             if let ExternalDecl::Declaration(d) = item {
                 if !d.is_typedef {
-                    let Type::Pointer(inner) = &d.items[0].ty else { panic!() };
+                    let Type::Pointer(inner) = &d.items[0].ty else {
+                        panic!()
+                    };
                     assert!(matches!(**inner, Type::Function(_)));
                     checked = true;
                 }
@@ -962,15 +1038,25 @@ mod tests {
     #[test]
     fn initializers() {
         let tu = parse_ok("int x = 1;");
-        let ExternalDecl::Declaration(d) = &tu.items[0] else { panic!() };
+        let ExternalDecl::Declaration(d) = &tu.items[0] else {
+            panic!()
+        };
         assert!(matches!(d.items[0].init, Some(Initializer::Expr(_))));
         let tu = parse_ok("int a[3] = {1, 2, 3};");
-        let ExternalDecl::Declaration(d) = &tu.items[0] else { panic!() };
-        let Some(Initializer::List(l)) = &d.items[0].init else { panic!() };
+        let ExternalDecl::Declaration(d) = &tu.items[0] else {
+            panic!()
+        };
+        let Some(Initializer::List(l)) = &d.items[0].init else {
+            panic!()
+        };
         assert_eq!(l.len(), 3);
         let tu = parse_ok("struct P { int x; int y; } p = { .y = 2, .x = 1 };");
-        let ExternalDecl::Declaration(d) = &tu.items[0] else { panic!() };
-        let Some(Initializer::List(l)) = &d.items[0].init else { panic!() };
+        let ExternalDecl::Declaration(d) = &tu.items[0] else {
+            panic!()
+        };
+        let Some(Initializer::List(l)) = &d.items[0].init else {
+            panic!()
+        };
         assert_eq!(l.len(), 2);
         assert!(matches!(l[0].0, crate::ast::Designator::Field(ref f) if f == "y"));
     }
@@ -978,7 +1064,9 @@ mod tests {
     #[test]
     fn function_definition() {
         let tu = parse_ok("int add(int a, int b) { return a + b; }");
-        let ExternalDecl::Function(f) = &tu.items[0] else { panic!() };
+        let ExternalDecl::Function(f) = &tu.items[0] else {
+            panic!()
+        };
         assert_eq!(f.name, "add");
         assert_eq!(f.ty.params.len(), 2);
         assert_eq!(f.body.items.len(), 1);
@@ -987,7 +1075,9 @@ mod tests {
     #[test]
     fn kr_function_definition() {
         let tu = parse_ok("int f(a, p) int a; char *p; { return a; }");
-        let ExternalDecl::Function(f) = &tu.items[0] else { panic!() };
+        let ExternalDecl::Function(f) = &tu.items[0] else {
+            panic!()
+        };
         assert!(f.ty.kr);
         assert_eq!(f.ty.params[0].ty, Type::int());
         assert_eq!(f.ty.params[1].ty, Type::char_().ptr_to());
@@ -996,9 +1086,13 @@ mod tests {
     #[test]
     fn storage_classes() {
         let tu = parse_ok("static int s; extern int e;");
-        let ExternalDecl::Declaration(d) = &tu.items[0] else { panic!() };
+        let ExternalDecl::Declaration(d) = &tu.items[0] else {
+            panic!()
+        };
         assert_eq!(d.storage, crate::ast::Storage::Static);
-        let ExternalDecl::Declaration(d) = &tu.items[1] else { panic!() };
+        let ExternalDecl::Declaration(d) = &tu.items[1] else {
+            panic!()
+        };
         assert_eq!(d.storage, crate::ast::Storage::Extern);
     }
 
@@ -1017,7 +1111,11 @@ mod tests {
 
     #[test]
     fn redefinition_errors() {
-        let toks = lex("struct S { int a; }; struct S { int a; int b; };", FileId(0)).unwrap();
+        let toks = lex(
+            "struct S { int a; }; struct S { int a; int b; };",
+            FileId(0),
+        )
+        .unwrap();
         assert!(super::super::parse(toks, "t.c").is_err());
     }
 }

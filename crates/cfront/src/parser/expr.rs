@@ -72,7 +72,10 @@ impl Parser {
             if let Some(op) = assign_op(*p) {
                 self.pos_advance();
                 let rhs = self.parse_assign_expr()?;
-                return Ok(Expr::new(ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)), loc));
+                return Ok(Expr::new(
+                    ExprKind::Assign(op, Box::new(lhs), Box::new(rhs)),
+                    loc,
+                ));
             }
         }
         Ok(lhs)
@@ -170,12 +173,18 @@ impl Parser {
             TokenKind::Punct(Punct::PlusPlus) => {
                 self.bump();
                 let inner = self.parse_unary_expr()?;
-                Ok(Expr::new(ExprKind::Unary(UnaryOp::PreInc, Box::new(inner)), loc))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnaryOp::PreInc, Box::new(inner)),
+                    loc,
+                ))
             }
             TokenKind::Punct(Punct::MinusMinus) => {
                 self.bump();
                 let inner = self.parse_unary_expr()?;
-                Ok(Expr::new(ExprKind::Unary(UnaryOp::PreDec, Box::new(inner)), loc))
+                Ok(Expr::new(
+                    ExprKind::Unary(UnaryOp::PreDec, Box::new(inner)),
+                    loc,
+                ))
             }
             TokenKind::Ident(s) if s == "sizeof" => {
                 self.bump();
@@ -220,12 +229,26 @@ impl Parser {
                 TokenKind::Punct(Punct::Dot) => {
                     self.bump();
                     let (field, _) = self.expect_ident()?;
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field, arrow: false }, loc);
+                    e = Expr::new(
+                        ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow: false,
+                        },
+                        loc,
+                    );
                 }
                 TokenKind::Punct(Punct::Arrow) => {
                     self.bump();
                     let (field, _) = self.expect_ident()?;
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field, arrow: true }, loc);
+                    e = Expr::new(
+                        ExprKind::Member {
+                            base: Box::new(e),
+                            field,
+                            arrow: true,
+                        },
+                        loc,
+                    );
                 }
                 TokenKind::Punct(Punct::PlusPlus) => {
                     self.bump();
@@ -297,23 +320,33 @@ mod tests {
     #[test]
     fn precedence() {
         let e = expr("1 + 2 * 3");
-        let ExprKind::Binary(BinaryOp::Add, _, rhs) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Binary(BinaryOp::Add, _, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary(BinaryOp::Mul, _, _)));
     }
 
     #[test]
     fn assignment_right_assoc() {
         let e = expr("a = b = c");
-        let ExprKind::Assign(None, _, rhs) = &e.kind else { panic!("{e:?}") };
+        let ExprKind::Assign(None, _, rhs) = &e.kind else {
+            panic!("{e:?}")
+        };
         assert!(matches!(rhs.kind, ExprKind::Assign(None, _, _)));
     }
 
     #[test]
     fn compound_assign() {
         let e = expr("a += b");
-        assert!(matches!(e.kind, ExprKind::Assign(Some(BinaryOp::Add), _, _)));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Assign(Some(BinaryOp::Add), _, _)
+        ));
         let e = expr("a <<= 2");
-        assert!(matches!(e.kind, ExprKind::Assign(Some(BinaryOp::Shl), _, _)));
+        assert!(matches!(
+            e.kind,
+            ExprKind::Assign(Some(BinaryOp::Shl), _, _)
+        ));
     }
 
     #[test]
@@ -325,7 +358,9 @@ mod tests {
         let e = expr("a[1]");
         assert!(matches!(e.kind, ExprKind::Index(_, _)));
         let e = expr("f(1, 2)");
-        let ExprKind::Call(_, args) = &e.kind else { panic!() };
+        let ExprKind::Call(_, args) = &e.kind else {
+            panic!()
+        };
         assert_eq!(args.len(), 2);
         let e = expr("s.x");
         assert!(matches!(e.kind, ExprKind::Member { arrow: false, .. }));
@@ -340,7 +375,9 @@ mod tests {
     #[test]
     fn deref_chains() {
         let e = expr("**pp");
-        let ExprKind::Unary(UnaryOp::Deref, inner) = &e.kind else { panic!() };
+        let ExprKind::Unary(UnaryOp::Deref, inner) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(inner.kind, ExprKind::Unary(UnaryOp::Deref, _)));
     }
 
@@ -355,7 +392,9 @@ mod tests {
     #[test]
     fn string_concat() {
         let e = expr("\"ab\" \"cd\"");
-        let ExprKind::StrLit(s) = &e.kind else { panic!() };
+        let ExprKind::StrLit(s) = &e.kind else {
+            panic!()
+        };
         assert_eq!(s, "abcd");
     }
 
@@ -383,7 +422,9 @@ mod tests {
     #[test]
     fn call_through_function_pointer() {
         let e = expr("(*fp)(1)");
-        let ExprKind::Call(callee, _) = &e.kind else { panic!() };
+        let ExprKind::Call(callee, _) = &e.kind else {
+            panic!()
+        };
         assert!(matches!(callee.kind, ExprKind::Unary(UnaryOp::Deref, _)));
     }
 

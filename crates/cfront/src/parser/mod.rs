@@ -41,9 +41,9 @@ pub fn parse(tokens: Vec<Token>, file: impl Into<String>) -> Result<TranslationU
 /// C keywords (C89 + `inline` + common GNU spellings handled elsewhere).
 const KEYWORDS: &[&str] = &[
     "auto", "break", "case", "char", "const", "continue", "default", "do", "double", "else",
-    "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long", "register",
-    "return", "short", "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
-    "unsigned", "void", "volatile", "while", "restrict", "_Bool",
+    "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long", "register", "return",
+    "short", "signed", "sizeof", "static", "struct", "switch", "typedef", "union", "unsigned",
+    "void", "volatile", "while", "restrict", "_Bool",
 ];
 
 /// What a name means in the current scope.
@@ -94,7 +94,9 @@ impl Parser {
     }
 
     pub(crate) fn peek_ahead(&self, n: usize) -> &TokenKind {
-        self.toks.get(self.pos + n).map_or(&TokenKind::Eof, |t| &t.kind)
+        self.toks
+            .get(self.pos + n)
+            .map_or(&TokenKind::Eof, |t| &t.kind)
     }
 
     pub(crate) fn loc(&self) -> Loc {

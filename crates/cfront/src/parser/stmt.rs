@@ -129,7 +129,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_branch, else_branch })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
     }
 
     fn parse_while(&mut self) -> Result<Stmt> {
@@ -176,7 +180,12 @@ impl Parser {
         self.expect_punct(Punct::RParen)?;
         let body = Box::new(self.parse_stmt()?);
         self.pop_scope();
-        Ok(Stmt::For { init, cond, step, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
     }
 
     fn parse_switch(&mut self) -> Result<Stmt> {
@@ -217,17 +226,37 @@ mod tests {
         assert!(matches!(first_stmt("if (x) y = 1;"), Stmt::If { .. }));
         assert!(matches!(
             first_stmt("if (x) y = 1; else y = 2;"),
-            Stmt::If { else_branch: Some(_), .. }
+            Stmt::If {
+                else_branch: Some(_),
+                ..
+            }
         ));
         assert!(matches!(first_stmt("while (x) { }"), Stmt::While { .. }));
-        assert!(matches!(first_stmt("do x = 1; while (x);"), Stmt::DoWhile { .. }));
-        assert!(matches!(first_stmt("for (i = 0; i < 10; i++) ;"), Stmt::For { .. }));
+        assert!(matches!(
+            first_stmt("do x = 1; while (x);"),
+            Stmt::DoWhile { .. }
+        ));
+        assert!(matches!(
+            first_stmt("for (i = 0; i < 10; i++) ;"),
+            Stmt::For { .. }
+        ));
         assert!(matches!(first_stmt("for (;;) break;"), Stmt::For { .. }));
-        assert!(matches!(first_stmt("for (int i = 0; i < 3; ++i) ;"), Stmt::For { .. }));
-        assert!(matches!(first_stmt("switch (x) { case 1: break; default: break; }"),
-            Stmt::Switch { .. }));
-        assert!(matches!(first_stmt("return;"), Stmt::Return { value: None, .. }));
-        assert!(matches!(first_stmt("return 3;"), Stmt::Return { value: Some(_), .. }));
+        assert!(matches!(
+            first_stmt("for (int i = 0; i < 3; ++i) ;"),
+            Stmt::For { .. }
+        ));
+        assert!(matches!(
+            first_stmt("switch (x) { case 1: break; default: break; }"),
+            Stmt::Switch { .. }
+        ));
+        assert!(matches!(
+            first_stmt("return;"),
+            Stmt::Return { value: None, .. }
+        ));
+        assert!(matches!(
+            first_stmt("return 3;"),
+            Stmt::Return { value: Some(_), .. }
+        ));
         assert!(matches!(first_stmt("goto out;"), Stmt::Goto(_)));
         assert!(matches!(first_stmt("out: x = 1;"), Stmt::Label { .. }));
         assert!(matches!(first_stmt(";"), Stmt::Expr(None)));
@@ -262,9 +291,22 @@ mod tests {
     #[test]
     fn dangling_else_binds_inner() {
         let s = first_stmt("if (a) if (b) x = 1; else x = 2;");
-        let Stmt::If { then_branch, else_branch, .. } = s else { panic!() };
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = s
+        else {
+            panic!()
+        };
         assert!(else_branch.is_none());
-        assert!(matches!(*then_branch, Stmt::If { else_branch: Some(_), .. }));
+        assert!(matches!(
+            *then_branch,
+            Stmt::If {
+                else_branch: Some(_),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -23,7 +23,11 @@ pub fn eval_condition(
 ) -> Result<bool> {
     let resolved = resolve_defined(tokens, macros, loc)?;
     let expanded = expand(resolved, macros, stats)?;
-    let mut p = CondParser { toks: &expanded, pos: 0, loc };
+    let mut p = CondParser {
+        toks: &expanded,
+        pos: 0,
+        loc,
+    };
     let v = p.ternary()?;
     if p.pos != p.toks.len() {
         return Err(CError::pp("trailing tokens in #if expression", p.cur_loc()));
@@ -230,7 +234,12 @@ mod tests {
         let macros: MacroTable = defs
             .iter()
             .map(|(n, b)| {
-                (n.to_string(), MacroDef::Object { body: lex(b, FileId(0)).unwrap() })
+                (
+                    n.to_string(),
+                    MacroDef::Object {
+                        body: lex(b, FileId(0)).unwrap(),
+                    },
+                )
             })
             .collect();
         let toks = lex(src, FileId(0)).unwrap();

@@ -18,7 +18,11 @@ pub enum MacroDef {
     /// `#define NAME body...`
     Object { body: Vec<Token> },
     /// `#define NAME(params...) body...`
-    Function { params: Vec<String>, variadic: bool, body: Vec<Token> },
+    Function {
+        params: Vec<String>,
+        variadic: bool,
+        body: Vec<Token>,
+    },
 }
 
 /// Table of live macro definitions.
@@ -33,7 +37,10 @@ struct PTok {
 
 impl PTok {
     fn fresh(tok: Token) -> Self {
-        PTok { tok, hide: Rc::new(Vec::new()) }
+        PTok {
+            tok,
+            hide: Rc::new(Vec::new()),
+        }
     }
 
     fn hidden(&self, name: &str) -> bool {
@@ -98,10 +105,17 @@ fn expand_into(
                 for t in replaced.into_iter().rev() {
                     let mut t = t;
                     t.loc = pt.tok.loc;
-                    input.push_front(PTok { tok: t, hide: Rc::clone(&hide) });
+                    input.push_front(PTok {
+                        tok: t,
+                        hide: Rc::clone(&hide),
+                    });
                 }
             }
-            Some(MacroDef::Function { params, variadic, body }) => {
+            Some(MacroDef::Function {
+                params,
+                variadic,
+                body,
+            }) => {
                 // A function-like macro name not followed by `(` is an
                 // ordinary identifier.
                 if !matches!(input.front(), Some(n) if n.tok.is_punct(Punct::LParen)) {
@@ -133,7 +147,10 @@ fn expand_into(
                 for t in substituted.into_iter().rev() {
                     let mut t = t;
                     t.loc = pt.tok.loc;
-                    input.push_front(PTok { tok: t, hide: Rc::clone(&hide) });
+                    input.push_front(PTok {
+                        tok: t,
+                        hide: Rc::clone(&hide),
+                    });
                 }
             }
         }
@@ -204,7 +221,9 @@ fn substitute(
             }
             v
         } else {
-            args.get(idx).map(|a| a.iter().map(|p| p.tok.clone()).collect()).unwrap_or_default()
+            args.get(idx)
+                .map(|a| a.iter().map(|p| p.tok.clone()).collect())
+                .unwrap_or_default()
         }
     };
 
@@ -231,9 +250,9 @@ fn substitute(
             let mut pasted: Vec<Token> = expand_one(t, param_index, &arg_tokens);
             let mut j = i + 1;
             while j < body.len() && body[j].is_punct(Punct::HashHash) {
-                let rhs = body.get(j + 1).ok_or_else(|| {
-                    CError::pp("`##` at end of macro body", loc)
-                })?;
+                let rhs = body
+                    .get(j + 1)
+                    .ok_or_else(|| CError::pp("`##` at end of macro body", loc))?;
                 let rhs_toks = expand_one(rhs, param_index, &arg_tokens);
                 pasted = paste_join(pasted, rhs_toks, loc)?;
                 j += 2;
@@ -283,7 +302,10 @@ fn paste_join(mut lhs: Vec<Token>, mut rhs: Vec<Token>, loc: Loc) -> Result<Vec<
     let mut lexed = lexer::lex(&text, loc.file)
         .map_err(|_| CError::pp(format!("`##` produced invalid token `{text}`"), loc))?;
     if lexed.len() != 1 {
-        return Err(CError::pp(format!("`##` produced invalid token `{text}`"), loc));
+        return Err(CError::pp(
+            format!("`##` produced invalid token `{text}`"),
+            loc,
+        ));
     }
     let mut t = lexed.pop().unwrap();
     t.loc = loc;
@@ -351,8 +373,10 @@ mod tests {
     }
 
     fn run(src: &str, defs: &[(&str, MacroDef)]) -> String {
-        let macros: MacroTable =
-            defs.iter().map(|(n, d)| (n.to_string(), d.clone())).collect();
+        let macros: MacroTable = defs
+            .iter()
+            .map(|(n, d)| (n.to_string(), d.clone()))
+            .collect();
         let mut stats = ExpandStats::default();
         let out = expand(toks(src), &macros, &mut stats).unwrap();
         out.iter().map(spell).collect::<Vec<_>>().join(" ")
@@ -388,8 +412,13 @@ mod tests {
 
     #[test]
     fn function_macro() {
-        assert_eq!(run("MAX(1, 2)", &[("MAX", func(&["a", "b"], "((a)>(b)?(a):(b))"))]),
-            "( ( 1 ) > ( 2 ) ? ( 1 ) : ( 2 ) )");
+        assert_eq!(
+            run(
+                "MAX(1, 2)",
+                &[("MAX", func(&["a", "b"], "((a)>(b)?(a):(b))"))]
+            ),
+            "( ( 1 ) > ( 2 ) ? ( 1 ) : ( 2 ) )"
+        );
     }
 
     #[test]
@@ -411,9 +440,18 @@ mod tests {
 
     #[test]
     fn paste() {
-        assert_eq!(run("CAT(foo, bar)", &[("CAT", func(&["a", "b"], "a ## b"))]), "foobar");
+        assert_eq!(
+            run("CAT(foo, bar)", &[("CAT", func(&["a", "b"], "a ## b"))]),
+            "foobar"
+        );
         assert_eq!(run("X", &[("X", obj("pre ## fix"))]), "prefix");
-        assert_eq!(run("C3(a, b, c)", &[("C3", func(&["x", "y", "z"], "x ## y ## z"))]), "abc");
+        assert_eq!(
+            run(
+                "C3(a, b, c)",
+                &[("C3", func(&["x", "y", "z"], "x ## y ## z"))]
+            ),
+            "abc"
+        );
     }
 
     #[test]
@@ -428,8 +466,9 @@ mod tests {
 
     #[test]
     fn arity_errors() {
-        let macros: MacroTable =
-            [("F".to_string(), func(&["a", "b"], "a b"))].into_iter().collect();
+        let macros: MacroTable = [("F".to_string(), func(&["a", "b"], "a b"))]
+            .into_iter()
+            .collect();
         let mut stats = ExpandStats::default();
         assert!(expand(toks("F(1)"), &macros, &mut stats).is_err());
         assert!(expand(toks("F(1, 2, 3)"), &macros, &mut stats).is_err());
@@ -438,14 +477,19 @@ mod tests {
 
     #[test]
     fn zero_arg_macro() {
-        let m = MacroDef::Function { params: vec![], variadic: false, body: toks("99") };
+        let m = MacroDef::Function {
+            params: vec![],
+            variadic: false,
+            body: toks("99"),
+        };
         assert_eq!(run("Z()", &[("Z", m)]), "99");
     }
 
     #[test]
     fn bad_paste_is_error() {
-        let macros: MacroTable =
-            [("P".to_string(), func(&["a"], "a ## ="))].into_iter().collect();
+        let macros: MacroTable = [("P".to_string(), func(&["a"], "a ## ="))]
+            .into_iter()
+            .collect();
         let mut stats = ExpandStats::default();
         // `;=` is not a single valid token.
         assert!(expand(toks("P(;)"), &macros, &mut stats).is_err());

@@ -29,7 +29,8 @@ impl MemoryFs {
 
     /// Adds (or replaces) a file.
     pub fn add(&mut self, path: impl Into<String>, contents: impl Into<Arc<str>>) -> &mut Self {
-        self.files.insert(normalize_path(&path.into()), contents.into());
+        self.files
+            .insert(normalize_path(&path.into()), contents.into());
         self
     }
 
@@ -158,8 +159,9 @@ mod tests {
 
     #[test]
     fn memory_fs_from_iter() {
-        let fs: MemoryFs =
-            vec![("a.c".to_string(), "int x;".to_string())].into_iter().collect();
+        let fs: MemoryFs = vec![("a.c".to_string(), "int x;".to_string())]
+            .into_iter()
+            .collect();
         assert_eq!(fs.read("a.c").unwrap().as_ref(), "int x;");
     }
 }

@@ -98,16 +98,24 @@ pub fn preprocess(
     };
     for (name, body) in &opts.defines {
         let toks = lexer::lex(body, crate::span::FileId::BUILTIN)?;
-        pp.macros.insert(name.clone(), MacroDef::Object { body: toks });
+        pp.macros
+            .insert(name.clone(), MacroDef::Object { body: toks });
     }
     pp.process_file(main_path, Loc::BUILTIN, 0)?;
     if let Some(open) = pp.cond_stack.last() {
-        return Err(CError::pp("unterminated conditional (#if without #endif)", open.loc));
+        return Err(CError::pp(
+            "unterminated conditional (#if without #endif)",
+            open.loc,
+        ));
     }
     pp.stats.tokens_out = pp.out.len();
     pp.stats.macro_expansions = pp.expand_stats.expansions;
     pp.stats.lines_out = pp.lines_seen.len();
-    Ok(Preprocessed { tokens: pp.out, sources: pp.sources, stats: pp.stats })
+    Ok(Preprocessed {
+        tokens: pp.out,
+        sources: pp.sources,
+        stats: pp.stats,
+    })
 }
 
 /// One level of `#if` nesting.
@@ -153,7 +161,10 @@ impl<'a> Pp<'a> {
             self.opts.max_include_depth
         };
         if depth > max_depth {
-            return Err(CError::pp(format!("#include nesting too deep at `{path}`"), from));
+            return Err(CError::pp(
+                format!("#include nesting too deep at `{path}`"),
+                from,
+            ));
         }
         let src = self
             .fs
@@ -186,8 +197,7 @@ impl<'a> Pp<'a> {
                 if self.line_adjust != 0 || self.line_file.is_some() {
                     for t in &mut expanded {
                         if t.loc.file == file {
-                            t.loc.line =
-                                (i64::from(t.loc.line) + self.line_adjust).max(1) as u32;
+                            t.loc.line = (i64::from(t.loc.line) + self.line_adjust).max(1) as u32;
                             if let Some(f) = self.line_file {
                                 t.loc.file = f;
                             }
@@ -205,14 +215,19 @@ impl<'a> Pp<'a> {
         self.line_file = saved_file;
         if self.cond_stack.len() != cond_depth_at_entry {
             let open = &self.cond_stack[self.cond_stack.len() - 1];
-            return Err(CError::pp("unterminated conditional (#if without #endif)", open.loc));
+            return Err(CError::pp(
+                "unterminated conditional (#if without #endif)",
+                open.loc,
+            ));
         }
         Ok(())
     }
 
     fn directive(&mut self, rest: &[Token], loc: Loc, cur_path: &str, depth: usize) -> Result<()> {
         // A lone `#` is a null directive.
-        let Some(first) = rest.first() else { return Ok(()) };
+        let Some(first) = rest.first() else {
+            return Ok(());
+        };
         let name = first.kind.ident().unwrap_or("");
         let args = &rest[1..];
         match name {
@@ -262,8 +277,7 @@ impl<'a> Pp<'a> {
                 if top.taken || !top.parent_active {
                     top.active = false;
                 } else {
-                    let v =
-                        cond::eval_condition(args, &self.macros, loc, &mut self.expand_stats)?;
+                    let v = cond::eval_condition(args, &self.macros, loc, &mut self.expand_stats)?;
                     top.active = v;
                     top.taken = v;
                 }
@@ -305,8 +319,7 @@ impl<'a> Pp<'a> {
             "line" => {
                 // `#line N ["file"]`: subsequent lines are presumed to come
                 // from line N (of the given file). Common in generated code.
-                let toks =
-                    expand::expand(args.to_vec(), &self.macros, &mut self.expand_stats)?;
+                let toks = expand::expand(args.to_vec(), &self.macros, &mut self.expand_stats)?;
                 let Some(TokenKind::Int(n, _)) = toks.first().map(|t| &t.kind) else {
                     return Err(CError::pp("#line needs a line number", loc));
                 };
@@ -336,10 +349,16 @@ impl<'a> Pp<'a> {
             return Err(CError::pp("#define needs an identifier", loc));
         };
         // Function-like iff `(` immediately follows the name (no whitespace).
-        let function_like =
-            rest.first().is_some_and(|t| t.is_punct(Punct::LParen) && !t.space_before);
+        let function_like = rest
+            .first()
+            .is_some_and(|t| t.is_punct(Punct::LParen) && !t.space_before);
         if !function_like {
-            self.macros.insert(name.to_string(), MacroDef::Object { body: rest.to_vec() });
+            self.macros.insert(
+                name.to_string(),
+                MacroDef::Object {
+                    body: rest.to_vec(),
+                },
+            );
             return Ok(());
         }
         let mut params = Vec::new();
@@ -355,9 +374,10 @@ impl<'a> Pp<'a> {
                         i += 1;
                     }
                     Some(t) => {
-                        let p = t.kind.ident().ok_or_else(|| {
-                            CError::pp("expected macro parameter name", t.loc)
-                        })?;
+                        let p = t
+                            .kind
+                            .ident()
+                            .ok_or_else(|| CError::pp("expected macro parameter name", t.loc))?;
                         params.push(p.to_string());
                         i += 1;
                     }
@@ -379,8 +399,14 @@ impl<'a> Pp<'a> {
             }
         }
         let body = rest[i..].to_vec();
-        self.macros
-            .insert(name.to_string(), MacroDef::Function { params, variadic, body });
+        self.macros.insert(
+            name.to_string(),
+            MacroDef::Function {
+                params,
+                variadic,
+                body,
+            },
+        );
         Ok(())
     }
 
@@ -484,7 +510,10 @@ mod tests {
 
     #[test]
     fn angled_include_uses_include_dirs() {
-        let files = [("a.c", "#include <lib.h>\nint b;\n"), ("inc/lib.h", "int a;\n")];
+        let files = [
+            ("a.c", "#include <lib.h>\nint b;\n"),
+            ("inc/lib.h", "int a;\n"),
+        ];
         let p = run(&files, PpOptions::default().include_dir("inc")).unwrap();
         assert_eq!(text(&p), "int a ; int b ;");
         assert!(run(&files, PpOptions::default()).is_err());
@@ -534,7 +563,10 @@ mod tests {
     #[test]
     fn error_directive() {
         let src = "#if 0\n#error never\n#endif\nint ok;\n";
-        assert_eq!(text(&run(&[("a.c", src)], PpOptions::default()).unwrap()), "int ok ;");
+        assert_eq!(
+            text(&run(&[("a.c", src)], PpOptions::default()).unwrap()),
+            "int ok ;"
+        );
         let src = "#error boom here\n";
         let e = run(&[("a.c", src)], PpOptions::default()).unwrap_err();
         assert!(e.message().contains("boom here"));

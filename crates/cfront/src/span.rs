@@ -27,7 +27,11 @@ pub struct Loc {
 
 impl Loc {
     /// Location used for synthesized constructs with no source counterpart.
-    pub const BUILTIN: Loc = Loc { file: FileId::BUILTIN, line: 0, col: 0 };
+    pub const BUILTIN: Loc = Loc {
+        file: FileId::BUILTIN,
+        line: 0,
+        col: 0,
+    };
 
     /// Creates a new location.
     pub fn new(file: FileId, line: u32, col: u32) -> Self {
@@ -67,7 +71,10 @@ impl SourceMap {
     /// Registers a file and returns its id.
     pub fn add_file(&mut self, name: impl Into<String>, src: Arc<str>) -> FileId {
         let id = FileId(self.files.len() as u32);
-        self.files.push(SourceFile { name: name.into(), src });
+        self.files.push(SourceFile {
+            name: name.into(),
+            src,
+        });
         id
     }
 

@@ -205,7 +205,12 @@ pub struct Token {
 impl Token {
     /// Creates a synthesized token (no meaningful layout flags).
     pub fn synth(kind: TokenKind, loc: Loc) -> Self {
-        Token { kind, loc, first_on_line: false, space_before: true }
+        Token {
+            kind,
+            loc,
+            first_on_line: false,
+            space_before: true,
+        }
     }
 
     /// True if this token is the punctuator `p`.
@@ -245,7 +250,16 @@ mod tests {
     #[test]
     fn display_tokens() {
         assert_eq!(
-            format!("{}", TokenKind::Int(42, IntSuffix { unsigned: true, long: 1 })),
+            format!(
+                "{}",
+                TokenKind::Int(
+                    42,
+                    IntSuffix {
+                        unsigned: true,
+                        long: 1
+                    }
+                )
+            ),
             "42ul"
         );
         assert_eq!(format!("{}", TokenKind::Str("a\"b".into())), "\"a\\\"b\"");

@@ -36,7 +36,10 @@ pub struct RecordId(pub u32);
 #[derive(Debug, Clone, PartialEq)]
 pub enum Type {
     Void,
-    Int { kind: IntKind, signed: bool },
+    Int {
+        kind: IntKind,
+        signed: bool,
+    },
     Float(FloatKind),
     Pointer(Box<Type>),
     Array(Box<Type>, Option<u64>),
@@ -123,7 +126,13 @@ impl TypeTable {
         self.anon_count += 1;
         let tag = format!("<anon#{}>", self.anon_count);
         let id = RecordId(self.records.len() as u32);
-        self.records.push(RecordDef { tag, is_union, fields: Vec::new(), complete: false, loc });
+        self.records.push(RecordDef {
+            tag,
+            is_union,
+            fields: Vec::new(),
+            complete: false,
+            loc,
+        });
         id
     }
 
@@ -190,8 +199,7 @@ impl TypeTable {
             Type::Array(inner, Some(n)) => format!("{} [{n}]", self.display(inner)),
             Type::Array(inner, None) => format!("{} []", self.display(inner)),
             Type::Function(f) => {
-                let params: Vec<String> =
-                    f.params.iter().map(|p| self.display(&p.ty)).collect();
+                let params: Vec<String> = f.params.iter().map(|p| self.display(&p.ty)).collect();
                 format!("{} ({})", self.display(&f.ret), params.join(", "))
             }
             Type::Record(id) => {
@@ -247,12 +255,18 @@ impl TypeTable {
 impl Type {
     /// Convenience: `int`.
     pub fn int() -> Type {
-        Type::Int { kind: IntKind::Int, signed: true }
+        Type::Int {
+            kind: IntKind::Int,
+            signed: true,
+        }
     }
 
     /// Convenience: `char`.
     pub fn char_() -> Type {
-        Type::Int { kind: IntKind::Char, signed: true }
+        Type::Int {
+            kind: IntKind::Char,
+            signed: true,
+        }
     }
 
     /// Convenience: pointer to `self`.
@@ -323,7 +337,11 @@ mod tests {
         let a2 = t.anon_record(false, Loc::BUILTIN);
         assert_ne!(a1, a2);
         assert_eq!(t.len(), 4);
-        t.record_mut(s).fields.push(Field { name: "x".into(), ty: Type::int(), loc: Loc::BUILTIN });
+        t.record_mut(s).fields.push(Field {
+            name: "x".into(),
+            ty: Type::int(),
+            loc: Loc::BUILTIN,
+        });
         t.record_mut(s).complete = true;
         assert!(t.field(s, "x").is_some());
         assert!(t.field(s, "y").is_none());
@@ -335,13 +353,23 @@ mod tests {
         assert_eq!(t.size_of(&Type::int()), Some(4));
         assert_eq!(t.size_of(&Type::char_()), Some(1));
         assert_eq!(t.size_of(&Type::int().ptr_to()), Some(4));
-        assert_eq!(t.size_of(&Type::Array(Box::new(Type::int()), Some(10))), Some(40));
+        assert_eq!(
+            t.size_of(&Type::Array(Box::new(Type::int()), Some(10))),
+            Some(40)
+        );
         assert_eq!(t.size_of(&Type::Array(Box::new(Type::int()), None)), None);
         let s = t.record_by_tag("S", false, Loc::BUILTIN);
-        t.record_mut(s).fields.push(Field { name: "a".into(), ty: Type::int(), loc: Loc::BUILTIN });
+        t.record_mut(s).fields.push(Field {
+            name: "a".into(),
+            ty: Type::int(),
+            loc: Loc::BUILTIN,
+        });
         t.record_mut(s).fields.push(Field {
             name: "b".into(),
-            ty: Type::Int { kind: IntKind::Short, signed: true },
+            ty: Type::Int {
+                kind: IntKind::Short,
+                signed: true,
+            },
             loc: Loc::BUILTIN,
         });
         assert_eq!(t.size_of(&Type::Record(s)), None); // incomplete
@@ -371,7 +399,10 @@ mod tests {
         assert_eq!(t.display(&Type::Record(s)), "struct S");
         assert_eq!(t.display(&Type::int().ptr_to()), "int *");
         assert_eq!(
-            t.display(&Type::Int { kind: IntKind::Char, signed: false }),
+            t.display(&Type::Int {
+                kind: IntKind::Char,
+                signed: false
+            }),
             "unsigned char"
         );
         assert_eq!(format!("{}", Type::int()), "int");

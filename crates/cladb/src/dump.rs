@@ -16,17 +16,31 @@ pub fn dump(db: &Database) -> String {
         db.load_stats().assigns_in_file,
         db.file_size()
     );
-    let globals = db.objects().iter().filter(|o| o.link_name.is_some()).count();
+    let globals = db
+        .objects()
+        .iter()
+        .filter(|o| o.link_name.is_some())
+        .count();
     let _ = writeln!(out, "global section: {globals} linked symbols");
-    let _ = writeln!(out, "static section: address-of operations; always loaded for points-to analysis");
+    let _ = writeln!(
+        out,
+        "static section: address-of operations; always loaded for points-to analysis"
+    );
     if let Ok(statics) = db.static_assigns() {
         for a in &statics {
             let _ = writeln!(out, "    {}", a.display(db.objects(), db.files()));
         }
     }
     let _ = writeln!(out, "string section: common strings");
-    let _ = writeln!(out, "target section: index for finding targets ({} names)", db.target_names().count());
-    let _ = writeln!(out, "dynamic section: elements are loaded on demand, organized by object");
+    let _ = writeln!(
+        out,
+        "target section: index for finding targets ({} names)",
+        db.target_names().count()
+    );
+    let _ = writeln!(
+        out,
+        "dynamic section: elements are loaded on demand, organized by object"
+    );
     for (i, obj) in db.objects().iter().enumerate() {
         let id = ObjId(i as u32);
         let n = db.block_len(id);

@@ -34,7 +34,7 @@ mod writer;
 
 pub use dump::{census, dump, is_static_assign};
 pub use format::{DbError, SectionId, ASSIGN_RECORD_SIZE, MAGIC, VERSION};
-pub use linker::{link, LinkStats};
+pub use linker::{link, LinkSet, LinkStats};
 pub use reader::{Database, LoadStats};
 pub use writer::{block_key, write_object};
 
@@ -47,7 +47,10 @@ mod tests {
     fn compile_link_analyze_pipeline() {
         let sources = [
             ("a.c", "int shared, *p; void fa(void) { p = &shared; }"),
-            ("b.c", "extern int shared; extern int *p; int *q; void fb(void) { q = p; }"),
+            (
+                "b.c",
+                "extern int shared; extern int *p; int *q; void fb(void) { q = p; }",
+            ),
             ("c.c", "extern int *q; int r; void fc(void) { r = *q; }"),
         ];
         let units: Vec<_> = sources

@@ -27,7 +27,10 @@ pub struct LinkStats {
 pub fn link(units: &[CompiledUnit], program_name: &str) -> (CompiledUnit, LinkStats) {
     let mut out = CompiledUnit::new(program_name);
     let mut by_link_name: HashMap<String, ObjId> = HashMap::new();
-    let mut stats = LinkStats { units: units.len(), ..Default::default() };
+    let mut stats = LinkStats {
+        units: units.len(),
+        ..Default::default()
+    };
     // Signature merging: linked function objects may carry a signature from
     // several units (e.g. a definition and extern call sites).
     let mut sig_by_obj: HashMap<ObjId, FunSig> = HashMap::new();
@@ -143,6 +146,63 @@ pub fn link(units: &[CompiledUnit], program_name: &str) -> (CompiledUnit, LinkSt
     (out, stats)
 }
 
+/// An incrementally maintained set of named compilation units.
+///
+/// A long-running analysis server recompiles only the sources that changed;
+/// the `LinkSet` holds every unit by name so replacing one and relinking the
+/// program is a single [`upsert`](LinkSet::upsert) + [`link`](LinkSet::link).
+/// Units keep their insertion order across upserts, so relinking after a
+/// no-op recompile reproduces the identical program database.
+#[derive(Debug, Default)]
+pub struct LinkSet {
+    units: Vec<(String, CompiledUnit)>,
+}
+
+impl LinkSet {
+    pub fn new() -> Self {
+        LinkSet::default()
+    }
+
+    /// Inserts or replaces the unit for `name`. Returns true when an
+    /// existing unit was replaced (its position is preserved).
+    pub fn upsert(&mut self, name: impl Into<String>, unit: CompiledUnit) -> bool {
+        let name = name.into();
+        if let Some(slot) = self.units.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = unit;
+            true
+        } else {
+            self.units.push((name, unit));
+            false
+        }
+    }
+
+    /// Removes the unit for `name`; returns true when it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.units.len();
+        self.units.retain(|(n, _)| n != name);
+        self.units.len() != before
+    }
+
+    /// Unit names in link order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.units.iter().map(|(n, _)| n.as_str())
+    }
+
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Links the current set into one program database.
+    pub fn link(&self, program_name: &str) -> (CompiledUnit, LinkStats) {
+        let units: Vec<CompiledUnit> = self.units.iter().map(|(_, u)| u.clone()).collect();
+        link(&units, program_name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,7 +215,10 @@ mod tests {
     #[test]
     fn globals_unify_by_name() {
         let a = unit("int shared; int *p; void f(void) { p = &shared; }", "a.c");
-        let b = unit("extern int shared; int q; void g(void) { q = shared; }", "b.c");
+        let b = unit(
+            "extern int shared; int q; void g(void) { q = shared; }",
+            "b.c",
+        );
         let (linked, stats) = link(&[a, b], "prog");
         assert_eq!(stats.units, 2);
         assert!(stats.symbols_merged >= 1);
@@ -163,8 +226,14 @@ mod tests {
         assert_eq!(linked.find_objects("shared").count(), 1);
         // Both assignments reference it.
         let shared = linked.find_object("shared").unwrap();
-        assert!(linked.assigns.iter().any(|x| x.src == shared && x.kind == AssignKind::Addr));
-        assert!(linked.assigns.iter().any(|x| x.src == shared && x.kind == AssignKind::Copy));
+        assert!(linked
+            .assigns
+            .iter()
+            .any(|x| x.src == shared && x.kind == AssignKind::Addr));
+        assert!(linked
+            .assigns
+            .iter()
+            .any(|x| x.src == shared && x.kind == AssignKind::Copy));
     }
 
     #[test]
@@ -193,8 +262,14 @@ mod tests {
 
     #[test]
     fn fields_unify_across_units() {
-        let a = unit("struct S { int *x; }; struct S s1; int v1; void f(void) { s1.x = &v1; }", "a.c");
-        let b = unit("struct S { int *x; }; struct S s2; int *p; void g(void) { p = s2.x; }", "b.c");
+        let a = unit(
+            "struct S { int *x; }; struct S s1; int v1; void f(void) { s1.x = &v1; }",
+            "a.c",
+        );
+        let b = unit(
+            "struct S { int *x; }; struct S s2; int *p; void g(void) { p = s2.x; }",
+            "b.c",
+        );
         let (linked, _) = link(&[a, b], "prog");
         assert_eq!(linked.find_objects("S.x").count(), 1);
     }
@@ -211,6 +286,45 @@ mod tests {
     }
 
     #[test]
+    fn link_set_upsert_and_relink() {
+        let mut set = LinkSet::new();
+        assert!(!set.upsert(
+            "a.c",
+            unit("int shared; int *p; void f(void) { p = &shared; }", "a.c")
+        ));
+        assert!(!set.upsert(
+            "b.c",
+            unit(
+                "extern int shared; int *q; void g(void) { q = &shared; }",
+                "b.c"
+            )
+        ));
+        let (first, _) = set.link("prog");
+
+        // Replacing a unit with identical content relinks identically.
+        assert!(set.upsert(
+            "b.c",
+            unit(
+                "extern int shared; int *q; void g(void) { q = &shared; }",
+                "b.c"
+            )
+        ));
+        let (same, _) = set.link("prog");
+        assert_eq!(same.objects, first.objects);
+        assert_eq!(same.assign_counts(), first.assign_counts());
+
+        // Changing one unit changes only what it contributes.
+        assert!(set.upsert("b.c", unit("int *q; void g(void) { }", "b.c")));
+        let (changed, _) = set.link("prog");
+        assert!(changed.assign_counts().total() < first.assign_counts().total());
+
+        assert!(set.remove("b.c"));
+        assert!(!set.remove("b.c"));
+        assert_eq!(set.names().collect::<Vec<_>>(), vec!["a.c"]);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
     fn empty_link() {
         let (linked, stats) = link(&[], "prog");
         assert_eq!(linked.objects.len(), 0);
@@ -220,7 +334,10 @@ mod tests {
     #[test]
     fn linked_database_roundtrips() {
         let a = unit("int shared; int *p; void f(void) { p = &shared; }", "a.c");
-        let b = unit("extern int shared; int *q; void g(void) { q = p_alias(); } int *p_alias(void);", "b.c");
+        let b = unit(
+            "extern int shared; int *q; void g(void) { q = p_alias(); } int *p_alias(void);",
+            "b.c",
+        );
         let (linked, _) = link(&[a, b], "prog");
         let bytes = crate::writer::write_object(&linked);
         let db = crate::reader::Database::open(bytes).unwrap();
@@ -281,7 +398,11 @@ mod tests {
             "b.c",
         );
         let (linked, _) = link(&[a, b], "prog");
-        let heaps = linked.objects.iter().filter(|o| o.kind == ObjKind::Heap).count();
+        let heaps = linked
+            .objects
+            .iter()
+            .filter(|o| o.kind == ObjKind::Heap)
+            .count();
         assert_eq!(heaps, 2);
     }
 }

@@ -5,19 +5,60 @@
 //! a block is requested — the paper's "only those parts of the object file
 //! that are required are loaded". Accounting counters record how many
 //! assignments were loaded, supporting Table 3's in-core/loaded/in-file
-//! columns. The paper used `mmap` for re-readable storage; we hold the bytes
-//! buffer (typically shared via [`Bytes`]) and decode ranges on demand,
-//! which preserves the measured property: decoded assignments can be
-//! discarded and re-read later at no extra I/O cost.
+//! columns. The paper used `mmap` for re-readable storage; we hold the byte
+//! buffer in memory and decode ranges on demand, which preserves the
+//! measured property: decoded assignments can be discarded and re-read later
+//! at no extra I/O cost.
+//!
+//! Counters are atomic so a [`Database`] can be shared read-only across the
+//! query threads of a long-running server.
 
 use crate::format::{DbError, SectionId, ASSIGN_RECORD_SIZE, MAGIC, NONE_U32, VERSION};
-use bytes::{Buf, Bytes};
 use cla_ir::{
     AssignKind, CompiledUnit, FileIdx, FileTable, FunSig, ObjId, ObjKind, ObjectInfo, OpKind,
     PrimAssign, SrcLoc, Strength,
 };
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A little-endian read cursor over a byte slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (v, rest) = self.buf.split_at(1);
+        self.buf = rest;
+        v[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (v, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        u32::from_le_bytes(v.try_into().expect("4-byte split"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (v, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        u64::from_le_bytes(v.try_into().expect("8-byte split"))
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (v, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        v
+    }
+}
 
 /// Accounting counters for demand loading.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +74,7 @@ pub struct LoadStats {
 /// A CLA object file opened for demand-driven reading.
 #[derive(Debug)]
 pub struct Database {
-    data: Bytes,
+    data: Vec<u8>,
     /// Decoded object metadata (always resident; the heavy payload is the
     /// assignments, which stay encoded).
     objects: Vec<ObjectInfo>,
@@ -47,8 +88,8 @@ pub struct Database {
     funsig_by_obj: HashMap<ObjId, usize>,
     targets: HashMap<String, Vec<ObjId>>,
     assigns_in_file: u64,
-    loaded: Cell<u64>,
-    fetches: Cell<u64>,
+    loaded: AtomicU64,
+    fetches: AtomicU64,
 }
 
 struct Sections {
@@ -64,25 +105,25 @@ impl Sections {
     }
 }
 
-fn slice(data: &Bytes, off: u64, len: u64) -> Result<Bytes, DbError> {
+fn slice<'a>(data: &'a [u8], off: u64, len: u64) -> Result<Cur<'a>, DbError> {
     let end = off
         .checked_add(len)
         .ok_or_else(|| DbError::Corrupt("section range overflow".into()))?;
-    if end as usize > data.len() {
+    if end > data.len() as u64 {
         return Err(DbError::Corrupt("section past end of file".into()));
     }
-    Ok(data.slice(off as usize..end as usize))
+    Ok(Cur::new(&data[off as usize..end as usize]))
 }
 
 /// Checks that `buf` still holds `n` bytes before a fixed-size read.
-fn need(buf: &Bytes, n: usize, what: &str) -> Result<(), DbError> {
+fn need(buf: &Cur<'_>, n: usize, what: &str) -> Result<(), DbError> {
     if buf.remaining() < n {
         return Err(DbError::Corrupt(format!("truncated {what}")));
     }
     Ok(())
 }
 
-fn decode_assign(buf: &mut Bytes) -> Result<PrimAssign, DbError> {
+fn decode_assign(buf: &mut Cur<'_>) -> Result<PrimAssign, DbError> {
     if buf.remaining() < ASSIGN_RECORD_SIZE {
         return Err(DbError::Corrupt("truncated assignment record".into()));
     }
@@ -95,11 +136,17 @@ fn decode_assign(buf: &mut Bytes) -> Result<PrimAssign, DbError> {
         1 => Strength::Strong,
         _ => return Err(DbError::Corrupt("bad strength".into())),
     };
-    let op = OpKind::from_u8(buf.get_u8())
-        .ok_or_else(|| DbError::Corrupt("bad op kind".into()))?;
+    let op = OpKind::from_u8(buf.get_u8()).ok_or_else(|| DbError::Corrupt("bad op kind".into()))?;
     let file = FileIdx(buf.get_u32_le());
     let line = buf.get_u32_le();
-    Ok(PrimAssign { kind, dst, src, strength, op, loc: SrcLoc { file, line } })
+    Ok(PrimAssign {
+        kind,
+        dst,
+        src,
+        strength,
+        op,
+        loc: SrcLoc { file, line },
+    })
 }
 
 impl Database {
@@ -108,8 +155,8 @@ impl Database {
     /// # Errors
     ///
     /// Returns [`DbError`] on malformed input.
-    pub fn open(data: Bytes) -> Result<Database, DbError> {
-        let mut hdr = data.clone();
+    pub fn open(data: Vec<u8>) -> Result<Database, DbError> {
+        let mut hdr = Cur::new(&data);
         if hdr.remaining() < 12 {
             return Err(DbError::BadMagic);
         }
@@ -147,7 +194,7 @@ impl Database {
             if buf.remaining() < n {
                 return Err(DbError::Corrupt("truncated string body".into()));
             }
-            let body = buf.copy_to_bytes(n);
+            let body = buf.take(n);
             strings.push(
                 String::from_utf8(body.to_vec())
                     .map_err(|_| DbError::Corrupt("invalid utf-8 string".into()))?,
@@ -195,7 +242,11 @@ impl Database {
             let file = FileIdx(buf.get_u32_le());
             let line = buf.get_u32_le();
             let in_func_raw = buf.get_u32_le();
-            let in_func = if in_func_raw == NONE_U32 { None } else { Some(ObjId(in_func_raw)) };
+            let in_func = if in_func_raw == NONE_U32 {
+                None
+            } else {
+                Some(ObjId(in_func_raw))
+            };
             objects.push(ObjectInfo {
                 name,
                 link_name,
@@ -258,7 +309,12 @@ impl Database {
             }
             let params = (0..nparams).map(|_| ObjId(buf.get_u32_le())).collect();
             funsig_by_obj.insert(obj, funsigs.len());
-            funsigs.push(FunSig { obj, params, ret, is_indirect });
+            funsigs.push(FunSig {
+                obj,
+                params,
+                ret,
+                is_indirect,
+            });
         }
 
         // Targets.
@@ -300,8 +356,8 @@ impl Database {
             funsig_by_obj,
             targets,
             assigns_in_file: total_assigns,
-            loaded: Cell::new(0),
-            fetches: Cell::new(0),
+            loaded: AtomicU64::new(0),
+            fetches: AtomicU64::new(0),
         })
     }
 
@@ -347,18 +403,24 @@ impl Database {
     /// Returns [`DbError::Corrupt`] on malformed records.
     pub fn static_assigns(&self) -> Result<Vec<PrimAssign>, DbError> {
         let (off, count) = self.static_range;
-        let mut buf = slice(&self.data, off, u64::from(count) * ASSIGN_RECORD_SIZE as u64)?;
+        let mut buf = slice(
+            &self.data,
+            off,
+            u64::from(count) * ASSIGN_RECORD_SIZE as u64,
+        )?;
         let mut out = Vec::with_capacity(count as usize);
         for _ in 0..count {
             out.push(decode_assign(&mut buf)?);
         }
-        self.loaded.set(self.loaded.get() + u64::from(count));
+        self.loaded.fetch_add(u64::from(count), Ordering::Relaxed);
         Ok(out)
     }
 
     /// Number of assignments in the block for `obj`, without decoding it.
     pub fn block_len(&self, obj: ObjId) -> usize {
-        self.block_index.get(obj.index()).map_or(0, |&(_, c)| c as usize)
+        self.block_index
+            .get(obj.index())
+            .map_or(0, |&(_, c)| c as usize)
     }
 
     /// Decodes the dynamic block for `obj`: all assignments whose *source*
@@ -382,8 +444,8 @@ impl Database {
         for _ in 0..count {
             out.push(decode_assign(&mut buf)?);
         }
-        self.fetches.set(self.fetches.get() + 1);
-        self.loaded.set(self.loaded.get() + u64::from(count));
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.loaded.fetch_add(u64::from(count), Ordering::Relaxed);
         Ok(out)
     }
 
@@ -401,16 +463,16 @@ impl Database {
     /// Accounting counters.
     pub fn load_stats(&self) -> LoadStats {
         LoadStats {
-            assigns_loaded: self.loaded.get(),
-            block_fetches: self.fetches.get(),
+            assigns_loaded: self.loaded.load(Ordering::Relaxed),
+            block_fetches: self.fetches.load(Ordering::Relaxed),
             assigns_in_file: self.assigns_in_file,
         }
     }
 
     /// Resets the loaded/fetch counters (e.g. between benchmark phases).
     pub fn reset_load_stats(&self) {
-        self.loaded.set(0);
-        self.fetches.set(0);
+        self.loaded.store(0, Ordering::Relaxed);
+        self.fetches.store(0, Ordering::Relaxed);
     }
 
     /// Size of the object file in bytes.
@@ -548,29 +610,32 @@ mod tests {
     #[test]
     fn rejects_bad_magic_and_version() {
         assert!(matches!(
-            Database::open(Bytes::from_static(b"oops")),
+            Database::open(b"oops".to_vec()),
             Err(DbError::BadMagic)
         ));
         assert!(matches!(
-            Database::open(Bytes::from_static(b"XXXXXXXXXXXXXXXX")),
+            Database::open(b"XXXXXXXXXXXXXXXX".to_vec()),
             Err(DbError::BadMagic)
         ));
         let mut bytes = MAGIC.to_le_bytes().to_vec();
         bytes.extend_from_slice(&99u32.to_le_bytes());
         bytes.extend_from_slice(&0u32.to_le_bytes());
         assert!(matches!(
-            Database::open(Bytes::from(bytes)),
+            Database::open(bytes),
             Err(DbError::BadVersion(99))
         ));
     }
 
     #[test]
     fn truncation_is_detected() {
-        let unit =
-            compile_source("int x, *p; void f(void) { p = &x; }", "a.c", &LowerOptions::default())
-                .unwrap();
+        let unit = compile_source(
+            "int x, *p; void f(void) { p = &x; }",
+            "a.c",
+            &LowerOptions::default(),
+        )
+        .unwrap();
         let full = write_object(&unit);
-        let truncated = full.slice(..full.len() - 10);
+        let truncated = full[..full.len() - 10].to_vec();
         assert!(Database::open(truncated).is_err());
     }
 }

@@ -56,7 +56,9 @@ pub fn duplicate_contexts(unit: &CompiledUnit, contexts: usize) -> (CompiledUnit
 
     for sig in unit.funsigs.iter().filter(|s| !s.is_indirect) {
         let f = sig.obj;
-        let Some(body) = body_of.get(&f) else { continue };
+        let Some(body) = body_of.get(&f) else {
+            continue;
+        };
         // Partition the function's assignments: internal (both ends in the
         // body or reaching out to globals from inside) vs call-site
         // plumbing (argument passing into parameters, results read from the
@@ -302,7 +304,10 @@ mod tests {
         // Baseline: conflated.
         let (base, _) = cla_core_solve(&unit);
         assert!(base.may_point_to(r1, x));
-        assert!(base.may_point_to(r1, y), "context-insensitive join point expected");
+        assert!(
+            base.may_point_to(r1, y),
+            "context-insensitive join point expected"
+        );
 
         // Transformed: each site sees only its own argument.
         let (dup, stats) = duplicate_contexts(&unit, 2);
@@ -332,13 +337,12 @@ mod tests {
         fn solve(unit: &CompiledUnit) -> NaivePts {
             use cla_ir::AssignKind as K;
             let n = unit.objects.len();
-            let mut pts: Vec<std::collections::BTreeSet<u32>> =
-                vec![Default::default(); n];
+            let mut pts: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
             loop {
                 let mut changed = false;
-                let mut add = |set: &mut Vec<std::collections::BTreeSet<u32>>,
-                               d: usize,
-                               v: u32|
+                let add = |set: &mut Vec<std::collections::BTreeSet<u32>>,
+                           d: usize,
+                           v: u32|
                  -> bool { set[d].insert(v) };
                 for a in &unit.assigns {
                     let (d, s) = (a.dst.index(), a.src.index());
@@ -353,8 +357,7 @@ mod tests {
                         K::Load => {
                             let ptrs: Vec<u32> = pts[s].iter().copied().collect();
                             for p in ptrs {
-                                let vs: Vec<u32> =
-                                    pts[p as usize].iter().copied().collect();
+                                let vs: Vec<u32> = pts[p as usize].iter().copied().collect();
                                 for v in vs {
                                     changed |= add(&mut pts, d, v);
                                 }
@@ -373,8 +376,7 @@ mod tests {
                             let dptrs: Vec<u32> = pts[d].iter().copied().collect();
                             let sptrs: Vec<u32> = pts[s].iter().copied().collect();
                             for sp in &sptrs {
-                                let vs: Vec<u32> =
-                                    pts[*sp as usize].iter().copied().collect();
+                                let vs: Vec<u32> = pts[*sp as usize].iter().copied().collect();
                                 for dp in &dptrs {
                                     for &v in &vs {
                                         changed |= add(&mut pts, *dp as usize, v);
@@ -386,25 +388,20 @@ mod tests {
                 }
                 // Indirect calls.
                 for sig in unit.funsigs.iter().filter(|s| s.is_indirect) {
-                    let targets: Vec<u32> =
-                        pts[sig.obj.index()].iter().copied().collect();
+                    let targets: Vec<u32> = pts[sig.obj.index()].iter().copied().collect();
                     for g in targets {
-                        if let Some(gsig) = unit
-                            .funsigs
-                            .iter()
-                            .find(|s| !s.is_indirect && s.obj.0 == g)
+                        if let Some(gsig) =
+                            unit.funsigs.iter().find(|s| !s.is_indirect && s.obj.0 == g)
                         {
                             for (k, fp) in sig.params.iter().enumerate() {
                                 if let Some(gp) = gsig.params.get(k) {
-                                    let vs: Vec<u32> =
-                                        pts[fp.index()].iter().copied().collect();
+                                    let vs: Vec<u32> = pts[fp.index()].iter().copied().collect();
                                     for v in vs {
                                         changed |= add(&mut pts, gp.index(), v);
                                     }
                                 }
                             }
-                            let vs: Vec<u32> =
-                                pts[gsig.ret.index()].iter().copied().collect();
+                            let vs: Vec<u32> = pts[gsig.ret.index()].iter().copied().collect();
                             for v in vs {
                                 changed |= add(&mut pts, sig.ret.index(), v);
                             }
@@ -541,8 +538,7 @@ mod tests {
 
     #[test]
     fn strip_linkage_removes_link_names() {
-        let unit = compile_source("int g; static int s;", "a.c", &LowerOptions::default())
-            .unwrap();
+        let unit = compile_source("int g; static int s;", "a.c", &LowerOptions::default()).unwrap();
         assert!(unit.objects.iter().any(|o| o.link_name.is_some()));
         let stripped = strip_linkage(&unit);
         assert!(stripped.objects.iter().all(|o| o.link_name.is_none()));

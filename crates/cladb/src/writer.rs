@@ -2,9 +2,29 @@
 //! format of [`format`](crate::format).
 
 use crate::format::{SectionEntry, SectionId, MAGIC, NONE_U32, VERSION};
-use bytes::{BufMut, Bytes, BytesMut};
 use cla_ir::{CompiledUnit, ObjId, PrimAssign};
 use std::collections::HashMap;
+
+/// Little-endian append helpers over a plain byte vector.
+trait Put {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl Put for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
 
 /// String interner for one object file.
 #[derive(Default)]
@@ -25,7 +45,7 @@ impl Strings {
     }
 }
 
-fn put_assign(buf: &mut BytesMut, a: &PrimAssign) {
+fn put_assign(buf: &mut Vec<u8>, a: &PrimAssign) {
     buf.put_u8(a.kind as u8);
     buf.put_u32_le(a.dst.0);
     buf.put_u32_le(a.src.0);
@@ -41,11 +61,11 @@ fn put_assign(buf: &mut BytesMut, a: &PrimAssign) {
 /// keyed by their *source* object (paper Figure 4: the block for `z` holds
 /// `x = z` and `*p = z`); address-of assignments go to the always-loaded
 /// static section.
-pub fn write_object(unit: &CompiledUnit) -> Bytes {
+pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
     let mut strings = Strings::default();
 
     // ---- file section payload (names interned) ----
-    let mut file_sec = BytesMut::new();
+    let mut file_sec = Vec::new();
     file_sec.put_u32_le(unit.files.names().len() as u32);
     for name in unit.files.names() {
         let sid = strings.intern(name);
@@ -53,7 +73,7 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
     }
 
     // ---- object section ----
-    let mut obj_sec = BytesMut::new();
+    let mut obj_sec = Vec::new();
     obj_sec.put_u32_le(unit.objects.len() as u32);
     for o in &unit.objects {
         obj_sec.put_u32_le(strings.intern(&o.name));
@@ -73,11 +93,9 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
         .objects
         .iter()
         .enumerate()
-        .filter_map(|(i, o)| {
-            o.link_name.as_ref().map(|l| (strings.intern(l), i as u32))
-        })
+        .filter_map(|(i, o)| o.link_name.as_ref().map(|l| (strings.intern(l), i as u32)))
         .collect();
-    let mut glob_sec = BytesMut::new();
+    let mut glob_sec = Vec::new();
     glob_sec.put_u32_le(globals.len() as u32);
     for (sid, oid) in &globals {
         glob_sec.put_u32_le(*sid);
@@ -85,9 +103,12 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
     }
 
     // ---- static + dynamic sections ----
-    let mut static_sec = BytesMut::new();
-    let statics: Vec<&PrimAssign> =
-        unit.assigns.iter().filter(|a| a.kind == cla_ir::AssignKind::Addr).collect();
+    let mut static_sec = Vec::new();
+    let statics: Vec<&PrimAssign> = unit
+        .assigns
+        .iter()
+        .filter(|a| a.kind == cla_ir::AssignKind::Addr)
+        .collect();
     static_sec.put_u32_le(statics.len() as u32);
     for a in &statics {
         put_assign(&mut static_sec, a);
@@ -101,10 +122,10 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
             blocks[a.src.index()].push(a);
         }
     }
-    let mut dyn_sec = BytesMut::new();
+    let mut dyn_sec = Vec::new();
     dyn_sec.put_u32_le(nobjs as u32);
     // Index: per object, (relative blob offset, count).
-    let mut blob = BytesMut::new();
+    let mut blob = Vec::new();
     let mut index = Vec::with_capacity(nobjs);
     for block in &blocks {
         index.push((blob.len() as u64, block.len() as u32));
@@ -119,7 +140,7 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
     dyn_sec.extend_from_slice(&blob);
 
     // ---- funsig section ----
-    let mut sig_sec = BytesMut::new();
+    let mut sig_sec = Vec::new();
     sig_sec.put_u32_le(unit.funsigs.len() as u32);
     for s in &unit.funsigs {
         sig_sec.put_u32_le(s.obj.0);
@@ -140,7 +161,7 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
         .map(|(i, o)| (strings.intern(&o.name), i as u32))
         .collect();
     targets.sort_unstable();
-    let mut tgt_sec = BytesMut::new();
+    let mut tgt_sec = Vec::new();
     tgt_sec.put_u32_le(targets.len() as u32);
     for (sid, oid) in &targets {
         tgt_sec.put_u32_le(*sid);
@@ -148,12 +169,12 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
     }
 
     // ---- meta section ----
-    let mut meta_sec = BytesMut::new();
+    let mut meta_sec = Vec::new();
     meta_sec.put_u32_le(strings.intern(&unit.file));
     meta_sec.put_u64_le(unit.assigns.len() as u64);
 
     // ---- string section (interned last, after all interning) ----
-    let mut str_sec = BytesMut::new();
+    let mut str_sec = Vec::new();
     str_sec.put_u32_le(strings.list.len() as u32);
     for s in &strings.list {
         str_sec.put_u32_le(s.len() as u32);
@@ -161,7 +182,7 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
     }
 
     // ---- assemble ----
-    let sections: Vec<(SectionId, BytesMut)> = vec![
+    let sections: Vec<(SectionId, Vec<u8>)> = vec![
         (SectionId::String, str_sec),
         (SectionId::File, file_sec),
         (SectionId::Object, obj_sec),
@@ -173,16 +194,19 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
         (SectionId::Meta, meta_sec),
     ];
     let header_len = 4 + 4 + 4 + sections.len() * (4 + 8 + 8);
-    let mut out = BytesMut::with_capacity(
-        header_len + sections.iter().map(|(_, b)| b.len()).sum::<usize>(),
-    );
+    let mut out =
+        Vec::with_capacity(header_len + sections.iter().map(|(_, b)| b.len()).sum::<usize>());
     out.put_u32_le(MAGIC);
     out.put_u32_le(VERSION);
     out.put_u32_le(sections.len() as u32);
     let mut offset = header_len as u64;
     let mut entries = Vec::new();
     for (id, body) in &sections {
-        entries.push(SectionEntry { id: *id as u32, offset, len: body.len() as u64 });
+        entries.push(SectionEntry {
+            id: *id as u32,
+            offset,
+            len: body.len() as u64,
+        });
         offset += body.len() as u64;
     }
     for e in &entries {
@@ -193,7 +217,7 @@ pub fn write_object(unit: &CompiledUnit) -> Bytes {
     for (_, body) in sections {
         out.extend_from_slice(&body);
     }
-    out.freeze()
+    out
 }
 
 /// Returns the per-source-object block an assignment belongs to, mirroring
@@ -233,8 +257,16 @@ mod tests {
             &LowerOptions::default(),
         )
         .unwrap();
-        let copy = unit.assigns.iter().find(|a| a.kind == cla_ir::AssignKind::Copy).unwrap();
-        let addr = unit.assigns.iter().find(|a| a.kind == cla_ir::AssignKind::Addr).unwrap();
+        let copy = unit
+            .assigns
+            .iter()
+            .find(|a| a.kind == cla_ir::AssignKind::Copy)
+            .unwrap();
+        let addr = unit
+            .assigns
+            .iter()
+            .find(|a| a.kind == cla_ir::AssignKind::Addr)
+            .unwrap();
         assert_eq!(block_key(copy), Some(copy.src));
         assert_eq!(block_key(addr), None);
     }

@@ -2,11 +2,10 @@
 //! ignored, as §4 promises for COFF/ELF-style containers) and corruption
 //! detection.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cla_cladb::{write_object, Database, MAGIC, VERSION};
 use cla_ir::{compile_source, LowerOptions};
 
-fn sample_bytes() -> Bytes {
+fn sample_bytes() -> Vec<u8> {
     let unit = compile_source(
         "int x, *p, *q; void f(void) { p = &x; q = p; x = *q; }",
         "a.c",
@@ -16,14 +15,28 @@ fn sample_bytes() -> Bytes {
     write_object(&unit)
 }
 
+fn read_u32_le(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+fn read_u64_le(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
 /// Rebuilds an object file with one extra (unknown) section appended.
-fn with_extra_section(orig: &Bytes, section_id: u32, payload: &[u8]) -> Bytes {
-    let mut hdr = orig.clone();
-    assert_eq!(hdr.get_u32_le(), MAGIC);
-    assert_eq!(hdr.get_u32_le(), VERSION);
-    let nsections = hdr.get_u32_le() as usize;
+fn with_extra_section(orig: &[u8], section_id: u32, payload: &[u8]) -> Vec<u8> {
+    assert_eq!(read_u32_le(orig, 0), MAGIC);
+    assert_eq!(read_u32_le(orig, 4), VERSION);
+    let nsections = read_u32_le(orig, 8) as usize;
     let mut entries: Vec<(u32, u64, u64)> = (0..nsections)
-        .map(|_| (hdr.get_u32_le(), hdr.get_u64_le(), hdr.get_u64_le()))
+        .map(|i| {
+            let base = 12 + i * 20;
+            (
+                read_u32_le(orig, base),
+                read_u64_le(orig, base + 4),
+                read_u64_le(orig, base + 12),
+            )
+        })
         .collect();
     let old_header_len = 12 + nsections * 20;
     let new_header_len = 12 + (nsections + 1) * 20;
@@ -32,20 +45,24 @@ fn with_extra_section(orig: &Bytes, section_id: u32, payload: &[u8]) -> Bytes {
         e.1 += shift;
     }
     let body = &orig[old_header_len..];
-    entries.push((section_id, new_header_len as u64 + body.len() as u64, payload.len() as u64));
+    entries.push((
+        section_id,
+        new_header_len as u64 + body.len() as u64,
+        payload.len() as u64,
+    ));
 
-    let mut out = BytesMut::new();
-    out.put_u32_le(MAGIC);
-    out.put_u32_le(VERSION);
-    out.put_u32_le((nsections + 1) as u32);
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&((nsections + 1) as u32).to_le_bytes());
     for (id, off, len) in &entries {
-        out.put_u32_le(*id);
-        out.put_u64_le(*off);
-        out.put_u64_le(*len);
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
     }
     out.extend_from_slice(body);
     out.extend_from_slice(payload);
-    out.freeze()
+    out
 }
 
 #[test]
@@ -68,7 +85,7 @@ fn every_truncation_point_is_rejected_or_consistent() {
     let orig = sample_bytes();
     let full = Database::open(orig.clone()).unwrap().to_unit().unwrap();
     for cut in (0..orig.len()).step_by(7) {
-        let sliced = orig.slice(..cut);
+        let sliced = orig[..cut].to_vec();
         match Database::open(sliced) {
             Err(_) => {}
             Ok(db) => match db.to_unit() {
@@ -83,10 +100,10 @@ fn every_truncation_point_is_rejected_or_consistent() {
 fn byte_flips_in_header_never_panic() {
     let orig = sample_bytes();
     for pos in 0..orig.len().min(200) {
-        let mut bytes = orig.to_vec();
+        let mut bytes = orig.clone();
         bytes[pos] ^= 0xff;
         // Must not panic; errors (or degraded-but-consistent reads) are fine.
-        if let Ok(db) = Database::open(Bytes::from(bytes)) {
+        if let Ok(db) = Database::open(bytes) {
             let _ = db.to_unit();
             let _ = db.static_assigns();
         }

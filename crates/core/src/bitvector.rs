@@ -24,7 +24,9 @@ struct BitSet {
 
 impl BitSet {
     fn new(bits: usize) -> Self {
-        BitSet { words: vec![0; bits.div_ceil(64)] }
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
     }
 
     fn insert(&mut self, i: usize) -> bool {
@@ -52,7 +54,9 @@ impl BitSet {
 
     fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            (0..64).filter(move |b| (w >> b) & 1 == 1).map(move |b| wi * 64 + b)
+            (0..64)
+                .filter(move |b| (w >> b) & 1 == 1)
+                .map(move |b| wi * 64 + b)
         })
     }
 
@@ -105,9 +109,9 @@ pub fn solve_with_stats(unit: &CompiledUnit) -> (PointsTo, BitVectorStats) {
     let mut loads: Vec<(u32, u32)> = Vec::new(); // (dst, ptr)
     let mut stores: Vec<(u32, u32)> = Vec::new(); // (ptr, src)
     let add_edge = |edges: &mut Vec<Vec<u32>>,
-                        edge_set: &mut std::collections::HashSet<u64>,
-                        from: u32,
-                        to: u32| {
+                    edge_set: &mut std::collections::HashSet<u64>,
+                    from: u32,
+                    to: u32| {
         if from != to && edge_set.insert((u64::from(from) << 32) | u64::from(to)) {
             edges[from as usize].push(to);
         }
@@ -210,8 +214,8 @@ pub fn solve_with_stats(unit: &CompiledUnit) -> (PointsTo, BitVectorStats) {
         }
     }
 
-    stats.approx_bytes = pts.iter().map(BitSet::approx_bytes).sum::<usize>()
-        + edge_set.capacity() * 8;
+    stats.approx_bytes =
+        pts.iter().map(BitSet::approx_bytes).sum::<usize>() + edge_set.capacity() * 8;
     let result: Vec<Vec<ObjId>> = (0..n)
         .map(|i| pts[i].iter_ones().map(|l| ObjId(lvals[l])).collect())
         .collect();

@@ -112,8 +112,7 @@ pub fn solve_oracle(unit: &CompiledUnit) -> PointsTo {
                         if let Some(gsig) = direct.iter().find(|s| s.obj.0 == g) {
                             for (i, fp_param) in sig.params.iter().enumerate() {
                                 if let Some(g_param) = gsig.params.get(i) {
-                                    let e =
-                                        (Term::Var(g_param.0), Term::Var(fp_param.0));
+                                    let e = (Term::Var(g_param.0), Term::Var(fp_param.0));
                                     if !edges.contains(&e) {
                                         new.push(e);
                                     }

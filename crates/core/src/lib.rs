@@ -32,7 +32,7 @@ mod solution;
 pub mod steensgaard;
 pub mod worklist;
 
-pub use pretransitive::{solve_database, solve_unit, SolveOptions, SolveStats};
+pub use pretransitive::{solve_database, solve_unit, SolveOptions, SolveStats, Warm};
 pub use solution::PointsTo;
 
 #[cfg(test)]

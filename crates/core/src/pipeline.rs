@@ -93,8 +93,7 @@ pub fn analyze(
     let compile_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) =
-        units.into_iter().unzip();
+    let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) = units.into_iter().unzip();
     let (program, link_stats) = link(&compiled, "a.out");
     compiled.clear();
     let bytes = write_object(&program);
@@ -122,7 +121,11 @@ pub fn analyze(
         link_time,
         solve_time,
     };
-    Ok(Analysis { points_to, database: db, report })
+    Ok(Analysis {
+        points_to,
+        database: db,
+        report,
+    })
 }
 
 /// Compiles every file, optionally in parallel.
@@ -144,18 +147,15 @@ fn compile_all(
     let mut results: Vec<Option<Result<(CompiledUnit, CompileStats), CError>>> =
         (0..files.len()).map(|_| None).collect();
     let chunk = files.len().div_ceil(nthreads);
-    crossbeam::scope(|scope| {
-        for (slot_chunk, file_chunk) in
-            results.chunks_mut(chunk).zip(files.chunks(chunk))
-        {
-            scope.spawn(move |_| {
+    std::thread::scope(|scope| {
+        for (slot_chunk, file_chunk) in results.chunks_mut(chunk).zip(files.chunks(chunk)) {
+            scope.spawn(move || {
                 for (slot, f) in slot_chunk.iter_mut().zip(file_chunk) {
                     *slot = Some(compile_file(fs, f, &opts.pp, &opts.lower));
                 }
             });
         }
-    })
-    .expect("compile worker panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))
@@ -213,7 +213,10 @@ mod tests {
         let par = analyze(
             &fs,
             &names,
-            &PipelineOptions { parallel_compile: true, ..Default::default() },
+            &PipelineOptions {
+                parallel_compile: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(serial.points_to, par.points_to);

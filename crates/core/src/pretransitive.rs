@@ -25,12 +25,19 @@
 //! non-empty, and `x = y` / `x = &y` records are discarded immediately after
 //! being integrated into the graph (the paper's load-and-throw-away
 //! strategy); only complex assignments stay in core.
+//!
+//! The solved graph outlives the solve: [`Warm`] detaches the fixpointed
+//! [`GraphState`] from the database borrow so a resident server can answer
+//! `getLvals` queries repeatedly. At fixpoint no query can load new blocks
+//! or add edges, so the per-pass reachability cache — queried at one frozen
+//! epoch — becomes a perfect cross-query cache, and Tarjan keeps collapsing
+//! any cycles the extraction pass never walked.
 
 use crate::solution::PointsTo;
 use cla_cladb::Database;
-use cla_ir::{AssignKind, CompiledUnit, FunSig, ObjId, PrimAssign};
+use cla_ir::{AssignKind, CompiledUnit, FunSig, ObjId, ObjectInfo, PrimAssign};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Tuning knobs for the pre-transitive solver (the §5 ablation).
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +50,10 @@ pub struct SolveOptions {
 
 impl Default for SolveOptions {
     fn default() -> Self {
-        SolveOptions { cache: true, cycle_elim: true }
+        SolveOptions {
+            cache: true,
+            cycle_elim: true,
+        }
     }
 }
 
@@ -91,9 +101,12 @@ struct IndirectSig {
     ret: u32,
 }
 
-struct Solver<'db> {
+/// All solver state except the database handle: the pre-transitive graph,
+/// demand-loading bookkeeping, complex-assignment residue, and the
+/// reachability caches. Owning no borrow, it can be kept resident (inside
+/// [`Warm`]) and shipped across threads after the driver finishes.
+struct GraphState {
     opts: SolveOptions,
-    db: Option<&'db Database>,
 
     // --- graph ---
     skip: Vec<u32>,
@@ -119,11 +132,11 @@ struct Solver<'db> {
     // --- reachability caching ---
     epoch: u32,
     cache_epoch: Vec<u32>,
-    cache: Vec<Rc<Vec<u32>>>,
-    empty: Rc<Vec<u32>>,
+    cache: Vec<Arc<Vec<u32>>>,
+    empty: Arc<Vec<u32>>,
     /// Hash-consed lval sets ("many lval sets are identical"); flushed at
     /// the beginning of each pass, as in the paper.
-    interner: std::collections::HashSet<Rc<Vec<u32>>>,
+    interner: std::collections::HashSet<Arc<Vec<u32>>>,
     interner_epoch: u32,
 
     // --- tarjan scratch (stamped per call) ---
@@ -136,15 +149,18 @@ struct Solver<'db> {
     stats: SolveStats,
 }
 
+/// The fixpoint driver: feeds assignments into the graph and, in database
+/// mode, services demand loads until the iteration stabilizes.
+struct Solver<'db> {
+    db: Option<&'db Database>,
+    g: GraphState,
+}
+
 /// Solves points-to over a fully loaded unit.
 pub fn solve_unit(unit: &CompiledUnit, opts: SolveOptions) -> (PointsTo, SolveStats) {
-    let mut s = Solver::new(unit.objects.len(), None, opts);
-    s.register_sigs(&unit.funsigs);
-    for a in &unit.assigns {
-        s.add_assign(a);
-    }
-    s.run();
-    s.extract(unit.objects.len(), &unit.objects)
+    let mut warm = Warm::from_unit(unit, opts);
+    let pts = warm.extract_points_to(&unit.objects);
+    (pts, warm.stats())
 }
 
 /// Solves points-to directly from an object-file database with demand
@@ -156,24 +172,242 @@ pub fn solve_unit(unit: &CompiledUnit, opts: SolveOptions) -> (PointsTo, SolveSt
 /// that [`Database::open`] accepted but whose records fail to decode).
 /// Validate untrusted files with [`Database::to_unit`] first.
 pub fn solve_database(db: &Database, opts: SolveOptions) -> (PointsTo, SolveStats) {
-    let mut s = Solver::new(db.objects().len(), Some(db), opts);
-    s.register_sigs(db.funsigs());
-    // The static section (x = &y) is the starting point and is always
-    // loaded (paper §4).
-    let statics = db.static_assigns().expect("valid database");
-    for a in &statics {
-        s.add_assign(a);
-    }
-    s.run();
-    s.extract(db.objects().len(), db.objects())
+    let mut warm = Warm::from_database(db, opts);
+    let pts = warm.extract_points_to(db.objects());
+    (pts, warm.stats())
 }
 
-impl<'db> Solver<'db> {
-    fn new(n_objects: usize, db: Option<&'db Database>, opts: SolveOptions) -> Self {
+/// A solved pre-transitive graph kept warm for repeated queries.
+///
+/// Produced by [`Warm::from_database`] (or [`Warm::from_unit`]); owns no
+/// reference to the database it was solved from, so it can outlive it and
+/// move across threads. Query methods take `&mut self` because `getLvals`
+/// keeps improving the graph as it answers (path compression, Tarjan cycle
+/// collapse, reachability caching at a frozen epoch) — wrap in a `Mutex`
+/// to share between server workers.
+pub struct Warm {
+    g: GraphState,
+    n_objects: usize,
+}
+
+impl Warm {
+    /// Solves `unit` to fixpoint and returns the warm graph.
+    pub fn from_unit(unit: &CompiledUnit, opts: SolveOptions) -> Warm {
+        let mut s = Solver {
+            db: None,
+            g: GraphState::new(unit.objects.len(), false, opts),
+        };
+        s.g.register_sigs(&unit.funsigs);
+        for a in &unit.assigns {
+            s.g.add_assign(a);
+        }
+        s.run();
+        Warm::finish(s.g, unit.objects.len())
+    }
+
+    /// Solves `db` to fixpoint with demand loading and returns the warm
+    /// graph. See [`solve_database`] for the panic conditions.
+    pub fn from_database(db: &Database, opts: SolveOptions) -> Warm {
+        let mut s = Solver {
+            db: Some(db),
+            g: GraphState::new(db.objects().len(), true, opts),
+        };
+        s.g.register_sigs(db.funsigs());
+        // The static section (x = &y) is the starting point and is always
+        // loaded (paper §4).
+        let statics = db.static_assigns().expect("valid database");
+        for a in &statics {
+            s.g.add_assign(a);
+        }
+        s.run();
+        Warm::finish(s.g, db.objects().len())
+    }
+
+    fn finish(mut g: GraphState, n_objects: usize) -> Warm {
+        // One epoch bump after the last pass: everything cached from here on
+        // is computed at fixpoint and stays valid for the lifetime of the
+        // warm graph, so repeated queries for the same variable are cache
+        // hits (visible as `SolveStats::cache_hits`).
+        g.epoch += 1;
+        Warm { g, n_objects }
+    }
+
+    /// The points-to set of `o`, as sorted object ids.
+    pub fn points_to(&mut self, o: ObjId) -> Vec<ObjId> {
+        self.points_to_raw(o).iter().map(|&v| ObjId(v)).collect()
+    }
+
+    /// Whether `*a` and `*b` can name the same object: the points-to sets
+    /// of `a` and `b` intersect.
+    pub fn may_alias(&mut self, a: ObjId, b: ObjId) -> bool {
+        let sa = self.points_to_raw(a);
+        let sb = self.points_to_raw(b);
+        // Both sets are sorted; intersect by merge.
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    fn points_to_raw(&mut self, o: ObjId) -> Arc<Vec<u32>> {
+        if (o.0 as usize) >= self.n_objects {
+            return Arc::clone(&self.g.empty);
+        }
+        let r = self.g.find(o.0);
+        if !self.g.active[r as usize] {
+            return Arc::clone(&self.g.empty);
+        }
+        self.g.get_lvals(r)
+    }
+
+    /// Materializes the complete solution (every object's set). Cheap after
+    /// cycle elimination — paper §5 — and each set computed here also lands
+    /// in the query cache.
+    pub fn extract_points_to(&mut self, objects: &[ObjectInfo]) -> PointsTo {
+        let mut pts: Vec<Vec<ObjId>> = Vec::with_capacity(self.n_objects);
+        for o in 0..self.n_objects as u32 {
+            let r = self.g.find(o);
+            if !self.g.active[r as usize] {
+                pts.push(Vec::new());
+                continue;
+            }
+            // Extraction honours the configured options: the paper ties
+            // cheap compute-all-lvals directly to cycle elimination ("it is
+            // typically much cheaper to compute all lvals for all nodes when
+            // the algorithm terminates"), and the §5 ablation measures
+            // exactly this cost.
+            let lv = self.g.get_lvals(r);
+            pts.push(lv.iter().map(|&v| ObjId(v)).collect());
+        }
+        PointsTo::new(pts, objects)
+    }
+
+    /// Current counters, including live in-core/size figures.
+    pub fn stats(&self) -> SolveStats {
+        let mut st = self.g.stats;
+        st.complex_in_core = self.g.complex.len();
+        st.nodes = self.g.skip.len();
+        st.approx_bytes = self.g.approx_bytes();
+        st
+    }
+
+    /// The number of objects in the solved program.
+    pub fn object_count(&self) -> usize {
+        self.n_objects
+    }
+}
+
+impl Solver<'_> {
+    /// Loads the assignment blocks of every newly activated object
+    /// (demand-driven loading). No-op when solving a fully loaded unit.
+    fn drain_activations(&mut self) {
+        let Some(db) = self.db else {
+            self.g.act_queue.clear();
+            return;
+        };
+        while let Some(n) = self.g.act_queue.pop() {
+            let objs = std::mem::take(&mut self.g.node_objs[n as usize]);
+            for o in &objs {
+                if self.g.loaded[*o as usize] {
+                    continue;
+                }
+                self.g.loaded[*o as usize] = true;
+                self.g.blocks_loaded += 1;
+                let block = db.block(ObjId(*o)).expect("valid database");
+                for a in &block {
+                    self.g.add_assign(a);
+                }
+                // The decoded block is dropped here: load-and-throw-away.
+            }
+        }
+    }
+
+    /// One pass of the iteration algorithm. Returns true when anything
+    /// changed (edges added or new blocks loaded).
+    fn pass(&mut self) -> bool {
+        let edges_before = self.g.stats.edges_added;
+        let loads_before = self.g.blocks_loaded;
+        self.g.epoch += 1;
+        self.drain_activations();
+
+        let mut i = 0;
+        while i < self.g.complex.len() {
+            match self.g.complex[i] {
+                Complex::Store { x, y } => {
+                    let xr = self.g.find(x);
+                    if self.g.active[xr as usize] {
+                        let lv = self.g.get_lvals(xr);
+                        for &z in lv.iter() {
+                            self.g.add_edge(z, y);
+                        }
+                    }
+                }
+                Complex::Load { yderef, y } => {
+                    let yr = self.g.find(y);
+                    if self.g.active[yr as usize] {
+                        let lv = self.g.get_lvals(yr);
+                        for &z in lv.iter() {
+                            self.g.add_edge(yderef, z);
+                        }
+                    }
+                }
+            }
+            if !self.g.act_queue.is_empty() {
+                self.drain_activations();
+            }
+            i += 1;
+        }
+
+        // Indirect calls: for every function lval g in pts(fp), link
+        // g$i ⊇ fp$i and fp$ret ⊇ g$ret (paper §4).
+        for i in 0..self.g.indirect.len() {
+            let fp = self.g.find(self.g.indirect[i].fp);
+            if !self.g.active[fp as usize] {
+                continue;
+            }
+            let lv = self.g.get_lvals(fp);
+            for &gfun in lv.iter() {
+                let Some((gparams, gret)) = self.g.direct_sigs.get(&gfun) else {
+                    continue;
+                };
+                let gparams = gparams.clone();
+                let gret = *gret;
+                let nparams = self.g.indirect[i].params.len().min(gparams.len());
+                for (k, gp) in gparams.iter().enumerate().take(nparams) {
+                    let fp_param = self.g.indirect[i].params[k];
+                    self.g.add_edge(*gp, fp_param);
+                }
+                let fp_ret = self.g.indirect[i].ret;
+                self.g.add_edge(fp_ret, gret);
+            }
+            if !self.g.act_queue.is_empty() {
+                self.drain_activations();
+            }
+        }
+
+        self.g.stats.edges_added != edges_before || self.g.blocks_loaded != loads_before
+    }
+
+    fn run(&mut self) {
+        loop {
+            self.g.stats.passes += 1;
+            if !self.pass() {
+                break;
+            }
+        }
+    }
+}
+
+impl GraphState {
+    fn new(n_objects: usize, demand: bool, opts: SolveOptions) -> Self {
         let n = n_objects;
-        Solver {
+        GraphState {
             opts,
-            db,
             skip: (0..n as u32).collect(),
             out: vec![Vec::new(); n],
             base: vec![Vec::new(); n],
@@ -181,7 +415,7 @@ impl<'db> Solver<'db> {
             active: vec![false; n],
             pending: vec![Vec::new(); n],
             node_objs: (0..n as u32).map(|i| vec![i]).collect(),
-            loaded: vec![db.is_none(); n],
+            loaded: vec![!demand; n],
             act_queue: Vec::new(),
             blocks_loaded: 0,
             complex: Vec::new(),
@@ -190,8 +424,8 @@ impl<'db> Solver<'db> {
             direct_sigs: HashMap::new(),
             epoch: 0,
             cache_epoch: vec![0; n],
-            cache: (0..n).map(|_| Rc::new(Vec::new())).collect(),
-            empty: Rc::new(Vec::new()),
+            cache: (0..n).map(|_| Arc::new(Vec::new())).collect(),
+            empty: Arc::new(Vec::new()),
             interner: std::collections::HashSet::new(),
             interner_epoch: 0,
             call_id: 0,
@@ -213,7 +447,7 @@ impl<'db> Solver<'db> {
         self.node_objs.push(Vec::new());
         self.loaded.push(true);
         self.cache_epoch.push(0);
-        self.cache.push(Rc::clone(&self.empty));
+        self.cache.push(Arc::clone(&self.empty));
         self.visit_call.push(0);
         self.index.push(0);
         self.lowlink.push(0);
@@ -237,9 +471,9 @@ impl<'db> Solver<'db> {
 
     /// Interns a sorted, deduplicated lval set: identical sets are shared
     /// (paper §5, enhancement three). The table is flushed per pass.
-    fn intern_set(&mut self, set: Vec<u32>) -> Rc<Vec<u32>> {
+    fn intern_set(&mut self, set: Vec<u32>) -> Arc<Vec<u32>> {
         if set.is_empty() {
-            return Rc::clone(&self.empty);
+            return Arc::clone(&self.empty);
         }
         if self.interner_epoch != self.epoch {
             self.interner.clear();
@@ -247,10 +481,10 @@ impl<'db> Solver<'db> {
         }
         if let Some(existing) = self.interner.get(&set) {
             self.stats.sets_shared += 1;
-            return Rc::clone(existing);
+            return Arc::clone(existing);
         }
-        let rc = Rc::new(set);
-        self.interner.insert(Rc::clone(&rc));
+        let rc = Arc::new(set);
+        self.interner.insert(Arc::clone(&rc));
         rc
     }
 
@@ -263,10 +497,8 @@ impl<'db> Solver<'db> {
                     ret: s.ret.0,
                 });
             } else {
-                self.direct_sigs.insert(
-                    s.obj.0,
-                    (s.params.iter().map(|p| p.0).collect(), s.ret.0),
-                );
+                self.direct_sigs
+                    .insert(s.obj.0, (s.params.iter().map(|p| p.0).collect(), s.ret.0));
             }
         }
     }
@@ -289,19 +521,28 @@ impl<'db> Solver<'db> {
                 self.activate(d);
             }
             AssignKind::Store => {
-                self.complex.push(Complex::Store { x: a.dst.0, y: a.src.0 });
+                self.complex.push(Complex::Store {
+                    x: a.dst.0,
+                    y: a.src.0,
+                });
             }
             AssignKind::Load => {
                 let d = self.deref_of(a.src.0);
                 self.add_edge(a.dst.0, d);
-                self.complex.push(Complex::Load { yderef: d, y: a.src.0 });
+                self.complex.push(Complex::Load {
+                    yderef: d,
+                    y: a.src.0,
+                });
             }
             AssignKind::StoreLoad => {
                 // *x = *y splits into t = *y; *x = t over a fresh node.
                 let t = self.new_node();
                 let d = self.deref_of(a.src.0);
                 self.add_edge(t, d);
-                self.complex.push(Complex::Load { yderef: d, y: a.src.0 });
+                self.complex.push(Complex::Load {
+                    yderef: d,
+                    y: a.src.0,
+                });
                 self.complex.push(Complex::Store { x: a.dst.0, y: t });
             }
         }
@@ -362,110 +603,11 @@ impl<'db> Solver<'db> {
         }
     }
 
-    /// Loads the assignment blocks of every newly activated object
-    /// (demand-driven loading). No-op when solving a fully loaded unit.
-    fn drain_activations(&mut self) {
-        let Some(db) = self.db else {
-            self.act_queue.clear();
-            return;
-        };
-        while let Some(n) = self.act_queue.pop() {
-            let objs = std::mem::take(&mut self.node_objs[n as usize]);
-            for o in &objs {
-                if self.loaded[*o as usize] {
-                    continue;
-                }
-                self.loaded[*o as usize] = true;
-                self.blocks_loaded += 1;
-                let block = db.block(ObjId(*o)).expect("valid database");
-                for a in &block {
-                    self.add_assign(a);
-                }
-                // The decoded block is dropped here: load-and-throw-away.
-            }
-        }
-    }
-
-    /// One pass of the iteration algorithm. Returns true when anything
-    /// changed (edges added or new blocks loaded).
-    fn pass(&mut self) -> bool {
-        let edges_before = self.stats.edges_added;
-        let loads_before = self.blocks_loaded;
-        self.epoch += 1;
-        self.drain_activations();
-
-        let mut i = 0;
-        while i < self.complex.len() {
-            match self.complex[i] {
-                Complex::Store { x, y } => {
-                    let xr = self.find(x);
-                    if self.active[xr as usize] {
-                        let lv = self.get_lvals(xr);
-                        for &z in lv.iter() {
-                            self.add_edge(z, y);
-                        }
-                    }
-                }
-                Complex::Load { yderef, y } => {
-                    let yr = self.find(y);
-                    if self.active[yr as usize] {
-                        let lv = self.get_lvals(yr);
-                        for &z in lv.iter() {
-                            self.add_edge(yderef, z);
-                        }
-                    }
-                }
-            }
-            if !self.act_queue.is_empty() {
-                self.drain_activations();
-            }
-            i += 1;
-        }
-
-        // Indirect calls: for every function lval g in pts(fp), link
-        // g$i ⊇ fp$i and fp$ret ⊇ g$ret (paper §4).
-        for i in 0..self.indirect.len() {
-            let fp = self.find(self.indirect[i].fp);
-            if !self.active[fp as usize] {
-                continue;
-            }
-            let lv = self.get_lvals(fp);
-            for &g in lv.iter() {
-                let Some((gparams, gret)) = self.direct_sigs.get(&g) else {
-                    continue;
-                };
-                let gparams = gparams.clone();
-                let gret = *gret;
-                let nparams = self.indirect[i].params.len().min(gparams.len());
-                for (k, gp) in gparams.iter().enumerate().take(nparams) {
-                    let fp_param = self.indirect[i].params[k];
-                    self.add_edge(*gp, fp_param);
-                }
-                let fp_ret = self.indirect[i].ret;
-                self.add_edge(fp_ret, gret);
-            }
-            if !self.act_queue.is_empty() {
-                self.drain_activations();
-            }
-        }
-
-        self.stats.edges_added != edges_before || self.blocks_loaded != loads_before
-    }
-
-    fn run(&mut self) {
-        loop {
-            self.stats.passes += 1;
-            if !self.pass() {
-                break;
-            }
-        }
-    }
-
     // ----- reachability -----------------------------------------------------
 
     /// The points-to set of node `start` (object ids, sorted), computed by
     /// graph reachability with cycle elimination and per-pass caching.
-    fn get_lvals(&mut self, start: u32) -> Rc<Vec<u32>> {
+    fn get_lvals(&mut self, start: u32) -> Arc<Vec<u32>> {
         self.stats.getlvals_calls += 1;
         if !self.opts.cache {
             // No cross-query caching: results live only within one call.
@@ -474,7 +616,7 @@ impl<'db> Solver<'db> {
         let start = self.find(start);
         if self.cache_epoch[start as usize] == self.epoch {
             self.stats.cache_hits += 1;
-            return Rc::clone(&self.cache[start as usize]);
+            return Arc::clone(&self.cache[start as usize]);
         }
         if self.opts.cycle_elim {
             self.tarjan_lvals(start)
@@ -486,7 +628,7 @@ impl<'db> Solver<'db> {
     /// Iterative Tarjan SCC traversal: computes lvals bottom-up in reverse
     /// topological order, unifying every SCC it pops, and caching the result
     /// for every node it completes.
-    fn tarjan_lvals(&mut self, start: u32) -> Rc<Vec<u32>> {
+    fn tarjan_lvals(&mut self, start: u32) -> Arc<Vec<u32>> {
         self.call_id += 1;
         let cid = self.call_id;
         let mut next_index: u32 = 0;
@@ -528,7 +670,7 @@ impl<'db> Solver<'db> {
                 }
                 if self.cache_epoch[s as usize] == self.epoch {
                     // Finished earlier this pass (or this call): merge.
-                    let cached = Rc::clone(&self.cache[s as usize]);
+                    let cached = Arc::clone(&self.cache[s as usize]);
                     frames[fi].2.extend_from_slice(&cached);
                     continue;
                 }
@@ -569,7 +711,7 @@ impl<'db> Solver<'db> {
                 let final_set = self.intern_set(acc);
                 let repr = self.find(n);
                 self.cache_epoch[repr as usize] = self.epoch;
-                self.cache[repr as usize] = Rc::clone(&final_set);
+                self.cache[repr as usize] = Arc::clone(&final_set);
                 if let Some(parent) = frames.last_mut() {
                     parent.2.extend_from_slice(&final_set);
                     let low = self.lowlink[n as usize];
@@ -602,7 +744,7 @@ impl<'db> Solver<'db> {
     /// behaviour the §5 ablation measures (>50,000x on gimp). Only the
     /// queried root may be cached: inner nodes of cycles see
     /// under-approximated sets.
-    fn plain_dfs_lvals(&mut self, start: u32) -> Rc<Vec<u32>> {
+    fn plain_dfs_lvals(&mut self, start: u32) -> Arc<Vec<u32>> {
         let mut acc: Vec<u32> = Vec::new();
         // Frames: (node, next edge index). `on_stack` is the onPath bit.
         let mut frames: Vec<(u32, usize)> = Vec::new();
@@ -623,7 +765,7 @@ impl<'db> Solver<'db> {
                 continue; // on the current path: cycle, return empty set
             }
             if self.cache_epoch[s as usize] == self.epoch {
-                let cached = Rc::clone(&self.cache[s as usize]);
+                let cached = Arc::clone(&self.cache[s as usize]);
                 acc.extend_from_slice(&cached);
                 continue;
             }
@@ -636,7 +778,7 @@ impl<'db> Solver<'db> {
         acc.dedup();
         let set = self.intern_set(acc);
         self.cache_epoch[start as usize] = self.epoch;
-        self.cache[start as usize] = Rc::clone(&set);
+        self.cache[start as usize] = Arc::clone(&set);
         set
     }
 
@@ -665,7 +807,7 @@ impl<'db> Solver<'db> {
                 merged.dedup();
                 self.cache[v as usize] = self.intern_set(merged);
             } else {
-                self.cache[v as usize] = Rc::clone(&self.cache[u as usize]);
+                self.cache[v as usize] = Arc::clone(&self.cache[u as usize]);
                 self.cache_epoch[v as usize] = self.epoch;
             }
         }
@@ -694,51 +836,32 @@ impl<'db> Solver<'db> {
         }
     }
 
-    // ----- extraction ---------------------------------------------------------
-
-    fn extract(mut self, n_objects: usize, objects: &[cla_ir::ObjectInfo]) -> (PointsTo, SolveStats) {
-        // Final all-nodes lvals computation (cheap after cycle elimination —
-        // paper §5).
-        self.epoch += 1;
-        let mut pts: Vec<Vec<ObjId>> = Vec::with_capacity(n_objects);
-        for o in 0..n_objects as u32 {
-            let r = self.find(o);
-            if !self.active[r as usize] {
-                pts.push(Vec::new());
-                continue;
-            }
-            // Extraction honours the configured options: the paper ties
-            // cheap compute-all-lvals directly to cycle elimination ("it is
-            // typically much cheaper to compute all lvals for all nodes when
-            // the algorithm terminates"), and the §5 ablation measures
-            // exactly this cost.
-            let lv = self.get_lvals(r);
-            pts.push(lv.iter().map(|&v| ObjId(v)).collect());
-        }
-        self.stats.complex_in_core = self.complex.len();
-        self.stats.nodes = self.skip.len();
-        self.stats.approx_bytes = self.approx_bytes();
-        let stats = self.stats;
-        (PointsTo::new(pts, objects), stats)
-    }
-
     fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
         let nodes = self.skip.len();
-        let edge_bytes: usize =
-            self.out.iter().map(|v| v.capacity() * size_of::<u32>()).sum();
-        let base_bytes: usize =
-            self.base.iter().map(|v| v.capacity() * size_of::<u32>()).sum();
-        let pending_bytes: usize =
-            self.pending.iter().map(|v| v.capacity() * size_of::<u32>()).sum();
+        let edge_bytes: usize = self
+            .out
+            .iter()
+            .map(|v| v.capacity() * size_of::<u32>())
+            .sum();
+        let base_bytes: usize = self
+            .base
+            .iter()
+            .map(|v| v.capacity() * size_of::<u32>())
+            .sum();
+        let pending_bytes: usize = self
+            .pending
+            .iter()
+            .map(|v| v.capacity() * size_of::<u32>())
+            .sum();
         // Shared sets are counted once through the interner; per-node cache
-        // entries are Rc references.
+        // entries are Arc references.
         let cache_bytes: usize = self
             .interner
             .iter()
             .map(|c| c.capacity() * size_of::<u32>())
             .sum::<usize>()
-            + self.cache.len() * size_of::<Rc<Vec<u32>>>();
+            + self.cache.len() * size_of::<Arc<Vec<u32>>>();
         nodes * (size_of::<u32>() * 5 + size_of::<bool>() * 2)
             + edge_bytes
             + base_bytes
@@ -847,8 +970,13 @@ mod tests {
         let unit = unit_of(src);
         let reference = solve_oracle(&unit);
         for (cache, cycle) in [(true, true), (true, false), (false, true), (false, false)] {
-            let (got, _) =
-                solve_unit(&unit, SolveOptions { cache, cycle_elim: cycle });
+            let (got, _) = solve_unit(
+                &unit,
+                SolveOptions {
+                    cache,
+                    cycle_elim: cycle,
+                },
+            );
             for (obj, set) in reference.iter() {
                 assert_eq!(
                     got.points_to(obj),
@@ -892,7 +1020,11 @@ mod tests {
         // Only p's own block should have been touched; the i* chain is
         // irrelevant to pointers.
         let ls = db.load_stats();
-        assert!(ls.assigns_loaded < 3, "loaded {} assigns", ls.assigns_loaded);
+        assert!(
+            ls.assigns_loaded < 3,
+            "loaded {} assigns",
+            ls.assigns_loaded
+        );
     }
 
     #[test]
@@ -916,5 +1048,59 @@ mod tests {
         let (pts, stats) = solve_unit(&unit, SolveOptions::default());
         assert_eq!(pts.relations(), 0);
         assert_eq!(stats.edges_added, 0);
+    }
+
+    #[test]
+    fn warm_queries_match_batch_and_hit_cache() {
+        let src = "int x, y, z;
+                   int *p, *q, *r, **pp;
+                   void f(void) { p = &x; q = &y; pp = &p; *pp = &z; r = *pp; }";
+        let unit = unit_of(src);
+        let db = Database::open(cla_cladb::write_object(&unit)).unwrap();
+        let (batch, _) = solve_database(&db, SolveOptions::default());
+        let mut warm = Warm::from_database(&db, SolveOptions::default());
+        drop(db); // the warm graph owns no database borrow
+
+        let hits_before = warm.stats().cache_hits;
+        for o in 0..unit.objects.len() as u32 {
+            assert_eq!(
+                warm.points_to(ObjId(o)),
+                batch.points_to(ObjId(o)),
+                "object {} diverged",
+                unit.objects[o as usize].name
+            );
+        }
+        // Query every variable again: at fixpoint these are all cache hits.
+        for o in 0..unit.objects.len() as u32 {
+            let _ = warm.points_to(ObjId(o));
+        }
+        let hits_after = warm.stats().cache_hits;
+        assert!(
+            hits_after > hits_before,
+            "repeat queries missed the warm cache ({hits_before} -> {hits_after})"
+        );
+    }
+
+    #[test]
+    fn warm_alias_and_full_extraction() {
+        let src = "int x, y; int *p, *q, *r;
+                   void f(void) { p = &x; q = &x; r = &y; }";
+        let unit = unit_of(src);
+        let mut warm = Warm::from_unit(&unit, SolveOptions::default());
+        let p = unit.find_object("p").unwrap();
+        let q = unit.find_object("q").unwrap();
+        let r = unit.find_object("r").unwrap();
+        assert!(warm.may_alias(p, q));
+        assert!(!warm.may_alias(p, r));
+        assert!(warm.may_alias(p, p));
+        let full = warm.extract_points_to(&unit.objects);
+        let (batch, _) = solve_unit(&unit, SolveOptions::default());
+        assert_eq!(full, batch);
+    }
+
+    #[test]
+    fn warm_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Warm>();
     }
 }

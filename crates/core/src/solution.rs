@@ -85,9 +85,8 @@ impl PointsTo {
     /// True when every relation in `self` also holds in `other` (used to
     /// check that a coarser analysis over-approximates a finer one).
     pub fn subsumed_by(&self, other: &PointsTo) -> bool {
-        self.iter().all(|(o, set)| {
-            set.iter().all(|t| other.may_point_to(o, *t))
-        })
+        self.iter()
+            .all(|(o, set)| set.iter().all(|t| other.may_point_to(o, *t)))
     }
 }
 

@@ -236,8 +236,14 @@ mod tests {
              void f(void) { p = &x; q = &y; p = q; }",
         );
         let pts = solve(&unit);
-        let (p, q) = (unit.find_object("p").unwrap(), unit.find_object("q").unwrap());
-        let (x, y) = (unit.find_object("x").unwrap(), unit.find_object("y").unwrap());
+        let (p, q) = (
+            unit.find_object("p").unwrap(),
+            unit.find_object("q").unwrap(),
+        );
+        let (x, y) = (
+            unit.find_object("x").unwrap(),
+            unit.find_object("y").unwrap(),
+        );
         assert!(pts.may_point_to(p, x));
         assert!(pts.may_point_to(p, y));
         assert!(pts.may_point_to(q, x));

@@ -191,7 +191,11 @@ fn approx_bytes(st: &State) -> usize {
         .iter()
         .map(|s| s.capacity() * size_of::<u32>() * 2)
         .sum();
-    let succ_bytes: usize = st.succ.iter().map(|s| s.capacity() * size_of::<u32>()).sum();
+    let succ_bytes: usize = st
+        .succ
+        .iter()
+        .map(|s| s.capacity() * size_of::<u32>())
+        .sum();
     set_bytes + succ_bytes + st.edge_set.capacity() * size_of::<u64>()
 }
 

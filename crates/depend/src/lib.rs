@@ -59,7 +59,10 @@ pub struct ChainCost {
 
 impl ChainCost {
     /// The zero cost (the target itself).
-    pub const ZERO: ChainCost = ChainCost { weak_links: 0, length: 0 };
+    pub const ZERO: ChainCost = ChainCost {
+        weak_links: 0,
+        length: 0,
+    };
 
     fn step(self, s: Strength) -> ChainCost {
         ChainCost {
@@ -185,7 +188,11 @@ impl<'a> DependenceAnalysis<'a> {
                 continue;
             }
             for a in self.db.block(src).expect("valid database") {
-                let edge = EdgeInfo { strength: a.strength, op: a.op, loc: a.loc };
+                let edge = EdgeInfo {
+                    strength: a.strength,
+                    op: a.op,
+                    loc: a.loc,
+                };
                 match a.kind {
                     AssignKind::Load => {
                         for &w in self.pts.points_to(a.src) {
@@ -219,25 +226,30 @@ impl<'a> DependenceAnalysis<'a> {
             if best.get(&o).is_some_and(|&c| c < cost) {
                 continue; // stale heap entry
             }
-            let relax = |dst: ObjId,
-                             edge: EdgeInfo,
-                             best: &mut HashMap<ObjId, ChainCost>,
-                             parents: &mut HashMap<ObjId, (ObjId, EdgeInfo)>,
-                             heap: &mut BinaryHeap<Reverse<(ChainCost, ObjId)>>| {
-                if blocked.contains(&dst) {
-                    return;
-                }
-                let next = cost.step(edge.strength);
-                if best.get(&dst).is_none_or(|&c| next < c) {
-                    best.insert(dst, next);
-                    parents.insert(dst, (o, edge));
-                    heap.push(Reverse((next, dst)));
-                }
-            };
+            let relax =
+                |dst: ObjId,
+                 edge: EdgeInfo,
+                 best: &mut HashMap<ObjId, ChainCost>,
+                 parents: &mut HashMap<ObjId, (ObjId, EdgeInfo)>,
+                 heap: &mut BinaryHeap<Reverse<(ChainCost, ObjId)>>| {
+                    if blocked.contains(&dst) {
+                        return;
+                    }
+                    let next = cost.step(edge.strength);
+                    if best.get(&dst).is_none_or(|&c| next < c) {
+                        best.insert(dst, next);
+                        parents.insert(dst, (o, edge));
+                        heap.push(Reverse((next, dst)));
+                    }
+                };
             // Demand-loaded forward edges: the block for o holds every
             // assignment whose source is o (paper §4's dependence walk).
             for a in self.db.block(o).expect("valid database") {
-                let edge = EdgeInfo { strength: a.strength, op: a.op, loc: a.loc };
+                let edge = EdgeInfo {
+                    strength: a.strength,
+                    op: a.op,
+                    loc: a.loc,
+                };
                 match a.kind {
                     AssignKind::Copy => relax(a.dst, edge, &mut best, &mut parents, &mut heap),
                     AssignKind::Store => {
@@ -265,7 +277,11 @@ impl<'a> DependenceAnalysis<'a> {
         dependents.sort_by(|a, b| {
             (a.cost, &self.db.object(a.obj).name).cmp(&(b.cost, &self.db.object(b.obj).name))
         });
-        DependReport { targets: targets.to_vec(), dependents, parents }
+        DependReport {
+            targets: targets.to_vec(),
+            dependents,
+            parents,
+        }
     }
 
     /// Renders the best chain for `obj` in the paper's Figure 1 style:
@@ -407,16 +423,14 @@ mod tests {
     #[test]
     fn simple_forward_chain() {
         // Paper §2's first example.
-        let c = ctx(
-            "short x, y, z, *p, v, w;
+        let c = ctx("short x, y, z, *p, v, w;
              void f(void) {
                y = x;
                z = y + 1;
                p = &v;
                *p = z;
                w = 1;
-             }",
-        );
+             }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("x", &DependOptions::default()).unwrap();
         let ns = names(&c, &report);
@@ -424,13 +438,15 @@ mod tests {
         assert!(ns.contains(&"z".to_string()));
         assert!(ns.contains(&"v".to_string()), "v via *p: {ns:?}");
         assert!(!ns.contains(&"w".to_string()), "w = 1 is unrelated: {ns:?}");
-        assert!(!ns.contains(&"p".to_string()), "p holds an address, not the value: {ns:?}");
+        assert!(
+            !ns.contains(&"p".to_string()),
+            "p holds an address, not the value: {ns:?}"
+        );
     }
 
     #[test]
     fn figure1_struct_example() {
-        let c = ctx(
-            "short target;
+        let c = ctx("short target;
              struct S { short x; short y; };
              short u, *v, w;
              struct S s, t;
@@ -439,8 +455,7 @@ mod tests {
                u = target;
                *v = u;
                s.x = w;
-             }",
-        );
+             }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("target", &DependOptions::default()).unwrap();
         let ns = names(&c, &report);
@@ -461,10 +476,8 @@ mod tests {
 
     #[test]
     fn weak_chains_rank_below_strong() {
-        let c = ctx(
-            "int t, a, b;
-             void f(void) { a = t; b = t >> 2; }",
-        );
+        let c = ctx("int t, a, b;
+             void f(void) { a = t; b = t >> 2; }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("t", &DependOptions::default()).unwrap();
         let deps = report.dependents();
@@ -479,15 +492,13 @@ mod tests {
     fn prefers_strong_path_over_short_weak_one() {
         // Two routes from t to d: direct but weak (via *), or long but
         // strong. The strong one must win.
-        let c = ctx(
-            "int t, m1, m2, d;
+        let c = ctx("int t, m1, m2, d;
              void f(void) {
                d = t * 3;
                m1 = t;
                m2 = m1;
                d = m2;
-             }",
-        );
+             }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("t", &DependOptions::default()).unwrap();
         let d = c.unit.find_object("d").unwrap();
@@ -498,30 +509,34 @@ mod tests {
 
     #[test]
     fn non_targets_prune() {
-        let c = ctx(
-            "int t, hub, a, b;
-             void f(void) { hub = t; a = hub; b = t; }",
-        );
+        let c = ctx("int t, hub, a, b;
+             void f(void) { hub = t; a = hub; b = t; }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let all = dep.analyze("t", &DependOptions::default()).unwrap();
         assert!(names(&c, &all).contains(&"a".to_string()));
         let pruned = dep
-            .analyze("t", &DependOptions { non_targets: vec!["hub".to_string()] })
+            .analyze(
+                "t",
+                &DependOptions {
+                    non_targets: vec!["hub".to_string()],
+                },
+            )
             .unwrap();
         let ns = names(&c, &pruned);
         assert!(!ns.contains(&"hub".to_string()), "{ns:?}");
-        assert!(!ns.contains(&"a".to_string()), "a is only reachable through hub: {ns:?}");
+        assert!(
+            !ns.contains(&"a".to_string()),
+            "a is only reachable through hub: {ns:?}"
+        );
         assert!(ns.contains(&"b".to_string()));
     }
 
     #[test]
     fn flows_through_calls() {
-        let c = ctx(
-            "short t;
+        let c = ctx("short t;
              short id(short v) { return v; }
              short r;
-             void main_(void) { r = id(t); }",
-        );
+             void main_(void) { r = id(t); }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("t", &DependOptions::default()).unwrap();
         let ns = names(&c, &report);
@@ -531,11 +546,9 @@ mod tests {
 
     #[test]
     fn flows_through_heap() {
-        let c = ctx(
-            "void *malloc(unsigned long);
+        let c = ctx("void *malloc(unsigned long);
              int t, out; int *p, *q;
-             void f(void) { p = malloc(4); q = p; *p = t; out = *q; }",
-        );
+             void f(void) { p = malloc(4); q = p; *p = t; out = *q; }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("t", &DependOptions::default()).unwrap();
         let ns = names(&c, &report);
@@ -551,11 +564,9 @@ mod tests {
 
     #[test]
     fn tree_renders() {
-        let c = ctx(
-            "short target;
+        let c = ctx("short target;
              short u, w, x;
-             void f(void) { u = target; w = u; x = target >> 1; }",
-        );
+             void f(void) { u = target; w = u; x = target >> 1; }");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         let report = dep.analyze("target", &DependOptions::default()).unwrap();
         let tree = dep.render_tree(&report);
@@ -563,7 +574,10 @@ mod tests {
         assert!(lines[0].starts_with("target/short"), "{tree}");
         // u and x are direct children (indented once); w sits under u.
         assert!(lines.iter().any(|l| l.starts_with("  u/short")), "{tree}");
-        assert!(lines.iter().any(|l| l.starts_with("  x/short [weak")), "{tree}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("  x/short [weak")),
+            "{tree}"
+        );
         assert!(lines.iter().any(|l| l.starts_with("    w/short")), "{tree}");
     }
 

@@ -42,7 +42,10 @@ impl AssignKind {
     /// True for the forms the solver treats as *complex* (involving `*`);
     /// `Copy` and `Addr` are represented directly in the constraint graph.
     pub fn is_complex(self) -> bool {
-        matches!(self, AssignKind::Store | AssignKind::Load | AssignKind::StoreLoad)
+        matches!(
+            self,
+            AssignKind::Store | AssignKind::Load | AssignKind::StoreLoad
+        )
     }
 }
 
@@ -168,7 +171,10 @@ pub struct CompiledUnit {
 impl CompiledUnit {
     /// Creates an empty unit for `file`.
     pub fn new(file: impl Into<String>) -> Self {
-        CompiledUnit { file: file.into(), ..Default::default() }
+        CompiledUnit {
+            file: file.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds an object, returning its id.
@@ -200,7 +206,10 @@ impl CompiledUnit {
     /// Number of objects the paper counts as "program variables"
     /// (variables, fields, functions — not temps or heap sites).
     pub fn program_variable_count(&self) -> usize {
-        self.objects.iter().filter(|o| o.kind.is_program_object()).count()
+        self.objects
+            .iter()
+            .filter(|o| o.kind.is_program_object())
+            .count()
     }
 
     /// Finds an object by display name (first match). Intended for tests and
@@ -240,7 +249,6 @@ impl CompiledUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::loc::FileIdx;
     use crate::object::ObjKind;
 
     fn unit_with(names: &[&str]) -> (CompiledUnit, Vec<ObjId>) {
@@ -316,7 +324,12 @@ mod tests {
         assert_eq!(u.find_object("y"), Some(ids[1]));
         assert_eq!(u.find_object("z"), None);
         assert_eq!(u.program_variable_count(), 2);
-        u.funsigs.push(FunSig { obj: ids[0], params: vec![ids[1]], ret: ids[1], is_indirect: false });
+        u.funsigs.push(FunSig {
+            obj: ids[0],
+            params: vec![ids[1]],
+            ret: ids[1],
+            is_indirect: false,
+        });
         assert!(u.funsig(ids[0]).is_some());
         assert!(u.funsig(ids[1]).is_none());
     }

@@ -307,7 +307,11 @@ mod tests {
     fn function_address_flows() {
         let u = compile("int f(void); int (*fp)(void); void g(void) { fp = f; fp = &f; }");
         let lines = assigns(&u);
-        assert_eq!(lines.iter().filter(|l| *l == "fp = &f").count(), 2, "{lines:?}");
+        assert_eq!(
+            lines.iter().filter(|l| *l == "fp = &f").count(),
+            2,
+            "{lines:?}"
+        );
     }
 
     #[test]
@@ -340,10 +344,17 @@ mod tests {
              void f(void) { p = malloc(4); q = malloc(8); }",
         );
         let lines = assigns(&u);
-        assert!(lines.iter().any(|l| l.starts_with("p = &heap@t.c:")), "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.starts_with("p = &heap@t.c:")),
+            "{lines:?}"
+        );
         assert!(lines.iter().any(|l| l.starts_with("q = &heap@t.c:")));
         // Two distinct heap objects.
-        let heaps: Vec<_> = u.objects.iter().filter(|o| o.kind == ObjKind::Heap).collect();
+        let heaps: Vec<_> = u
+            .objects
+            .iter()
+            .filter(|o| o.kind == ObjKind::Heap)
+            .collect();
         assert_eq!(heaps.len(), 2);
     }
 
@@ -351,7 +362,10 @@ mod tests {
     fn strings_ignored_by_default() {
         let u = compile("char *s; void f(void) { s = \"hello\"; }");
         assert!(assigns(&u).is_empty());
-        let opts = LowerOptions { model_strings: true, ..LowerOptions::default() };
+        let opts = LowerOptions {
+            model_strings: true,
+            ..LowerOptions::default()
+        };
         let u = compile_source("char *s; void f(void) { s = \"hello\"; }", "t.c", &opts).unwrap();
         assert_eq!(u.assigns.len(), 1);
         assert_eq!(u.assigns[0].kind, AssignKind::Addr);

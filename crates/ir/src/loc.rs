@@ -20,7 +20,10 @@ pub struct SrcLoc {
 
 impl SrcLoc {
     /// Location for synthesized objects with no source counterpart.
-    pub const NONE: SrcLoc = SrcLoc { file: FileIdx(u32::MAX), line: 0 };
+    pub const NONE: SrcLoc = SrcLoc {
+        file: FileIdx(u32::MAX),
+        line: 0,
+    };
 
     /// Creates a location.
     pub fn new(file: FileIdx, line: u32) -> Self {
@@ -62,7 +65,9 @@ impl FileTable {
 
     /// The name at an index, or `"<none>"` for the sentinel.
     pub fn name(&self, idx: FileIdx) -> &str {
-        self.names.get(idx.0 as usize).map_or("<none>", |s| s.as_str())
+        self.names
+            .get(idx.0 as usize)
+            .map_or("<none>", |s| s.as_str())
     }
 
     /// Renders `loc` as `file:line` (the paper's `<eg1.c:3>` form).

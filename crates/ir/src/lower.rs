@@ -51,10 +51,12 @@ impl Default for LowerOptions {
         LowerOptions {
             field_model: FieldModel::FieldBased,
             model_strings: false,
-            allocator_names: ["malloc", "calloc", "realloc", "valloc", "memalign", "strdup"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            allocator_names: [
+                "malloc", "calloc", "realloc", "valloc", "memalign", "strdup",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         }
     }
 }
@@ -68,11 +70,7 @@ impl LowerOptions {
 }
 
 /// Lowers one parsed translation unit to primitive assignments.
-pub fn lower_unit(
-    tu: &TranslationUnit,
-    sources: &SourceMap,
-    opts: &LowerOptions,
-) -> CompiledUnit {
+pub fn lower_unit(tu: &TranslationUnit, sources: &SourceMap, opts: &LowerOptions) -> CompiledUnit {
     let mut lw = Lowerer {
         types: &tu.types,
         enum_constants: &tu.enum_constants,
@@ -128,15 +126,27 @@ struct RSrc {
 
 impl RSrc {
     fn obj(id: ObjId) -> Self {
-        RSrc { place: RPlace::Obj(id), strength: Strength::Strong, op: OpKind::Direct }
+        RSrc {
+            place: RPlace::Obj(id),
+            strength: Strength::Strong,
+            op: OpKind::Direct,
+        }
     }
 
     fn addr(id: ObjId) -> Self {
-        RSrc { place: RPlace::Addr(id), strength: Strength::Strong, op: OpKind::Direct }
+        RSrc {
+            place: RPlace::Addr(id),
+            strength: Strength::Strong,
+            op: OpKind::Direct,
+        }
     }
 
     fn deref(id: ObjId) -> Self {
-        RSrc { place: RPlace::Deref(id), strength: Strength::Strong, op: OpKind::Direct }
+        RSrc {
+            place: RPlace::Deref(id),
+            strength: Strength::Strong,
+            op: OpKind::Direct,
+        }
     }
 
     /// Weakens this source through an operation of the given strength,
@@ -205,11 +215,17 @@ impl<'a> Lowerer<'a> {
         if let Some(&id) = self.globals.get(name) {
             // A later declaration may sharpen the type (e.g. tentative
             // definitions, or a prototype following an implicit call).
-            self.global_types.entry(name.to_string()).or_insert_with(|| ty.clone());
+            self.global_types
+                .entry(name.to_string())
+                .or_insert_with(|| ty.clone());
             return id;
         }
         let loc = self.srcloc(loc);
-        let kind = if matches!(ty, Type::Function(_)) { ObjKind::Func } else { ObjKind::Var };
+        let kind = if matches!(ty, Type::Function(_)) {
+            ObjKind::Func
+        } else {
+            ObjKind::Var
+        };
         let info = if storage == Storage::Static {
             ObjectInfo::local(name, kind, self.ty_str(ty), loc)
         } else {
@@ -298,7 +314,12 @@ impl<'a> Lowerer<'a> {
         info.in_func = Some(obj);
         let ret = self.unit.push_object(info);
         let ix = self.unit.funsigs.len();
-        self.unit.funsigs.push(FunSig { obj, params: Vec::new(), ret, is_indirect });
+        self.unit.funsigs.push(FunSig {
+            obj,
+            params: Vec::new(),
+            ret,
+            is_indirect,
+        });
         self.funsig_ix.insert(obj, ix);
         ix
     }
@@ -329,12 +350,27 @@ impl<'a> Lowerer<'a> {
 
     // ----- assignment emission ----------------------------------------------
 
-    fn emit(&mut self, kind: AssignKind, dst: ObjId, src: ObjId, s: Strength, op: OpKind, loc: SrcLoc) {
+    fn emit(
+        &mut self,
+        kind: AssignKind,
+        dst: ObjId,
+        src: ObjId,
+        s: Strength,
+        op: OpKind,
+        loc: SrcLoc,
+    ) {
         // Skip no-op self copies (e.g. from `x++`).
         if kind == AssignKind::Copy && dst == src {
             return;
         }
-        self.unit.push_assign(PrimAssign { kind, dst, src, strength: s, op, loc });
+        self.unit.push_assign(PrimAssign {
+            kind,
+            dst,
+            src,
+            strength: s,
+            op,
+            loc,
+        });
     }
 
     fn emit_assign(&mut self, dst: Place, src: RSrc, loc: SrcLoc) {
@@ -351,7 +387,14 @@ impl<'a> Lowerer<'a> {
                 // `*x = &y` is not primitive: introduce a temporary.
                 let yty = self.obj_types.get(&y).cloned().unwrap_or_else(Type::int);
                 let t = self.new_temp(&yty.ptr_to(), loc);
-                self.emit(AssignKind::Addr, t, y, Strength::Strong, OpKind::Direct, loc);
+                self.emit(
+                    AssignKind::Addr,
+                    t,
+                    y,
+                    Strength::Strong,
+                    OpKind::Direct,
+                    loc,
+                );
                 self.emit(AssignKind::Store, x, t, s, op, loc);
             }
             (Place::None, _) => {}
@@ -390,12 +433,11 @@ impl<'a> Lowerer<'a> {
             ExprKind::Ident(n) => self.type_of_name(n),
             ExprKind::IntLit(_) | ExprKind::CharLit(_) => Some(Type::int()),
             ExprKind::FloatLit(_) => Some(Type::Float(cla_cfront::types::FloatKind::Double)),
-            ExprKind::StrLit(s) => {
-                Some(Type::Array(Box::new(Type::char_()), Some(s.len() as u64 + 1)))
-            }
-            ExprKind::Unary(UnaryOp::Deref, inner) => {
-                self.type_of(inner)?.dereferenced().cloned()
-            }
+            ExprKind::StrLit(s) => Some(Type::Array(
+                Box::new(Type::char_()),
+                Some(s.len() as u64 + 1),
+            )),
+            ExprKind::Unary(UnaryOp::Deref, inner) => self.type_of(inner)?.dereferenced().cloned(),
             ExprKind::Unary(UnaryOp::AddrOf, inner) => Some(self.type_of(inner)?.ptr_to()),
             ExprKind::Unary(_, inner) => self.type_of(inner),
             ExprKind::Binary(op, l, r) => {
@@ -450,7 +492,11 @@ impl<'a> Lowerer<'a> {
         }
         let Type::Record(id) = bt else { return None };
         let rec = self.types.record(id);
-        let fty = self.types.field(id, field).map(|f| f.ty.clone()).unwrap_or_else(Type::int);
+        let fty = self
+            .types
+            .field(id, field)
+            .map(|f| f.ty.clone())
+            .unwrap_or_else(Type::int);
         Some((rec.tag.clone(), fty))
     }
 
@@ -467,7 +513,10 @@ impl<'a> Lowerer<'a> {
             ExprKind::Unary(UnaryOp::Deref, inner) => {
                 // `*a` where a is an array collapses to the array object
                 // (index-independent model).
-                if self.type_of(inner).is_some_and(|t| matches!(t, Type::Array(..))) {
+                if self
+                    .type_of(inner)
+                    .is_some_and(|t| matches!(t, Type::Array(..)))
+                {
                     return self.lower_lvalue(inner);
                 }
                 let obj = self.rvalue_to_obj(inner);
@@ -480,7 +529,10 @@ impl<'a> Lowerer<'a> {
                 // Evaluate the index for side effects; its value is ignored
                 // (index-independent arrays).
                 self.lower_effects(idx);
-                if self.type_of(base).is_some_and(|t| matches!(t, Type::Array(..))) {
+                if self
+                    .type_of(base)
+                    .is_some_and(|t| matches!(t, Type::Array(..)))
+                {
                     self.lower_lvalue(base)
                 } else {
                     match self.rvalue_to_obj(base) {
@@ -603,9 +655,7 @@ impl<'a> Lowerer<'a> {
                     vec![]
                 }
             }
-            ExprKind::Unary(UnaryOp::Deref, _)
-            | ExprKind::Index(..)
-            | ExprKind::Member { .. } => {
+            ExprKind::Unary(UnaryOp::Deref, _) | ExprKind::Index(..) | ExprKind::Member { .. } => {
                 // Check for array collapse producing a decayed value: `a[i]`
                 // where the element itself is an array decays to `&a`.
                 let place = self.lower_lvalue(e);
@@ -658,15 +708,15 @@ impl<'a> Lowerer<'a> {
                 let opk = OpKind::from_binary(*op);
                 let mut out = Vec::new();
                 match Strength::from_class(c1) {
-                    Some(s) => out.extend(
-                        self.lower_rvalue(l).into_iter().map(|x| x.through(s, opk)),
-                    ),
+                    Some(s) => {
+                        out.extend(self.lower_rvalue(l).into_iter().map(|x| x.through(s, opk)))
+                    }
                     None => self.lower_effects(l),
                 }
                 match Strength::from_class(c2) {
-                    Some(s) => out.extend(
-                        self.lower_rvalue(r).into_iter().map(|x| x.through(s, opk)),
-                    ),
+                    Some(s) => {
+                        out.extend(self.lower_rvalue(r).into_iter().map(|x| x.through(s, opk)))
+                    }
                     None => self.lower_effects(r),
                 }
                 out
@@ -763,7 +813,10 @@ impl<'a> Lowerer<'a> {
                     variadic: false,
                     kr: true,
                 }));
-                Some((self.global_object(name, &fty, Storage::None, callee.loc), false))
+                Some((
+                    self.global_object(name, &fty, Storage::None, callee.loc),
+                    false,
+                ))
             }
             _ => {
                 let obj = self.rvalue_to_obj(callee)?;
@@ -777,7 +830,9 @@ impl<'a> Lowerer<'a> {
         // Allocation sites: a fresh heap object per static occurrence.
         if let ExprKind::Ident(name) = &callee.kind {
             if self.opts.allocator_names.iter().any(|a| a == name)
-                && self.type_of_name(name).is_none_or(|t| matches!(t, Type::Function(_)))
+                && self
+                    .type_of_name(name)
+                    .is_none_or(|t| matches!(t, Type::Function(_)))
             {
                 for a in args {
                     self.lower_effects(a);
@@ -811,7 +866,11 @@ impl<'a> Lowerer<'a> {
             self.emit_all(Place::Obj(param), &srcs, loc);
         }
         let ret = self.unit.funsigs[sig].ret;
-        vec![RSrc { place: RPlace::Obj(ret), strength: Strength::Strong, op: OpKind::RetVal }]
+        vec![RSrc {
+            place: RPlace::Obj(ret),
+            strength: Strength::Strong,
+            op: OpKind::RetVal,
+        }]
     }
 
     // ----- declarations & initializers --------------------------------------
@@ -932,7 +991,14 @@ impl<'a> Lowerer<'a> {
             let Some(name) = &p.name else { continue };
             let pobj = self.param_object(sig, i);
             let lobj = self.local_object(name, &p.ty, p.loc);
-            self.emit(AssignKind::Copy, lobj, pobj, Strength::Strong, OpKind::Direct, loc);
+            self.emit(
+                AssignKind::Copy,
+                lobj,
+                pobj,
+                Strength::Strong,
+                OpKind::Direct,
+                loc,
+            );
         }
         let ret = self.unit.funsigs[sig].ret;
         self.lower_block(&f.body, ret);
@@ -956,7 +1022,11 @@ impl<'a> Lowerer<'a> {
             Stmt::Expr(None) | Stmt::Break | Stmt::Continue | Stmt::Goto(_) => {}
             Stmt::Expr(Some(e)) => self.lower_effects(e),
             Stmt::Block(b) => self.lower_block(b, ret),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.lower_effects(cond);
                 self.lower_stmt(then_branch, ret);
                 if let Some(e) = else_branch {
@@ -967,7 +1037,12 @@ impl<'a> Lowerer<'a> {
                 self.lower_effects(cond);
                 self.lower_stmt(body, ret);
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 match init {
                     Some(ForInit::Decl(d)) => self.lower_local_decl(d),

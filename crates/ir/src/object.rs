@@ -93,7 +93,12 @@ pub struct ObjectInfo {
 
 impl ObjectInfo {
     /// A file-local object with no enclosing function.
-    pub fn local(name: impl Into<String>, kind: ObjKind, ty: impl Into<String>, loc: SrcLoc) -> Self {
+    pub fn local(
+        name: impl Into<String>,
+        kind: ObjKind,
+        ty: impl Into<String>,
+        loc: SrcLoc,
+    ) -> Self {
         ObjectInfo {
             name: name.into(),
             link_name: None,
@@ -105,7 +110,12 @@ impl ObjectInfo {
     }
 
     /// A globally linked object (link name = display name).
-    pub fn global(name: impl Into<String>, kind: ObjKind, ty: impl Into<String>, loc: SrcLoc) -> Self {
+    pub fn global(
+        name: impl Into<String>,
+        kind: ObjKind,
+        ty: impl Into<String>,
+        loc: SrcLoc,
+    ) -> Self {
         let name = name.into();
         ObjectInfo {
             link_name: Some(name.clone()),

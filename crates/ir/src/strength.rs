@@ -243,7 +243,10 @@ mod tests {
 
     #[test]
     fn strength_from_class() {
-        assert_eq!(Strength::from_class(OpClass::Strong), Some(Strength::Strong));
+        assert_eq!(
+            Strength::from_class(OpClass::Strong),
+            Some(Strength::Strong)
+        );
         assert_eq!(Strength::from_class(OpClass::Weak), Some(Strength::Weak));
         assert_eq!(Strength::from_class(OpClass::None), None);
     }

@@ -45,8 +45,14 @@ fn nested_calls_chain_rets() {
     );
     let lines = assigns(&u);
     // The innermost op (the call-return) is the one retained for display.
-    assert!(lines.contains(&"outer$1 = inner$ret [ret]".to_string()), "{lines:?}");
-    assert!(lines.contains(&"r = outer$ret [ret]".to_string()), "{lines:?}");
+    assert!(
+        lines.contains(&"outer$1 = inner$ret [ret]".to_string()),
+        "{lines:?}"
+    );
+    assert!(
+        lines.contains(&"r = outer$ret [ret]".to_string()),
+        "{lines:?}"
+    );
 }
 
 #[test]
@@ -70,9 +76,11 @@ fn call_through_struct_field() {
     );
     // The field object is marked as an indirect-call site.
     let fld = u.find_object("Ops.getter").unwrap();
-    assert!(u.funsig(fld).map(|s| s.is_indirect).unwrap_or(false)
-        || u.funsigs.iter().any(|s| s.is_indirect),
-        "an indirect signature must exist");
+    assert!(
+        u.funsig(fld).map(|s| s.is_indirect).unwrap_or(false)
+            || u.funsigs.iter().any(|s| s.is_indirect),
+        "an indirect signature must exist"
+    );
 }
 
 #[test]
@@ -169,8 +177,14 @@ fn return_of_conditional() {
          int *pick(int c) { return c ? &x : &y; }",
     );
     let lines = assigns(&u);
-    assert!(lines.contains(&"pick$ret = &x [?:]".to_string()), "{lines:?}");
-    assert!(lines.contains(&"pick$ret = &y [?:]".to_string()), "{lines:?}");
+    assert!(
+        lines.contains(&"pick$ret = &x [?:]".to_string()),
+        "{lines:?}"
+    );
+    assert!(
+        lines.contains(&"pick$ret = &y [?:]".to_string()),
+        "{lines:?}"
+    );
 }
 
 #[test]
@@ -228,7 +242,10 @@ fn five_kinds_census_matches_dump() {
     let dump = u.dump_assigns();
     assert_eq!(c.total(), dump.lines().count());
     assert_eq!(
-        u.assigns.iter().filter(|a| a.kind == AssignKind::StoreLoad).count(),
+        u.assigns
+            .iter()
+            .filter(|a| a.kind == AssignKind::StoreLoad)
+            .count(),
         c.store_load
     );
 }

@@ -1,0 +1,18 @@
+//! # cla-serve — a long-running analysis server
+//!
+//! The paper's pipeline is batch: compile, link, analyze, print, exit. This
+//! crate keeps the expensive part — the solved pre-transitive graph —
+//! resident, and answers points-to, alias, and dependence queries against
+//! it repeatedly: in process through [`Session`], or over a Unix socket
+//! speaking newline-delimited JSON through [`Server`].
+
+pub mod json;
+
+mod server;
+mod session;
+
+pub use server::{serve, ServerHandle};
+pub use session::{
+    AliasAnswer, DependAnswer, DependentLine, PointsToAnswer, ReloadReport, Session, SessionError,
+    SessionStats, Target,
+};

@@ -1,0 +1,407 @@
+//! The Unix-socket front end: newline-delimited JSON requests in, one JSON
+//! object out per request.
+//!
+//! Protocol (one object per line; see README for a transcript):
+//!
+//! | request | reply |
+//! |---|---|
+//! | `{"cmd":"points-to","var":V}` | `{"ok":true,"var":V,"resolved":N,"targets":[{"id":I,"name":S},…],"cached":B,"us":N}` |
+//! | `{"cmd":"alias","a":A,"b":B}` | `{"ok":true,"a":A,"b":B,"alias":B,"cached":B,"us":N}` |
+//! | `{"cmd":"depend","target":T,"non-targets":[S,…]}` | `{"ok":true,"target":T,"dependents":[{"name":S,"weak_links":N,"length":N},…],"cached":B,"us":N}` |
+//! | `{"cmd":"stats"}` | `{"ok":true,"stats":{…}}` |
+//! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
+//! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
+//!
+//! Every client gets its own thread; they all share one [`Session`], whose
+//! locking discipline (read-locked state, mutexed warm graph, read-mostly
+//! result cache) keeps concurrent clients consistent.
+
+use crate::json::{obj, parse, Value};
+use crate::session::{Session, SessionStats};
+use cla_cfront::FileProvider;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server bound to a Unix socket.
+pub struct ServerHandle {
+    path: PathBuf,
+    accept: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    session: Arc<Session>,
+}
+
+/// Binds `socket` and serves `session` on it until shutdown. A stale socket
+/// file at the path is replaced. `fs` backs the `reload` command; pass
+/// `None` to disable reloading over the wire.
+pub fn serve(
+    session: Arc<Session>,
+    fs: Option<Arc<dyn FileProvider + Send + Sync>>,
+    socket: &Path,
+) -> std::io::Result<ServerHandle> {
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let session = Arc::clone(&session);
+        let shutdown = Arc::clone(&shutdown);
+        let path = socket.to_path_buf();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown.load(SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let session = Arc::clone(&session);
+                let fs = fs.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    serve_client(&session, fs.as_deref(), stream, &shutdown, &path);
+                });
+            }
+        })
+    };
+    Ok(ServerHandle {
+        path: socket.to_path_buf(),
+        accept: Some(accept),
+        shutdown,
+        session,
+    })
+}
+
+impl ServerHandle {
+    /// The socket path the server is listening on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The shared session (for in-process inspection alongside the socket).
+    pub fn session(&self) -> &Arc<Session> {
+        &self.session
+    }
+
+    /// True once a shutdown request was seen (or `stop` was called).
+    pub fn is_shut_down(&self) -> bool {
+        self.shutdown.load(SeqCst)
+    }
+
+    /// Stops accepting, waits for the accept loop, removes the socket file,
+    /// and returns the final stats snapshot.
+    pub fn stop(mut self) -> SessionStats {
+        self.shutdown.store(true, SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        self.session.stats()
+    }
+
+    /// Waits for the server to be shut down by a client (`shutdown` command)
+    /// and returns the final stats snapshot.
+    pub fn join(mut self) -> SessionStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        self.session.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, SeqCst);
+        let _ = UnixStream::connect(&self.path);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn serve_client(
+    session: &Session,
+    fs: Option<&(dyn FileProvider + Send + Sync)>,
+    stream: UnixStream,
+    shutdown: &AtomicBool,
+    path: &Path,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(session, fs, &line, shutdown);
+        let mut text = reply.encode();
+        text.push('\n');
+        if writer.write_all(text.as_bytes()).is_err() {
+            break;
+        }
+        if shutdown.load(SeqCst) {
+            // This request shut the server down: unblock the accept loop.
+            let _ = UnixStream::connect(path);
+            break;
+        }
+    }
+}
+
+fn err_reply(msg: &str) -> Value {
+    obj([("ok", false.into()), ("error", msg.into())])
+}
+
+fn handle_line(
+    session: &Session,
+    fs: Option<&(dyn FileProvider + Send + Sync)>,
+    line: &str,
+    shutdown: &AtomicBool,
+) -> Value {
+    let req = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return err_reply(&format!("bad request: {e}")),
+    };
+    let Some(cmd) = req.get("cmd").and_then(Value::as_str) else {
+        return err_reply("missing \"cmd\"");
+    };
+    match cmd {
+        "points-to" => {
+            let Some(var) = req.get("var").and_then(Value::as_str) else {
+                return err_reply("points-to needs \"var\"");
+            };
+            match session.points_to(var) {
+                Ok(a) => obj([
+                    ("ok", true.into()),
+                    ("var", a.var.as_str().into()),
+                    ("resolved", a.resolved.into()),
+                    (
+                        "targets",
+                        Value::Arr(
+                            a.targets
+                                .iter()
+                                .map(|t| {
+                                    obj([
+                                        ("id", u64::from(t.id).into()),
+                                        ("name", t.name.as_str().into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("cached", a.cached.into()),
+                    ("us", a.micros.into()),
+                ]),
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        "alias" => {
+            let (Some(a), Some(b)) = (
+                req.get("a").and_then(Value::as_str),
+                req.get("b").and_then(Value::as_str),
+            ) else {
+                return err_reply("alias needs \"a\" and \"b\"");
+            };
+            match session.alias(a, b) {
+                Ok(ans) => obj([
+                    ("ok", true.into()),
+                    ("a", ans.a.as_str().into()),
+                    ("b", ans.b.as_str().into()),
+                    ("alias", ans.alias.into()),
+                    ("cached", ans.cached.into()),
+                    ("us", ans.micros.into()),
+                ]),
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        "depend" => {
+            let Some(target) = req.get("target").and_then(Value::as_str) else {
+                return err_reply("depend needs \"target\"");
+            };
+            let non_targets: Vec<String> = req
+                .get("non-targets")
+                .and_then(Value::as_arr)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default();
+            match session.depend(target, &non_targets) {
+                Ok(a) => obj([
+                    ("ok", true.into()),
+                    ("target", a.target.as_str().into()),
+                    (
+                        "dependents",
+                        Value::Arr(
+                            a.dependents
+                                .iter()
+                                .map(|d| {
+                                    obj([
+                                        ("name", d.name.as_str().into()),
+                                        ("weak_links", u64::from(d.weak_links).into()),
+                                        ("length", u64::from(d.length).into()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("cached", a.cached.into()),
+                    ("us", a.micros.into()),
+                ]),
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        "stats" => obj([("ok", true.into()), ("stats", session.stats().to_json())]),
+        "reload" => {
+            let Some(fs) = fs else {
+                return err_reply("reload is not available (server has no source tree)");
+            };
+            let force = req.get("force").and_then(Value::as_bool).unwrap_or(false);
+            match session.reload(fs, force) {
+                Ok(r) => obj([
+                    ("ok", true.into()),
+                    (
+                        "recompiled",
+                        Value::Arr(r.recompiled.iter().map(|f| f.as_str().into()).collect()),
+                    ),
+                    ("invalidated", r.invalidated_results.into()),
+                    ("epoch", r.epoch.into()),
+                    ("relinked", r.relinked.into()),
+                ]),
+                Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        "shutdown" => {
+            shutdown.store(true, SeqCst);
+            obj([("ok", true.into()), ("stats", session.stats().to_json())])
+        }
+        other => err_reply(&format!("unknown cmd: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_cfront::{MemoryFs, PpOptions};
+    use cla_core::SolveOptions;
+    use cla_ir::LowerOptions;
+    use std::sync::atomic::AtomicU32;
+
+    static SOCKET_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_socket() -> PathBuf {
+        let n = SOCKET_SEQ.fetch_add(1, SeqCst);
+        std::env::temp_dir().join(format!("cla-serve-test-{}-{n}.sock", std::process::id()))
+    }
+
+    fn sample_fs() -> MemoryFs {
+        let mut fs = MemoryFs::new();
+        fs.add(
+            "a.c",
+            "int x, y; int *p, **pp; void fa(void) { p = &x; pp = &p; }",
+        );
+        fs.add("b.c", "extern int **pp; int *q; void fb(void) { q = *pp; }");
+        fs
+    }
+
+    fn sample_server(fs: &MemoryFs) -> ServerHandle {
+        let session = Session::from_files(
+            fs,
+            &["a.c", "b.c"],
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+        )
+        .unwrap();
+        serve(
+            Arc::new(session),
+            Some(Arc::new(fs.clone())),
+            &temp_socket(),
+        )
+        .unwrap()
+    }
+
+    fn ask(stream: &mut UnixStream, req: &str) -> Value {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        parse(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+    }
+
+    #[test]
+    fn socket_roundtrip() {
+        let fs = sample_fs();
+        let server = sample_server(&fs);
+        let mut c = UnixStream::connect(server.path()).unwrap();
+        let v = ask(&mut c, r#"{"cmd":"points-to","var":"q"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let names: Vec<&str> = v
+            .get("targets")
+            .and_then(Value::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|t| t.get("name").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names, vec!["x"]);
+        // Errors are replies, not disconnects.
+        let v = ask(&mut c, r#"{"cmd":"points-to","var":"nope"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let v = ask(&mut c, "not json");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let v = ask(&mut c, r#"{"cmd":"alias","a":"p","b":"pp"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let v = ask(&mut c, r#"{"cmd":"stats"}"#);
+        assert!(v.get("stats").and_then(|s| s.get("queries")).is_some());
+        let stats = server.stop();
+        assert!(stats.queries >= 2);
+    }
+
+    #[test]
+    fn shutdown_over_socket() {
+        let fs = sample_fs();
+        let server = sample_server(&fs);
+        let path = server.path().to_path_buf();
+        let mut c = UnixStream::connect(&path).unwrap();
+        let _ = ask(&mut c, r#"{"cmd":"points-to","var":"q"}"#);
+        let v = ask(&mut c, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert!(
+            v.get("stats").is_some(),
+            "shutdown reply carries final stats"
+        );
+        let stats = server.join();
+        assert!(stats.queries >= 1);
+        assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    #[test]
+    fn reload_without_sources_is_an_error() {
+        let fs = sample_fs();
+        let session = Session::from_files(
+            &fs,
+            &["a.c", "b.c"],
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+        )
+        .unwrap();
+        // Server started without a file provider: reload refused.
+        let server = serve(Arc::new(session), None, &temp_socket()).unwrap();
+        let mut c = UnixStream::connect(server.path()).unwrap();
+        let v = ask(&mut c, r#"{"cmd":"reload"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        server.stop();
+    }
+}

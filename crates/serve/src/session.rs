@@ -1,0 +1,805 @@
+//! The in-process query session: a solved program kept warm, an epoch-tagged
+//! result cache in front of it, and incremental reload.
+//!
+//! A [`Session`] is the server's engine and is directly usable as a library:
+//!
+//! * the linked [`Database`] and the solved [`Warm`] graph are loaded once
+//!   and shared; concurrent readers answer queries under a read lock, with
+//!   the warm graph itself behind a mutex (its queries compress paths and
+//!   fill the solver-level `getLvals` cache);
+//! * repeated queries are answered from a bounded LRU of finished results
+//!   without touching the solver at all;
+//! * [`Session::reload`] recompiles only changed sources, relinks through
+//!   [`LinkSet`], swaps the database and warm graph, bumps the session
+//!   epoch, and discards every cached result.
+
+use crate::json::{obj, Value};
+use cla_cfront::{CError, FileProvider, PpOptions};
+use cla_cladb::{write_object, Database, LinkSet};
+use cla_core::{PointsTo, SolveOptions, SolveStats, Warm};
+use cla_depend::{DependOptions, DependenceAnalysis};
+use cla_ir::{compile_file, LowerOptions, ObjId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// How many finished query results the session retains.
+const RESULT_CACHE_CAP: usize = 1024;
+
+/// How many recent latency samples feed the p50/p99 figures.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Errors a query or reload can produce.
+#[derive(Debug)]
+pub enum SessionError {
+    /// No object in the program has this name.
+    UnknownVariable(String),
+    /// `reload` on a session opened from a `.clao` file (no sources).
+    NoSources,
+    /// A source file disappeared between loads.
+    MissingFile(String),
+    /// Recompilation of a changed source failed.
+    Compile(CError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::UnknownVariable(n) => write!(f, "unknown variable: {n}"),
+            SessionError::NoSources => {
+                write!(
+                    f,
+                    "session was opened from a database; reload needs sources"
+                )
+            }
+            SessionError::MissingFile(p) => write!(f, "source file missing: {p}"),
+            SessionError::Compile(e) => write!(f, "recompile failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One points-to target.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Target {
+    pub id: u32,
+    pub name: String,
+}
+
+/// Answer to a points-to query.
+#[derive(Debug, Clone)]
+pub struct PointsToAnswer {
+    pub var: String,
+    /// Number of program objects matching the queried name (statics in
+    /// different files can share one).
+    pub resolved: usize,
+    /// Union of the matched objects' points-to sets, sorted by id.
+    pub targets: Arc<Vec<Target>>,
+    pub cached: bool,
+    pub micros: u64,
+}
+
+/// Answer to an alias query.
+#[derive(Debug, Clone)]
+pub struct AliasAnswer {
+    pub a: String,
+    pub b: String,
+    pub alias: bool,
+    pub cached: bool,
+    pub micros: u64,
+}
+
+/// One forward dependent of a queried target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependentLine {
+    pub name: String,
+    pub weak_links: u32,
+    pub length: u32,
+}
+
+/// Answer to a forward-dependence query.
+#[derive(Debug, Clone)]
+pub struct DependAnswer {
+    pub target: String,
+    pub dependents: Arc<Vec<DependentLine>>,
+    pub cached: bool,
+    pub micros: u64,
+}
+
+/// Outcome of a reload.
+#[derive(Debug, Clone)]
+pub struct ReloadReport {
+    /// Sources whose text changed and were recompiled.
+    pub recompiled: Vec<String>,
+    /// Cached query results discarded by the swap.
+    pub invalidated_results: usize,
+    /// The session epoch after the reload (unchanged if nothing changed).
+    pub epoch: u64,
+    /// Whether the database was relinked and the solver re-run.
+    pub relinked: bool,
+}
+
+/// A point-in-time view of the session's instrumentation.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Queries answered (points-to + alias + depend), including cache hits.
+    pub queries: u64,
+    /// Queries answered from the session's result cache.
+    pub result_cache_hits: u64,
+    pub result_cache_misses: u64,
+    /// Reloads that actually swapped the database.
+    pub reloads: u64,
+    /// Current session epoch (bumped by every swap).
+    pub epoch: u64,
+    /// Median query latency over the recent window, in microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile query latency over the recent window.
+    pub p99_micros: u64,
+    /// Counters of the resident solver, including complex assignments in
+    /// core, graph nodes, and the solver-level `getLvals` cache hits.
+    pub solver: SolveStats,
+}
+
+impl SessionStats {
+    /// Result-cache hit rate in [0, 1]; 0 when nothing was asked yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.result_cache_hits + self.result_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.result_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The stats line as a JSON object (the wire form).
+    pub fn to_json(&self) -> Value {
+        obj([
+            ("queries", self.queries.into()),
+            ("result_cache_hits", self.result_cache_hits.into()),
+            ("result_cache_misses", self.result_cache_misses.into()),
+            (
+                "hit_rate",
+                ((self.hit_rate() * 1000.0).round() / 1000.0).into(),
+            ),
+            ("reloads", self.reloads.into()),
+            ("epoch", self.epoch.into()),
+            ("p50_us", self.p50_micros.into()),
+            ("p99_us", self.p99_micros.into()),
+            ("solver_getlvals_calls", self.solver.getlvals_calls.into()),
+            ("solver_cache_hits", self.solver.cache_hits.into()),
+            ("complex_in_core", self.solver.complex_in_core.into()),
+            ("graph_nodes", self.solver.nodes.into()),
+            ("approx_bytes", self.solver.approx_bytes.into()),
+        ])
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueryKey {
+    kind: u8,
+    a: String,
+    b: String,
+}
+
+enum CachedAnswer {
+    Pts {
+        resolved: usize,
+        targets: Arc<Vec<Target>>,
+    },
+    Alias(bool),
+    Depend(Arc<Vec<DependentLine>>),
+}
+
+struct CacheEntry {
+    val: CachedAnswer,
+    last_used: AtomicU64,
+}
+
+/// Everything derived from one linked program; swapped wholesale on reload.
+struct Loaded {
+    db: Database,
+    warm: Mutex<Warm>,
+    /// Lazily materialized full solution for the dependence analysis.
+    full: Mutex<Option<Arc<PointsTo>>>,
+    results: RwLock<HashMap<QueryKey, CacheEntry>>,
+}
+
+/// Compilation inputs retained for incremental reload.
+struct Sources {
+    files: Vec<String>,
+    /// Hash of each file's current text, for change detection.
+    hashes: HashMap<String, u64>,
+    units: LinkSet,
+    pp: PpOptions,
+    lower: LowerOptions,
+    program: String,
+}
+
+/// A resident analysis session. All methods take `&self`; the session is
+/// `Sync` and designed to be shared (`Arc<Session>`) across server workers.
+pub struct Session {
+    state: RwLock<Loaded>,
+    sources: Mutex<Option<Sources>>,
+    solve_opts: SolveOptions,
+    epoch: AtomicU64,
+    tick: AtomicU64,
+    queries: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    reloads: AtomicU64,
+    latencies: Mutex<Vec<u64>>,
+}
+
+fn hash_text(text: &str) -> u64 {
+    // FNV-1a: stable across runs (unlike the std hasher's random keys).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn load(db: Database, opts: SolveOptions) -> Loaded {
+    let warm = Warm::from_database(&db, opts);
+    Loaded {
+        db,
+        warm: Mutex::new(warm),
+        full: Mutex::new(None),
+        results: RwLock::new(HashMap::new()),
+    }
+}
+
+impl Session {
+    /// Opens a session over an already linked program database.
+    /// [`Session::reload`] is unavailable (there are no sources to watch).
+    pub fn from_database(db: Database, opts: SolveOptions) -> Session {
+        Session {
+            state: RwLock::new(load(db, opts)),
+            sources: Mutex::new(None),
+            solve_opts: opts,
+            epoch: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            latencies: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Compiles and links `files` from `fs`, solves, and opens a session
+    /// that can [`reload`](Session::reload) them incrementally.
+    pub fn from_files(
+        fs: &dyn FileProvider,
+        files: &[&str],
+        pp: &PpOptions,
+        lower: &LowerOptions,
+        opts: SolveOptions,
+    ) -> Result<Session, SessionError> {
+        let mut units = LinkSet::new();
+        let mut hashes = HashMap::new();
+        for f in files {
+            let text = fs
+                .read(f)
+                .ok_or_else(|| SessionError::MissingFile(f.to_string()))?;
+            hashes.insert(f.to_string(), hash_text(&text));
+            let (unit, _) = compile_file(fs, f, pp, lower).map_err(SessionError::Compile)?;
+            units.upsert(*f, unit);
+        }
+        let (program, _) = units.link("a.out");
+        let db = Database::open(write_object(&program)).expect("freshly linked database");
+        let session = Session::from_database(db, opts);
+        *session.sources.lock().unwrap() = Some(Sources {
+            files: files.iter().map(|f| f.to_string()).collect(),
+            hashes,
+            units,
+            pp: pp.clone(),
+            lower: lower.clone(),
+            program: "a.out".to_string(),
+        });
+        Ok(session)
+    }
+
+    // ----- queries ----------------------------------------------------------
+
+    /// The points-to set of the named variable (union over all objects with
+    /// that name).
+    pub fn points_to(&self, var: &str) -> Result<PointsToAnswer, SessionError> {
+        let t0 = Instant::now();
+        let key = QueryKey {
+            kind: 0,
+            a: var.to_string(),
+            b: String::new(),
+        };
+        let st = self.state.read().unwrap();
+        if let Some(CachedAnswer::Pts { resolved, targets }) = self.cache_get(&st, &key) {
+            return Ok(PointsToAnswer {
+                var: var.to_string(),
+                resolved,
+                targets,
+                cached: true,
+                micros: self.done(t0, true),
+            });
+        }
+        let ids = st.db.targets(var);
+        if ids.is_empty() {
+            return Err(SessionError::UnknownVariable(var.to_string()));
+        }
+        let mut set: Vec<u32> = Vec::new();
+        {
+            let mut warm = st.warm.lock().unwrap();
+            for &id in ids {
+                set.extend(warm.points_to(id).iter().map(|o| o.0));
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+        let targets: Arc<Vec<Target>> = Arc::new(
+            set.into_iter()
+                .map(|id| Target {
+                    id,
+                    name: st.db.object(ObjId(id)).name.clone(),
+                })
+                .collect(),
+        );
+        let resolved = ids.len();
+        self.cache_put(
+            &st,
+            key,
+            CachedAnswer::Pts {
+                resolved,
+                targets: Arc::clone(&targets),
+            },
+        );
+        Ok(PointsToAnswer {
+            var: var.to_string(),
+            resolved,
+            targets,
+            cached: false,
+            micros: self.done(t0, false),
+        })
+    }
+
+    /// Whether `*a` and `*b` may name the same object (any pairing of the
+    /// objects resolving to the two names).
+    pub fn alias(&self, a: &str, b: &str) -> Result<AliasAnswer, SessionError> {
+        let t0 = Instant::now();
+        // Alias is symmetric: canonicalize the key.
+        let (ka, kb) = if a <= b { (a, b) } else { (b, a) };
+        let key = QueryKey {
+            kind: 1,
+            a: ka.to_string(),
+            b: kb.to_string(),
+        };
+        let st = self.state.read().unwrap();
+        if let Some(CachedAnswer::Alias(alias)) = self.cache_get(&st, &key) {
+            return Ok(AliasAnswer {
+                a: a.to_string(),
+                b: b.to_string(),
+                alias,
+                cached: true,
+                micros: self.done(t0, true),
+            });
+        }
+        let ids_a = st.db.targets(a);
+        if ids_a.is_empty() {
+            return Err(SessionError::UnknownVariable(a.to_string()));
+        }
+        let ids_b = st.db.targets(b);
+        if ids_b.is_empty() {
+            return Err(SessionError::UnknownVariable(b.to_string()));
+        }
+        let alias = {
+            let mut warm = st.warm.lock().unwrap();
+            ids_a
+                .iter()
+                .any(|&oa| ids_b.iter().any(|&ob| warm.may_alias(oa, ob)))
+        };
+        self.cache_put(&st, key, CachedAnswer::Alias(alias));
+        Ok(AliasAnswer {
+            a: a.to_string(),
+            b: b.to_string(),
+            alias,
+            cached: false,
+            micros: self.done(t0, false),
+        })
+    }
+
+    /// Forward dependence: everything whose value can be influenced by the
+    /// named target (paper §2's type-migration query).
+    pub fn depend(
+        &self,
+        target: &str,
+        non_targets: &[String],
+    ) -> Result<DependAnswer, SessionError> {
+        let t0 = Instant::now();
+        let key = QueryKey {
+            kind: 2,
+            a: target.to_string(),
+            b: non_targets.join("\u{1f}"),
+        };
+        let st = self.state.read().unwrap();
+        if let Some(CachedAnswer::Depend(dependents)) = self.cache_get(&st, &key) {
+            return Ok(DependAnswer {
+                target: target.to_string(),
+                dependents,
+                cached: true,
+                micros: self.done(t0, true),
+            });
+        }
+        let full = self.full_points_to(&st);
+        let da = DependenceAnalysis::new(&st.db, &full);
+        let opts = DependOptions {
+            non_targets: non_targets.to_vec(),
+        };
+        let report = da
+            .analyze(target, &opts)
+            .ok_or_else(|| SessionError::UnknownVariable(target.to_string()))?;
+        let dependents: Arc<Vec<DependentLine>> = Arc::new(
+            report
+                .dependents()
+                .iter()
+                .map(|d| DependentLine {
+                    name: st.db.object(d.obj).name.clone(),
+                    weak_links: d.cost.weak_links,
+                    length: d.cost.length,
+                })
+                .collect(),
+        );
+        self.cache_put(&st, key, CachedAnswer::Depend(Arc::clone(&dependents)));
+        Ok(DependAnswer {
+            target: target.to_string(),
+            dependents,
+            cached: false,
+            micros: self.done(t0, false),
+        })
+    }
+
+    /// All variable names with a non-empty points-to set (for transcript
+    /// tooling and tests).
+    pub fn pointer_variables(&self) -> Vec<String> {
+        let st = self.state.read().unwrap();
+        let full = self.full_points_to(&st);
+        let mut names: Vec<String> = (0..st.db.objects().len())
+            .map(|i| ObjId(i as u32))
+            .filter(|&o| !full.points_to(o).is_empty())
+            .map(|o| st.db.object(o).name.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    // ----- reload -----------------------------------------------------------
+
+    /// Recompiles sources whose text changed (all of them when `force`),
+    /// relinks, re-solves, and swaps the resident state. Cached results are
+    /// discarded and the epoch is bumped; in-flight queries finish against
+    /// the old state. No-op (and no invalidation) when nothing changed.
+    pub fn reload(&self, fs: &dyn FileProvider, force: bool) -> Result<ReloadReport, SessionError> {
+        let mut sources_slot = self.sources.lock().unwrap();
+        let sources = sources_slot.as_mut().ok_or(SessionError::NoSources)?;
+
+        let mut recompiled = Vec::new();
+        for f in sources.files.clone() {
+            let text = fs
+                .read(&f)
+                .ok_or_else(|| SessionError::MissingFile(f.clone()))?;
+            let h = hash_text(&text);
+            if !force && sources.hashes.get(&f) == Some(&h) {
+                continue;
+            }
+            let (unit, _) =
+                compile_file(fs, &f, &sources.pp, &sources.lower).map_err(SessionError::Compile)?;
+            sources.units.upsert(f.clone(), unit);
+            sources.hashes.insert(f.clone(), h);
+            recompiled.push(f);
+        }
+        if recompiled.is_empty() {
+            return Ok(ReloadReport {
+                recompiled,
+                invalidated_results: 0,
+                epoch: self.epoch.load(Relaxed),
+                relinked: false,
+            });
+        }
+
+        let (program, _) = sources.units.link(&sources.program);
+        let db = Database::open(write_object(&program)).expect("freshly linked database");
+        let fresh = load(db, self.solve_opts);
+
+        let mut st = self.state.write().unwrap();
+        let invalidated = st.results.read().unwrap().len();
+        *st = fresh;
+        let epoch = self.epoch.fetch_add(1, Relaxed) + 1;
+        self.reloads.fetch_add(1, Relaxed);
+        Ok(ReloadReport {
+            recompiled,
+            invalidated_results: invalidated,
+            epoch,
+            relinked: true,
+        })
+    }
+
+    // ----- stats ------------------------------------------------------------
+
+    /// Snapshot of the session's counters and latency percentiles.
+    pub fn stats(&self) -> SessionStats {
+        let st = self.state.read().unwrap();
+        let solver = st.warm.lock().unwrap().stats();
+        let mut lat = self.latencies.lock().unwrap().clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                let ix = ((lat.len() as f64 - 1.0) * p).round() as usize;
+                lat[ix]
+            }
+        };
+        SessionStats {
+            queries: self.queries.load(Relaxed),
+            result_cache_hits: self.hits.load(Relaxed),
+            result_cache_misses: self.misses.load(Relaxed),
+            reloads: self.reloads.load(Relaxed),
+            epoch: self.epoch.load(Relaxed),
+            p50_micros: pct(0.50),
+            p99_micros: pct(0.99),
+            solver,
+        }
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn full_points_to(&self, st: &Loaded) -> Arc<PointsTo> {
+        let mut slot = st.full.lock().unwrap();
+        if let Some(full) = slot.as_ref() {
+            return Arc::clone(full);
+        }
+        let full = Arc::new(st.warm.lock().unwrap().extract_points_to(st.db.objects()));
+        *slot = Some(Arc::clone(&full));
+        full
+    }
+
+    fn cache_get(&self, st: &Loaded, key: &QueryKey) -> Option<CachedAnswer> {
+        let map = st.results.read().unwrap();
+        let entry = map.get(key)?;
+        entry
+            .last_used
+            .store(self.tick.fetch_add(1, Relaxed), Relaxed);
+        Some(match &entry.val {
+            CachedAnswer::Pts { resolved, targets } => CachedAnswer::Pts {
+                resolved: *resolved,
+                targets: Arc::clone(targets),
+            },
+            CachedAnswer::Alias(b) => CachedAnswer::Alias(*b),
+            CachedAnswer::Depend(d) => CachedAnswer::Depend(Arc::clone(d)),
+        })
+    }
+
+    fn cache_put(&self, st: &Loaded, key: QueryKey, val: CachedAnswer) {
+        let mut map = st.results.write().unwrap();
+        if map.len() >= RESULT_CACHE_CAP && !map.contains_key(&key) {
+            // Evict the least recently used entry (linear scan: the cap is
+            // small and eviction is rare compared to lookups).
+            if let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&lru);
+            }
+        }
+        map.insert(
+            key,
+            CacheEntry {
+                val,
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Relaxed)),
+            },
+        );
+    }
+
+    /// Records one finished query; returns its latency in microseconds.
+    fn done(&self, t0: Instant, hit: bool) -> u64 {
+        let micros = t0.elapsed().as_micros() as u64;
+        self.queries.fetch_add(1, Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Relaxed);
+        } else {
+            self.misses.fetch_add(1, Relaxed);
+        }
+        let mut lat = self.latencies.lock().unwrap();
+        if lat.len() >= LATENCY_WINDOW {
+            // Overwrite pseudo-randomly to keep a sliding sample without an
+            // extra cursor; ticks make it deterministic.
+            let ix = (self.tick.fetch_add(1, Relaxed) as usize) % LATENCY_WINDOW;
+            lat[ix] = micros;
+        } else {
+            lat.push(micros);
+        }
+        micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_cfront::MemoryFs;
+
+    fn memfs(files: &[(&str, &str)]) -> MemoryFs {
+        let mut fs = MemoryFs::new();
+        for (p, c) in files {
+            fs.add(*p, *c);
+        }
+        fs
+    }
+
+    fn sample_session() -> (Session, MemoryFs) {
+        let fs = memfs(&[
+            (
+                "a.c",
+                "int x, y; int *p, **pp; void fa(void) { p = &x; pp = &p; }",
+            ),
+            (
+                "b.c",
+                "extern int *p; extern int **pp; int *q; void fb(void) { q = *pp; }",
+            ),
+        ]);
+        let s = Session::from_files(
+            &fs,
+            &["a.c", "b.c"],
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+        )
+        .unwrap();
+        (s, fs)
+    }
+
+    #[test]
+    fn points_to_and_cache() {
+        let (s, _) = sample_session();
+        let first = s.points_to("q").unwrap();
+        assert!(!first.cached);
+        let names: Vec<&str> = first.targets.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["x"]);
+        let second = s.points_to("q").unwrap();
+        assert!(second.cached);
+        assert_eq!(second.targets, first.targets);
+        let st = s.stats();
+        assert_eq!(st.result_cache_hits, 1);
+        assert_eq!(st.result_cache_misses, 1);
+        assert!(st.hit_rate() > 0.4 && st.hit_rate() < 0.6);
+    }
+
+    #[test]
+    fn alias_queries() {
+        let (s, _) = sample_session();
+        assert!(s.alias("p", "q").unwrap().alias);
+        // Symmetric query hits the canonicalized cache entry.
+        assert!(s.alias("q", "p").unwrap().cached);
+        assert!(!s.alias("pp", "q").unwrap().alias);
+        assert!(s.points_to("nope").is_err());
+        assert!(s.alias("p", "nope").is_err());
+    }
+
+    #[test]
+    fn depend_queries() {
+        let fs = memfs(&[("m.c", "int t; int a, b; void f(void) { a = t; b = a; }")]);
+        let s = Session::from_files(
+            &fs,
+            &["m.c"],
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+        )
+        .unwrap();
+        let ans = s.depend("t", &[]).unwrap();
+        let names: Vec<&str> = ans.dependents.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"a") && names.contains(&"b"), "{names:?}");
+        let pruned = s.depend("t", &["a".to_string()]).unwrap();
+        assert!(
+            !pruned.cached,
+            "different non-targets must not share a cache entry"
+        );
+        assert!(!pruned.dependents.iter().any(|d| d.name == "a"));
+        assert!(s.depend("t", &[]).unwrap().cached);
+    }
+
+    #[test]
+    fn reload_swaps_answers_and_invalidates() {
+        let (s, mut fs) = sample_session();
+        assert_eq!(
+            s.points_to("q")
+                .unwrap()
+                .targets
+                .iter()
+                .map(|t| t.name.clone())
+                .collect::<Vec<_>>(),
+            vec!["x"]
+        );
+        // Nothing changed: no-op, cache kept.
+        let r = s.reload(&fs, false).unwrap();
+        assert!(!r.relinked);
+        assert!(s.points_to("q").unwrap().cached);
+
+        // Redirect p to y in a.c only.
+        fs.add(
+            "a.c",
+            "int x, y; int *p, **pp; void fa(void) { p = &y; pp = &p; }",
+        );
+        let r = s.reload(&fs, false).unwrap();
+        assert!(r.relinked);
+        assert_eq!(r.recompiled, vec!["a.c".to_string()]);
+        assert!(r.invalidated_results >= 1);
+        let after = s.points_to("q").unwrap();
+        assert!(!after.cached, "stale answer survived the reload");
+        assert_eq!(
+            after
+                .targets
+                .iter()
+                .map(|t| t.name.clone())
+                .collect::<Vec<_>>(),
+            vec!["y"]
+        );
+        assert_eq!(s.stats().reloads, 1);
+        assert_eq!(s.stats().epoch, 1);
+    }
+
+    #[test]
+    fn reload_needs_sources() {
+        let fs = memfs(&[("a.c", "int x; int *p; void f(void) { p = &x; }")]);
+        let (unit, _) =
+            compile_file(&fs, "a.c", &PpOptions::default(), &LowerOptions::default()).unwrap();
+        let db = Database::open(write_object(&unit)).unwrap();
+        let s = Session::from_database(db, SolveOptions::default());
+        assert!(matches!(s.reload(&fs, false), Err(SessionError::NoSources)));
+        assert_eq!(
+            s.points_to("p")
+                .unwrap()
+                .targets
+                .iter()
+                .map(|t| t.name.clone())
+                .collect::<Vec<_>>(),
+            vec!["x"]
+        );
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let (s, _) = sample_session();
+        let expected = s.points_to("q").unwrap().targets;
+        let s = Arc::new(s);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                let expected = Arc::clone(&expected);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let got = s.points_to("q").unwrap();
+                        assert_eq!(got.targets, expected);
+                        assert!(s.alias("p", "q").unwrap().alias);
+                    }
+                });
+            }
+        });
+        let st = s.stats();
+        assert!(st.result_cache_hits > 0);
+        assert!(st.queries >= 800);
+        assert!(st.p50_micros <= st.p99_micros);
+    }
+
+    #[test]
+    fn stats_json_line() {
+        let (s, _) = sample_session();
+        let _ = s.points_to("q").unwrap();
+        let line = s.stats().to_json().encode();
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("queries").and_then(Value::as_u64), Some(1));
+        assert!(v.get("complex_in_core").is_some());
+        assert!(v.get("p99_us").is_some());
+    }
+}

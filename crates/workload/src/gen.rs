@@ -8,8 +8,7 @@
 //! shared prototypes, and indirect calls through function-pointer globals.
 
 use crate::profiles::BenchSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use std::fmt::Write as _;
 
 /// Generator options.
@@ -29,14 +28,22 @@ pub struct GenOptions {
 
 impl Default for GenOptions {
     fn default() -> Self {
-        GenOptions { scale: 1.0, files: 16, seed: 0xC1A, int_copy_fraction: None }
+        GenOptions {
+            scale: 1.0,
+            files: 16,
+            seed: 0xC1A,
+            int_copy_fraction: None,
+        }
     }
 }
 
 impl GenOptions {
     /// Convenience: options at a given scale.
     pub fn at_scale(scale: f64) -> Self {
-        GenOptions { scale, ..Default::default() }
+        GenOptions {
+            scale,
+            ..Default::default()
+        }
     }
 }
 
@@ -83,7 +90,7 @@ struct Pool {
 }
 
 struct Gen {
-    rng: StdRng,
+    rng: SplitMix64,
     files: usize,
     /// Pools: index 0 = shared (header), 1..=files = per-file.
     pools: Vec<Pool>,
@@ -135,7 +142,11 @@ impl Gen {
             return None;
         }
         let use_local = local_len > 0 && (shared_len == 0 || self.rng.random_range(0..4) < 3);
-        let (pool, len) = if use_local { (file + 1, local_len) } else { (0, shared_len) };
+        let (pool, len) = if use_local {
+            (file + 1, local_len)
+        } else {
+            (0, shared_len)
+        };
         let ix = self.rng.random_range(0..len);
         Some(&which(&self.pools[pool])[ix])
     }
@@ -212,7 +223,11 @@ impl Gen {
             return None;
         }
         let use_local = local_len > 0 && (shared_len == 0 || self.rng.random_range(0..4) < 3);
-        let (scope, len) = if use_local { (file + 1, local_len) } else { (0, shared_len) };
+        let (scope, len) = if use_local {
+            (file + 1, local_len)
+        } else {
+            (0, shared_len)
+        };
         let ix = self.rng.random_range(0..len);
         let (name, tag) = self.pools[scope].structs[ix].clone();
         Some((scope, name, tag))
@@ -311,24 +326,48 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
     // code is sparse (avg ~11), emacs-like is join-heavy (avg ~1400).
     let avg_target = spec.target_avg_pts();
     #[allow(clippy::type_complexity)]
-    let (ident_density, identity_site_cap, fptr_site_cap, bridge_density, assoc_window, cluster, field_density, field_spoke_cap, pptr_copy_pct, cycle_pct, split_sl, struct_pct):
-        (f64, usize, usize, f64, usize, usize, f64, usize, u32, u32, bool, u32) =
-        if avg_target < 30.0 {
-            // nethack, gcc, povray: shallow, local pointer flow.
-            (0.05, 1, 1, 0.1, 4, 8, 0.5, 4, 2, 1, true, 8)
-        } else if avg_target < 120.0 {
-            // burlap, vortex: moderate conflation.
-            (0.15, 2, 2, 0.5, 16, 24, 2.0, 8, 4, 1, true, 18)
-        } else if avg_target < 400.0 {
-            // lucent, gimp: substantial join points and heavy struct use.
-            (0.2, 3, 3, 0.5, 48, 64, 1.5, 8, 8, 2, false, 20)
-        } else {
-            // emacs: points-to sets blow up (the paper measures an
-            // average of ~1400).
-            (0.8, 8, 5, 1.2, 128, 128, 3.0, 16, 15, 2, false, 25)
-        };
+    let (
+        ident_density,
+        identity_site_cap,
+        fptr_site_cap,
+        bridge_density,
+        assoc_window,
+        cluster,
+        field_density,
+        field_spoke_cap,
+        pptr_copy_pct,
+        cycle_pct,
+        split_sl,
+        struct_pct,
+    ): (
+        f64,
+        usize,
+        usize,
+        f64,
+        usize,
+        usize,
+        f64,
+        usize,
+        u32,
+        u32,
+        bool,
+        u32,
+    ) = if avg_target < 30.0 {
+        // nethack, gcc, povray: shallow, local pointer flow.
+        (0.05, 1, 1, 0.1, 4, 8, 0.5, 4, 2, 1, true, 8)
+    } else if avg_target < 120.0 {
+        // burlap, vortex: moderate conflation.
+        (0.15, 2, 2, 0.5, 16, 24, 2.0, 8, 4, 1, true, 18)
+    } else if avg_target < 400.0 {
+        // lucent, gimp: substantial join points and heavy struct use.
+        (0.2, 3, 3, 0.5, 48, 64, 1.5, 8, 8, 2, false, 20)
+    } else {
+        // emacs: points-to sets blow up (the paper measures an
+        // average of ~1400).
+        (0.8, 8, 5, 1.2, 128, 128, 3.0, 16, 15, 2, false, 25)
+    };
     let mut g = Gen {
-        rng: StdRng::seed_from_u64(opts.seed ^ spec.name.len() as u64),
+        rng: SplitMix64::seed_from_u64(opts.seed ^ spec.name.len() as u64),
         files: n_files,
         pools: vec![Pool::default(); n_files + 1],
         struct_tags: Vec::new(),
@@ -352,7 +391,9 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
     let n_fptrs = (n_fids / 3).max(1);
     let n_struct_types = (variables / 60).clamp(1, 4000);
     let field_vars = n_struct_types * (FIELDS_INT.len() + FIELDS_PTR.len());
-    let pool_budget = variables.saturating_sub(n_fids + n_fptrs + field_vars).max(8);
+    let pool_budget = variables
+        .saturating_sub(n_fids + n_fptrs + field_vars)
+        .max(8);
     let n_ints = pool_budget * 45 / 100;
     let n_ptrs = pool_budget * 30 / 100;
     let n_pptrs = pool_budget * 15 / 100;
@@ -363,39 +404,60 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
     }
     // ~30% of scalars live in the shared header pool; the rest are spread
     // over the files.
-    let distribute = |count: usize,
-                          prefix: &str,
-                          which: fn(&mut Pool) -> &mut Vec<String>,
-                          g: &mut Gen| {
-        for k in 0..count {
-            let shared = k % 10 < 3;
-            let pool_ix = if shared { 0 } else { g.rng.random_range(0..n_files) + 1 };
-            let name = if shared {
-                format!("g{prefix}{k}")
-            } else {
-                format!("{prefix}{}_{k}", pool_ix - 1)
-            };
-            which(&mut g.pools[pool_ix]).push(name);
-        }
-    };
+    let distribute =
+        |count: usize, prefix: &str, which: fn(&mut Pool) -> &mut Vec<String>, g: &mut Gen| {
+            for k in 0..count {
+                let shared = k % 10 < 3;
+                let pool_ix = if shared {
+                    0
+                } else {
+                    g.rng.random_range(0..n_files) + 1
+                };
+                let name = if shared {
+                    format!("g{prefix}{k}")
+                } else {
+                    format!("{prefix}{}_{k}", pool_ix - 1)
+                };
+                which(&mut g.pools[pool_ix]).push(name);
+            }
+        };
     distribute(n_ints.max(4), "i", |p| &mut p.ints, &mut g);
     distribute(n_ptrs.max(4), "p", |p| &mut p.ptrs, &mut g);
     distribute(n_pptrs.max(2), "q", |p| &mut p.pptrs, &mut g);
     for k in 0..n_structs.max(2) {
         let shared = k % 10 < 3;
-        let pool_ix = if shared { 0 } else { g.rng.random_range(0..n_files) + 1 };
-        let name = if shared { format!("gs{k}") } else { format!("s{}_{k}", pool_ix - 1) };
+        let pool_ix = if shared {
+            0
+        } else {
+            g.rng.random_range(0..n_files) + 1
+        };
+        let name = if shared {
+            format!("gs{k}")
+        } else {
+            format!("s{}_{k}", pool_ix - 1)
+        };
         // Half the instances belong to a handful of *hot* types (list/tree
         // nodes in real code): under the field-independent model their
         // instances conflate into large blobs — the Table 4 effect.
-        let hot_tags = (n_struct_types / 40).clamp(1, 64).max(4).min(n_struct_types);
-        let tag = if k % 2 == 0 { k % hot_tags } else { k % n_struct_types };
+        let hot_tags = (n_struct_types / 40)
+            .clamp(1, 64)
+            .max(4)
+            .min(n_struct_types);
+        let tag = if k % 2 == 0 {
+            k % hot_tags
+        } else {
+            k % n_struct_types
+        };
         g.pools[pool_ix].structs.push((name, tag));
     }
 
     let total_ptrs: usize = g.pools.iter().map(|p| p.ptrs.len()).sum();
     let n_clusters = (total_ptrs / cluster.max(1)).max(1);
-    g.bridges_left = if std::env::var("CLA_GEN_NO_BRIDGES").is_ok() { 0 } else { (n_clusters as f64 * bridge_density) as usize };
+    g.bridges_left = if std::env::var("CLA_GEN_NO_BRIDGES").is_ok() {
+        0
+    } else {
+        (n_clusters as f64 * bridge_density) as usize
+    };
     g.identity_count = ((n_clusters as f64 * ident_density) as usize).clamp(1, n_fids);
     g.field_edges_left = (n_clusters as f64 * field_density) as usize;
     for k in 0..n_fids {
@@ -451,8 +513,7 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
                             .map(|(n, _)| n.clone())
                             .collect();
                         if same_tag.len() >= 2 {
-                            let other =
-                                same_tag[g.rng.random_range(0..same_tag.len())].clone();
+                            let other = same_tag[g.rng.random_range(0..same_tag.len())].clone();
                             if other != sv {
                                 g.emit(f, format!("{sv}.link = &{other};"));
                             }
@@ -473,7 +534,11 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
     // Each fid definition contributes 2 copies (param in, return out); each
     // emitted call contributes 2 (argument + result). Reserve that budget.
     let env_off = |k: &str| std::env::var(k).is_ok();
-    let call_budget = if env_off("CLA_GEN_NO_CALLS") { 0 } else { (n_copy / 20).min(n_fids * 4) };
+    let call_budget = if env_off("CLA_GEN_NO_CALLS") {
+        0
+    } else {
+        (n_copy / 20).min(n_fids * 4)
+    };
     let reserved = n_fids * 2 + call_budget * 2;
     let plain_copies = n_copy.saturating_sub(reserved);
     let int_frac = opts
@@ -504,7 +569,11 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
             }
         } else {
             let roll = g.rng.random_range(0..100);
-            let cycle_pct = if std::env::var("CLA_GEN_NO_CYCLES").is_ok() { 0 } else { cycle_pct };
+            let cycle_pct = if std::env::var("CLA_GEN_NO_CYCLES").is_ok() {
+                0
+            } else {
+                cycle_pct
+            };
             if roll < cycle_pct {
                 // Deliberately close a small pointer cycle over *adjacent*
                 // local pointers (counts as `len` copies). Cycles are rare,
@@ -519,8 +588,7 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
                     let slots = (local_len / g.cluster.max(len)).max(1);
                     let start = g.rng.random_range(0..slots) * g.cluster.max(len);
                     let start = start.min(local_len - len);
-                    let members: Vec<String> =
-                        g.pools[f + 1].ptrs[start..start + len].to_vec();
+                    let members: Vec<String> = g.pools[f + 1].ptrs[start..start + len].to_vec();
                     for w in 0..members.len() {
                         let a = &members[w];
                         let b = &members[(w + 1) % members.len()];
@@ -596,7 +664,9 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
     let mut fptr_sites = vec![0usize; g.fptrs.len()];
     for k in 0..call_budget {
         let f = g.random_file();
-        let Some((dst, arg)) = g.pick2(f, |p| &p.ptrs, |p| &p.ptrs) else { continue };
+        let Some((dst, arg)) = g.pick2(f, |p| &p.ptrs, |p| &p.ptrs) else {
+            continue;
+        };
         if k % 2 == 0 {
             let mut ix = g.rng.random_range(0..g.fids.len());
             let ident_n = g.identity_count;
@@ -628,10 +698,22 @@ pub fn generate(spec: &BenchSpec, opts: &GenOptions) -> Workload {
     }
 
     // ---- complex assignments ------------------------------------------------
-    let n_store = if env_off("CLA_GEN_NO_STORES") { 0 } else { n_store };
-    let n_load = if env_off("CLA_GEN_NO_LOADS") { 0 } else { n_load };
+    let n_store = if env_off("CLA_GEN_NO_STORES") {
+        0
+    } else {
+        n_store
+    };
+    let n_load = if env_off("CLA_GEN_NO_LOADS") {
+        0
+    } else {
+        n_load
+    };
     let n_sl = if env_off("CLA_GEN_NO_SL") { 0 } else { n_sl };
-    let (store_par, load_par) = if split_sl { (Some(0), Some(1)) } else { (None, None) };
+    let (store_par, load_par) = if split_sl {
+        (Some(0), Some(1))
+    } else {
+        (None, None)
+    };
     for _ in 0..n_store {
         let f = g.random_file();
         if let Some((q, p)) = g.pick_assoc(f, store_par) {
@@ -662,7 +744,11 @@ fn render(spec: &BenchSpec, g: &mut Gen) -> Workload {
 
     // ---- shared header ----
     let mut h = String::new();
-    let _ = writeln!(h, "/* generated: shared declarations for `{}` */", spec.name);
+    let _ = writeln!(
+        h,
+        "/* generated: shared declarations for `{}` */",
+        spec.name
+    );
     let _ = writeln!(h, "#ifndef SHARED_H");
     let _ = writeln!(h, "#define SHARED_H");
     for tag in &g.struct_tags {
@@ -791,7 +877,10 @@ fn render(spec: &BenchSpec, g: &mut Gen) -> Workload {
         files.push((format!("{}_{f}.c", spec.name), c));
     }
 
-    Workload { name: spec.name.to_string(), files }
+    Workload {
+        name: spec.name.to_string(),
+        files,
+    }
 }
 
 #[cfg(test)]
@@ -802,7 +891,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let spec = by_name("nethack").unwrap();
-        let opts = GenOptions { scale: 0.05, files: 3, ..Default::default() };
+        let opts = GenOptions {
+            scale: 0.05,
+            files: 3,
+            ..Default::default()
+        };
         let a = generate(spec, &opts);
         let b = generate(spec, &opts);
         assert_eq!(a.files, b.files);
@@ -811,15 +904,36 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let spec = by_name("nethack").unwrap();
-        let a = generate(spec, &GenOptions { scale: 0.05, seed: 1, ..Default::default() });
-        let b = generate(spec, &GenOptions { scale: 0.05, seed: 2, ..Default::default() });
+        let a = generate(
+            spec,
+            &GenOptions {
+                scale: 0.05,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let b = generate(
+            spec,
+            &GenOptions {
+                scale: 0.05,
+                seed: 2,
+                ..Default::default()
+            },
+        );
         assert_ne!(a.files, b.files);
     }
 
     #[test]
     fn structure() {
         let spec = by_name("burlap").unwrap();
-        let w = generate(spec, &GenOptions { scale: 0.02, files: 4, ..Default::default() });
+        let w = generate(
+            spec,
+            &GenOptions {
+                scale: 0.02,
+                files: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(w.source_files().len(), 4);
         assert!(w.files[0].0.ends_with("shared.h"));
         assert!(w.total_bytes() > 500);

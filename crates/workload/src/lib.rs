@@ -18,9 +18,14 @@
 
 mod gen;
 mod profiles;
+pub mod rng;
 
 pub use gen::{generate, GenOptions, Workload};
-pub use profiles::{by_name, table3, table4, BenchSpec, Table3Row, Table4Row, PAPER_BENCHMARKS, PAPER_TABLE3, PAPER_TABLE4};
+pub use profiles::{
+    by_name, table3, table4, BenchSpec, Table3Row, Table4Row, PAPER_BENCHMARKS, PAPER_TABLE3,
+    PAPER_TABLE4,
+};
+pub use rng::SplitMix64;
 
 #[cfg(test)]
 mod tests {
@@ -51,7 +56,14 @@ mod tests {
     fn generated_code_parses_and_lowers() {
         for name in ["nethack", "vortex", "lucent"] {
             let spec = by_name(name).unwrap();
-            let w = generate(spec, &GenOptions { scale: 0.02, files: 3, ..Default::default() });
+            let w = generate(
+                spec,
+                &GenOptions {
+                    scale: 0.02,
+                    files: 3,
+                    ..Default::default()
+                },
+            );
             let counts = compile_workload(&w);
             assert!(counts.total() > 0, "{name} produced no assignments");
         }
@@ -61,15 +73,26 @@ mod tests {
     fn counts_approximate_spec() {
         let spec = by_name("burlap").unwrap();
         let scale = 0.2;
-        let w = generate(spec, &GenOptions { scale, files: 4, ..Default::default() });
+        let w = generate(
+            spec,
+            &GenOptions {
+                scale,
+                files: 4,
+                ..Default::default()
+            },
+        );
         let counts = compile_workload(&w);
-        let target = |v: u32| (f64::from(v) * scale) as f64;
+        let target = |v: u32| f64::from(v) * scale;
         // Complex assignment counts should land within 30% of target
         // (these are emitted one statement per assignment).
         for (got, want, label) in [
             (counts.store as f64, target(spec.store), "store"),
             (counts.load as f64, target(spec.load), "load"),
-            (counts.store_load as f64, target(spec.store_load), "store_load"),
+            (
+                counts.store_load as f64,
+                target(spec.store_load),
+                "store_load",
+            ),
             (counts.addr as f64, target(spec.addr), "addr"),
         ] {
             assert!(

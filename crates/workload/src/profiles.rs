@@ -154,14 +154,94 @@ pub struct Table3Row {
 
 /// The paper's Table 3.
 pub const PAPER_TABLE3: [Table3Row; 8] = [
-    Table3Row { name: "nethack", pointer_variables: 1_018, relations: 7_000, real_time_s: 0.03, user_time_s: 0.01, space_mb: 5.2, assigns_in_core: 114, assigns_loaded: 5_933, assigns_in_file: 10_402 },
-    Table3Row { name: "burlap", pointer_variables: 3_332, relations: 201_000, real_time_s: 0.08, user_time_s: 0.03, space_mb: 5.4, assigns_in_core: 3_201, assigns_loaded: 12_907, assigns_in_file: 19_022 },
-    Table3Row { name: "vortex", pointer_variables: 4_359, relations: 392_000, real_time_s: 0.15, user_time_s: 0.11, space_mb: 5.7, assigns_in_core: 1_792, assigns_loaded: 15_411, assigns_in_file: 34_126 },
-    Table3Row { name: "emacs", pointer_variables: 8_246, relations: 11_232_000, real_time_s: 0.54, user_time_s: 0.51, space_mb: 6.0, assigns_in_core: 1_560, assigns_loaded: 28_445, assigns_in_file: 36_603 },
-    Table3Row { name: "povray", pointer_variables: 6_126, relations: 141_000, real_time_s: 0.11, user_time_s: 0.09, space_mb: 5.7, assigns_in_core: 5_886, assigns_loaded: 27_566, assigns_in_file: 40_280 },
-    Table3Row { name: "gcc", pointer_variables: 11_289, relations: 123_000, real_time_s: 0.20, user_time_s: 0.17, space_mb: 6.0, assigns_in_core: 2_732, assigns_loaded: 53_805, assigns_in_file: 69_715 },
-    Table3Row { name: "gimp", pointer_variables: 45_091, relations: 15_298_000, real_time_s: 1.05, user_time_s: 1.00, space_mb: 12.1, assigns_in_core: 8_377, assigns_loaded: 144_534, assigns_in_file: 344_156 },
-    Table3Row { name: "lucent", pointer_variables: 22_360, relations: 3_865_000, real_time_s: 0.46, user_time_s: 0.38, space_mb: 8.8, assigns_in_core: 4_281, assigns_loaded: 101_856, assigns_in_file: 349_045 },
+    Table3Row {
+        name: "nethack",
+        pointer_variables: 1_018,
+        relations: 7_000,
+        real_time_s: 0.03,
+        user_time_s: 0.01,
+        space_mb: 5.2,
+        assigns_in_core: 114,
+        assigns_loaded: 5_933,
+        assigns_in_file: 10_402,
+    },
+    Table3Row {
+        name: "burlap",
+        pointer_variables: 3_332,
+        relations: 201_000,
+        real_time_s: 0.08,
+        user_time_s: 0.03,
+        space_mb: 5.4,
+        assigns_in_core: 3_201,
+        assigns_loaded: 12_907,
+        assigns_in_file: 19_022,
+    },
+    Table3Row {
+        name: "vortex",
+        pointer_variables: 4_359,
+        relations: 392_000,
+        real_time_s: 0.15,
+        user_time_s: 0.11,
+        space_mb: 5.7,
+        assigns_in_core: 1_792,
+        assigns_loaded: 15_411,
+        assigns_in_file: 34_126,
+    },
+    Table3Row {
+        name: "emacs",
+        pointer_variables: 8_246,
+        relations: 11_232_000,
+        real_time_s: 0.54,
+        user_time_s: 0.51,
+        space_mb: 6.0,
+        assigns_in_core: 1_560,
+        assigns_loaded: 28_445,
+        assigns_in_file: 36_603,
+    },
+    Table3Row {
+        name: "povray",
+        pointer_variables: 6_126,
+        relations: 141_000,
+        real_time_s: 0.11,
+        user_time_s: 0.09,
+        space_mb: 5.7,
+        assigns_in_core: 5_886,
+        assigns_loaded: 27_566,
+        assigns_in_file: 40_280,
+    },
+    Table3Row {
+        name: "gcc",
+        pointer_variables: 11_289,
+        relations: 123_000,
+        real_time_s: 0.20,
+        user_time_s: 0.17,
+        space_mb: 6.0,
+        assigns_in_core: 2_732,
+        assigns_loaded: 53_805,
+        assigns_in_file: 69_715,
+    },
+    Table3Row {
+        name: "gimp",
+        pointer_variables: 45_091,
+        relations: 15_298_000,
+        real_time_s: 1.05,
+        user_time_s: 1.00,
+        space_mb: 12.1,
+        assigns_in_core: 8_377,
+        assigns_loaded: 144_534,
+        assigns_in_file: 344_156,
+    },
+    Table3Row {
+        name: "lucent",
+        pointer_variables: 22_360,
+        relations: 3_865_000,
+        real_time_s: 0.46,
+        user_time_s: 0.38,
+        space_mb: 8.8,
+        assigns_in_core: 4_281,
+        assigns_loaded: 101_856,
+        assigns_in_file: 349_045,
+    },
 ];
 
 /// One row of the paper's Table 4 (field-independent, preliminary).
@@ -176,14 +256,62 @@ pub struct Table4Row {
 
 /// The field-independent half of the paper's Table 4.
 pub const PAPER_TABLE4: [Table4Row; 8] = [
-    Table4Row { name: "nethack", pointer_variables: 1_714, relations: 97_000, user_time_s: 0.03, space_mb: 5.2 },
-    Table4Row { name: "burlap", pointer_variables: 2_903, relations: 323_000, user_time_s: 0.21, space_mb: 5.9 },
-    Table4Row { name: "vortex", pointer_variables: 4_655, relations: 164_000, user_time_s: 0.09, space_mb: 5.7 },
-    Table4Row { name: "emacs", pointer_variables: 8_314, relations: 14_643_000, user_time_s: 1.05, space_mb: 6.7 },
-    Table4Row { name: "povray", pointer_variables: 5_759, relations: 1_375_000, user_time_s: 0.39, space_mb: 6.6 },
-    Table4Row { name: "gcc", pointer_variables: 10_984, relations: 408_000, user_time_s: 0.65, space_mb: 8.8 },
-    Table4Row { name: "gimp", pointer_variables: 39_888, relations: 79_603_000, user_time_s: 30.12, space_mb: 18.1 },
-    Table4Row { name: "lucent", pointer_variables: 26_085, relations: 19_665_000, user_time_s: 137.20, space_mb: 59.0 },
+    Table4Row {
+        name: "nethack",
+        pointer_variables: 1_714,
+        relations: 97_000,
+        user_time_s: 0.03,
+        space_mb: 5.2,
+    },
+    Table4Row {
+        name: "burlap",
+        pointer_variables: 2_903,
+        relations: 323_000,
+        user_time_s: 0.21,
+        space_mb: 5.9,
+    },
+    Table4Row {
+        name: "vortex",
+        pointer_variables: 4_655,
+        relations: 164_000,
+        user_time_s: 0.09,
+        space_mb: 5.7,
+    },
+    Table4Row {
+        name: "emacs",
+        pointer_variables: 8_314,
+        relations: 14_643_000,
+        user_time_s: 1.05,
+        space_mb: 6.7,
+    },
+    Table4Row {
+        name: "povray",
+        pointer_variables: 5_759,
+        relations: 1_375_000,
+        user_time_s: 0.39,
+        space_mb: 6.6,
+    },
+    Table4Row {
+        name: "gcc",
+        pointer_variables: 10_984,
+        relations: 408_000,
+        user_time_s: 0.65,
+        space_mb: 8.8,
+    },
+    Table4Row {
+        name: "gimp",
+        pointer_variables: 39_888,
+        relations: 79_603_000,
+        user_time_s: 30.12,
+        space_mb: 18.1,
+    },
+    Table4Row {
+        name: "lucent",
+        pointer_variables: 26_085,
+        relations: 19_665_000,
+        user_time_s: 137.20,
+        space_mb: 59.0,
+    },
 ];
 
 /// The paper's Table 3 row for a benchmark.

@@ -13,18 +13,30 @@ use cla::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "nethack".to_string());
-    let scale: f64 = args.next().map_or(0.1, |s| s.parse().expect("scale must be a number"));
+    let scale: f64 = args
+        .next()
+        .map_or(0.1, |s| s.parse().expect("scale must be a number"));
 
     let Some(spec) = by_name(&name) else {
         eprintln!(
             "unknown benchmark `{name}`; available: {}",
-            PAPER_BENCHMARKS.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+            PAPER_BENCHMARKS
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(1);
     };
 
     println!("generating `{name}` at scale {scale} ...");
-    let workload = generate(spec, &GenOptions { scale, ..Default::default() });
+    let workload = generate(
+        spec,
+        &GenOptions {
+            scale,
+            ..Default::default()
+        },
+    );
     println!(
         "  {} files, {} lines, {} bytes",
         workload.source_files().len(),
@@ -38,18 +50,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let sources = workload.source_files();
 
-    let opts = PipelineOptions { parallel_compile: true, ..Default::default() };
+    let opts = PipelineOptions {
+        parallel_compile: true,
+        ..Default::default()
+    };
     let analysis = analyze(&fs, &sources, &opts)?;
     let r = &analysis.report;
 
     println!("\n== Table 2-style characteristics (generated vs paper x scale) ==");
     let sc = |v: u32| (f64::from(v) * scale).round() as usize;
-    println!("  variables:  {:>8}  (paper x scale: {})", r.program_variables, sc(spec.variables));
-    println!("  x = y    :  {:>8}  ({})", r.assign_counts.copy, sc(spec.copy));
-    println!("  x = &y   :  {:>8}  ({})", r.assign_counts.addr, sc(spec.addr));
-    println!("  *x = y   :  {:>8}  ({})", r.assign_counts.store, sc(spec.store));
-    println!("  *x = *y  :  {:>8}  ({})", r.assign_counts.store_load, sc(spec.store_load));
-    println!("  x = *y   :  {:>8}  ({})", r.assign_counts.load, sc(spec.load));
+    println!(
+        "  variables:  {:>8}  (paper x scale: {})",
+        r.program_variables,
+        sc(spec.variables)
+    );
+    println!(
+        "  x = y    :  {:>8}  ({})",
+        r.assign_counts.copy,
+        sc(spec.copy)
+    );
+    println!(
+        "  x = &y   :  {:>8}  ({})",
+        r.assign_counts.addr,
+        sc(spec.addr)
+    );
+    println!(
+        "  *x = y   :  {:>8}  ({})",
+        r.assign_counts.store,
+        sc(spec.store)
+    );
+    println!(
+        "  *x = *y  :  {:>8}  ({})",
+        r.assign_counts.store_load,
+        sc(spec.store_load)
+    );
+    println!(
+        "  x = *y   :  {:>8}  ({})",
+        r.assign_counts.load,
+        sc(spec.load)
+    );
     println!("  object size: {} bytes", r.object_size);
 
     println!("\n== Table 3-style results ==");

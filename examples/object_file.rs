@@ -22,7 +22,11 @@ void f(void) {
 ";
     let unit = compile_source(src, "a.c", &LowerOptions::default())?;
     let bytes = write_object(&unit);
-    println!("object file: {} bytes for {} assignments\n", bytes.len(), unit.assigns.len());
+    println!(
+        "object file: {} bytes for {} assignments\n",
+        bytes.len(),
+        unit.assigns.len()
+    );
 
     let db = Database::open(bytes)?;
     println!("{}", dump(&db));

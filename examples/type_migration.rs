@@ -68,7 +68,9 @@ void process(void) {
     let pruned = dep2
         .analyze(
             "sensor_reading",
-            &DependOptions { non_targets: vec!["logged".to_string()] },
+            &DependOptions {
+                non_targets: vec!["logged".to_string()],
+            },
         )
         .expect("sensor_reading exists");
     print!("{}", dep2.render_report(&pruned));

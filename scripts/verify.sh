@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full offline verification: formatting, lints, release build, test suite.
+# Run from the repository root; fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --release --workspace
+
+echo "verify: OK"

@@ -6,6 +6,8 @@
 //! cla-tool solve prog.clao [--print p q]     points-to analysis
 //! cla-tool depend prog.clao --target x       forward dependence query
 //! cla-tool ctx prog.clao -k 4 -o dup.clao    context-duplication transform
+//! cla-tool serve prog.clao --socket S        long-running query server
+//! cla-tool query --socket S points-to p      one query against a server
 //! ```
 //!
 //! Compile accepts `-I <dir>` include paths, `-D NAME[=VALUE]` defines,
@@ -25,6 +27,8 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("depend") => cmd_depend(&args[1..]),
         Some("ctx") => cmd_ctx(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -45,7 +49,13 @@ const USAGE: &str = "usage:
   cla-tool dump <prog.clao>
   cla-tool solve <prog.clao> [--solver NAME] [--print var...]
   cla-tool depend <prog.clao> --target NAME [--tree] [--non-target NAME]...
-  cla-tool ctx <prog.clao> -k N -o out.clao";
+  cla-tool ctx <prog.clao> -k N -o out.clao
+  cla-tool serve <prog.clao> --socket PATH
+  cla-tool serve <src.c>... --socket PATH [-I dir] [-D NAME[=V]] [--field-independent]
+  cla-tool query --socket PATH points-to <var>
+  cla-tool query --socket PATH alias <a> <b>
+  cla-tool query --socket PATH depend <target> [--non-target NAME]...
+  cla-tool query --socket PATH stats|reload|shutdown [--force]";
 
 /// Splits out flag values of the form `--flag value` / `-f value`.
 struct Args<'a> {
@@ -54,7 +64,9 @@ struct Args<'a> {
 
 impl<'a> Args<'a> {
     fn new(args: &'a [String]) -> Self {
-        Args { rest: args.iter().map(String::as_str).collect() }
+        Args {
+            rest: args.iter().map(String::as_str).collect(),
+        }
     }
 
     /// Removes every `flag value` pair, returning the values.
@@ -80,8 +92,7 @@ impl<'a> Args<'a> {
     /// Everything after `marker` (inclusive removal), e.g. `--print a b c`.
     fn take_tail(&mut self, marker: &str) -> Vec<String> {
         if let Some(pos) = self.rest.iter().position(|a| *a == marker) {
-            let tail: Vec<String> =
-                self.rest.drain(pos..).skip(1).map(str::to_string).collect();
+            let tail: Vec<String> = self.rest.drain(pos..).skip(1).map(str::to_string).collect();
             tail
         } else {
             Vec::new()
@@ -95,7 +106,7 @@ impl<'a> Args<'a> {
 
 fn load_database(path: &str) -> Result<Database, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    Database::open(bytes.into()).map_err(|e| format!("`{path}`: {e}"))
+    Database::open(bytes).map_err(|e| format!("`{path}`: {e}"))
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {
@@ -120,7 +131,11 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     }
 
     let fs = OsFs;
-    let pp = PpOptions { include_dirs, defines, max_include_depth: 0 };
+    let pp = PpOptions {
+        include_dirs,
+        defines,
+        max_include_depth: 0,
+    };
     let lower = if field_independent {
         LowerOptions::default().field_independent()
     } else {
@@ -173,12 +188,8 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let pts = match solver.as_str() {
         "pretransitive" => solve_database(&db, SolveOptions::default()).0,
         "worklist" => cla::core::worklist::solve(&db.to_unit().map_err(|e| e.to_string())?),
-        "steensgaard" => {
-            cla::core::steensgaard::solve(&db.to_unit().map_err(|e| e.to_string())?)
-        }
-        "bitvector" => {
-            cla::core::bitvector::solve(&db.to_unit().map_err(|e| e.to_string())?)
-        }
+        "steensgaard" => cla::core::steensgaard::solve(&db.to_unit().map_err(|e| e.to_string())?),
+        "bitvector" => cla::core::bitvector::solve(&db.to_unit().map_err(|e| e.to_string())?),
         other => {
             return Err(format!(
                 "unknown solver `{other}` (pretransitive, worklist, steensgaard, bitvector)"
@@ -229,16 +240,146 @@ fn cmd_depend(args: &[String]) -> Result<(), String> {
     let report = dep
         .analyze(&target, &DependOptions { non_targets })
         .ok_or_else(|| format!("no object named `{target}`"))?;
-    println!(
-        "{} dependents of `{target}`:",
-        report.dependents().len()
-    );
+    println!("{} dependents of `{target}`:", report.dependents().len());
     if tree {
         print!("{}", dep.render_tree(&report));
     } else {
         print!("{}", dep.render_report(&report));
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+
+    let mut a = Args::new(args);
+    let socket = a
+        .take_values("--socket")?
+        .pop()
+        .ok_or("serve needs --socket PATH")?;
+    let include_dirs = a.take_values("-I")?;
+    let defines = a
+        .take_values("-D")?
+        .into_iter()
+        .map(|d| match d.split_once('=') {
+            Some((n, v)) => (n.to_string(), v.to_string()),
+            None => (d, "1".to_string()),
+        })
+        .collect();
+    let field_independent = a.take_flag("--field-independent");
+    let pos = a.positional();
+    if pos.is_empty() {
+        return Err("serve needs a .clao file or C sources".to_string());
+    }
+
+    // A single .clao positional serves the linked database as-is; C sources
+    // are compiled in-process, which also enables the `reload` command.
+    let (session, reload_fs): (Session, Option<Arc<dyn FileProvider + Send + Sync>>) =
+        if pos.len() == 1 && pos[0].ends_with(".clao") {
+            let db = load_database(&pos[0])?;
+            (Session::from_database(db, SolveOptions::default()), None)
+        } else {
+            let pp = PpOptions {
+                include_dirs,
+                defines,
+                max_include_depth: 0,
+            };
+            let lower = if field_independent {
+                LowerOptions::default().field_independent()
+            } else {
+                LowerOptions::default()
+            };
+            let files: Vec<&str> = pos.iter().map(String::as_str).collect();
+            let session = Session::from_files(&OsFs, &files, &pp, &lower, SolveOptions::default())
+                .map_err(|e| e.to_string())?;
+            (session, Some(Arc::new(OsFs)))
+        };
+
+    let handle = cla::serve::serve(Arc::new(session), reload_fs, std::path::Path::new(&socket))
+        .map_err(|e| format!("cannot bind `{socket}`: {e}"))?;
+    eprintln!("cla-tool: serving on {socket} (send {{\"cmd\":\"shutdown\"}} to stop)");
+    let stats = handle.join();
+    println!("{}", stats.to_json().encode());
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use cla::serve::json::{obj, Value};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let mut a = Args::new(args);
+    let socket = a
+        .take_values("--socket")?
+        .pop()
+        .ok_or("query needs --socket PATH")?;
+    let non_targets = a.take_values("--non-target")?;
+    let force = a.take_flag("--force");
+    let pos = a.positional();
+
+    let request = match pos.first().map(String::as_str) {
+        Some("points-to") => {
+            let var = pos.get(1).ok_or("points-to needs a variable name")?;
+            obj([("cmd", "points-to".into()), ("var", var.as_str().into())])
+        }
+        Some("alias") => {
+            let (x, y) = match (pos.get(1), pos.get(2)) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return Err("alias needs two variable names".to_string()),
+            };
+            obj([
+                ("cmd", "alias".into()),
+                ("a", x.as_str().into()),
+                ("b", y.as_str().into()),
+            ])
+        }
+        Some("depend") => {
+            let target = pos.get(1).ok_or("depend needs a target name")?;
+            obj([
+                ("cmd", "depend".into()),
+                ("target", target.as_str().into()),
+                (
+                    "non-targets",
+                    Value::Arr(non_targets.iter().map(|n| n.as_str().into()).collect()),
+                ),
+            ])
+        }
+        Some("stats") => obj([("cmd", "stats".into())]),
+        Some("reload") => obj([("cmd", "reload".into()), ("force", force.into())]),
+        Some("shutdown") => obj([("cmd", "shutdown".into())]),
+        Some(other) => return Err(format!("unknown query `{other}`")),
+        None => {
+            return Err(
+                "query needs a command (points-to, alias, depend, stats, reload, shutdown)"
+                    .to_string(),
+            )
+        }
+    };
+
+    let stream =
+        UnixStream::connect(&socket).map_err(|e| format!("cannot connect to `{socket}`: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{}\n", request.encode()).as_bytes())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(stream)
+        .read_line(&mut reply)
+        .map_err(|e| format!("cannot read reply: {e}"))?;
+    let reply = reply.trim();
+    if reply.is_empty() {
+        return Err("server closed the connection without replying".to_string());
+    }
+    println!("{reply}");
+    // Non-zero exit when the server reports an error.
+    match cla::serve::json::parse(reply) {
+        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(false) => Err(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("server error")
+            .to_string()),
+        _ => Ok(()),
+    }
 }
 
 fn cmd_ctx(args: &[String]) -> Result<(), String> {

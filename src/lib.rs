@@ -12,6 +12,9 @@
 //!   (worklist Andersen, Steensgaard) plus the compile-link-analyze
 //!   pipeline.
 //! * [`depend`] — the forward data-dependence (type migration) tool.
+//! * [`serve`] — a long-running query server (in-process [`prelude::Session`]
+//!   or newline-delimited JSON over a Unix socket) that keeps the solved
+//!   graph warm between queries.
 //! * [`workload`] — synthetic benchmarks calibrated to the paper's Table 2.
 //!
 //! ## Quickstart
@@ -36,6 +39,7 @@ pub use cla_cladb as cladb;
 pub use cla_core as core;
 pub use cla_depend as depend;
 pub use cla_ir as ir;
+pub use cla_serve as serve;
 pub use cla_workload as workload;
 
 /// The most commonly used items, for glob import.
@@ -49,6 +53,7 @@ pub mod prelude {
         compile_file, compile_source, AssignKind, CompiledUnit, FieldModel, LowerOptions, ObjId,
         ObjKind, Strength,
     };
+    pub use cla_serve::{Session, SessionStats};
     pub use cla_workload::{by_name, generate, GenOptions, PAPER_BENCHMARKS};
 }
 

@@ -238,11 +238,9 @@ fn deep_nesting_does_not_overflow() {
     for _ in 0..5000 {
         deep = format!("({deep})");
     }
-    let err = cla::cfront::parse_source(
-        &format!("int x; void f(void) {{ x = {deep}; }}"),
-        "deep.c",
-    )
-    .unwrap_err();
+    let err =
+        cla::cfront::parse_source(&format!("int x; void f(void) {{ x = {deep}; }}"), "deep.c")
+            .unwrap_err();
     assert!(format!("{err}").contains("nested too deeply"), "{err}");
 
     let stars = "*".repeat(5000);

@@ -1,7 +1,7 @@
 //! End-to-end tests of the `cla-tool` command-line driver, run against the
 //! real binary with real files on disk.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
 fn tool() -> Command {
@@ -15,7 +15,7 @@ fn tmpdir(name: &str) -> PathBuf {
     dir
 }
 
-fn write(dir: &PathBuf, name: &str, contents: &str) -> String {
+fn write(dir: &Path, name: &str, contents: &str) -> String {
     let p = dir.join(name);
     std::fs::write(&p, contents).unwrap();
     p.to_string_lossy().into_owned()

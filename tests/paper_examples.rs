@@ -104,10 +104,22 @@ void main_(void) {
 }";
     let a = run_single(src);
     let z = obj(&a, "z");
-    assert!(a.points_to.may_point_to(obj(&a, "p"), z), "p gets &z in both approaches");
-    assert!(a.points_to.may_point_to(obj(&a, "r"), z), "field-based: r gets &z");
-    assert!(!a.points_to.may_point_to(obj(&a, "q"), z), "field-based: q does not");
-    assert!(!a.points_to.may_point_to(obj(&a, "s"), z), "in neither approach does s get &z");
+    assert!(
+        a.points_to.may_point_to(obj(&a, "p"), z),
+        "p gets &z in both approaches"
+    );
+    assert!(
+        a.points_to.may_point_to(obj(&a, "r"), z),
+        "field-based: r gets &z"
+    );
+    assert!(
+        !a.points_to.may_point_to(obj(&a, "q"), z),
+        "field-based: q does not"
+    );
+    assert!(
+        !a.points_to.may_point_to(obj(&a, "s"), z),
+        "in neither approach does s get &z"
+    );
 }
 
 /// ... and field-independent: only p and q.
@@ -131,10 +143,22 @@ void main_(void) {
     };
     let a = analyze(&fs, &["paper.c"], &opts).expect("pipeline");
     let z = obj(&a, "z");
-    assert!(a.points_to.may_point_to(obj(&a, "p"), z), "p gets &z in both approaches");
-    assert!(a.points_to.may_point_to(obj(&a, "q"), z), "field-independent: q gets &z");
-    assert!(!a.points_to.may_point_to(obj(&a, "r"), z), "field-independent: r does not");
-    assert!(!a.points_to.may_point_to(obj(&a, "s"), z), "in neither approach does s get &z");
+    assert!(
+        a.points_to.may_point_to(obj(&a, "p"), z),
+        "p gets &z in both approaches"
+    );
+    assert!(
+        a.points_to.may_point_to(obj(&a, "q"), z),
+        "field-independent: q gets &z"
+    );
+    assert!(
+        !a.points_to.may_point_to(obj(&a, "r"), z),
+        "field-independent: r does not"
+    );
+    assert!(
+        !a.points_to.may_point_to(obj(&a, "s"), z),
+        "in neither approach does s get &z"
+    );
 }
 
 /// Figure 4's example file: the paper's Section 4 walkthrough ("in the end,

@@ -84,7 +84,10 @@ int main(void) {
     let a = analyze(
         &fs,
         &["box.c", "fetch.c", "heap.c", "main.c"],
-        &PipelineOptions { parallel_compile: true, ..Default::default() },
+        &PipelineOptions {
+            parallel_compile: true,
+            ..Default::default()
+        },
     )
     .expect("pipeline");
     let secret = obj(&a, "secret");
@@ -207,8 +210,14 @@ void f(void) {
 #[test]
 fn dependence_over_linked_database() {
     let fs = fs_of(&[
-        ("a.c", "short source; short mid; void fa(void) { mid = source; }"),
-        ("b.c", "extern short mid; short sink; void fb(void) { sink = mid >> 1; }"),
+        (
+            "a.c",
+            "short source; short mid; void fa(void) { mid = source; }",
+        ),
+        (
+            "b.c",
+            "extern short mid; short sink; void fb(void) { sink = mid >> 1; }",
+        ),
     ]);
     let a = analyze(&fs, &["a.c", "b.c"], &PipelineOptions::default()).unwrap();
     let dep = DependenceAnalysis::new(&a.database, &a.points_to);
@@ -218,8 +227,14 @@ fn dependence_over_linked_database() {
         .iter()
         .map(|d| (a.database.object(d.obj).name.clone(), d.cost.strength()))
         .collect();
-    assert!(by_name.contains(&("mid".to_string(), Strength::Strong)), "{by_name:?}");
-    assert!(by_name.contains(&("sink".to_string(), Strength::Weak)), "{by_name:?}");
+    assert!(
+        by_name.contains(&("mid".to_string(), Strength::Strong)),
+        "{by_name:?}"
+    );
+    assert!(
+        by_name.contains(&("sink".to_string(), Strength::Weak)),
+        "{by_name:?}"
+    );
 }
 
 /// A workload-generated program survives the entire pipeline and all three
@@ -227,7 +242,14 @@ fn dependence_over_linked_database() {
 #[test]
 fn generated_workload_end_to_end() {
     let spec = by_name("burlap").unwrap();
-    let w = generate(spec, &GenOptions { scale: 0.03, files: 4, ..Default::default() });
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale: 0.03,
+            files: 4,
+            ..Default::default()
+        },
+    );
     let mut fs = MemoryFs::new();
     for (p, c) in &w.files {
         fs.add(p.clone(), c.clone());

@@ -154,7 +154,10 @@ fn build() -> cla::core::pipeline::Analysis {
     analyze(
         &fs,
         &["list.c", "hash.c", "arena.c", "main.c"],
-        &PipelineOptions { parallel_compile: true, ..Default::default() },
+        &PipelineOptions {
+            parallel_compile: true,
+            ..Default::default()
+        },
     )
     .expect("pipeline")
 }
@@ -212,7 +215,9 @@ fn dependence_facts() {
 
     // Changing raw_reading's type requires changing scaled_reading (strong,
     // through +).
-    let report = dep.analyze("raw_reading", &DependOptions::default()).unwrap();
+    let report = dep
+        .analyze("raw_reading", &DependOptions::default())
+        .unwrap();
     let names: Vec<String> = report
         .dependents()
         .iter()

@@ -1,0 +1,306 @@
+//! Integration tests for the query server: the socket protocol must give
+//! the same answers as a batch `solve_database` run, stay consistent under
+//! concurrent clients, and track source edits through `reload`.
+
+use cla::prelude::*;
+use cla::serve::json::{obj, parse, Value};
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const FILE_A: &str = r"
+    int x, y, z;
+    int *p, *r;
+    int **pp;
+    void fa(void) {
+        p = &x;
+        r = &y;
+        pp = &p;
+        *pp = &z;
+    }
+";
+
+const FILE_B: &str = r"
+    extern int **pp;
+    extern int *r;
+    int *q, *s;
+    int w;
+    void fb(void) {
+        q = *pp;
+        s = r;
+        *q = w;
+    }
+";
+
+const FILE_C: &str = r"
+    extern int *q;
+    int *t;
+    int u;
+    void fc(int *arg) { t = arg; }
+    void fd(void) { fc(q); fc(&u); }
+";
+
+/// Writes the sources into a fresh temp directory; returns absolute paths.
+fn write_sources(tag: &str, files: &[(&str, &str)]) -> (PathBuf, Vec<String>) {
+    let dir = std::env::temp_dir().join(format!("cla-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = files
+        .iter()
+        .map(|(name, text)| {
+            let p = dir.join(name);
+            std::fs::write(&p, text).unwrap();
+            p.to_string_lossy().into_owned()
+        })
+        .collect();
+    (dir, paths)
+}
+
+fn start_server(tag: &str, paths: &[String]) -> cla::serve::ServerHandle {
+    let files: Vec<&str> = paths.iter().map(String::as_str).collect();
+    let session = Session::from_files(
+        &OsFs,
+        &files,
+        &PpOptions::default(),
+        &LowerOptions::default(),
+        SolveOptions::default(),
+    )
+    .unwrap();
+    let socket =
+        std::env::temp_dir().join(format!("cla-serve-it-{tag}-{}.sock", std::process::id()));
+    cla::serve::serve(Arc::new(session), Some(Arc::new(OsFs)), &socket).unwrap()
+}
+
+fn ask(stream: &mut UnixStream, req: &Value) -> Value {
+    stream
+        .write_all(format!("{}\n", req.encode()).as_bytes())
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    parse(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+}
+
+fn points_to_req(var: &str) -> Value {
+    obj([("cmd", "points-to".into()), ("var", var.into())])
+}
+
+fn target_names(reply: &Value) -> BTreeSet<String> {
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "error reply: {}",
+        reply.encode()
+    );
+    reply
+        .get("targets")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .map(|t| t.get("name").and_then(Value::as_str).unwrap().to_string())
+        .collect()
+}
+
+/// The batch oracle: link + solve the same sources in one shot, and union
+/// points-to targets per variable *name* (matching the server's semantics).
+fn batch_answers(paths: &[String]) -> Vec<(String, BTreeSet<String>)> {
+    let units: Vec<CompiledUnit> = paths
+        .iter()
+        .map(|p| {
+            compile_file(&OsFs, p, &PpOptions::default(), &LowerOptions::default())
+                .unwrap()
+                .0
+        })
+        .collect();
+    let (program, _) = link(&units, "a.out");
+    let db = Database::open(write_object(&program)).unwrap();
+    let (pts, _) = solve_database(&db, SolveOptions::default());
+    let names: BTreeSet<String> = program.objects.iter().map(|o| o.name.clone()).collect();
+    names
+        .into_iter()
+        // Only symbol-indexed names are queryable; internal objects
+        // (`fa$ret`, temporaries) are not addressable over the wire.
+        .filter(|name| !db.targets(name).is_empty())
+        .map(|name| {
+            let mut set = BTreeSet::new();
+            for &o in db.targets(&name) {
+                for &t in pts.points_to(o) {
+                    set.insert(db.object(t).name.clone());
+                }
+            }
+            (name, set)
+        })
+        .collect()
+}
+
+#[test]
+fn socket_answers_match_batch_for_every_variable() {
+    let (dir, paths) = write_sources(
+        "batch",
+        &[("a.c", FILE_A), ("b.c", FILE_B), ("c.c", FILE_C)],
+    );
+    let oracle = batch_answers(&paths);
+    assert!(
+        oracle.iter().any(|(_, set)| !set.is_empty()),
+        "oracle is trivial"
+    );
+
+    let server = start_server("batch", &paths);
+    let mut c = UnixStream::connect(server.path()).unwrap();
+    for (name, expected) in &oracle {
+        let reply = ask(&mut c, &points_to_req(name));
+        assert_eq!(
+            &target_names(&reply),
+            expected,
+            "socket and batch disagree on `{name}`"
+        );
+    }
+    // A second sweep is answered from the result cache.
+    for (name, _) in &oracle {
+        let reply = ask(&mut c, &points_to_req(name));
+        assert_eq!(reply.get("cached").and_then(Value::as_bool), Some(true));
+    }
+    let stats = server.stop();
+    assert!(
+        stats.result_cache_hits > 0,
+        "repeat queries must hit the cache"
+    );
+    assert!(stats.queries >= 2 * oracle.len() as u64);
+    assert!(stats.p50_micros <= stats.p99_micros);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn eight_concurrent_clients_get_identical_answers() {
+    let (dir, paths) = write_sources("conc", &[("a.c", FILE_A), ("b.c", FILE_B), ("c.c", FILE_C)]);
+    let oracle = batch_answers(&paths);
+    let server = start_server("conc", &paths);
+    let path = server.path().to_path_buf();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let path = &path;
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    let mut c = UnixStream::connect(path).unwrap();
+                    // Stagger the sweep so threads race on different keys.
+                    for round in 0..3 {
+                        for (j, (name, expected)) in oracle.iter().enumerate() {
+                            if (i + j + round) % 2 == 0 {
+                                let reply = ask(&mut c, &points_to_req(name));
+                                assert_eq!(
+                                    &target_names(&reply),
+                                    expected,
+                                    "client {i} disagrees on `{name}`"
+                                );
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+
+    let stats = server.stop();
+    assert!(stats.result_cache_hits > 0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn reload_reflects_source_edits_and_invalidates() {
+    let (dir, paths) = write_sources(
+        "reload",
+        &[
+            ("a.c", "int x, y; int *p; void fa(void) { p = &x; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ],
+    );
+    let server = start_server("reload", &paths);
+    let mut c = UnixStream::connect(server.path()).unwrap();
+
+    let before = target_names(&ask(&mut c, &points_to_req("q")));
+    assert_eq!(before, BTreeSet::from(["x".to_string()]));
+    // Warm the cache with a second variable so reload has entries to drop.
+    let _ = ask(&mut c, &points_to_req("p"));
+
+    // Edit a.c on disk: p now points at y.
+    std::fs::write(
+        Path::new(&paths[0]),
+        "int x, y; int *p; void fa(void) { p = &y; }",
+    )
+    .unwrap();
+    let reply = ask(&mut c, &obj([("cmd", "reload".into())]));
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(reply.get("relinked").and_then(Value::as_bool), Some(true));
+    let recompiled: Vec<&str> = reply
+        .get("recompiled")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(
+        recompiled,
+        vec![paths[0].as_str()],
+        "only the edited file recompiles"
+    );
+    assert!(reply.get("invalidated").and_then(Value::as_u64).unwrap() >= 2);
+
+    // Stale answers are gone: the same query now reports the new graph,
+    // uncached.
+    let reply = ask(&mut c, &points_to_req("q"));
+    assert_eq!(reply.get("cached").and_then(Value::as_bool), Some(false));
+    assert_eq!(target_names(&reply), BTreeSet::from(["y".to_string()]));
+
+    // An untouched tree is a no-op reload that invalidates nothing.
+    let reply = ask(&mut c, &obj([("cmd", "reload".into())]));
+    assert_eq!(reply.get("relinked").and_then(Value::as_bool), Some(false));
+    assert_eq!(reply.get("invalidated").and_then(Value::as_u64), Some(0));
+    let reply = ask(&mut c, &points_to_req("q"));
+    assert_eq!(reply.get("cached").and_then(Value::as_bool), Some(true));
+
+    let stats = server.stop();
+    assert_eq!(
+        stats.reloads, 1,
+        "the no-op check does not count as a reload"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn depend_over_socket_matches_in_process() {
+    let (dir, paths) = write_sources(
+        "depend",
+        &[(
+            "a.c",
+            "short base; int d1, d2; void f(void) { d1 = base; d2 = d1; }",
+        )],
+    );
+    let server = start_server("depend", &paths);
+    let mut c = UnixStream::connect(server.path()).unwrap();
+    let reply = ask(
+        &mut c,
+        &obj([("cmd", "depend".into()), ("target", "base".into())]),
+    );
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    let names: BTreeSet<&str> = reply
+        .get("dependents")
+        .and_then(Value::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|d| d.get("name").and_then(Value::as_str))
+        .collect();
+    assert!(
+        names.contains("d1") && names.contains("d2"),
+        "got {names:?}"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(dir);
+}

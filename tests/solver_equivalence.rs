@@ -1,4 +1,4 @@
-//! Property-based cross-solver equivalence.
+//! Randomized cross-solver equivalence.
 //!
 //! Random constraint systems are generated directly as [`CompiledUnit`]s
 //! (arbitrary mixes of the five primitive forms over a small variable set),
@@ -10,11 +10,14 @@
 //!   object file),
 //! * the worklist Andersen baseline,
 //! * Steensgaard (checked for over-approximation only).
+//!
+//! Cases come from a fixed-seed SplitMix64 stream, so every run checks the
+//! same corpus and failures reproduce exactly.
 
-use cla::prelude::*;
 use cla::core::{deductive, steensgaard, worklist};
 use cla::ir::{ObjectInfo, PrimAssign, SrcLoc};
-use proptest::prelude::*;
+use cla::prelude::*;
+use cla::workload::SplitMix64;
 
 /// Builds a unit with `nvars` variables and the given raw assignments
 /// (kind, dst, src).
@@ -55,76 +58,105 @@ fn sets(p: &cla::core::PointsTo, nvars: u32) -> Vec<Vec<cla::ir::ObjId>> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_assigns(rng: &mut SplitMix64, count: usize, var_bound: u32) -> Vec<(u8, u32, u32)> {
+    (0..count)
+        .map(|_| {
+            (
+                rng.random_range(0..5u32) as u8,
+                rng.random_range(0..var_bound),
+                rng.random_range(0..var_bound),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn all_solvers_agree(
-        nvars in 3u32..10,
-        assigns in prop::collection::vec((0u8..5, 0u32..10, 0u32..10), 1..25),
-    ) {
+#[test]
+fn all_solvers_agree() {
+    let mut rng = SplitMix64::seed_from_u64(0xc1a0_0001);
+    for _case in 0..64 {
+        let nvars = rng.random_range(3..10u32);
+        let nassigns = rng.random_range(1..25usize);
+        let assigns = random_assigns(&mut rng, nassigns, 10);
         let unit = build_unit(nvars, &assigns);
         let oracle = deductive::solve_oracle(&unit);
         let expected = sets(&oracle, nvars);
 
         for (cache, cycle) in [(true, true), (true, false), (false, true), (false, false)] {
-            let (got, _) = solve_unit(&unit, SolveOptions { cache, cycle_elim: cycle });
-            prop_assert_eq!(
+            let (got, _) = solve_unit(
+                &unit,
+                SolveOptions {
+                    cache,
+                    cycle_elim: cycle,
+                },
+            );
+            assert_eq!(
                 sets(&got, nvars),
-                expected.clone(),
-                "pre-transitive cache={} cycle={} diverged",
-                cache,
-                cycle
+                expected,
+                "pre-transitive cache={cache} cycle={cycle} diverged on {assigns:?}"
             );
         }
 
         let wl = worklist::solve(&unit);
-        prop_assert_eq!(sets(&wl, nvars), expected.clone(), "worklist diverged");
+        assert_eq!(
+            sets(&wl, nvars),
+            expected,
+            "worklist diverged on {assigns:?}"
+        );
 
         // Demand-loading through a real object file.
         let db = Database::open(write_object(&unit)).unwrap();
         let (dbp, _) = solve_database(&db, SolveOptions::default());
-        prop_assert_eq!(sets(&dbp, nvars), expected.clone(), "demand-loaded solve diverged");
+        assert_eq!(
+            sets(&dbp, nvars),
+            expected,
+            "demand-loaded solve diverged on {assigns:?}"
+        );
 
         // Steensgaard must over-approximate.
         let st = steensgaard::solve(&unit);
-        prop_assert!(oracle.subsumed_by(&st), "Steensgaard under-approximated");
+        assert!(
+            oracle.subsumed_by(&st),
+            "Steensgaard under-approximated on {assigns:?}"
+        );
     }
+}
 
-    #[test]
-    fn object_file_roundtrip(
-        nvars in 1u32..12,
-        assigns in prop::collection::vec((0u8..5, 0u32..12, 0u32..12), 0..30),
-    ) {
+#[test]
+fn object_file_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xc1a0_0002);
+    for _case in 0..64 {
+        let nvars = rng.random_range(1..12u32);
+        let nassigns = rng.random_range(0..30usize);
+        let assigns = random_assigns(&mut rng, nassigns, 12);
         let unit = build_unit(nvars, &assigns);
         let bytes = write_object(&unit);
         let db = Database::open(bytes).unwrap();
         let back = db.to_unit().unwrap();
-        prop_assert_eq!(&back.objects, &unit.objects);
-        prop_assert_eq!(back.assign_counts(), unit.assign_counts());
+        assert_eq!(&back.objects, &unit.objects);
+        assert_eq!(back.assign_counts(), unit.assign_counts());
         // Every assignment survives (order may differ between sections).
         let mut a: Vec<_> = unit.assigns.clone();
         let mut b: Vec<_> = back.assigns.clone();
         let key = |x: &PrimAssign| (x.kind as u8, x.dst.0, x.src.0, x.loc.line);
         a.sort_by_key(key);
         b.sort_by_key(key);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }
 
-/// Source-level property test: random tiny C programs through the whole
+/// Source-level property: random tiny C programs through the whole
 /// pipeline agree with the oracle.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pipeline_matches_oracle_on_random_c(
-        stmts in prop::collection::vec((0u8..5, 0usize..4, 0usize..4), 1..15),
-    ) {
-        let vars = ["a", "b", "c", "d"];
+#[test]
+fn pipeline_matches_oracle_on_random_c() {
+    let mut rng = SplitMix64::seed_from_u64(0xc1a0_0003);
+    let vars = ["a", "b", "c", "d"];
+    for _case in 0..48 {
+        let nstmts = rng.random_range(1..15usize);
         let mut body = String::new();
-        for (kind, d, s) in &stmts {
-            let (d, s) = (vars[*d], vars[*s]);
+        for _ in 0..nstmts {
+            let kind = rng.random_range(0..5u32) as u8;
+            let d = vars[rng.random_range(0..4usize)];
+            let s = vars[rng.random_range(0..4usize)];
             match kind % 5 {
                 0 => body.push_str(&format!("{d} = {s};\n")),
                 1 => body.push_str(&format!("{d} = (int *) &{s};\n")),
@@ -137,6 +169,6 @@ proptest! {
         let unit = compile_source(&src, "prop.c", &LowerOptions::default()).unwrap();
         let oracle = cla::core::deductive::solve_oracle(&unit);
         let (got, _) = solve_unit(&unit, SolveOptions::default());
-        prop_assert_eq!(&got, &oracle, "mismatch on program:\n{}", src);
+        assert_eq!(&got, &oracle, "mismatch on program:\n{src}");
     }
 }

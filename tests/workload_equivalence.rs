@@ -10,7 +10,15 @@ use cla::prelude::*;
 
 fn check(spec_name: &str, seed: u64, scale: f64) {
     let spec = by_name(spec_name).unwrap();
-    let w = generate(spec, &GenOptions { scale, files: 4, seed, ..Default::default() });
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale,
+            files: 4,
+            seed,
+            ..Default::default()
+        },
+    );
     let mut fs = MemoryFs::new();
     for (p, c) in &w.files {
         fs.add(p.clone(), c.clone());
@@ -20,7 +28,10 @@ fn check(spec_name: &str, seed: u64, scale: f64) {
     let analysis = analyze(
         &fs,
         &refs,
-        &PipelineOptions { parallel_compile: true, ..Default::default() },
+        &PipelineOptions {
+            parallel_compile: true,
+            ..Default::default()
+        },
     )
     .unwrap_or_else(|e| panic!("{spec_name} seed={seed}: {e}"));
     let program = analysis.database.to_unit().unwrap();
@@ -31,7 +42,10 @@ fn check(spec_name: &str, seed: u64, scale: f64) {
         "{spec_name} seed={seed}: demand pre-transitive vs worklist"
     );
     let bv = bitvector::solve(&program);
-    assert_eq!(analysis.points_to, bv, "{spec_name} seed={seed}: vs bit-vector");
+    assert_eq!(
+        analysis.points_to, bv,
+        "{spec_name} seed={seed}: vs bit-vector"
+    );
     let st = steensgaard::solve(&program);
     assert!(
         analysis.points_to.subsumed_by(&st),
@@ -40,7 +54,13 @@ fn check(spec_name: &str, seed: u64, scale: f64) {
 
     // Ablation configurations agree too.
     for (cache, cycle) in [(true, false), (false, true), (false, false)] {
-        let (alt, _) = solve_unit(&program, SolveOptions { cache, cycle_elim: cycle });
+        let (alt, _) = solve_unit(
+            &program,
+            SolveOptions {
+                cache,
+                cycle_elim: cycle,
+            },
+        );
         assert_eq!(
             analysis.points_to, alt,
             "{spec_name} seed={seed}: ablation cache={cache} cycle={cycle}"
@@ -71,7 +91,14 @@ fn join_heavy_profile_agrees() {
 fn struct_heavy_profile_agrees_in_both_field_models() {
     let spec = by_name("vortex").unwrap();
     for field_independent in [false, true] {
-        let w = generate(spec, &GenOptions { scale: 0.03, files: 3, ..Default::default() });
+        let w = generate(
+            spec,
+            &GenOptions {
+                scale: 0.03,
+                files: 3,
+                ..Default::default()
+            },
+        );
         let mut fs = MemoryFs::new();
         for (p, c) in &w.files {
             fs.add(p.clone(), c.clone());
@@ -83,8 +110,15 @@ fn struct_heavy_profile_agrees_in_both_field_models() {
         } else {
             LowerOptions::default()
         };
-        let analysis =
-            analyze(&fs, &refs, &PipelineOptions { lower, ..Default::default() }).unwrap();
+        let analysis = analyze(
+            &fs,
+            &refs,
+            &PipelineOptions {
+                lower,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let program = analysis.database.to_unit().unwrap();
         let wl = worklist::solve(&program);
         assert_eq!(
