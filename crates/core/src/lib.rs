@@ -32,8 +32,8 @@ mod solution;
 pub mod steensgaard;
 pub mod worklist;
 
-pub use pretransitive::{solve_database, solve_unit, SolveOptions, SolveStats, Warm};
-pub use solution::PointsTo;
+pub use pretransitive::{solve_database, solve_unit, SealedGraph, SolveOptions, SolveStats, Warm};
+pub use solution::{PointsTo, PointsToQuery};
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,7 @@
 //! epoch — becomes a perfect cross-query cache, and Tarjan keeps collapsing
 //! any cycles the extraction pass never walked.
 
-use crate::solution::PointsTo;
+use crate::solution::{PointsTo, PointsToQuery};
 use cla_cladb::Database;
 use cla_ir::{AssignKind, CompiledUnit, FunSig, ObjId, ObjectInfo, PrimAssign};
 use std::collections::HashMap;
@@ -299,6 +299,122 @@ impl Warm {
     /// The number of objects in the solved program.
     pub fn object_count(&self) -> usize {
         self.n_objects
+    }
+
+    /// Freezes the solved graph into an immutable, `Sync` snapshot.
+    ///
+    /// Every object's `getLvals` result is materialized eagerly (cheap after
+    /// cycle elimination, exactly like [`Warm::extract_points_to`]) and skip
+    /// pointers are flattened away: objects that were unified into one
+    /// strongly connected component share a single `Arc`'d set, as do
+    /// distinct representatives whose sets hash-cons to the same value.
+    /// The result answers queries on `&self` with no interior mutability at
+    /// all, so any number of threads can read it concurrently without locks.
+    pub fn seal(mut self) -> SealedGraph {
+        let empty: Arc<Vec<ObjId>> = Arc::new(Vec::new());
+        // Sets coming out of the warm cache are shared Arcs (SCC members and
+        // hash-consed duplicates); convert each distinct allocation once so
+        // the snapshot preserves that sharing.
+        let mut converted: HashMap<*const Vec<u32>, Arc<Vec<ObjId>>> = HashMap::new();
+        let mut sets: Vec<Arc<Vec<ObjId>>> = Vec::with_capacity(self.n_objects);
+        for o in 0..self.n_objects as u32 {
+            let raw = self.points_to_raw(ObjId(o));
+            let set = converted
+                .entry(Arc::as_ptr(&raw))
+                .or_insert_with(|| {
+                    if raw.is_empty() {
+                        Arc::clone(&empty)
+                    } else {
+                        Arc::new(raw.iter().map(|&v| ObjId(v)).collect())
+                    }
+                })
+                .clone();
+            sets.push(set);
+        }
+        let stats = self.stats();
+        SealedGraph { sets, empty, stats }
+    }
+}
+
+/// An immutable snapshot of a solved pre-transitive graph.
+///
+/// Produced by [`Warm::seal`]. Unlike [`Warm`], whose queries mutate the
+/// graph (path compression, cache fills) and therefore need `&mut self` or a
+/// mutex, a sealed graph is plain shared data: it is `Send + Sync`, all
+/// query methods take `&self`, and readers never contend. This is the form a
+/// server keeps resident — queries run lock-free against the snapshot while
+/// a replacement is solved and sealed off to the side.
+#[derive(Debug)]
+pub struct SealedGraph {
+    /// Per-object points-to set, indexed by object id; members of one
+    /// collapsed SCC share a single allocation.
+    sets: Vec<Arc<Vec<ObjId>>>,
+    empty: Arc<Vec<ObjId>>,
+    stats: SolveStats,
+}
+
+impl SealedGraph {
+    /// The points-to set of `o`, as sorted object ids.
+    pub fn points_to(&self, o: ObjId) -> &[ObjId] {
+        self.sets.get(o.index()).map_or(&self.empty[..], |s| s)
+    }
+
+    /// Whether `*a` and `*b` can name the same object: the points-to sets
+    /// of `a` and `b` intersect.
+    pub fn may_alias(&self, a: ObjId, b: ObjId) -> bool {
+        let sa = self.points_to(a);
+        let sb = self.points_to(b);
+        // Unified or hash-consed identical sets short-circuit.
+        if !sa.is_empty() && std::ptr::eq(sa, sb) {
+            return true;
+        }
+        // Both sets are sorted; intersect by merge.
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The complete solution as a [`PointsTo`] (copies the sets).
+    pub fn extract_points_to(&self, objects: &[ObjectInfo]) -> PointsTo {
+        PointsTo::new(self.sets.iter().map(|s| (**s).clone()).collect(), objects)
+    }
+
+    /// Counters of the solve that produced this snapshot, frozen at seal
+    /// time (including the cache traffic of the eager materialization).
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// The number of objects in the solved program.
+    pub fn object_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Rough live-memory estimate of the snapshot, in bytes. Shared sets
+    /// are counted once.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut seen: std::collections::HashSet<*const Vec<ObjId>> =
+            std::collections::HashSet::new();
+        let mut bytes = self.sets.len() * size_of::<Arc<Vec<ObjId>>>();
+        for s in &self.sets {
+            if seen.insert(Arc::as_ptr(s)) {
+                bytes += s.capacity() * size_of::<ObjId>();
+            }
+        }
+        bytes
+    }
+}
+
+impl PointsToQuery for SealedGraph {
+    fn pointees(&self, obj: ObjId) -> &[ObjId] {
+        self.points_to(obj)
     }
 }
 
@@ -1102,5 +1218,90 @@ mod tests {
     fn warm_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<Warm>();
+    }
+
+    #[test]
+    fn sealed_is_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<SealedGraph>();
+    }
+
+    #[test]
+    fn sealed_matches_batch_everywhere() {
+        let src = "int x, y, z;
+                   int *p, *q, *r, **pp;
+                   void f(void) { p = &x; q = &y; pp = &p; *pp = &z; r = *pp; }";
+        let unit = unit_of(src);
+        let db = Database::open(cla_cladb::write_object(&unit)).unwrap();
+        let (batch, _) = solve_database(&db, SolveOptions::default());
+        let sealed = Warm::from_database(&db, SolveOptions::default()).seal();
+        drop(db);
+        for o in 0..unit.objects.len() as u32 {
+            assert_eq!(
+                sealed.points_to(ObjId(o)),
+                batch.points_to(ObjId(o)),
+                "object {} diverged",
+                unit.objects[o as usize].name
+            );
+        }
+        // Out-of-range ids answer empty instead of panicking.
+        assert!(sealed.points_to(ObjId(u32::MAX)).is_empty());
+        assert_eq!(sealed.extract_points_to(&unit.objects), batch);
+        assert_eq!(sealed.object_count(), unit.objects.len());
+        assert!(sealed.approx_bytes() > 0);
+        assert!(sealed.stats().getlvals_calls > 0);
+    }
+
+    #[test]
+    fn sealed_alias_agrees_with_warm() {
+        let src = "int x, y; int *p, *q, *r;
+                   void f(void) { p = &x; q = &x; r = &y; }";
+        let unit = unit_of(src);
+        let mut warm = Warm::from_unit(&unit, SolveOptions::default());
+        let p = unit.find_object("p").unwrap();
+        let q = unit.find_object("q").unwrap();
+        let r = unit.find_object("r").unwrap();
+        let x = unit.find_object("x").unwrap();
+        let expected = [
+            (p, q, warm.may_alias(p, q)),
+            (p, r, warm.may_alias(p, r)),
+            (p, p, warm.may_alias(p, p)),
+            (x, x, warm.may_alias(x, x)),
+        ];
+        let sealed = warm.seal();
+        for (a, b, want) in expected {
+            assert_eq!(sealed.may_alias(a, b), want, "alias({a:?},{b:?})");
+        }
+        assert!(sealed.may_alias(p, q));
+        assert!(!sealed.may_alias(p, r));
+    }
+
+    #[test]
+    fn sealed_scc_members_share_sets() {
+        // a/b/c form a copy cycle: after collapse, their sealed sets must be
+        // the same allocation, and cross-thread reads need no locks.
+        let src = "int v, w, *a, *b, *c;
+                   void f(void) { a = b; b = c; c = a; a = &v; c = &w; }";
+        let unit = unit_of(src);
+        let sealed = std::sync::Arc::new(Warm::from_unit(&unit, SolveOptions::default()).seal());
+        let a = unit.find_object("a").unwrap();
+        let b = unit.find_object("b").unwrap();
+        assert!(std::ptr::eq(sealed.points_to(a), sealed.points_to(b)));
+        let (oracle, _) = solve_unit(&unit, SolveOptions::default());
+        let n_objects = unit.objects.len() as u32;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sealed = std::sync::Arc::clone(&sealed);
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        for o in 0..n_objects {
+                            assert_eq!(sealed.points_to(ObjId(o)), oracle.points_to(ObjId(o)));
+                        }
+                        assert!(sealed.may_alias(a, b));
+                    }
+                });
+            }
+        });
     }
 }

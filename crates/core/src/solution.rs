@@ -2,6 +2,15 @@
 
 use cla_ir::{ObjId, ObjKind, ObjectInfo};
 
+/// Anything that can answer "what may `obj` point to?" — implemented by the
+/// materialized [`PointsTo`] solution and by the immutable
+/// [`SealedGraph`](crate::SealedGraph) snapshot, so consumers (the
+/// dependence analysis, the query server) run unchanged against either.
+pub trait PointsToQuery {
+    /// The sorted points-to set of `obj` (empty for unknown ids).
+    fn pointees(&self, obj: ObjId) -> &[ObjId];
+}
+
 /// The result of a points-to analysis: for every object, the set of objects
 /// it may point to.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +96,12 @@ impl PointsTo {
     pub fn subsumed_by(&self, other: &PointsTo) -> bool {
         self.iter()
             .all(|(o, set)| set.iter().all(|t| other.may_point_to(o, *t)))
+    }
+}
+
+impl PointsToQuery for PointsTo {
+    fn pointees(&self, obj: ObjId) -> &[ObjId] {
+        self.points_to(obj)
     }
 }
 

@@ -32,7 +32,7 @@
 //! ```
 
 use cla_cladb::Database;
-use cla_core::PointsTo;
+use cla_core::{PointsTo, PointsToQuery};
 use cla_ir::{AssignKind, ObjId, OpKind, SrcLoc, Strength};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -146,15 +146,22 @@ impl DependReport {
 }
 
 /// Forward dependence analysis over a program database + points-to result.
+///
+/// Generic over the points-to source: a materialized [`PointsTo`] (the
+/// default, as produced by the batch solvers) or any other
+/// [`PointsToQuery`] implementor such as the immutable
+/// [`SealedGraph`](cla_core::SealedGraph) a query server keeps resident —
+/// the traversal itself never mutates, so running it against a shared
+/// snapshot parallelizes across threads.
 #[derive(Debug)]
-pub struct DependenceAnalysis<'a> {
+pub struct DependenceAnalysis<'a, P = PointsTo> {
     db: &'a Database,
-    pts: &'a PointsTo,
+    pts: &'a P,
 }
 
-impl<'a> DependenceAnalysis<'a> {
+impl<'a, P: PointsToQuery> DependenceAnalysis<'a, P> {
     /// Creates an analysis over a linked database and its points-to result.
-    pub fn new(db: &'a Database, pts: &'a PointsTo) -> Self {
+    pub fn new(db: &'a Database, pts: &'a P) -> Self {
         DependenceAnalysis { db, pts }
     }
 
@@ -195,13 +202,13 @@ impl<'a> DependenceAnalysis<'a> {
                 };
                 match a.kind {
                     AssignKind::Load => {
-                        for &w in self.pts.points_to(a.src) {
+                        for &w in self.pts.pointees(a.src) {
                             overlay.entry(w).or_default().push((a.dst, edge));
                         }
                     }
                     AssignKind::StoreLoad => {
-                        for &w in self.pts.points_to(a.src) {
-                            for &v in self.pts.points_to(a.dst) {
+                        for &w in self.pts.pointees(a.src) {
+                            for &v in self.pts.pointees(a.dst) {
                                 overlay.entry(w).or_default().push((v, edge));
                             }
                         }
@@ -253,7 +260,7 @@ impl<'a> DependenceAnalysis<'a> {
                 match a.kind {
                     AssignKind::Copy => relax(a.dst, edge, &mut best, &mut parents, &mut heap),
                     AssignKind::Store => {
-                        for &v in self.pts.points_to(a.dst) {
+                        for &v in self.pts.pointees(a.dst) {
                             relax(v, edge, &mut best, &mut parents, &mut heap);
                         }
                     }
@@ -560,6 +567,29 @@ mod tests {
         let c = ctx("int x;");
         let dep = DependenceAnalysis::new(&c.db, &c.pts);
         assert!(dep.analyze("nothing", &DependOptions::default()).is_none());
+    }
+
+    #[test]
+    fn sealed_snapshot_gives_identical_reports() {
+        // The server runs the dependence walk against a SealedGraph instead
+        // of a materialized PointsTo; both must produce the same report.
+        let c = ctx("void *malloc(unsigned long);
+             short t, u, w, out; int *p, *q;
+             void f(void) { u = t; w = u >> 1; p = malloc(4); q = p; *p = u; out = *q; }");
+        let sealed = cla_core::Warm::from_database(&c.db, SolveOptions::default()).seal();
+        let from_pts = DependenceAnalysis::new(&c.db, &c.pts);
+        let from_sealed = DependenceAnalysis::new(&c.db, &sealed);
+        for non_targets in [vec![], vec!["u".to_string()]] {
+            let opts = DependOptions { non_targets };
+            let a = from_pts.analyze("t", &opts).unwrap();
+            let b = from_sealed.analyze("t", &opts).unwrap();
+            assert_eq!(a.dependents(), b.dependents(), "opts {opts:?}");
+            assert_eq!(
+                from_pts.render_report(&a),
+                from_sealed.render_report(&b),
+                "rendered chains diverged for {opts:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod json;
 mod server;
 mod session;
 
-pub use server::{serve, ServerHandle};
+pub use server::{serve, serve_with, ServeOptions, ServerHandle};
 pub use session::{
     AliasAnswer, DependAnswer, DependentLine, PointsToAnswer, ReloadReport, Session, SessionError,
     SessionStats, Target,

@@ -5,16 +5,27 @@
 //!
 //! | request | reply |
 //! |---|---|
-//! | `{"cmd":"points-to","var":V}` | `{"ok":true,"var":V,"resolved":N,"targets":[{"id":I,"name":S},…],"cached":B,"us":N}` |
-//! | `{"cmd":"alias","a":A,"b":B}` | `{"ok":true,"a":A,"b":B,"alias":B,"cached":B,"us":N}` |
-//! | `{"cmd":"depend","target":T,"non-targets":[S,…]}` | `{"ok":true,"target":T,"dependents":[{"name":S,"weak_links":N,"length":N},…],"cached":B,"us":N}` |
+//! | `{"cmd":"points-to","var":V}` | `{"ok":true,"var":V,"resolved":N,"targets":[{"id":I,"name":S},…],"cached":B,"us":N,"epoch":N}` |
+//! | `{"cmd":"alias","a":A,"b":B}` | `{"ok":true,"a":A,"b":B,"alias":B,"cached":B,"us":N,"epoch":N}` |
+//! | `{"cmd":"depend","target":T,"non-targets":[S,…]}` | `{"ok":true,"target":T,"dependents":[{"name":S,"weak_links":N,"length":N},…],"cached":B,"us":N,"epoch":N}` |
 //! | `{"cmd":"stats"}` | `{"ok":true,"stats":{…}}` |
 //! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
 //!
-//! Every client gets its own thread; they all share one [`Session`], whose
-//! locking discipline (read-locked state, mutexed warm graph, read-mostly
-//! result cache) keeps concurrent clients consistent.
+//! Every client gets its own thread; they all share one [`Session`]. Query
+//! replies carry the session `epoch` of the immutable snapshot that
+//! answered them, so clients racing a `reload` can tell which world an
+//! answer came from.
+//!
+//! Two [`ServeOptions`] limits protect the worker threads: an idle client
+//! is disconnected after `read_timeout` with an `{"ok":false,"error":"idle
+//! timeout"}` reply, and a request line longer than `max_request_bytes`
+//! gets `{"ok":false,"error":"request too large…"}` and a prompt close
+//! instead of buffering without bound. After a shutdown request, every
+//! other client's next request is answered with `{"ok":false,
+//! "error":"shutting down"}` and its connection is closed, so
+//! [`ServerHandle::stop`]/[`ServerHandle::join`] never stall behind a
+//! chatty client.
 
 use crate::json::{obj, parse, Value};
 use crate::session::{Session, SessionStats};
@@ -25,6 +36,28 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Limits protecting server worker threads from slow or abusive clients.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How long a connection may sit idle between requests before it is
+    /// disconnected (`None` disables the timeout). Default: 5 minutes.
+    pub read_timeout: Option<Duration>,
+    /// Maximum size of one request line in bytes; longer requests are
+    /// rejected with a structured error and the connection is closed.
+    /// Default: 1 MiB.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(300)),
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
 
 /// A running server bound to a Unix socket.
 pub struct ServerHandle {
@@ -34,13 +67,24 @@ pub struct ServerHandle {
     session: Arc<Session>,
 }
 
-/// Binds `socket` and serves `session` on it until shutdown. A stale socket
-/// file at the path is replaced. `fs` backs the `reload` command; pass
-/// `None` to disable reloading over the wire.
+/// Binds `socket` and serves `session` on it until shutdown, with the
+/// default [`ServeOptions`]. A stale socket file at the path is replaced.
+/// `fs` backs the `reload` command; pass `None` to disable reloading over
+/// the wire.
 pub fn serve(
     session: Arc<Session>,
     fs: Option<Arc<dyn FileProvider + Send + Sync>>,
     socket: &Path,
+) -> std::io::Result<ServerHandle> {
+    serve_with(session, fs, socket, ServeOptions::default())
+}
+
+/// [`serve`] with explicit client limits.
+pub fn serve_with(
+    session: Arc<Session>,
+    fs: Option<Arc<dyn FileProvider + Send + Sync>>,
+    socket: &Path,
+    opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
     let _ = std::fs::remove_file(socket);
     let listener = UnixListener::bind(socket)?;
@@ -59,8 +103,9 @@ pub fn serve(
                 let fs = fs.clone();
                 let shutdown = Arc::clone(&shutdown);
                 let path = path.clone();
+                let opts = opts.clone();
                 std::thread::spawn(move || {
-                    serve_client(&session, fs.as_deref(), stream, &shutdown, &path);
+                    serve_client(&session, fs.as_deref(), stream, &shutdown, &path, &opts);
                 });
             }
         })
@@ -124,27 +169,109 @@ impl Drop for ServerHandle {
     }
 }
 
+/// One bounded read attempt: a complete request line, or a reason to stop.
+enum Request {
+    Line(String),
+    /// Clean EOF (or EOF mid-line; a lineless tail is not a request).
+    Eof,
+    /// The line exceeded the request-size cap before a newline arrived.
+    TooLarge,
+    /// No bytes arrived within the read timeout.
+    TimedOut,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than `max`
+/// bytes — the defense against a client streaming an endless line.
+fn read_request(reader: &mut BufReader<UnixStream>, max: usize) -> Request {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (used, done) = {
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Request::TimedOut
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Request::Eof,
+            };
+            if chunk.is_empty() {
+                return Request::Eof;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&chunk[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(chunk);
+                    (chunk.len(), false)
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > max {
+            return Request::TooLarge;
+        }
+        if done {
+            return Request::Line(String::from_utf8_lossy(&line).into_owned());
+        }
+    }
+}
+
 fn serve_client(
     session: &Session,
     fs: Option<&(dyn FileProvider + Send + Sync)>,
     stream: UnixStream,
     shutdown: &AtomicBool,
     path: &Path,
+    opts: &ServeOptions,
 ) {
+    let _ = stream.set_read_timeout(opts.read_timeout);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
     let mut writer = write_half;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let send = |writer: &mut UnixStream, reply: &Value| -> bool {
+        let mut text = reply.encode();
+        text.push('\n');
+        writer.write_all(text.as_bytes()).is_ok()
+    };
+    loop {
+        let line = match read_request(&mut reader, opts.max_request_bytes) {
+            Request::Line(line) => line,
+            Request::Eof => break,
+            Request::TooLarge => {
+                // Reject and close: draining the rest of an unbounded line
+                // would keep the thread busy on the attacker's behalf.
+                let cap = opts.max_request_bytes;
+                let _ = send(
+                    &mut writer,
+                    &err_reply(&format!("request too large (cap {cap} bytes)")),
+                );
+                break;
+            }
+            Request::TimedOut => {
+                let _ = send(&mut writer, &err_reply("idle timeout"));
+                break;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
+        if shutdown.load(SeqCst) {
+            // Another client shut the server down: refuse and disconnect so
+            // stop()/join() never wait behind this connection.
+            let _ = send(&mut writer, &err_reply("shutting down"));
+            break;
+        }
         let reply = handle_line(session, fs, &line, shutdown);
-        let mut text = reply.encode();
-        text.push('\n');
-        if writer.write_all(text.as_bytes()).is_err() {
+        if !send(&mut writer, &reply) {
             break;
         }
         if shutdown.load(SeqCst) {
@@ -198,6 +325,7 @@ fn handle_line(
                     ),
                     ("cached", a.cached.into()),
                     ("us", a.micros.into()),
+                    ("epoch", a.epoch.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -217,6 +345,7 @@ fn handle_line(
                     ("alias", ans.alias.into()),
                     ("cached", ans.cached.into()),
                     ("us", ans.micros.into()),
+                    ("epoch", ans.epoch.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -257,6 +386,7 @@ fn handle_line(
                     ),
                     ("cached", a.cached.into()),
                     ("us", a.micros.into()),
+                    ("epoch", a.epoch.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -384,6 +514,121 @@ mod tests {
         let stats = server.join();
         assert!(stats.queries >= 1);
         assert!(!path.exists(), "socket file removed on shutdown");
+    }
+
+    fn sample_session(fs: &MemoryFs) -> Arc<Session> {
+        Arc::new(
+            Session::from_files(
+                fs,
+                &["a.c", "b.c"],
+                &PpOptions::default(),
+                &LowerOptions::default(),
+                SolveOptions::default(),
+            )
+            .unwrap(),
+        )
+    }
+
+    /// Reads to EOF; returns every line the server sent before closing.
+    fn drain(stream: &mut UnixStream) -> Vec<String> {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap_or(0) > 0 {
+            lines.push(line.trim().to_string());
+            line.clear();
+        }
+        lines
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_and_connection_closed() {
+        let fs = sample_fs();
+        let server = serve_with(
+            sample_session(&fs),
+            None,
+            &temp_socket(),
+            ServeOptions {
+                max_request_bytes: 1024,
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let mut c = UnixStream::connect(server.path()).unwrap();
+        // A 64 KiB line with no newline until the end: far over the cap.
+        let mut giant = vec![b'{'; 64 * 1024];
+        giant.push(b'\n');
+        c.write_all(&giant).unwrap();
+        let lines = drain(&mut c);
+        assert_eq!(lines.len(), 1, "one error reply, then close: {lines:?}");
+        let v = parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(
+            v.get("error")
+                .and_then(Value::as_str)
+                .unwrap()
+                .contains("request too large"),
+            "{lines:?}"
+        );
+        // A normal-sized request on a fresh connection still works.
+        let mut c2 = UnixStream::connect(server.path()).unwrap();
+        let v = ask(&mut c2, r#"{"cmd":"points-to","var":"q"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        server.stop();
+    }
+
+    #[test]
+    fn idle_client_is_disconnected_after_timeout() {
+        let fs = sample_fs();
+        let server = serve_with(
+            sample_session(&fs),
+            None,
+            &temp_socket(),
+            ServeOptions {
+                read_timeout: Some(std::time::Duration::from_millis(100)),
+                ..ServeOptions::default()
+            },
+        )
+        .unwrap();
+        let mut c = UnixStream::connect(server.path()).unwrap();
+        // Send nothing. The server must reply with a structured timeout
+        // error and close, rather than pinning a worker thread forever.
+        let t0 = std::time::Instant::now();
+        let lines = drain(&mut c);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "disconnect was not prompt"
+        );
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        let v = parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("idle timeout"));
+        server.stop();
+    }
+
+    #[test]
+    fn post_shutdown_requests_are_refused_promptly() {
+        let fs = sample_fs();
+        let server = sample_server(&fs);
+        let mut a = UnixStream::connect(server.path()).unwrap();
+        let v = ask(&mut a, r#"{"cmd":"points-to","var":"q"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let mut b = UnixStream::connect(server.path()).unwrap();
+        let v = ask(&mut b, r#"{"cmd":"shutdown"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        // Client a is still connected and chatty: its next request gets a
+        // structured refusal and the connection closes.
+        a.write_all(b"{\"cmd\":\"points-to\",\"var\":\"q\"}\n")
+            .unwrap();
+        let lines = drain(&mut a);
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        let v = parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("shutting down")
+        );
+        server.join();
     }
 
     #[test]

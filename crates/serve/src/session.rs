@@ -1,22 +1,25 @@
-//! The in-process query session: a solved program kept warm, an epoch-tagged
-//! result cache in front of it, and incremental reload.
+//! The in-process query session: a solved program sealed into an immutable
+//! snapshot, an epoch-tagged result cache in front of it, and incremental
+//! reload.
 //!
 //! A [`Session`] is the server's engine and is directly usable as a library:
 //!
-//! * the linked [`Database`] and the solved [`Warm`] graph are loaded once
-//!   and shared; concurrent readers answer queries under a read lock, with
-//!   the warm graph itself behind a mutex (its queries compress paths and
-//!   fill the solver-level `getLvals` cache);
+//! * the linked [`Database`] and the solved, sealed graph
+//!   ([`cla_core::SealedGraph`]) are loaded once and shared; queries run
+//!   concurrently under a read lock against plain immutable data — no
+//!   query ever takes a solver mutex, so N clients scale to N cores;
 //! * repeated queries are answered from a bounded LRU of finished results
-//!   without touching the solver at all;
+//!   without touching the snapshot at all;
 //! * [`Session::reload`] recompiles only changed sources, relinks through
-//!   [`LinkSet`], swaps the database and warm graph, bumps the session
-//!   epoch, and discards every cached result.
+//!   [`LinkSet`], solves and seals a new snapshot *off to the side*, then
+//!   swaps it in under the write lock, bumps the session epoch, and
+//!   discards every cached result. In-flight queries finish against the
+//!   old snapshot; every answer carries the epoch it was computed at.
 
 use crate::json::{obj, Value};
 use cla_cfront::{CError, FileProvider, PpOptions};
 use cla_cladb::{write_object, Database, LinkSet};
-use cla_core::{PointsTo, SolveOptions, SolveStats, Warm};
+use cla_core::{SealedGraph, SolveOptions, SolveStats, Warm};
 use cla_depend::{DependOptions, DependenceAnalysis};
 use cla_ir::{compile_file, LowerOptions, ObjId};
 use std::collections::HashMap;
@@ -79,6 +82,8 @@ pub struct PointsToAnswer {
     pub targets: Arc<Vec<Target>>,
     pub cached: bool,
     pub micros: u64,
+    /// The session epoch whose snapshot answered this query.
+    pub epoch: u64,
 }
 
 /// Answer to an alias query.
@@ -89,6 +94,8 @@ pub struct AliasAnswer {
     pub alias: bool,
     pub cached: bool,
     pub micros: u64,
+    /// The session epoch whose snapshot answered this query.
+    pub epoch: u64,
 }
 
 /// One forward dependent of a queried target.
@@ -106,6 +113,8 @@ pub struct DependAnswer {
     pub dependents: Arc<Vec<DependentLine>>,
     pub cached: bool,
     pub micros: u64,
+    /// The session epoch whose snapshot answered this query.
+    pub epoch: u64,
 }
 
 /// Outcome of a reload.
@@ -137,8 +146,14 @@ pub struct SessionStats {
     pub p50_micros: u64,
     /// 99th-percentile query latency over the recent window.
     pub p99_micros: u64,
-    /// Counters of the resident solver, including complex assignments in
-    /// core, graph nodes, and the solver-level `getLvals` cache hits.
+    /// Latency samples currently in the window (≤ [`latency_capacity`](Self::latency_capacity)).
+    pub latency_samples: usize,
+    /// Fixed capacity of the latency window; the buffer never grows past
+    /// this, so a long-running server's memory stays flat.
+    pub latency_capacity: usize,
+    /// Counters of the sealed solver snapshot, including complex
+    /// assignments in core, graph nodes, and `getLvals` cache hits (frozen
+    /// at seal time).
     pub solver: SolveStats,
 }
 
@@ -167,6 +182,8 @@ impl SessionStats {
             ("epoch", self.epoch.into()),
             ("p50_us", self.p50_micros.into()),
             ("p99_us", self.p99_micros.into()),
+            ("lat_samples", self.latency_samples.into()),
+            ("lat_capacity", self.latency_capacity.into()),
             ("solver_getlvals_calls", self.solver.getlvals_calls.into()),
             ("solver_cache_hits", self.solver.cache_hits.into()),
             ("complex_in_core", self.solver.complex_in_core.into()),
@@ -198,12 +215,53 @@ struct CacheEntry {
 }
 
 /// Everything derived from one linked program; swapped wholesale on reload.
+///
+/// The sealed snapshot is immutable and `Sync`: queries read it directly
+/// under the session's read lock with no further locking, and the
+/// dependence analysis traverses it in place (no materialized `PointsTo`).
 struct Loaded {
     db: Database,
-    warm: Mutex<Warm>,
-    /// Lazily materialized full solution for the dependence analysis.
-    full: Mutex<Option<Arc<PointsTo>>>,
+    sealed: Arc<SealedGraph>,
     results: RwLock<HashMap<QueryKey, CacheEntry>>,
+}
+
+/// A fixed-capacity, lock-free ring of recent latency samples.
+///
+/// `record` overwrites the oldest slot; the buffer never grows, so the
+/// p50/p99 figures always describe the most recent window and a server that
+/// has answered 100 million queries holds exactly as many samples as one
+/// that answered 4096.
+struct LatencyRing {
+    slots: Box<[AtomicU64]>,
+    /// Total samples ever recorded; `% slots.len()` is the write cursor.
+    written: AtomicU64,
+}
+
+impl LatencyRing {
+    fn new(capacity: usize) -> LatencyRing {
+        LatencyRing {
+            slots: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            written: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, micros: u64) {
+        let at = self.written.fetch_add(1, Relaxed) as usize % self.slots.len();
+        self.slots[at].store(micros, Relaxed);
+    }
+
+    /// The currently populated window (unordered).
+    fn snapshot(&self) -> Vec<u64> {
+        let filled = (self.written.load(Relaxed) as usize).min(self.slots.len());
+        self.slots[..filled]
+            .iter()
+            .map(|s| s.load(Relaxed))
+            .collect()
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 /// Compilation inputs retained for incremental reload.
@@ -219,6 +277,8 @@ struct Sources {
 
 /// A resident analysis session. All methods take `&self`; the session is
 /// `Sync` and designed to be shared (`Arc<Session>`) across server workers.
+/// The query path is lock-free for readers apart from the state `RwLock`
+/// (held shared) and the result cache's own `RwLock`.
 pub struct Session {
     state: RwLock<Loaded>,
     sources: Mutex<Option<Sources>>,
@@ -229,7 +289,7 @@ pub struct Session {
     hits: AtomicU64,
     misses: AtomicU64,
     reloads: AtomicU64,
-    latencies: Mutex<Vec<u64>>,
+    latencies: LatencyRing,
 }
 
 fn hash_text(text: &str) -> u64 {
@@ -243,11 +303,10 @@ fn hash_text(text: &str) -> u64 {
 }
 
 fn load(db: Database, opts: SolveOptions) -> Loaded {
-    let warm = Warm::from_database(&db, opts);
+    let sealed = Arc::new(Warm::from_database(&db, opts).seal());
     Loaded {
         db,
-        warm: Mutex::new(warm),
-        full: Mutex::new(None),
+        sealed,
         results: RwLock::new(HashMap::new()),
     }
 }
@@ -266,7 +325,7 @@ impl Session {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
-            latencies: Mutex::new(Vec::new()),
+            latencies: LatencyRing::new(LATENCY_WINDOW),
         }
     }
 
@@ -315,6 +374,9 @@ impl Session {
             b: String::new(),
         };
         let st = self.state.read().unwrap();
+        // The epoch is bumped while the write lock is held, so reading it
+        // under the read lock pins it to the snapshot answering the query.
+        let epoch = self.epoch.load(Relaxed);
         if let Some(CachedAnswer::Pts { resolved, targets }) = self.cache_get(&st, &key) {
             return Ok(PointsToAnswer {
                 var: var.to_string(),
@@ -322,6 +384,7 @@ impl Session {
                 targets,
                 cached: true,
                 micros: self.done(t0, true),
+                epoch,
             });
         }
         let ids = st.db.targets(var);
@@ -329,11 +392,8 @@ impl Session {
             return Err(SessionError::UnknownVariable(var.to_string()));
         }
         let mut set: Vec<u32> = Vec::new();
-        {
-            let mut warm = st.warm.lock().unwrap();
-            for &id in ids {
-                set.extend(warm.points_to(id).iter().map(|o| o.0));
-            }
+        for &id in ids {
+            set.extend(st.sealed.points_to(id).iter().map(|o| o.0));
         }
         set.sort_unstable();
         set.dedup();
@@ -360,6 +420,7 @@ impl Session {
             targets,
             cached: false,
             micros: self.done(t0, false),
+            epoch,
         })
     }
 
@@ -375,6 +436,7 @@ impl Session {
             b: kb.to_string(),
         };
         let st = self.state.read().unwrap();
+        let epoch = self.epoch.load(Relaxed);
         if let Some(CachedAnswer::Alias(alias)) = self.cache_get(&st, &key) {
             return Ok(AliasAnswer {
                 a: a.to_string(),
@@ -382,6 +444,7 @@ impl Session {
                 alias,
                 cached: true,
                 micros: self.done(t0, true),
+                epoch,
             });
         }
         let ids_a = st.db.targets(a);
@@ -392,12 +455,9 @@ impl Session {
         if ids_b.is_empty() {
             return Err(SessionError::UnknownVariable(b.to_string()));
         }
-        let alias = {
-            let mut warm = st.warm.lock().unwrap();
-            ids_a
-                .iter()
-                .any(|&oa| ids_b.iter().any(|&ob| warm.may_alias(oa, ob)))
-        };
+        let alias = ids_a
+            .iter()
+            .any(|&oa| ids_b.iter().any(|&ob| st.sealed.may_alias(oa, ob)));
         self.cache_put(&st, key, CachedAnswer::Alias(alias));
         Ok(AliasAnswer {
             a: a.to_string(),
@@ -405,6 +465,7 @@ impl Session {
             alias,
             cached: false,
             micros: self.done(t0, false),
+            epoch,
         })
     }
 
@@ -422,16 +483,20 @@ impl Session {
             b: non_targets.join("\u{1f}"),
         };
         let st = self.state.read().unwrap();
+        let epoch = self.epoch.load(Relaxed);
         if let Some(CachedAnswer::Depend(dependents)) = self.cache_get(&st, &key) {
             return Ok(DependAnswer {
                 target: target.to_string(),
                 dependents,
                 cached: true,
                 micros: self.done(t0, true),
+                epoch,
             });
         }
-        let full = self.full_points_to(&st);
-        let da = DependenceAnalysis::new(&st.db, &full);
+        // The dependence walk reads the sealed snapshot directly; no
+        // materialized PointsTo and no solver lock, so concurrent depend
+        // queries run in parallel.
+        let da = DependenceAnalysis::new(&st.db, st.sealed.as_ref());
         let opts = DependOptions {
             non_targets: non_targets.to_vec(),
         };
@@ -455,6 +520,7 @@ impl Session {
             dependents,
             cached: false,
             micros: self.done(t0, false),
+            epoch,
         })
     }
 
@@ -462,15 +528,22 @@ impl Session {
     /// tooling and tests).
     pub fn pointer_variables(&self) -> Vec<String> {
         let st = self.state.read().unwrap();
-        let full = self.full_points_to(&st);
         let mut names: Vec<String> = (0..st.db.objects().len())
             .map(|i| ObjId(i as u32))
-            .filter(|&o| !full.points_to(o).is_empty())
+            .filter(|&o| !st.sealed.points_to(o).is_empty())
             .map(|o| st.db.object(o).name.clone())
             .collect();
         names.sort();
         names.dedup();
         names
+    }
+
+    /// The immutable snapshot currently answering queries, and its epoch.
+    /// The `Arc` keeps the snapshot alive across a concurrent reload, so
+    /// callers can run long read-only analyses without blocking the swap.
+    pub fn snapshot(&self) -> (Arc<SealedGraph>, u64) {
+        let st = self.state.read().unwrap();
+        (Arc::clone(&st.sealed), self.epoch.load(Relaxed))
     }
 
     // ----- reload -----------------------------------------------------------
@@ -526,11 +599,12 @@ impl Session {
 
     // ----- stats ------------------------------------------------------------
 
-    /// Snapshot of the session's counters and latency percentiles.
+    /// Snapshot of the session's counters and latency percentiles. The
+    /// latency window is a fixed-size ring, so this copies at most
+    /// [`LATENCY_WINDOW`] samples no matter how long the session has run.
     pub fn stats(&self) -> SessionStats {
-        let st = self.state.read().unwrap();
-        let solver = st.warm.lock().unwrap().stats();
-        let mut lat = self.latencies.lock().unwrap().clone();
+        let solver = self.state.read().unwrap().sealed.stats();
+        let mut lat = self.latencies.snapshot();
         lat.sort_unstable();
         let pct = |p: f64| -> u64 {
             if lat.is_empty() {
@@ -548,21 +622,13 @@ impl Session {
             epoch: self.epoch.load(Relaxed),
             p50_micros: pct(0.50),
             p99_micros: pct(0.99),
+            latency_samples: lat.len(),
+            latency_capacity: self.latencies.capacity(),
             solver,
         }
     }
 
     // ----- internals --------------------------------------------------------
-
-    fn full_points_to(&self, st: &Loaded) -> Arc<PointsTo> {
-        let mut slot = st.full.lock().unwrap();
-        if let Some(full) = slot.as_ref() {
-            return Arc::clone(full);
-        }
-        let full = Arc::new(st.warm.lock().unwrap().extract_points_to(st.db.objects()));
-        *slot = Some(Arc::clone(&full));
-        full
-    }
 
     fn cache_get(&self, st: &Loaded, key: &QueryKey) -> Option<CachedAnswer> {
         let map = st.results.read().unwrap();
@@ -611,15 +677,7 @@ impl Session {
         } else {
             self.misses.fetch_add(1, Relaxed);
         }
-        let mut lat = self.latencies.lock().unwrap();
-        if lat.len() >= LATENCY_WINDOW {
-            // Overwrite pseudo-randomly to keep a sliding sample without an
-            // extra cursor; ticks make it deterministic.
-            let ix = (self.tick.fetch_add(1, Relaxed) as usize) % LATENCY_WINDOW;
-            lat[ix] = micros;
-        } else {
-            lat.push(micros);
-        }
+        self.latencies.record(micros);
         micros
     }
 }
@@ -790,6 +848,42 @@ mod tests {
         assert!(st.result_cache_hits > 0);
         assert!(st.queries >= 800);
         assert!(st.p50_micros <= st.p99_micros);
+    }
+
+    #[test]
+    fn latency_buffer_stays_bounded() {
+        let (s, _) = sample_session();
+        // 100k queries: far past the window. Memory must stay flat — the
+        // ring holds exactly LATENCY_WINDOW samples and stats never copies
+        // more than that.
+        for _ in 0..100_000 {
+            let _ = s.points_to("q").unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.queries, 100_000);
+        assert_eq!(st.latency_capacity, LATENCY_WINDOW);
+        assert_eq!(
+            st.latency_samples, LATENCY_WINDOW,
+            "window must be full, not growing"
+        );
+        assert!(st.p50_micros <= st.p99_micros);
+    }
+
+    #[test]
+    fn answers_carry_their_epoch() {
+        let (s, mut fs) = sample_session();
+        assert_eq!(s.points_to("q").unwrap().epoch, 0);
+        assert_eq!(s.alias("p", "q").unwrap().epoch, 0);
+        fs.add(
+            "a.c",
+            "int x, y; int *p, **pp; void fa(void) { p = &y; pp = &p; }",
+        );
+        s.reload(&fs, false).unwrap();
+        assert_eq!(s.points_to("q").unwrap().epoch, 1);
+        assert_eq!(s.alias("p", "q").unwrap().epoch, 1);
+        let (snap, epoch) = s.snapshot();
+        assert_eq!(epoch, 1);
+        assert!(snap.object_count() > 0);
     }
 
     #[test]

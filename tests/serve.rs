@@ -274,6 +274,213 @@ fn reload_reflects_source_edits_and_invalidates() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Fully precomputed expected answers for one version of the sources:
+/// points-to sets, alias verdicts, and dependents, all keyed by name. Plain
+/// data, so the stress test's client threads can check replies against it
+/// without sharing a database handle.
+struct EpochOracle {
+    pts: std::collections::HashMap<String, BTreeSet<String>>,
+    alias: std::collections::HashMap<(String, String), bool>,
+    depend: std::collections::HashMap<String, BTreeSet<String>>,
+}
+
+fn oracle_for(
+    paths: &[String],
+    names: &[&str],
+    pairs: &[(&str, &str)],
+    dep_targets: &[&str],
+) -> EpochOracle {
+    let units: Vec<CompiledUnit> = paths
+        .iter()
+        .map(|p| {
+            compile_file(&OsFs, p, &PpOptions::default(), &LowerOptions::default())
+                .unwrap()
+                .0
+        })
+        .collect();
+    let (program, _) = link(&units, "a.out");
+    let db = Database::open(write_object(&program)).unwrap();
+    let (pts, _) = solve_database(&db, SolveOptions::default());
+    let set_of = |name: &str| -> BTreeSet<String> {
+        let mut set = BTreeSet::new();
+        for &o in db.targets(name) {
+            for &t in pts.points_to(o) {
+                set.insert(db.object(t).name.clone());
+            }
+        }
+        set
+    };
+    let alias_of = |a: &str, b: &str| -> bool {
+        db.targets(a).iter().any(|&oa| {
+            db.targets(b).iter().any(|&ob| {
+                let sa = pts.points_to(oa);
+                pts.points_to(ob)
+                    .iter()
+                    .any(|t| sa.binary_search(t).is_ok())
+            })
+        })
+    };
+    let dep = DependenceAnalysis::new(&db, &pts);
+    let depend = dep_targets
+        .iter()
+        .map(|t| {
+            let report = dep.analyze(t, &DependOptions::default()).unwrap();
+            let names: BTreeSet<String> = report
+                .dependents()
+                .iter()
+                .map(|d| db.object(d.obj).name.clone())
+                .collect();
+            (t.to_string(), names)
+        })
+        .collect();
+    EpochOracle {
+        pts: names.iter().map(|n| (n.to_string(), set_of(n))).collect(),
+        alias: pairs
+            .iter()
+            .map(|&(a, b)| ((a.to_string(), b.to_string()), alias_of(a, b)))
+            .collect(),
+        depend,
+    }
+}
+
+/// The torn-snapshot race test: 8 client threads issue interleaved
+/// points-to/alias/depend queries while the main thread keeps editing a.c
+/// and reloading. Every reply names the epoch whose sealed snapshot
+/// answered it, and must byte-for-byte match the batch `solve_database`
+/// oracle for that epoch's sources — a reply mixing two epochs' worlds
+/// (or a stale cache entry surviving a swap) fails the comparison.
+#[test]
+fn stress_concurrent_queries_race_reload_against_epoch_oracle() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    const A_V0: &str = FILE_A;
+    const A_V1: &str = r"
+        int x, y, z;
+        int *p, *r;
+        int **pp;
+        void fa(void) {
+            p = &y;
+            r = &z;
+            pp = &p;
+            *pp = &x;
+        }
+    ";
+    let names = ["p", "q", "r", "s", "t", "pp"];
+    let pairs = [("p", "q"), ("q", "r"), ("s", "t"), ("p", "pp"), ("q", "s")];
+    let dep_targets = ["w", "u"];
+
+    let (dir, paths) = write_sources("stress", &[("a.c", A_V0), ("b.c", FILE_B), ("c.c", FILE_C)]);
+    let oracles = [oracle_for(&paths, &names, &pairs, &dep_targets), {
+        std::fs::write(Path::new(&paths[0]), A_V1).unwrap();
+        let o = oracle_for(&paths, &names, &pairs, &dep_targets);
+        std::fs::write(Path::new(&paths[0]), A_V0).unwrap();
+        o
+    }];
+    // The two versions must actually disagree, or the test proves nothing.
+    assert_ne!(oracles[0].pts["q"], oracles[1].pts["q"]);
+
+    let server = start_server("stress", &paths);
+    let path = server.path().to_path_buf();
+    let stop = AtomicBool::new(false);
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for i in 0..8 {
+            let path = &path;
+            let oracles = &oracles;
+            let stop = &stop;
+            let checked = &checked;
+            scope.spawn(move || {
+                let mut c = UnixStream::connect(path).unwrap();
+                let mut iters = 0usize;
+                while !stop.load(Ordering::Relaxed) || iters < 50 {
+                    let j = i + iters;
+                    let epoch_of = |reply: &Value| -> usize {
+                        reply.get("epoch").and_then(Value::as_u64).unwrap() as usize
+                    };
+                    match j % 3 {
+                        0 => {
+                            let name = names[j % names.len()];
+                            let reply = ask(&mut c, &points_to_req(name));
+                            let want = &oracles[epoch_of(&reply) % 2].pts[name];
+                            assert_eq!(
+                                &target_names(&reply),
+                                want,
+                                "client {i}: torn points-to for `{name}`"
+                            );
+                        }
+                        1 => {
+                            let (a, b) = pairs[j % pairs.len()];
+                            let reply = ask(
+                                &mut c,
+                                &obj([("cmd", "alias".into()), ("a", a.into()), ("b", b.into())]),
+                            );
+                            let want = oracles[epoch_of(&reply) % 2].alias
+                                [&(a.to_string(), b.to_string())];
+                            assert_eq!(
+                                reply.get("alias").and_then(Value::as_bool),
+                                Some(want),
+                                "client {i}: torn alias for ({a},{b})"
+                            );
+                        }
+                        _ => {
+                            let t = dep_targets[j % dep_targets.len()];
+                            let reply = ask(
+                                &mut c,
+                                &obj([("cmd", "depend".into()), ("target", t.into())]),
+                            );
+                            let got: BTreeSet<String> = reply
+                                .get("dependents")
+                                .and_then(Value::as_arr)
+                                .unwrap()
+                                .iter()
+                                .filter_map(|d| d.get("name").and_then(Value::as_str))
+                                .map(str::to_string)
+                                .collect();
+                            let want = &oracles[epoch_of(&reply) % 2].depend[t];
+                            assert_eq!(&got, want, "client {i}: torn depend for `{t}`");
+                        }
+                    }
+                    iters += 1;
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Main thread: keep flipping a.c and reloading while clients hammer.
+        let mut rc = UnixStream::connect(&path).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        for round in 0..6u64 {
+            let text = if round % 2 == 0 { A_V1 } else { A_V0 };
+            std::fs::write(Path::new(&paths[0]), text).unwrap();
+            let reply = ask(&mut rc, &obj([("cmd", "reload".into())]));
+            assert_eq!(
+                reply.get("relinked").and_then(Value::as_bool),
+                Some(true),
+                "reload {round} did not relink: {}",
+                reply.encode()
+            );
+            assert_eq!(
+                reply.get("epoch").and_then(Value::as_u64),
+                Some(round + 1),
+                "epochs must advance by one per reload"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(
+        checked.load(std::sync::atomic::Ordering::Relaxed) >= 400,
+        "stress test barely ran"
+    );
+    let stats = server.stop();
+    assert_eq!(stats.reloads, 6);
+    assert_eq!(stats.epoch, 6);
+    assert!(stats.latency_samples <= stats.latency_capacity);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn depend_over_socket_matches_in_process() {
     let (dir, paths) = write_sources(
