@@ -1305,3 +1305,45 @@ mod tests {
         });
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use cla_cladb::Database;
+
+    #[test]
+    fn sealed_matches_batch_with_cache_disabled() {
+        // Many distinct pointers with distinct sets, to maximize allocator
+        // address reuse between recomputed lval sets.
+        let mut src = String::from("int a0");
+        for i in 1..40 { src.push_str(&format!(", a{i}")); }
+        src.push(';');
+        for i in 0..40 { src.push_str(&format!(" int *p{i};")); }
+        src.push_str(" void f(void) {");
+        for i in 0..40 {
+            src.push_str(&format!(" p{i} = &a{i};"));
+            if i > 0 { src.push_str(&format!(" p{i} = &a{};", i - 1)); }
+        }
+        src.push('}');
+        let unit = crate::pretransitive::tests_helper_unit(&src);
+        let opts = SolveOptions { cache: false, cycle_elim: true };
+        let db = Database::open(cla_cladb::write_object(&unit)).unwrap();
+        let (batch, _) = solve_database(&db, opts);
+        let sealed = Warm::from_database(&db, opts).seal();
+        for o in 0..unit.objects.len() as u32 {
+            assert_eq!(
+                sealed.points_to(ObjId(o)),
+                batch.points_to(ObjId(o)),
+                "object {} diverged",
+                unit.objects[o as usize].name
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn tests_helper_unit(src: &str) -> cla_ir::CompiledUnit {
+    use cla_cfront::{parse_translation_unit, PpOptions};
+    let tu = parse_translation_unit(src, "t.c", &PpOptions::default()).expect("parse");
+    cla_ir::lower(&tu, &cla_ir::LowerOptions::default())
+}
