@@ -1,0 +1,91 @@
+//! Measures what the observability layer costs: the end-to-end pipeline
+//! with instrumentation disabled (the default — must stay within 2% of an
+//! uninstrumented build), the same pipeline with a trace sink attached,
+//! and the absolute cost of the individual primitives.
+//!
+//! Self-timed like `micro.rs`: median of repeated runs, no benchmarking
+//! dependencies.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cla_cfront::MemoryFs;
+use cla_core::pipeline::{analyze, PipelineOptions};
+use cla_obs::{ChromeTraceWriter, LATENCY_BUCKETS_US};
+use cla_workload::{by_name, generate, GenOptions};
+
+/// Runs `f` repeatedly and returns the median per-iteration time.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while samples.len() < 20 && budget.elapsed() < Duration::from_secs(2) {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{name:32} {median:>12.2?}   ({} samples)", samples.len());
+    median
+}
+
+fn main() {
+    let spec = by_name("vortex").unwrap();
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale: 0.05,
+            files: 4,
+            ..Default::default()
+        },
+    );
+    let mut fs = MemoryFs::new();
+    for (p, c) in &w.files {
+        fs.add(p.clone(), c.clone());
+    }
+    let files: Vec<&str> = w.source_files();
+    let opts = PipelineOptions::default();
+    let run = |fs: &MemoryFs| analyze(fs, &files, &opts).expect("pipeline");
+
+    println!("== obs overhead (vortex @ 5%, {} files) ==", files.len());
+    let obs = cla_obs::global();
+
+    // The default state: spans measure time but emit nothing, counters are
+    // plain relaxed atomics. This is the figure the <2% budget applies to.
+    assert!(!obs.tracing(), "bench must start with tracing disabled");
+    let disabled = bench("pipeline, obs disabled", || run(&fs));
+
+    // Full tracing into a discarded stream: every span serialized to JSON.
+    let sink = ChromeTraceWriter::from_writer(Box::new(std::io::sink())).expect("sink");
+    obs.set_trace_sink(Some(Arc::new(sink)));
+    let traced = bench("pipeline, chrome trace on", || run(&fs));
+    obs.set_trace_sink(None);
+
+    let overhead = (traced.as_secs_f64() - disabled.as_secs_f64()) / disabled.as_secs_f64() * 100.0;
+    println!("tracing overhead when enabled: {overhead:+.1}%");
+
+    // Primitive costs, amortized over 1000 operations per sample.
+    bench("1000 disabled spans", || {
+        for _ in 0..1000 {
+            let mut sp = obs.span("bench", "noop");
+            sp.set("k", 1u64);
+            drop(sp);
+        }
+    });
+    let counter = obs.counter("bench_ops_total");
+    bench("1000 counter incs", || {
+        for _ in 0..1000 {
+            counter.inc();
+        }
+    });
+    let hist = obs.histogram_with("bench_lat_us", &[], LATENCY_BUCKETS_US);
+    bench("1000 histogram observes", || {
+        for i in 0..1000u64 {
+            hist.observe(i);
+        }
+    });
+}

@@ -49,8 +49,42 @@ pub struct ParsedUnit {
 ///
 /// Propagates lexical, preprocessing, and parse errors.
 pub fn parse_file(fs: &dyn FileProvider, path: &str, opts: &PpOptions) -> Result<ParsedUnit> {
-    let pre = pp::preprocess(fs, path, opts)?;
-    let tu = parser::parse(pre.tokens, path)?;
+    let obs = cla_obs::global();
+    let pre = {
+        let mut sp = obs.span("front", "pp");
+        sp.set("file", path);
+        let pre = match pp::preprocess(fs, path, opts) {
+            Ok(pre) => pre,
+            Err(e) => {
+                obs.counter("cla_front_diagnostics_total").inc();
+                return Err(e);
+            }
+        };
+        sp.set("files_read", pre.stats.files_read);
+        sp.set("tokens", pre.stats.tokens_out);
+        sp.set("macro_expansions", pre.stats.macro_expansions);
+        pre
+    };
+    obs.counter("cla_front_files_total").inc();
+    obs.counter("cla_front_bytes_total").add(pre.stats.bytes_in);
+    obs.counter("cla_front_tokens_total")
+        .add(pre.stats.tokens_out as u64);
+    obs.counter("cla_front_macro_expansions_total")
+        .add(pre.stats.macro_expansions as u64);
+    let tu = {
+        let mut sp = obs.span("front", "parse");
+        sp.set("file", path);
+        match parser::parse(pre.tokens, path) {
+            Ok(tu) => {
+                sp.set("items", tu.items.len());
+                tu
+            }
+            Err(e) => {
+                obs.counter("cla_front_diagnostics_total").inc();
+                return Err(e);
+            }
+        }
+    };
     Ok(ParsedUnit {
         tu,
         sources: pre.sources,

@@ -90,6 +90,20 @@ pub struct Database {
     assigns_in_file: u64,
     loaded: AtomicU64,
     fetches: AtomicU64,
+    /// Assignments loaded through the (cold) static section, so the
+    /// dynamic share of `loaded` can be recovered without a separate
+    /// hot-path counter.
+    static_loaded: AtomicU64,
+    /// Global-registry mirrors of the per-database counters. The dynamic
+    /// demand-load path updates them lazily in [`Database::load_stats`] —
+    /// publishing the delta since the last read — so `block()` pays no
+    /// extra atomics beyond its own accounting.
+    obs_assigns_loaded: cla_obs::Counter,
+    obs_block_fetches: cla_obs::Counter,
+    obs_bytes_static: cla_obs::Counter,
+    obs_bytes_dynamic: cla_obs::Counter,
+    obs_pub_fetches: AtomicU64,
+    obs_pub_dynamic: AtomicU64,
 }
 
 struct Sections {
@@ -156,6 +170,12 @@ impl Database {
     ///
     /// Returns [`DbError`] on malformed input.
     pub fn open(data: Vec<u8>) -> Result<Database, DbError> {
+        let obs = cla_obs::global();
+        let mut sp = obs.span("db", "db.open");
+        let section_read = |id: SectionId, bytes: u64| {
+            obs.counter_with("cla_db_section_bytes_read_total", &[("section", id.name())])
+                .add(bytes);
+        };
         let mut hdr = Cur::new(&data);
         if hdr.remaining() < 12 {
             return Err(DbError::BadMagic);
@@ -200,6 +220,7 @@ impl Database {
                     .map_err(|_| DbError::Corrupt("invalid utf-8 string".into()))?,
             );
         }
+        section_read(SectionId::String, len);
         let get_str = |sid: u32| -> Result<&str, DbError> {
             strings
                 .get(sid as usize)
@@ -218,6 +239,7 @@ impl Database {
             file_names.push(get_str(buf.get_u32_le())?.to_string());
         }
         let files = FileTable::from_names(file_names);
+        section_read(SectionId::File, len);
 
         // Objects.
         let (off, len) = sections.get(SectionId::Object)?;
@@ -257,12 +279,17 @@ impl Database {
             });
         }
 
+        section_read(SectionId::Object, len);
+
         // Static range.
         let (off, len) = sections.get(SectionId::Static)?;
         let mut buf = slice(&data, off, len)?;
         need(&buf, 4, "static section")?;
         let static_count = buf.get_u32_le();
         let static_range = (off + 4, static_count);
+        // Only the 4-byte header is read eagerly; the payload is counted
+        // when `static_assigns` decodes it.
+        section_read(SectionId::Static, 4);
 
         // Dynamic index.
         let (off, len) = sections.get(SectionId::Dynamic)?;
@@ -288,6 +315,8 @@ impl Database {
             .checked_sub(4 + (nobjs as u64) * 12)
             .ok_or_else(|| DbError::Corrupt("dynamic index larger than section".into()))?;
         let dynamic_blob = (blob_start, blob_len);
+        // Eagerly read: the per-object block index, not the blob itself.
+        section_read(SectionId::Dynamic, 4 + (nobjs as u64) * 12);
 
         // Funsigs.
         let (off, len) = sections.get(SectionId::FunSig)?;
@@ -296,6 +325,7 @@ impl Database {
         let count = buf.get_u32_le() as usize;
         let mut funsigs = Vec::with_capacity(count.min(1 << 20));
         let mut funsig_by_obj = HashMap::new();
+        section_read(SectionId::FunSig, len);
         for _ in 0..count {
             if buf.remaining() < 13 {
                 return Err(DbError::Corrupt("truncated funsig".into()));
@@ -332,6 +362,8 @@ impl Database {
             targets.entry(name).or_default().push(obj);
         }
 
+        section_read(SectionId::Target, len);
+
         // Meta.
         let (off, len) = sections.get(SectionId::Meta)?;
         let mut buf = slice(&data, off, len)?;
@@ -344,6 +376,11 @@ impl Database {
             ));
         }
 
+        section_read(SectionId::Meta, len);
+
+        sp.set("objects", objects.len());
+        sp.set("assigns_in_file", total_assigns);
+        sp.set("bytes", data.len());
         Ok(Database {
             data,
             objects,
@@ -358,6 +395,15 @@ impl Database {
             assigns_in_file: total_assigns,
             loaded: AtomicU64::new(0),
             fetches: AtomicU64::new(0),
+            static_loaded: AtomicU64::new(0),
+            obs_assigns_loaded: obs.counter("cla_db_assigns_loaded_total"),
+            obs_block_fetches: obs.counter("cla_db_block_fetches_total"),
+            obs_bytes_static: obs
+                .counter_with("cla_db_section_bytes_read_total", &[("section", "static")]),
+            obs_bytes_dynamic: obs
+                .counter_with("cla_db_section_bytes_read_total", &[("section", "dynamic")]),
+            obs_pub_fetches: AtomicU64::new(0),
+            obs_pub_dynamic: AtomicU64::new(0),
         })
     }
 
@@ -413,6 +459,11 @@ impl Database {
             out.push(decode_assign(&mut buf)?);
         }
         self.loaded.fetch_add(u64::from(count), Ordering::Relaxed);
+        self.static_loaded
+            .fetch_add(u64::from(count), Ordering::Relaxed);
+        self.obs_assigns_loaded.add(u64::from(count));
+        self.obs_bytes_static
+            .add(u64::from(count) * ASSIGN_RECORD_SIZE as u64);
         Ok(out)
     }
 
@@ -462,17 +513,38 @@ impl Database {
 
     /// Accounting counters.
     pub fn load_stats(&self) -> LoadStats {
-        LoadStats {
+        let stats = LoadStats {
             assigns_loaded: self.loaded.load(Ordering::Relaxed),
             block_fetches: self.fetches.load(Ordering::Relaxed),
             assigns_in_file: self.assigns_in_file,
-        }
+        };
+        // Publish the demand-load delta since the last read to the global
+        // metrics registry. Doing it here — every solve ends with a
+        // `load_stats` read — keeps `block()`, the solver's innermost
+        // loop, free of any obs-side atomics. The `swap` claims each delta
+        // exactly once under concurrent readers; `saturating_sub` absorbs
+        // a racing `reset_load_stats`.
+        let dynamic = stats
+            .assigns_loaded
+            .saturating_sub(self.static_loaded.load(Ordering::Relaxed));
+        let df = stats.block_fetches.saturating_sub(
+            self.obs_pub_fetches
+                .swap(stats.block_fetches, Ordering::Relaxed),
+        );
+        let dd = dynamic.saturating_sub(self.obs_pub_dynamic.swap(dynamic, Ordering::Relaxed));
+        self.obs_block_fetches.add(df);
+        self.obs_assigns_loaded.add(dd);
+        self.obs_bytes_dynamic.add(dd * ASSIGN_RECORD_SIZE as u64);
+        stats
     }
 
     /// Resets the loaded/fetch counters (e.g. between benchmark phases).
     pub fn reset_load_stats(&self) {
         self.loaded.store(0, Ordering::Relaxed);
         self.fetches.store(0, Ordering::Relaxed);
+        self.static_loaded.store(0, Ordering::Relaxed);
+        self.obs_pub_fetches.store(0, Ordering::Relaxed);
+        self.obs_pub_dynamic.store(0, Ordering::Relaxed);
     }
 
     /// Size of the object file in bytes.

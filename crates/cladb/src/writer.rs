@@ -62,6 +62,9 @@ fn put_assign(buf: &mut Vec<u8>, a: &PrimAssign) {
 /// `x = z` and `*p = z`); address-of assignments go to the always-loaded
 /// static section.
 pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
+    let obs = cla_obs::global();
+    let mut sp = obs.span("db", "db.write_object");
+    sp.set("unit", unit.file.as_str());
     let mut strings = Strings::default();
 
     // ---- file section payload (names interned) ----
@@ -193,6 +196,13 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
         (SectionId::Target, tgt_sec),
         (SectionId::Meta, meta_sec),
     ];
+    for (id, body) in &sections {
+        obs.counter_with(
+            "cla_db_section_bytes_written_total",
+            &[("section", id.name())],
+        )
+        .add(body.len() as u64);
+    }
     let header_len = 4 + 4 + 4 + sections.len() * (4 + 8 + 8);
     let mut out =
         Vec::with_capacity(header_len + sections.iter().map(|(_, b)| b.len()).sum::<usize>());
@@ -217,6 +227,8 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
     for (_, body) in sections {
         out.extend_from_slice(&body);
     }
+    sp.set("assigns", unit.assigns.len());
+    sp.set("bytes", out.len());
     out
 }
 

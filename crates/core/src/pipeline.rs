@@ -11,7 +11,7 @@ use crate::solution::PointsTo;
 use cla_cfront::{CError, FileProvider, PpOptions};
 use cla_cladb::{link, write_object, Database, LinkStats, LoadStats};
 use cla_ir::{compile_file, AssignCounts, CompileStats, CompiledUnit, LowerOptions};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default)]
@@ -88,22 +88,28 @@ pub fn analyze(
     files: &[&str],
     opts: &PipelineOptions,
 ) -> Result<Analysis, CError> {
-    let t0 = Instant::now();
-    let units = compile_all(fs, files, opts)?;
-    let compile_time = t0.elapsed();
+    // Phase times come from the same spans that emit trace events, so the
+    // `Report` and a recorded trace can never disagree about a duration.
+    let obs = cla_obs::global();
 
-    let t1 = Instant::now();
+    let mut sp = obs.span("pipeline", "pipeline.compile");
+    sp.set("files", files.len());
+    let units = compile_all(fs, files, opts)?;
+    let compile_time = sp.finish();
+
+    let mut sp = obs.span("pipeline", "pipeline.link");
     let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) = units.into_iter().unzip();
     let (program, link_stats) = link(&compiled, "a.out");
     compiled.clear();
     let bytes = write_object(&program);
     let object_size = bytes.len();
     let db = Database::open(bytes).expect("freshly written database must be valid");
-    let link_time = t1.elapsed();
+    sp.set("object_bytes", object_size);
+    let link_time = sp.finish();
 
-    let t2 = Instant::now();
+    let sp = obs.span("pipeline", "pipeline.solve");
     let (points_to, solve_stats) = solve_database(&db, opts.solver);
-    let solve_time = t2.elapsed();
+    let solve_time = sp.finish();
 
     let report = Report {
         files: files.len(),

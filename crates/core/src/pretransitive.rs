@@ -154,6 +154,9 @@ struct GraphState {
 struct Solver<'db> {
     db: Option<&'db Database>,
     g: GraphState,
+    /// Cached handle: demand-loaded blocks dropped after integration
+    /// (load-and-throw-away), mirrored into the global metric registry.
+    obs_blocks_discarded: cla_obs::Counter,
 }
 
 /// Solves points-to over a fully loaded unit.
@@ -193,24 +196,32 @@ pub struct Warm {
 impl Warm {
     /// Solves `unit` to fixpoint and returns the warm graph.
     pub fn from_unit(unit: &CompiledUnit, opts: SolveOptions) -> Warm {
+        let mut sp = cla_obs::global().span("solve", "solve.fixpoint");
+        sp.set("mode", "unit");
         let mut s = Solver {
             db: None,
             g: GraphState::new(unit.objects.len(), false, opts),
+            obs_blocks_discarded: cla_obs::global().counter("cla_db_blocks_discarded_total"),
         };
         s.g.register_sigs(&unit.funsigs);
         for a in &unit.assigns {
             s.g.add_assign(a);
         }
         s.run();
+        sp.set("passes", s.g.stats.passes);
+        sp.set("edges_added", s.g.stats.edges_added);
         Warm::finish(s.g, unit.objects.len())
     }
 
     /// Solves `db` to fixpoint with demand loading and returns the warm
     /// graph. See [`solve_database`] for the panic conditions.
     pub fn from_database(db: &Database, opts: SolveOptions) -> Warm {
+        let mut sp = cla_obs::global().span("solve", "solve.fixpoint");
+        sp.set("mode", "database");
         let mut s = Solver {
             db: Some(db),
             g: GraphState::new(db.objects().len(), true, opts),
+            obs_blocks_discarded: cla_obs::global().counter("cla_db_blocks_discarded_total"),
         };
         s.g.register_sigs(db.funsigs());
         // The static section (x = &y) is the starting point and is always
@@ -220,6 +231,13 @@ impl Warm {
             s.g.add_assign(a);
         }
         s.run();
+        // Reading the stats also publishes the demand-load deltas to the
+        // global metrics registry (see `Database::load_stats`), so serve
+        // sessions get fresh counters without touching the fetch hot path.
+        let _ = db.load_stats();
+        sp.set("passes", s.g.stats.passes);
+        sp.set("edges_added", s.g.stats.edges_added);
+        sp.set("blocks_loaded", s.g.blocks_loaded);
         Warm::finish(s.g, db.objects().len())
     }
 
@@ -311,6 +329,8 @@ impl Warm {
     /// The result answers queries on `&self` with no interior mutability at
     /// all, so any number of threads can read it concurrently without locks.
     pub fn seal(mut self) -> SealedGraph {
+        let mut sp = cla_obs::global().span("solve", "solve.seal");
+        sp.set("objects", self.n_objects);
         let empty: Arc<Vec<ObjId>> = Arc::new(Vec::new());
         // Sets coming out of the warm cache are shared Arcs (SCC members and
         // hash-consed duplicates); convert each distinct allocation once so
@@ -439,6 +459,7 @@ impl Solver<'_> {
                     self.g.add_assign(a);
                 }
                 // The decoded block is dropped here: load-and-throw-away.
+                self.obs_blocks_discarded.inc();
             }
         }
     }
@@ -510,9 +531,33 @@ impl Solver<'_> {
     }
 
     fn run(&mut self) {
+        let obs = cla_obs::global();
         loop {
             self.g.stats.passes += 1;
-            if !self.pass() {
+            let before = self.g.stats;
+            let loads_before = self.g.blocks_loaded;
+            let mut sp = obs.span("solve", "solve.pass");
+            sp.set("pass", self.g.stats.passes);
+            let changed = self.pass();
+            // Per-pass deltas make the cache-decay curve across passes
+            // (Figure 5) directly visible in a trace.
+            let st = self.g.stats;
+            sp.set("getlvals_calls", st.getlvals_calls - before.getlvals_calls);
+            sp.set("cache_hits", st.cache_hits - before.cache_hits);
+            sp.set("unifications", st.unifications - before.unifications);
+            sp.set("edges_added", st.edges_added - before.edges_added);
+            sp.set("blocks_loaded", self.g.blocks_loaded - loads_before);
+            drop(sp);
+            obs.counter("cla_solve_passes_total").inc();
+            obs.counter("cla_solve_getlvals_total")
+                .add(st.getlvals_calls - before.getlvals_calls);
+            obs.counter("cla_solve_cache_hits_total")
+                .add(st.cache_hits - before.cache_hits);
+            obs.counter("cla_solve_unifications_total")
+                .add(st.unifications - before.unifications);
+            obs.counter("cla_solve_edges_added_total")
+                .add(st.edges_added - before.edges_added);
+            if !changed {
                 break;
             }
         }
@@ -1316,17 +1361,26 @@ mod review_probe {
         // Many distinct pointers with distinct sets, to maximize allocator
         // address reuse between recomputed lval sets.
         let mut src = String::from("int a0");
-        for i in 1..40 { src.push_str(&format!(", a{i}")); }
+        for i in 1..40 {
+            src.push_str(&format!(", a{i}"));
+        }
         src.push(';');
-        for i in 0..40 { src.push_str(&format!(" int *p{i};")); }
+        for i in 0..40 {
+            src.push_str(&format!(" int *p{i};"));
+        }
         src.push_str(" void f(void) {");
         for i in 0..40 {
             src.push_str(&format!(" p{i} = &a{i};"));
-            if i > 0 { src.push_str(&format!(" p{i} = &a{};", i - 1)); }
+            if i > 0 {
+                src.push_str(&format!(" p{i} = &a{};", i - 1));
+            }
         }
         src.push('}');
         let unit = crate::pretransitive::tests_helper_unit(&src);
-        let opts = SolveOptions { cache: false, cycle_elim: true };
+        let opts = SolveOptions {
+            cache: false,
+            cycle_elim: true,
+        };
         let db = Database::open(cla_cladb::write_object(&unit)).unwrap();
         let (batch, _) = solve_database(&db, opts);
         let sealed = Warm::from_database(&db, opts).seal();
@@ -1343,7 +1397,5 @@ mod review_probe {
 
 #[cfg(test)]
 pub(crate) fn tests_helper_unit(src: &str) -> cla_ir::CompiledUnit {
-    use cla_cfront::{parse_translation_unit, PpOptions};
-    let tu = parse_translation_unit(src, "t.c", &PpOptions::default()).expect("parse");
-    cla_ir::lower(&tu, &cla_ir::LowerOptions::default())
+    cla_ir::compile_source(src, "t.c", &cla_ir::LowerOptions::default()).expect("parse")
 }

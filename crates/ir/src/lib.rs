@@ -55,8 +55,12 @@ pub fn compile_file(
     pp: &PpOptions,
     lower: &LowerOptions,
 ) -> Result<(CompiledUnit, CompileStats)> {
+    let mut sp = cla_obs::global().span("front", "compile_file");
+    sp.set("file", path);
     let parsed = parse_file(fs, path, pp)?;
     let unit = lower_unit(&parsed.tu, &parsed.sources, lower);
+    sp.set("objects", unit.objects.len());
+    sp.set("assigns", unit.assigns.len());
     let stats = CompileStats {
         source_bytes: parsed.pp_stats.bytes_in,
         preprocessed_lines: parsed.pp_stats.lines_out,

@@ -1,0 +1,460 @@
+//! `cla-obs` — zero-dependency observability for the CLA pipeline.
+//!
+//! Three primitives, all std-only and `Send + Sync`:
+//!
+//! - **Spans** ([`Span`]): scoped timers that nest (per thread), carry
+//!   `key=value` fields, and emit Chrome `trace_event` begin/end pairs when a
+//!   trace sink is installed. A span *always* measures wall time (its
+//!   [`Span::finish`] duration feeds `Report` phase times) but constructs no
+//!   event and takes no lock when tracing is off — the disabled cost is one
+//!   `Instant::now()` plus one relaxed atomic load.
+//! - **Counters** ([`Counter`]): relaxed atomic monotonic counters. Call
+//!   sites cache the handle, so the hot path is a single `fetch_add`.
+//! - **Histograms** ([`Histogram`]): fixed-bucket, lock-free latency/size
+//!   distributions.
+//!
+//! Sinks are pluggable via [`TraceSink`]: [`ChromeTraceWriter`] streams a
+//! `chrome://tracing` / Perfetto-loadable JSON trace, [`MemorySink`] collects
+//! events for tests, [`NoopSink`] discards them. Metrics render to the
+//! Prometheus text exposition format via [`Obs::prometheus_text`] and
+//! round-trip through [`parse_exposition`].
+//!
+//! The process-wide registry is [`global()`]; library crates instrument
+//! against it unconditionally and the binary decides whether any sink is
+//! attached.
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    escape_label_value, nearest_rank, parse_exposition, Counter, Histogram, Sample,
+    LATENCY_BUCKETS_US,
+};
+pub use trace::{
+    escape_json, ArgValue, ChromeTraceWriter, MemorySink, NoopSink, Phase, TraceEvent, TraceSink,
+};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// A registered metric: counter or histogram.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Histogram(Histogram),
+}
+
+/// Registry key: metric name plus a pre-rendered, sorted label string
+/// (`key="value",...`, exposition-escaped). Ordering the map by this pair
+/// keeps the rendered exposition deterministic.
+type MetricKey = (String, String);
+
+/// Observability registry: the metric namespace plus the (optional) trace
+/// sink. One global instance lives for the process ([`global()`]); tests may
+/// build private ones.
+pub struct Obs {
+    epoch: Instant,
+    trace_on: AtomicBool,
+    sink: RwLock<Option<Arc<dyn TraceSink>>>,
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("tracing", &self.tracing())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide registry. Library crates record against this; binaries
+/// decide whether to attach a sink or render metrics.
+pub fn global() -> &'static Obs {
+    GLOBAL.get_or_init(Obs::new)
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small sequential id for the current OS thread (stable for its lifetime).
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+impl Obs {
+    /// New empty registry with its own time epoch.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            trace_on: AtomicBool::new(false),
+            sink: RwLock::new(None),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Microseconds since this registry was created (trace timestamp base).
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Is a trace sink currently attached?
+    pub fn tracing(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// Install (or with `None`, remove) the trace sink. The previous sink is
+    /// flushed before being dropped.
+    pub fn set_trace_sink(&self, sink: Option<Arc<dyn TraceSink>>) {
+        let mut slot = self.sink.write().expect("obs sink lock poisoned");
+        if let Some(old) = slot.take() {
+            old.flush();
+        }
+        self.trace_on.store(sink.is_some(), Ordering::Relaxed);
+        *slot = sink;
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush_trace(&self) {
+        if let Some(sink) = &*self.sink.read().expect("obs sink lock poisoned") {
+            sink.flush();
+        }
+    }
+
+    fn emit(&self, ev: &TraceEvent) {
+        if let Some(sink) = &*self.sink.read().expect("obs sink lock poisoned") {
+            sink.event(ev);
+        }
+    }
+
+    /// Start a span named `name` under category `cat`. The guard emits a
+    /// begin event now (if tracing) and an end event carrying any fields set
+    /// with [`Span::set`] when dropped or [`Span::finish`]ed.
+    pub fn span(&self, cat: &'static str, name: &'static str) -> Span<'_> {
+        let emit = self.tracing();
+        if emit {
+            self.emit(&TraceEvent {
+                name: name.to_string(),
+                cat,
+                ph: Phase::Begin,
+                ts_us: self.now_us(),
+                pid: std::process::id(),
+                tid: current_tid(),
+                args: Vec::new(),
+            });
+        }
+        Span {
+            obs: self,
+            cat,
+            name,
+            start: Instant::now(),
+            emit,
+            args: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Emit an instantaneous event (no duration), e.g. a slow-query marker.
+    pub fn instant(&self, cat: &'static str, name: &str, args: Vec<(&'static str, ArgValue)>) {
+        if !self.tracing() {
+            return;
+        }
+        self.emit(&TraceEvent {
+            name: name.to_string(),
+            cat,
+            ph: Phase::Instant,
+            ts_us: self.now_us(),
+            pid: std::process::id(),
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Get or register the unlabelled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or register counter `name` with the given label pairs.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = (name.to_string(), render_labels(labels));
+        let mut map = self.metrics.lock().expect("obs metrics lock poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            Metric::Histogram(_) => panic!("metric {name} already registered as a histogram"),
+        }
+    }
+
+    /// Get or register histogram `name` with the given labels and finite
+    /// bucket upper bounds (`bounds` is only used on first registration).
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[u64]) -> Histogram {
+        let key = (name.to_string(), render_labels(labels));
+        let mut map = self.metrics.lock().expect("obs metrics lock poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            Metric::Counter(_) => panic!("metric {name} already registered as a counter"),
+        }
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format: one `# TYPE` line per metric name, counters as single
+    /// samples, histograms as cumulative `_bucket{le=...}` series plus
+    /// `_sum` and `_count`.
+    pub fn prometheus_text(&self) -> String {
+        let snapshot: Vec<(MetricKey, Metric)> = {
+            let map = self.metrics.lock().expect("obs metrics lock poisoned");
+            map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = String::new();
+        let mut last_typed: Option<String> = None;
+        for ((name, labels), metric) in snapshot {
+            if last_typed.as_deref() != Some(name.as_str()) {
+                let kind = match metric {
+                    Metric::Counter(_) => "counter",
+                    Metric::Histogram(_) => "histogram",
+                };
+                out.push_str("# TYPE ");
+                out.push_str(&name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+                last_typed = Some(name.clone());
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    metrics::render_sample_line(&mut out, &name, &labels, None, c.get());
+                }
+                Metric::Histogram(h) => {
+                    let bucket_name = format!("{name}_bucket");
+                    let cumulative = h.cumulative();
+                    let bounds = h.bounds();
+                    for (i, cum) in cumulative.iter().enumerate() {
+                        let le = match bounds.get(i) {
+                            Some(b) => b.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        metrics::render_sample_line(
+                            &mut out,
+                            &bucket_name,
+                            &labels,
+                            Some(("le", &le)),
+                            *cum,
+                        );
+                    }
+                    metrics::render_sample_line(
+                        &mut out,
+                        &format!("{name}_sum"),
+                        &labels,
+                        None,
+                        h.sum(),
+                    );
+                    metrics::render_sample_line(
+                        &mut out,
+                        &format!("{name}_count"),
+                        &labels,
+                        None,
+                        h.count(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Render label pairs into the canonical sorted `k="v",...` form.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(v, &mut out);
+        out.push('"');
+    }
+    out
+}
+
+/// Scoped timer guard returned by [`Obs::span`]. Always measures wall time;
+/// emits a Chrome begin/end pair only when tracing was enabled at creation.
+/// Fields set with [`set`](Span::set) are attached to the end event.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    obs: &'a Obs,
+    cat: &'static str,
+    name: &'static str,
+    start: Instant,
+    emit: bool,
+    args: Vec<(&'static str, ArgValue)>,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Attach a `key=value` field (shown on the trace slice). Cheap no-op
+    /// when the span is not being emitted.
+    pub fn set(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.emit {
+            self.args.push((key, value.into()));
+        }
+    }
+
+    /// Wall time elapsed since the span started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// End the span now, returning its duration (used to feed `Report`
+    /// phase times from the same clock that produced the trace).
+    pub fn finish(mut self) -> Duration {
+        self.close();
+        self.start.elapsed()
+    }
+
+    fn close(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if self.emit {
+            self.obs.emit(&TraceEvent {
+                name: self.name.to_string(),
+                cat: self.cat,
+                ph: Phase::End,
+                ts_us: self.obs.now_us(),
+                pid: std::process::id(),
+                tid: current_tid(),
+                args: std::mem::take(&mut self.args),
+            });
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_emit_balanced_pairs_with_fields() {
+        let obs = Obs::new();
+        let sink = Arc::new(MemorySink::new());
+        obs.set_trace_sink(Some(sink.clone()));
+        {
+            let mut outer = obs.span("t", "outer");
+            outer.set("k", 7u64);
+            let inner = obs.span("t", "inner");
+            drop(inner);
+        }
+        obs.set_trace_sink(None);
+        let evs = sink.take();
+        let kinds: Vec<(char, &str)> = evs.iter().map(|e| (e.ph.code(), e.name.as_str())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ('B', "outer"),
+                ('B', "inner"),
+                ('E', "inner"),
+                ('E', "outer")
+            ]
+        );
+        // Fields ride on the end event.
+        assert_eq!(evs[3].args, vec![("k", ArgValue::U64(7))]);
+        // All on one thread, timestamps monotone.
+        assert!(evs
+            .windows(2)
+            .all(|w| w[0].ts_us <= w[1].ts_us && w[0].tid == w[1].tid));
+    }
+
+    #[test]
+    fn disabled_spans_still_measure_time() {
+        let obs = Obs::new();
+        assert!(!obs.tracing());
+        let sp = obs.span("t", "x");
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sp.finish() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn counters_are_shared_by_name_and_labels() {
+        let obs = Obs::new();
+        obs.counter("a_total").add(2);
+        obs.counter("a_total").inc();
+        assert_eq!(obs.counter("a_total").get(), 3);
+        obs.counter_with("b_total", &[("s", "x")]).inc();
+        assert_eq!(obs.counter_with("b_total", &[("s", "x")]).get(), 1);
+        assert_eq!(obs.counter_with("b_total", &[("s", "y")]).get(), 0);
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_parser() {
+        let obs = Obs::new();
+        obs.counter("cla_x_total").add(5);
+        obs.counter_with("cla_y_total", &[("section", "static")])
+            .add(2);
+        obs.counter_with("cla_y_total", &[("section", "dynamic")])
+            .add(3);
+        let h = obs.histogram_with("cla_lat_us", &[("cmd", "alias")], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        let text = obs.prometheus_text();
+        // One TYPE line per metric name, even with several label sets.
+        assert_eq!(text.matches("# TYPE cla_y_total counter").count(), 1);
+        assert!(text.contains("# TYPE cla_lat_us histogram"));
+        let samples = parse_exposition(&text).expect("rendered exposition must parse");
+        let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label
+                            .is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+                .value
+        };
+        assert_eq!(find("cla_x_total", None), 5.0);
+        assert_eq!(find("cla_y_total", Some(("section", "static"))), 2.0);
+        assert_eq!(find("cla_lat_us_count", None), 3.0);
+        assert_eq!(find("cla_lat_us_bucket", Some(("le", "+Inf"))), 3.0);
+        assert_eq!(find("cla_lat_us_bucket", Some(("le", "10"))), 1.0);
+        assert_eq!(find("cla_lat_us_sum", None), 5055.0);
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let a = current_tid();
+        let b = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,375 @@
+//! Counters, fixed-bucket histograms, percentile math, and the Prometheus
+//! text exposition renderer/parser.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic counter. Cloning shares the underlying cell, so call sites can
+/// cache a handle once (no registry lookup on the hot path).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// New counter starting at zero (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default bucket upper bounds for latency histograms, in microseconds.
+/// Roughly 2.5x steps from 1µs to 4s, 16 finite buckets plus overflow.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 10_000, 50_000, 250_000, 1_000_000, 4_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Finite bucket upper bounds, strictly increasing.
+    bounds: Box<[u64]>,
+    /// One slot per finite bound plus a final overflow (`+Inf`) slot.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Fixed-bucket, lock-free histogram (`Send + Sync`; `observe` is a couple of
+/// relaxed atomic adds). Cloning shares the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// New histogram with the given finite bucket upper bounds (must be
+    /// non-empty and strictly increasing).
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must increase"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.into(),
+                counts,
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let inner = &*self.inner;
+        let slot = inner.bounds.partition_point(|&b| b < v);
+        inner.counts[slot].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Finite bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.inner.bounds
+    }
+
+    /// Cumulative count per bucket, one entry per finite bound plus the
+    /// `+Inf` bucket (which equals `count()` up to racing writers).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.inner
+            .counts
+            .iter()
+            .map(|c| {
+                acc += c.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+
+    /// Nearest-rank percentile estimate, resolved to a bucket upper bound
+    /// (`u64::MAX` when the rank falls in the overflow bucket). `p` is in
+    /// `[0, 1]`. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = nearest_rank_index(total as usize, p) as u64 + 1;
+        let mut acc = 0u64;
+        for (i, c) in self.inner.counts.iter().enumerate() {
+            acc += c.load(Ordering::Relaxed);
+            if acc >= rank {
+                return self.inner.bounds.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Zero-based index of the nearest-rank percentile in a sorted sample of
+/// `len` items: `ceil(p * len) - 1`, clamped to the valid range.
+fn nearest_rank_index(len: usize, p: f64) -> usize {
+    debug_assert!(len > 0);
+    let p = p.clamp(0.0, 1.0);
+    let rank = (p * len as f64).ceil() as usize;
+    rank.clamp(1, len) - 1
+}
+
+/// Nearest-rank percentile of a sorted sample: the smallest value such that
+/// at least `p * 100` percent of the samples are `<=` it. Returns 0 for an
+/// empty slice.
+pub fn nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[nearest_rank_index(sorted.len(), p)]
+}
+
+/// One parsed sample line from a Prometheus text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse a Prometheus text exposition (the format rendered by
+/// [`crate::Obs::prometheus_text`]). Comment/`# TYPE`/`# HELP` lines are
+/// skipped. Returns an error describing the first malformed line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, labels, value_part) = if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').ok_or("unterminated label set")?;
+        if close < brace {
+            return Err("unterminated label set".to_string());
+        }
+        (
+            &line[..brace],
+            parse_labels(&line[brace + 1..close])?,
+            line[close + 1..].trim(),
+        )
+    } else {
+        let sp = line.find(' ').ok_or("missing value")?;
+        (&line[..sp], Vec::new(), line[sp..].trim())
+    };
+    let name = name_part.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let value: f64 = match value_part {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = s.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?}: expected opening quote"));
+        }
+        let mut val = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => val.push('\n'),
+                    Some(c) => val.push(c),
+                    None => return Err("dangling escape in label value".to_string()),
+                },
+                Some('"') => break,
+                Some(c) => val.push(c),
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        labels.push((key.trim().to_string(), val));
+    }
+}
+
+/// Escape a label value for the text exposition format.
+pub fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render one sample line (`name{labels} value`) into `out`.
+pub(crate) fn render_sample_line(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    extra_label: Option<(&str, &str)>,
+    value: u64,
+) {
+    out.push_str(name);
+    let has_labels = !labels.is_empty() || extra_label.is_some();
+    if has_labels {
+        out.push('{');
+        out.push_str(labels);
+        if let Some((k, v)) = extra_label {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn nearest_rank_matches_reference_example() {
+        // The classic worked example: ordered list 15, 20, 35, 40, 50.
+        let s = [15, 20, 35, 40, 50];
+        assert_eq!(nearest_rank(&s, 0.05), 15);
+        assert_eq!(nearest_rank(&s, 0.30), 20);
+        assert_eq!(nearest_rank(&s, 0.40), 20);
+        assert_eq!(nearest_rank(&s, 0.50), 35);
+        assert_eq!(nearest_rank(&s, 0.90), 50);
+        assert_eq!(nearest_rank(&s, 1.00), 50);
+    }
+
+    #[test]
+    fn nearest_rank_edge_cases() {
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&[7], 0.0), 7);
+        assert_eq!(nearest_rank(&[7], 1.0), 7);
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&s, 0.50), 50);
+        assert_eq!(nearest_rank(&s, 0.90), 90);
+        assert_eq!(nearest_rank(&s, 0.99), 99);
+        // p is clamped, not an error.
+        assert_eq!(nearest_rank(&s, 1.5), 100);
+        assert_eq!(nearest_rank(&s, -0.2), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [1, 5, 50, 500, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5556);
+        assert_eq!(h.cumulative(), vec![2, 3, 4, 5]);
+        // Ranks resolve to bucket upper bounds.
+        assert_eq!(h.percentile(0.20), 10);
+        assert_eq!(h.percentile(0.50), 100);
+        assert_eq!(h.percentile(0.75), 1000);
+        assert_eq!(h.percentile(1.0), u64::MAX); // overflow bucket
+        assert_eq!(Histogram::new(&[10]).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn exposition_parser_handles_labels_and_escapes() {
+        let text = "# TYPE x counter\nx 3\ny{a=\"b\",c=\"d\\\"e\"} 4.5\nz{le=\"+Inf\"} 9\n";
+        let samples = parse_exposition(text).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert_eq!(
+            samples[0],
+            Sample {
+                name: "x".into(),
+                labels: vec![],
+                value: 3.0
+            }
+        );
+        assert_eq!(
+            samples[1].labels,
+            vec![("a".into(), "b".into()), ("c".into(), "d\"e".into())]
+        );
+        assert_eq!(samples[2].labels, vec![("le".into(), "+Inf".into())]);
+    }
+
+    #[test]
+    fn exposition_parser_rejects_garbage() {
+        assert!(parse_exposition("novalue\n").is_err());
+        assert!(parse_exposition("x{a=\"b\" 3\n").is_err());
+        assert!(parse_exposition("x nan-ish\n").is_err());
+    }
+}

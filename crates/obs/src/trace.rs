@@ -1,0 +1,348 @@
+//! Trace events and pluggable sinks.
+//!
+//! Events follow the Chrome `trace_event` JSON format (the one consumed by
+//! `chrome://tracing` and Perfetto's legacy-JSON importer): each event is an
+//! object with `name`, `cat`, `ph` (phase), `ts` (microseconds), `pid`, `tid`
+//! and an optional `args` map. The [`ChromeTraceWriter`] sink streams events
+//! one per line so a crashed process still leaves a loadable trace — Chrome's
+//! importer explicitly tolerates a missing closing `]`.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Chrome `trace_event` phase codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `B` — begin of a duration slice.
+    Begin,
+    /// `E` — end of a duration slice.
+    End,
+    /// `i` — instantaneous event.
+    Instant,
+    /// `C` — counter sample.
+    Counter,
+    /// `M` — metadata (process/thread names).
+    Meta,
+}
+
+impl Phase {
+    /// Single-character phase code used in the JSON form.
+    pub fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'i',
+            Phase::Counter => 'C',
+            Phase::Meta => 'M',
+        }
+    }
+}
+
+/// A field value attached to a span or instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (non-finite values render as `0`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped on output).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I64(v)
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+impl From<Duration> for ArgValue {
+    fn from(v: Duration) -> Self {
+        ArgValue::U64(v.as_micros() as u64)
+    }
+}
+
+/// One trace event, ready for serialisation.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Slice / event name (groups identically-named slices in the viewer).
+    pub name: String,
+    /// Category string; the CLA layers use `front`, `db`, `solve`, `serve`.
+    pub cat: &'static str,
+    /// Phase code.
+    pub ph: Phase,
+    /// Timestamp in microseconds since the registry's epoch.
+    pub ts_us: u64,
+    /// Process id.
+    pub pid: u32,
+    /// Logical thread id (small sequential id, stable per OS thread).
+    pub tid: u64,
+    /// key=value fields shown in the viewer's detail pane.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Serialise as a single-line Chrome `trace_event` JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"name\":\"");
+        escape_json(&self.name, &mut s);
+        s.push_str("\",\"cat\":\"");
+        escape_json(self.cat, &mut s);
+        let _ = write!(
+            s,
+            "\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            self.ph.code(),
+            self.ts_us,
+            self.pid,
+            self.tid
+        );
+        if self.ph == Phase::Instant {
+            // Thread-scoped instant; avoids the viewer drawing a full-height line.
+            s.push_str(",\"s\":\"t\"");
+        }
+        if !self.args.is_empty() {
+            s.push_str(",\"args\":{");
+            for (i, (k, v)) in self.args.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                escape_json(k, &mut s);
+                s.push_str("\":");
+                match v {
+                    ArgValue::U64(n) => {
+                        let _ = write!(s, "{n}");
+                    }
+                    ArgValue::I64(n) => {
+                        let _ = write!(s, "{n}");
+                    }
+                    ArgValue::F64(f) if f.is_finite() => {
+                        let _ = write!(s, "{f}");
+                    }
+                    ArgValue::F64(_) => s.push('0'),
+                    ArgValue::Bool(b) => {
+                        let _ = write!(s, "{b}");
+                    }
+                    ArgValue::Str(t) => {
+                        s.push('"');
+                        escape_json(t, &mut s);
+                        s.push('"');
+                    }
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// JSON string escaping (control characters, quote, backslash).
+pub fn escape_json(input: &str, out: &mut String) {
+    for c in input.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Destination for trace events. Implementations must be cheap and
+/// thread-safe; `event` is called from hot paths while tracing is enabled.
+pub trait TraceSink: Send + Sync {
+    /// Record one event.
+    fn event(&self, ev: &TraceEvent);
+    /// Flush any buffering. Called on sink replacement and process exit paths.
+    fn flush(&self) {}
+}
+
+/// Sink that discards everything. Useful for measuring the cost of event
+/// construction itself (the disabled path never constructs events at all).
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn event(&self, _ev: &TraceEvent) {}
+}
+
+/// In-memory sink for tests: collects events for later inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take all events recorded so far, leaving the sink empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock().expect("memory sink poisoned"))
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, ev: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(ev.clone());
+    }
+}
+
+/// Streaming Chrome-trace writer: an opening `[` then one event object per
+/// line, each terminated by `,`. No closing `]` is ever written — Chrome and
+/// Perfetto both accept the truncated-array form, which is what makes the
+/// format crash-tolerant (every completed line is already loadable).
+pub struct ChromeTraceWriter {
+    out: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for ChromeTraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChromeTraceWriter").finish_non_exhaustive()
+    }
+}
+
+impl ChromeTraceWriter {
+    /// Create (truncate) `path` and write the array header plus a
+    /// process-name metadata event.
+    pub fn create(path: &std::path::Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Self::from_writer(Box::new(file))
+    }
+
+    /// Wrap an arbitrary writer (used by tests and benches).
+    pub fn from_writer(w: Box<dyn Write + Send>) -> io::Result<Self> {
+        let mut out = BufWriter::new(w);
+        out.write_all(b"[\n")?;
+        let meta = TraceEvent {
+            name: "process_name".to_string(),
+            cat: "__metadata",
+            ph: Phase::Meta,
+            ts_us: 0,
+            pid: std::process::id(),
+            tid: 0,
+            args: vec![("name", ArgValue::Str("cla".to_string()))],
+        };
+        out.write_all(meta.to_json().as_bytes())?;
+        out.write_all(b",\n")?;
+        out.flush()?;
+        Ok(Self {
+            out: Mutex::new(out),
+        })
+    }
+}
+
+impl TraceSink for ChromeTraceWriter {
+    fn event(&self, ev: &TraceEvent) {
+        let line = ev.to_json();
+        let mut out = self.out.lock().expect("trace writer poisoned");
+        // Event rates are modest (per file / pass / query), so flush per
+        // event to keep the file loadable at any moment.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b",\n");
+        let _ = out.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("trace writer poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_shape() {
+        let ev = TraceEvent {
+            name: "pp".to_string(),
+            cat: "front",
+            ph: Phase::Begin,
+            ts_us: 42,
+            pid: 1,
+            tid: 2,
+            args: vec![
+                ("file", ArgValue::Str("a\"b.c".to_string())),
+                ("n", ArgValue::U64(7)),
+            ],
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"name\":\"pp\",\"cat\":\"front\",\"ph\":\"B\",\"ts\":42,\"pid\":1,\"tid\":2,\
+             \"args\":{\"file\":\"a\\\"b.c\",\"n\":7}}"
+        );
+    }
+
+    #[test]
+    fn instant_events_are_thread_scoped() {
+        let ev = TraceEvent {
+            name: "slow".to_string(),
+            cat: "serve",
+            ph: Phase::Instant,
+            ts_us: 1,
+            pid: 1,
+            tid: 1,
+            args: vec![],
+        };
+        assert!(ev.to_json().contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn escaping_covers_control_chars() {
+        let mut out = String::new();
+        escape_json("a\nb\t\u{1}\\\"", &mut out);
+        assert_eq!(out, "a\\nb\\t\\u0001\\\\\\\"");
+    }
+}

@@ -14,5 +14,5 @@ mod session;
 pub use server::{serve, serve_with, ServeOptions, ServerHandle};
 pub use session::{
     AliasAnswer, DependAnswer, DependentLine, PointsToAnswer, ReloadReport, Session, SessionError,
-    SessionStats, Target,
+    SessionStats, SlowQuery, Target, DEFAULT_SLOW_THRESHOLD_US,
 };

@@ -9,6 +9,7 @@
 //! | `{"cmd":"alias","a":A,"b":B}` | `{"ok":true,"a":A,"b":B,"alias":B,"cached":B,"us":N,"epoch":N}` |
 //! | `{"cmd":"depend","target":T,"non-targets":[S,…]}` | `{"ok":true,"target":T,"dependents":[{"name":S,"weak_links":N,"length":N},…],"cached":B,"us":N,"epoch":N}` |
 //! | `{"cmd":"stats"}` | `{"ok":true,"stats":{…}}` |
+//! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":"…"}` — Prometheus text exposition of every registered counter/histogram |
 //! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
 //!
@@ -48,6 +49,9 @@ pub struct ServeOptions {
     /// rejected with a structured error and the connection is closed.
     /// Default: 1 MiB.
     pub max_request_bytes: usize,
+    /// Queries at or above this latency (µs) enter the session's slow-query
+    /// log. `None` keeps the session's current threshold.
+    pub slow_query_threshold_us: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +59,7 @@ impl Default for ServeOptions {
         ServeOptions {
             read_timeout: Some(Duration::from_secs(300)),
             max_request_bytes: 1 << 20,
+            slow_query_threshold_us: None,
         }
     }
 }
@@ -86,6 +91,9 @@ pub fn serve_with(
     socket: &Path,
     opts: ServeOptions,
 ) -> std::io::Result<ServerHandle> {
+    if let Some(us) = opts.slow_query_threshold_us {
+        session.set_slow_query_threshold_us(us);
+    }
     let _ = std::fs::remove_file(socket);
     let listener = UnixListener::bind(socket)?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -392,6 +400,10 @@ fn handle_line(
             }
         }
         "stats" => obj([("ok", true.into()), ("stats", session.stats().to_json())]),
+        "metrics" => obj([
+            ("ok", true.into()),
+            ("metrics", cla_obs::global().prometheus_text().into()),
+        ]),
         "reload" => {
             let Some(fs) = fs else {
                 return err_reply("reload is not available (server has no source tree)");

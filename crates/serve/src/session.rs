@@ -22,7 +22,8 @@ use cla_cladb::{write_object, Database, LinkSet};
 use cla_core::{SealedGraph, SolveOptions, SolveStats, Warm};
 use cla_depend::{DependOptions, DependenceAnalysis};
 use cla_ir::{compile_file, LowerOptions, ObjId};
-use std::collections::HashMap;
+use cla_obs::{nearest_rank, Histogram, LATENCY_BUCKETS_US};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -30,8 +31,15 @@ use std::time::Instant;
 /// How many finished query results the session retains.
 const RESULT_CACHE_CAP: usize = 1024;
 
-/// How many recent latency samples feed the p50/p99 figures.
+/// How many recent latency samples feed the p50/p90/p99 figures.
 const LATENCY_WINDOW: usize = 4096;
+
+/// How many slow queries the log retains (oldest dropped first).
+const SLOW_LOG_CAP: usize = 128;
+
+/// Default slow-query threshold: queries at or above this latency are
+/// logged. Override with [`Session::set_slow_query_threshold_us`].
+pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
 
 /// Errors a query or reload can produce.
 #[derive(Debug)]
@@ -130,11 +138,32 @@ pub struct ReloadReport {
     pub relinked: bool,
 }
 
+/// One entry of the slow-query log.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Which command was slow (`points-to`, `alias`, `depend`).
+    pub cmd: &'static str,
+    /// The query argument(s), for reproducing it.
+    pub detail: String,
+    /// Observed latency in microseconds.
+    pub micros: u64,
+    /// Session epoch the query ran at.
+    pub epoch: u64,
+}
+
 /// A point-in-time view of the session's instrumentation.
 #[derive(Debug, Clone)]
 pub struct SessionStats {
     /// Queries answered (points-to + alias + depend), including cache hits.
     pub queries: u64,
+    /// Per-command request counts (each command counted separately).
+    pub cmd_points_to: u64,
+    pub cmd_alias: u64,
+    pub cmd_depend: u64,
+    /// Stats snapshots taken (this call included).
+    pub cmd_stats: u64,
+    /// Reload requests attempted, whether or not anything changed.
+    pub cmd_reload: u64,
     /// Queries answered from the session's result cache.
     pub result_cache_hits: u64,
     pub result_cache_misses: u64,
@@ -142,10 +171,15 @@ pub struct SessionStats {
     pub reloads: u64,
     /// Current session epoch (bumped by every swap).
     pub epoch: u64,
-    /// Median query latency over the recent window, in microseconds.
+    /// Median query latency over the recent window, in microseconds
+    /// (nearest-rank).
     pub p50_micros: u64,
+    /// 90th-percentile query latency over the recent window.
+    pub p90_micros: u64,
     /// 99th-percentile query latency over the recent window.
     pub p99_micros: u64,
+    /// Queries at or above the slow threshold since the session started.
+    pub slow_queries: u64,
     /// Latency samples currently in the window (≤ [`latency_capacity`](Self::latency_capacity)).
     pub latency_samples: usize,
     /// Fixed capacity of the latency window; the buffer never grows past
@@ -172,6 +206,11 @@ impl SessionStats {
     pub fn to_json(&self) -> Value {
         obj([
             ("queries", self.queries.into()),
+            ("cmd_points_to", self.cmd_points_to.into()),
+            ("cmd_alias", self.cmd_alias.into()),
+            ("cmd_depend", self.cmd_depend.into()),
+            ("cmd_stats", self.cmd_stats.into()),
+            ("cmd_reload", self.cmd_reload.into()),
             ("result_cache_hits", self.result_cache_hits.into()),
             ("result_cache_misses", self.result_cache_misses.into()),
             (
@@ -181,7 +220,9 @@ impl SessionStats {
             ("reloads", self.reloads.into()),
             ("epoch", self.epoch.into()),
             ("p50_us", self.p50_micros.into()),
+            ("p90_us", self.p90_micros.into()),
             ("p99_us", self.p99_micros.into()),
+            ("slow_queries", self.slow_queries.into()),
             ("lat_samples", self.latency_samples.into()),
             ("lat_capacity", self.latency_capacity.into()),
             ("solver_getlvals_calls", self.solver.getlvals_calls.into()),
@@ -286,10 +327,42 @@ pub struct Session {
     epoch: AtomicU64,
     tick: AtomicU64,
     queries: AtomicU64,
+    cmd_points_to: AtomicU64,
+    cmd_alias: AtomicU64,
+    cmd_depend: AtomicU64,
+    cmd_stats: AtomicU64,
+    cmd_reload: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     reloads: AtomicU64,
     latencies: LatencyRing,
+    slow_threshold_us: AtomicU64,
+    slow_count: AtomicU64,
+    slow_log: Mutex<VecDeque<SlowQuery>>,
+    /// Per-command latency histograms, shared with the global metric
+    /// registry (`cla_serve_latency_us{cmd=...}`); handles cached here so
+    /// the query path never takes the registry lock.
+    hist_points_to: Histogram,
+    hist_alias: Histogram,
+    hist_depend: Histogram,
+}
+
+/// Which query command an operation was, for per-command accounting.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    PointsTo,
+    Alias,
+    Depend,
+}
+
+impl Cmd {
+    fn name(self) -> &'static str {
+        match self {
+            Cmd::PointsTo => "points-to",
+            Cmd::Alias => "alias",
+            Cmd::Depend => "depend",
+        }
+    }
 }
 
 fn hash_text(text: &str) -> u64 {
@@ -303,6 +376,8 @@ fn hash_text(text: &str) -> u64 {
 }
 
 fn load(db: Database, opts: SolveOptions) -> Loaded {
+    // Covers the solve (with its per-pass spans) and the seal.
+    let _sp = cla_obs::global().span("serve", "serve.load");
     let sealed = Arc::new(Warm::from_database(&db, opts).seal());
     Loaded {
         db,
@@ -315,6 +390,10 @@ impl Session {
     /// Opens a session over an already linked program database.
     /// [`Session::reload`] is unavailable (there are no sources to watch).
     pub fn from_database(db: Database, opts: SolveOptions) -> Session {
+        let obs = cla_obs::global();
+        let hist = |cmd: &str| {
+            obs.histogram_with("cla_serve_latency_us", &[("cmd", cmd)], LATENCY_BUCKETS_US)
+        };
         Session {
             state: RwLock::new(load(db, opts)),
             sources: Mutex::new(None),
@@ -322,10 +401,21 @@ impl Session {
             epoch: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            cmd_points_to: AtomicU64::new(0),
+            cmd_alias: AtomicU64::new(0),
+            cmd_depend: AtomicU64::new(0),
+            cmd_stats: AtomicU64::new(0),
+            cmd_reload: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             latencies: LatencyRing::new(LATENCY_WINDOW),
+            slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
+            slow_count: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
+            hist_points_to: hist("points-to"),
+            hist_alias: hist("alias"),
+            hist_depend: hist("depend"),
         }
     }
 
@@ -383,7 +473,7 @@ impl Session {
                 resolved,
                 targets,
                 cached: true,
-                micros: self.done(t0, true),
+                micros: self.done(t0, true, Cmd::PointsTo, var),
                 epoch,
             });
         }
@@ -419,7 +509,7 @@ impl Session {
             resolved,
             targets,
             cached: false,
-            micros: self.done(t0, false),
+            micros: self.done(t0, false, Cmd::PointsTo, var),
             epoch,
         })
     }
@@ -443,7 +533,7 @@ impl Session {
                 b: b.to_string(),
                 alias,
                 cached: true,
-                micros: self.done(t0, true),
+                micros: self.done(t0, true, Cmd::Alias, &format!("{a},{b}")),
                 epoch,
             });
         }
@@ -464,7 +554,7 @@ impl Session {
             b: b.to_string(),
             alias,
             cached: false,
-            micros: self.done(t0, false),
+            micros: self.done(t0, false, Cmd::Alias, &format!("{a},{b}")),
             epoch,
         })
     }
@@ -489,7 +579,7 @@ impl Session {
                 target: target.to_string(),
                 dependents,
                 cached: true,
-                micros: self.done(t0, true),
+                micros: self.done(t0, true, Cmd::Depend, target),
                 epoch,
             });
         }
@@ -519,7 +609,7 @@ impl Session {
             target: target.to_string(),
             dependents,
             cached: false,
-            micros: self.done(t0, false),
+            micros: self.done(t0, false, Cmd::Depend, target),
             epoch,
         })
     }
@@ -553,6 +643,8 @@ impl Session {
     /// discarded and the epoch is bumped; in-flight queries finish against
     /// the old state. No-op (and no invalidation) when nothing changed.
     pub fn reload(&self, fs: &dyn FileProvider, force: bool) -> Result<ReloadReport, SessionError> {
+        self.cmd_reload.fetch_add(1, Relaxed);
+        let mut sp = cla_obs::global().span("serve", "serve.reload");
         let mut sources_slot = self.sources.lock().unwrap();
         let sources = sources_slot.as_mut().ok_or(SessionError::NoSources)?;
 
@@ -572,6 +664,7 @@ impl Session {
             recompiled.push(f);
         }
         if recompiled.is_empty() {
+            sp.set("relinked", false);
             return Ok(ReloadReport {
                 recompiled,
                 invalidated_results: 0,
@@ -589,6 +682,10 @@ impl Session {
         *st = fresh;
         let epoch = self.epoch.fetch_add(1, Relaxed) + 1;
         self.reloads.fetch_add(1, Relaxed);
+        sp.set("relinked", true);
+        sp.set("recompiled", recompiled.len());
+        sp.set("invalidated", invalidated);
+        sp.set("epoch", epoch);
         Ok(ReloadReport {
             recompiled,
             invalidated_results: invalidated,
@@ -603,25 +700,25 @@ impl Session {
     /// latency window is a fixed-size ring, so this copies at most
     /// [`LATENCY_WINDOW`] samples no matter how long the session has run.
     pub fn stats(&self) -> SessionStats {
+        self.cmd_stats.fetch_add(1, Relaxed);
         let solver = self.state.read().unwrap().sealed.stats();
         let mut lat = self.latencies.snapshot();
         lat.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if lat.is_empty() {
-                0
-            } else {
-                let ix = ((lat.len() as f64 - 1.0) * p).round() as usize;
-                lat[ix]
-            }
-        };
         SessionStats {
             queries: self.queries.load(Relaxed),
+            cmd_points_to: self.cmd_points_to.load(Relaxed),
+            cmd_alias: self.cmd_alias.load(Relaxed),
+            cmd_depend: self.cmd_depend.load(Relaxed),
+            cmd_stats: self.cmd_stats.load(Relaxed),
+            cmd_reload: self.cmd_reload.load(Relaxed),
             result_cache_hits: self.hits.load(Relaxed),
             result_cache_misses: self.misses.load(Relaxed),
             reloads: self.reloads.load(Relaxed),
             epoch: self.epoch.load(Relaxed),
-            p50_micros: pct(0.50),
-            p99_micros: pct(0.99),
+            p50_micros: nearest_rank(&lat, 0.50),
+            p90_micros: nearest_rank(&lat, 0.90),
+            p99_micros: nearest_rank(&lat, 0.99),
+            slow_queries: self.slow_count.load(Relaxed),
             latency_samples: lat.len(),
             latency_capacity: self.latencies.capacity(),
             solver,
@@ -669,7 +766,7 @@ impl Session {
     }
 
     /// Records one finished query; returns its latency in microseconds.
-    fn done(&self, t0: Instant, hit: bool) -> u64 {
+    fn done(&self, t0: Instant, hit: bool, cmd: Cmd, detail: &str) -> u64 {
         let micros = t0.elapsed().as_micros() as u64;
         self.queries.fetch_add(1, Relaxed);
         if hit {
@@ -678,7 +775,49 @@ impl Session {
             self.misses.fetch_add(1, Relaxed);
         }
         self.latencies.record(micros);
+        let (counter, hist) = match cmd {
+            Cmd::PointsTo => (&self.cmd_points_to, &self.hist_points_to),
+            Cmd::Alias => (&self.cmd_alias, &self.hist_alias),
+            Cmd::Depend => (&self.cmd_depend, &self.hist_depend),
+        };
+        counter.fetch_add(1, Relaxed);
+        hist.observe(micros);
+        if micros >= self.slow_threshold_us.load(Relaxed) {
+            self.slow_count.fetch_add(1, Relaxed);
+            let obs = cla_obs::global();
+            obs.counter("cla_serve_slow_queries_total").inc();
+            obs.instant(
+                "serve",
+                "slow_query",
+                vec![
+                    ("cmd", cmd.name().into()),
+                    ("detail", detail.into()),
+                    ("us", micros.into()),
+                ],
+            );
+            let mut log = self.slow_log.lock().unwrap();
+            if log.len() == SLOW_LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(SlowQuery {
+                cmd: cmd.name(),
+                detail: detail.to_string(),
+                micros,
+                epoch: self.epoch.load(Relaxed),
+            });
+        }
         micros
+    }
+
+    /// Queries at or above this latency (µs) enter the slow-query log.
+    pub fn set_slow_query_threshold_us(&self, micros: u64) {
+        self.slow_threshold_us.store(micros, Relaxed);
+    }
+
+    /// The most recent slow queries, oldest first. The log is bounded (128
+    /// entries); older entries are dropped.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.lock().unwrap().iter().cloned().collect()
     }
 }
 

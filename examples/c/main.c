@@ -1,0 +1,13 @@
+/* Entry point: pushes two globals and reads one back through the stack. */
+
+#include "prog.h"
+
+int first, second;
+int *latest;
+
+int main(void) {
+    push(&first);
+    push(&second);
+    latest = top();
+    return *latest;
+}

@@ -1,0 +1,12 @@
+/* Shared declarations for the bundled example program. */
+
+struct node {
+    struct node *next;
+    int *payload;
+};
+
+extern struct node *head;
+extern int *latest;
+
+void push(int *value);
+int *top(void);

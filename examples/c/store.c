@@ -1,0 +1,21 @@
+/* A tiny intrusive stack: `push` threads nodes through `head`. */
+
+#include "prog.h"
+
+struct node *head;
+struct node slots[8];
+int slot_count;
+
+void push(int *value) {
+    struct node *n;
+    n = &slots[0];
+    n->payload = value;
+    n->next = head;
+    head = n;
+}
+
+int *top(void) {
+    if (head)
+        return head->payload;
+    return 0;
+}

@@ -17,4 +17,11 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --release --workspace
 
+echo "==> trace smoke (analyze the bundled example, validate the trace)"
+trace_out="${TRACE_OUT:-target/trace-smoke.json}"
+./target/release/cla-tool analyze examples/c/main.c examples/c/store.c \
+    -I examples/c --trace "$trace_out" --metrics --print latest \
+    | grep -q 'cla_solve_passes_total'
+./target/release/cla-tool trace-validate "$trace_out"
+
 echo "verify: OK"

@@ -2,17 +2,24 @@
 //!
 //! ```text
 //! cla-tool compile a.c b.c -o prog.clao      compile + link to a database
+//! cla-tool analyze a.c b.c                   full compile-link-analyze run
 //! cla-tool dump prog.clao                    Figure 4-style object dump
 //! cla-tool solve prog.clao [--print p q]     points-to analysis
 //! cla-tool depend prog.clao --target x       forward dependence query
 //! cla-tool ctx prog.clao -k 4 -o dup.clao    context-duplication transform
 //! cla-tool serve prog.clao --socket S        long-running query server
 //! cla-tool query --socket S points-to p      one query against a server
+//! cla-tool trace-validate trace.json         check a recorded trace
 //! ```
 //!
 //! Compile accepts `-I <dir>` include paths, `-D NAME[=VALUE]` defines,
 //! `--field-independent`, and `--solver pretransitive|worklist|steensgaard|
 //! bitvector` on `solve`.
+//!
+//! Two observability flags work with every command: `--trace FILE` records
+//! a Chrome `trace_event` JSONL trace (load it in `chrome://tracing` or
+//! Perfetto), and `--metrics` prints Prometheus text exposition to stdout
+//! after the command finishes.
 
 use cla::prelude::*;
 use cla_cladb::transform;
@@ -20,21 +27,43 @@ use cla_depend::{DependOptions, DependenceAnalysis};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let (trace_path, want_metrics) = match take_obs_flags(&mut args) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("cla-tool: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &trace_path {
+        match cla::obs::ChromeTraceWriter::create(std::path::Path::new(path)) {
+            Ok(w) => cla::obs::global().set_trace_sink(Some(std::sync::Arc::new(w))),
+            Err(e) => {
+                eprintln!("cla-tool: cannot open trace file `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("dump") => cmd_dump(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("depend") => cmd_depend(&args[1..]),
         Some("ctx") => cmd_ctx(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("trace-validate") => cmd_trace_validate(&args[1..]),
         Some("help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    cla::obs::global().flush_trace();
+    if want_metrics {
+        print!("{}", cla::obs::global().prometheus_text());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -46,6 +75,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cla-tool compile <src.c>... [-o out.clao] [-I dir] [-D NAME[=V]] [--field-independent]
+  cla-tool analyze <src.c>... [-I dir] [-D NAME[=V]] [--field-independent] [--parallel] [--print var...]
   cla-tool dump <prog.clao>
   cla-tool solve <prog.clao> [--solver NAME] [--print var...]
   cla-tool depend <prog.clao> --target NAME [--tree] [--non-target NAME]...
@@ -55,7 +85,27 @@ const USAGE: &str = "usage:
   cla-tool query --socket PATH points-to <var>
   cla-tool query --socket PATH alias <a> <b>
   cla-tool query --socket PATH depend <target> [--non-target NAME]...
-  cla-tool query --socket PATH stats|reload|shutdown [--force]";
+  cla-tool query --socket PATH stats|metrics|reload|shutdown [--force]
+  cla-tool trace-validate <trace.json>
+global flags (any command):
+  --trace FILE   record a Chrome trace_event JSONL trace to FILE
+  --metrics      print Prometheus metrics text to stdout on exit";
+
+/// Pulls the global observability flags out of the argument list so every
+/// subcommand parser sees only its own arguments.
+fn take_obs_flags(args: &mut Vec<String>) -> Result<(Option<String>, bool), String> {
+    let mut trace = None;
+    while let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            return Err("`--trace` needs a file path".to_string());
+        }
+        trace = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
+    let before = args.len();
+    args.retain(|a| a != "--metrics");
+    Ok((trace, args.len() != before))
+}
 
 /// Splits out flag values of the form `--flag value` / `-f value`.
 struct Args<'a> {
@@ -163,6 +213,146 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         stats.assigns,
         bytes.len()
     );
+    Ok(())
+}
+
+/// Runs the full compile-link-analyze pipeline over OS files and prints a
+/// Table 2/3-style report. With `--trace`/`--metrics` this is the
+/// one-command way to record spans from every layer.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let include_dirs = a.take_values("-I")?;
+    let defines = a
+        .take_values("-D")?
+        .into_iter()
+        .map(|d| match d.split_once('=') {
+            Some((n, v)) => (n.to_string(), v.to_string()),
+            None => (d, "1".to_string()),
+        })
+        .collect();
+    let field_independent = a.take_flag("--field-independent");
+    let parallel = a.take_flag("--parallel");
+    let print = a.take_tail("--print");
+    let sources = a.positional();
+    if sources.is_empty() {
+        return Err("no source files".to_string());
+    }
+
+    let opts = PipelineOptions {
+        pp: PpOptions {
+            include_dirs,
+            defines,
+            max_include_depth: 0,
+        },
+        lower: if field_independent {
+            LowerOptions::default().field_independent()
+        } else {
+            LowerOptions::default()
+        },
+        solver: SolveOptions::default(),
+        parallel_compile: parallel,
+    };
+    let files: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let analysis = analyze(&OsFs, &files, &opts).map_err(|e| e.to_string())?;
+    let r = &analysis.report;
+    println!(
+        "files={} source-bytes={} variables={} assignments={} object-bytes={}",
+        r.files,
+        r.source_bytes,
+        r.program_variables,
+        r.assign_counts.total(),
+        r.object_size
+    );
+    println!(
+        "compile={:?} link={:?} solve={:?}",
+        r.compile_time, r.link_time, r.solve_time
+    );
+    println!(
+        "passes={} pointer-variables={} relations={} assigns-loaded={}/{}",
+        r.solve_stats.passes,
+        r.pointer_variables,
+        r.relations,
+        r.load_stats.assigns_loaded,
+        r.load_stats.assigns_in_file
+    );
+    for name in &print {
+        let targets = analysis.database.targets(name);
+        if targets.is_empty() {
+            println!("pts({name}) = <no such object>");
+        }
+        for &o in targets {
+            let set: Vec<String> = analysis
+                .points_to
+                .points_to(o)
+                .iter()
+                .map(|&t| analysis.database.object(t).name.clone())
+                .collect();
+            println!("pts({name}) = {{{}}}", set.join(", "));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `--trace` output file: the streaming `trace_event` array
+/// must hold one JSON object per line, every event needs `ph`/`name`/`ts`,
+/// and `B`/`E` pairs must nest properly per thread.
+fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
+    use cla::serve::json::{parse, Value};
+    use std::collections::HashMap;
+
+    let path = args.first().ok_or("trace-validate needs a trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    let mut open: HashMap<u64, Vec<String>> = HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        // The streaming format is `[` then one event per line with a
+        // trailing comma and no closing bracket (so a truncated trace
+        // still loads). Strip that framing to get plain JSON objects.
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let lineno = idx + 1;
+        let v = parse(line).map_err(|e| format!("{path}:{lineno}: bad JSON: {e}"))?;
+        let ph = v
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or(format!("{path}:{lineno}: event missing `ph`"))?;
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("{path}:{lineno}: event missing `name`"))?;
+        if v.get("ts").and_then(Value::as_u64).is_none() {
+            return Err(format!("{path}:{lineno}: event missing numeric `ts`"));
+        }
+        let tid = v.get("tid").and_then(Value::as_u64).unwrap_or(0);
+        match ph {
+            "B" => open.entry(tid).or_default().push(name.to_string()),
+            "E" => match open.entry(tid).or_default().pop() {
+                Some(b) if b == name => spans += 1,
+                Some(b) => {
+                    return Err(format!(
+                        "{path}:{lineno}: `E` for `{name}` but innermost open span is `{b}`"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "{path}:{lineno}: `E` for `{name}` with no open span on tid {tid}"
+                    ))
+                }
+            },
+            _ => {}
+        }
+        events += 1;
+    }
+    if let Some((tid, stack)) = open.iter().find(|(_, s)| !s.is_empty()) {
+        return Err(format!("unclosed spans on tid {tid}: {stack:?}"));
+    }
+    if events == 0 {
+        return Err(format!("`{path}` contains no trace events"));
+    }
+    println!("trace OK: {events} events, {spans} balanced spans");
     Ok(())
 }
 
@@ -345,15 +535,14 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             ])
         }
         Some("stats") => obj([("cmd", "stats".into())]),
+        Some("metrics") => obj([("cmd", "metrics".into())]),
         Some("reload") => obj([("cmd", "reload".into()), ("force", force.into())]),
         Some("shutdown") => obj([("cmd", "shutdown".into())]),
         Some(other) => return Err(format!("unknown query `{other}`")),
-        None => {
-            return Err(
-                "query needs a command (points-to, alias, depend, stats, reload, shutdown)"
-                    .to_string(),
-            )
-        }
+        None => return Err(
+            "query needs a command (points-to, alias, depend, stats, metrics, reload, shutdown)"
+                .to_string(),
+        ),
     };
 
     let stream =
@@ -370,15 +559,28 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if reply.is_empty() {
         return Err("server closed the connection without replying".to_string());
     }
-    println!("{reply}");
-    // Non-zero exit when the server reports an error.
+    // Non-zero exit when the server reports an error. A `metrics` reply
+    // carries multi-line Prometheus text; print it unescaped.
     match cla::serve::json::parse(reply) {
-        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(false) => Err(v
-            .get("error")
-            .and_then(Value::as_str)
-            .unwrap_or("server error")
-            .to_string()),
-        _ => Ok(()),
+        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(false) => {
+            println!("{reply}");
+            Err(v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("server error")
+                .to_string())
+        }
+        Ok(v) => {
+            match v.get("metrics").and_then(Value::as_str) {
+                Some(text) => print!("{text}"),
+                None => println!("{reply}"),
+            }
+            Ok(())
+        }
+        Err(_) => {
+            println!("{reply}");
+            Ok(())
+        }
     }
 }
 

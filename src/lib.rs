@@ -12,6 +12,9 @@
 //!   (worklist Andersen, Steensgaard) plus the compile-link-analyze
 //!   pipeline.
 //! * [`depend`] — the forward data-dependence (type migration) tool.
+//! * [`obs`] — zero-dependency tracing (Chrome `trace_event` JSONL) and
+//!   metrics (counters, histograms, Prometheus text exposition) wired
+//!   through every layer above.
 //! * [`serve`] — a long-running query server (in-process [`prelude::Session`]
 //!   or newline-delimited JSON over a Unix socket) that keeps the solved
 //!   graph warm between queries.
@@ -39,6 +42,7 @@ pub use cla_cladb as cladb;
 pub use cla_core as core;
 pub use cla_depend as depend;
 pub use cla_ir as ir;
+pub use cla_obs as obs;
 pub use cla_serve as serve;
 pub use cla_workload as workload;
 

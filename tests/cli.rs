@@ -136,6 +136,67 @@ void main_(void) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The observability surface: `analyze --trace --metrics` over the bundled
+/// example program yields a validating trace and Prometheus text carrying
+/// counters from every layer.
+#[test]
+fn analyze_records_trace_and_metrics() {
+    let dir = tmpdir("obs");
+    let examples = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/c");
+    let main_c = examples.join("main.c").to_string_lossy().into_owned();
+    let store_c = examples.join("store.c").to_string_lossy().into_owned();
+    let inc = examples.to_string_lossy().into_owned();
+    let trace = dir.join("trace.json").to_string_lossy().into_owned();
+
+    let out = run(tool().args([
+        "analyze",
+        &main_c,
+        &store_c,
+        "-I",
+        &inc,
+        "--trace",
+        &trace,
+        "--metrics",
+        "--print",
+        "latest",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("pts(latest) = {first, second}"), "{text}");
+    // Prometheus text follows the report: layer counters are all present.
+    for metric in [
+        "cla_front_files_total 2",
+        "cla_db_assigns_loaded_total",
+        "cla_db_section_bytes_written_total{section=",
+        "cla_solve_passes_total",
+    ] {
+        assert!(text.contains(metric), "missing `{metric}` in:\n{text}");
+    }
+
+    // The recorded trace passes the bundled validator...
+    let out = run(tool().args(["trace-validate", &trace]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.starts_with("trace OK:"), "{text}");
+
+    // ...and is the streaming Chrome format: `[` header, JSONL events.
+    let raw = std::fs::read_to_string(&trace).unwrap();
+    assert!(raw.starts_with("[\n"), "not a streaming trace array");
+    assert!(raw.contains("\"ph\":\"B\"") && raw.contains("\"ph\":\"E\""));
+
+    // A corrupted trace makes the validator exit non-zero.
+    let bad = write(
+        &dir,
+        "bad.json",
+        "[\n{\"name\":\"x\",\"ph\":\"E\",\"ts\":1,\"tid\":0},\n",
+    );
+    let out = tool().args(["trace-validate", &bad]).output().unwrap();
+    assert!(
+        !out.status.success(),
+        "validator accepted an orphan E event"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn errors_exit_nonzero() {
     let out = tool().args(["dump", "/nonexistent.clao"]).output().unwrap();

@@ -1,0 +1,153 @@
+//! Integration tests for the observability layer: a full pipeline run must
+//! emit a well-formed trace with spans from every layer (frontend, object
+//! database, solver), and the Chrome JSONL writer's on-disk format must
+//! parse line by line with balanced begin/end events.
+//!
+//! The trace sink is process-global, so everything that installs a sink
+//! lives in this single test function — parallel test threads must not
+//! fight over it.
+
+use cla::obs::{self, MemorySink, Phase};
+use cla::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+fn sample_fs() -> MemoryFs {
+    let mut fs = MemoryFs::new();
+    fs.add(
+        "a.c",
+        "int x, y; int *p, **pp; void fa(void) { p = &x; pp = &p; *pp = &y; }",
+    );
+    fs.add("b.c", "extern int *p; int *q; void fb(void) { q = p; }");
+    fs
+}
+
+#[test]
+fn pipeline_trace_is_balanced_and_layers_all_appear() {
+    let obs = obs::global();
+
+    // --- In-memory sink: inspect events structurally. ---
+    let sink = Arc::new(MemorySink::new());
+    obs.set_trace_sink(Some(sink.clone()));
+    let fs = sample_fs();
+    let analysis = analyze(&fs, &["a.c", "b.c"], &PipelineOptions::default()).unwrap();
+    obs.set_trace_sink(None);
+    let events = sink.take();
+    assert!(!events.is_empty(), "tracing produced no events");
+
+    // Every B has a matching E on the same thread, properly nested.
+    let mut open: HashMap<u64, Vec<String>> = HashMap::new();
+    for ev in &events {
+        match ev.ph {
+            Phase::Begin => open.entry(ev.tid).or_default().push(ev.name.clone()),
+            Phase::End => {
+                let top = open.entry(ev.tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(ev.name.as_str()), "mismatched E");
+            }
+            _ => {}
+        }
+    }
+    assert!(open.values().all(Vec::is_empty), "unclosed spans: {open:?}");
+
+    // One run crosses every layer: pipeline phases, frontend, database,
+    // solver. (The serve category is exercised in tests/serve.rs.)
+    let cats: BTreeSet<&str> = events.iter().map(|e| e.cat).collect();
+    for cat in ["pipeline", "front", "db", "solve"] {
+        assert!(cats.contains(cat), "no `{cat}` spans in {cats:?}");
+    }
+
+    // Satellite 1: the Report's phase times come from the same spans the
+    // trace records, so each pipeline span's duration matches the Report.
+    let dur_of = |name: &str| {
+        let b = events
+            .iter()
+            .find(|e| e.name == name && matches!(e.ph, Phase::Begin))
+            .unwrap();
+        let e = events
+            .iter()
+            .find(|e| e.name == name && matches!(e.ph, Phase::End))
+            .unwrap();
+        e.ts_us - b.ts_us
+    };
+    let r = &analysis.report;
+    for (name, reported) in [
+        ("pipeline.compile", r.compile_time),
+        ("pipeline.link", r.link_time),
+        ("pipeline.solve", r.solve_time),
+    ] {
+        let traced = dur_of(name);
+        let reported_us = reported.as_micros() as u64;
+        // The two figures are reads of the same span a few instructions
+        // apart; a generous slack keeps loaded CI machines from flaking.
+        assert!(
+            traced.abs_diff(reported_us) <= 250,
+            "`{name}`: trace says {traced}us, Report says {reported_us}us"
+        );
+    }
+
+    // Per-pass solver spans carry the Figure 5 delta fields.
+    let pass = events
+        .iter()
+        .find(|e| e.name == "solve.pass" && matches!(e.ph, Phase::End))
+        .expect("no solve.pass span");
+    let keys: BTreeSet<&str> = pass.args.iter().map(|(k, _)| *k).collect();
+    for key in [
+        "getlvals_calls",
+        "cache_hits",
+        "unifications",
+        "edges_added",
+    ] {
+        assert!(keys.contains(key), "solve.pass missing `{key}`: {keys:?}");
+    }
+
+    // The global registry now holds demand-load and solver counters.
+    let text = obs.prometheus_text();
+    let samples = obs::parse_exposition(&text).unwrap();
+    let value_of = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing `{name}` in exposition"))
+            .value
+    };
+    assert!(value_of("cla_db_assigns_loaded_total") >= 1.0);
+    assert!(value_of("cla_solve_passes_total") >= 1.0);
+    assert!(value_of("cla_front_files_total") >= 2.0);
+
+    // --- Chrome JSONL writer: the on-disk streaming format. ---
+    let path = std::env::temp_dir().join(format!("cla-obs-it-{}.json", std::process::id()));
+    let writer = obs::ChromeTraceWriter::create(&path).unwrap();
+    obs.set_trace_sink(Some(Arc::new(writer)));
+    let fs = sample_fs();
+    let _ = analyze(&fs, &["a.c", "b.c"], &PipelineOptions::default()).unwrap();
+    obs.set_trace_sink(None);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("["), "streaming array header");
+    let mut balance: HashMap<u64, i64> = HashMap::new();
+    let mut parsed = 0usize;
+    for line in lines {
+        let line = line.trim_end_matches(',');
+        if line.is_empty() {
+            continue;
+        }
+        let v = cla::serve::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable trace line {line:?}: {e}"));
+        use cla::serve::json::Value;
+        let ph = v.get("ph").and_then(Value::as_str).unwrap();
+        let tid = v.get("tid").and_then(Value::as_u64).unwrap();
+        *balance.entry(tid).or_default() += match ph {
+            "B" => 1,
+            "E" => -1,
+            _ => 0,
+        };
+        parsed += 1;
+    }
+    assert!(parsed > 5, "only {parsed} events in the file");
+    assert!(
+        balance.values().all(|&n| n == 0),
+        "unbalanced B/E per tid: {balance:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}

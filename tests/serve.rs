@@ -481,6 +481,115 @@ fn stress_concurrent_queries_race_reload_against_epoch_oracle() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Satellite for the observability PR: the per-command counters exposed in
+/// `stats` replies must count each wire command separately and stay
+/// monotonic across a `reload` (which swaps the sealed snapshot but must
+/// not reset telemetry), and the `metrics` command must return Prometheus
+/// text that round-trips through the exposition parser.
+#[test]
+fn per_command_counters_monotonic_across_reload_and_metrics_parses() {
+    let (dir, paths) = write_sources(
+        "metrics",
+        &[
+            ("a.c", "int x, y; int *p; void fa(void) { p = &x; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ],
+    );
+    let server = start_server("metrics", &paths);
+    let mut c = UnixStream::connect(server.path()).unwrap();
+
+    let snapshot = |c: &mut UnixStream| -> Vec<u64> {
+        let reply = ask(c, &obj([("cmd", "stats".into())]));
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+        let s = reply.get("stats").unwrap();
+        [
+            "cmd_points_to",
+            "cmd_alias",
+            "cmd_depend",
+            "cmd_stats",
+            "cmd_reload",
+        ]
+        .iter()
+        .map(|k| {
+            s.get(k)
+                .and_then(Value::as_u64)
+                .unwrap_or_else(|| panic!("stats reply missing `{k}`: {}", reply.encode()))
+        })
+        .collect()
+    };
+
+    let _ = ask(&mut c, &points_to_req("q"));
+    let _ = ask(
+        &mut c,
+        &obj([
+            ("cmd", "alias".into()),
+            ("a", "p".into()),
+            ("b", "q".into()),
+        ]),
+    );
+    let _ = ask(
+        &mut c,
+        &obj([("cmd", "depend".into()), ("target", "x".into())]),
+    );
+    let before = snapshot(&mut c);
+    // One of each query command, plus the stats call counting itself.
+    assert_eq!(before, vec![1, 1, 1, 1, 0]);
+
+    // Edit a.c and reload: the snapshot swaps, the counters must not.
+    std::fs::write(
+        Path::new(&paths[0]),
+        "int x, y; int *p; void fa(void) { p = &y; }",
+    )
+    .unwrap();
+    let reply = ask(&mut c, &obj([("cmd", "reload".into())]));
+    assert_eq!(reply.get("relinked").and_then(Value::as_bool), Some(true));
+
+    let _ = ask(&mut c, &points_to_req("q"));
+    let after = snapshot(&mut c);
+    assert!(
+        before.iter().zip(&after).all(|(b, a)| a >= b),
+        "counters went backwards across reload: {before:?} -> {after:?}"
+    );
+    assert_eq!(after[0], 2, "second points-to counted after reload");
+    assert_eq!(after[3], 2, "second stats counted");
+    assert_eq!(after[4], 1, "reload counted");
+
+    // `p90_us` sits between the existing p50/p99 order statistics.
+    let reply = ask(&mut c, &obj([("cmd", "stats".into())]));
+    let s = reply.get("stats").unwrap();
+    let p50 = s.get("p50_us").and_then(Value::as_u64).unwrap();
+    let p90 = s.get("p90_us").and_then(Value::as_u64).unwrap();
+    let p99 = s.get("p99_us").and_then(Value::as_u64).unwrap();
+    assert!(p50 <= p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+
+    // The metrics command returns Prometheus text exposition: parseable,
+    // and carrying both serve-layer histograms and solver counters.
+    let m = ask(&mut c, &obj([("cmd", "metrics".into())]));
+    assert_eq!(m.get("ok").and_then(Value::as_bool), Some(true));
+    let text = m.get("metrics").and_then(Value::as_str).unwrap();
+    let samples = cla::obs::parse_exposition(text).unwrap();
+    let have = |name: &str| samples.iter().any(|s| s.name == name);
+    assert!(
+        have("cla_serve_latency_us_bucket"),
+        "missing latency buckets"
+    );
+    assert!(have("cla_serve_latency_us_count"), "missing latency count");
+    assert!(
+        have("cla_solve_passes_total"),
+        "missing solver pass counter"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|s| s.name == "cla_serve_latency_us_bucket"
+                && s.labels.iter().any(|(k, v)| k == "cmd" && v == "points-to")),
+        "latency histogram not labelled per command"
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn depend_over_socket_matches_in_process() {
     let (dir, paths) = write_sources(
