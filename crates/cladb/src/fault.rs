@@ -1,0 +1,350 @@
+//! Deterministic fault injection for the object-file format.
+//!
+//! The database invariant under arbitrary byte damage is:
+//!
+//! > `Database::open` / `block` either return `Ok` with data identical to the
+//! > pristine file, or a typed [`DbError`] — never a panic, never a silently
+//! > wrong answer.
+//!
+//! This module damages a real object file in three deterministic ways and
+//! checks the invariant for each mutant:
+//!
+//! * **truncation sweep** — cut the file at every byte offset (a torn write);
+//! * **seeded bit flips** — flip 1–4 random bits per iteration (bit rot);
+//! * **section-table shuffle** — swap section-table entries, with and without
+//!   a recomputed header checksum (buggy tooling / tampering; the tagged
+//!   section checksums must still catch a consistent swap).
+//!
+//! Everything is seeded ([`SplitMix64`]) so a failing mutant reproduces from
+//! the report alone. `cla-tool db-fuzz` drives this over `examples/c/`.
+
+use crate::format::{fnv64, DbError, HEADER_FIXED_SIZE, MAGIC, SECTION_ENTRY_SIZE, VERSION};
+use crate::reader::Database;
+use cla_ir::{CompiledUnit, ObjId};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The split-mix 64 generator — tiny, seedable, statistically fine for
+/// fuzzing. The same generator the serve tests use; no external RNG crates.
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// What one damaged input did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Typed `DbError` from open or from a later read — the desired outcome.
+    Rejected,
+    /// Opened and decoded bytes identical to the pristine file (damage in
+    /// padding or a flip that landed back on the same value).
+    Identical,
+    /// Opened "successfully" but produced data that differs from the
+    /// pristine file — an integrity hole.
+    WrongData,
+    /// A panic escaped the reader — a robustness hole.
+    Panicked,
+}
+
+/// Aggregate result of a fuzz run. `wrong` and `panics` carry bounded,
+/// reproducible descriptions (mutation kind + parameters) of every failure.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Mutants exercised.
+    pub exercised: u64,
+    /// Mutants rejected with a typed error.
+    pub rejected: u64,
+    /// Mutants whose decode matched the pristine file exactly.
+    pub identical: u64,
+    /// Descriptions of wrong-data failures (bounded to 20).
+    pub wrong: Vec<String>,
+    /// Descriptions of escaped panics (bounded to 20).
+    pub panics: Vec<String>,
+}
+
+impl FuzzReport {
+    /// True when no mutant broke the invariant.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.wrong.is_empty() && self.panics.is_empty()
+    }
+
+    fn record(&mut self, verdict: Verdict, describe: impl FnOnce() -> String) {
+        self.exercised += 1;
+        match verdict {
+            Verdict::Rejected => self.rejected += 1,
+            Verdict::Identical => self.identical += 1,
+            Verdict::WrongData => {
+                if self.wrong.len() < 20 {
+                    self.wrong.push(describe());
+                }
+            }
+            Verdict::Panicked => {
+                if self.panics.len() < 20 {
+                    self.panics.push(describe());
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} mutants: {} rejected, {} identical, {} wrong, {} panicked",
+            self.exercised,
+            self.rejected,
+            self.identical,
+            self.wrong.len(),
+            self.panics.len()
+        )?;
+        for w in &self.wrong {
+            write!(f, "\n  WRONG  {w}")?;
+        }
+        for p in &self.panics {
+            write!(f, "\n  PANIC  {p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The pristine file's fully decoded contents, used as the correctness
+/// oracle: any mutant that opens must decode to exactly this.
+pub struct Oracle {
+    unit: CompiledUnit,
+}
+
+impl Oracle {
+    /// Fully decodes `pristine`; fails if the input itself is not valid.
+    pub fn new(pristine: &[u8]) -> Result<Oracle, DbError> {
+        let db = Database::open(pristine.to_vec())?;
+        db.verify_all()?;
+        Ok(Oracle {
+            unit: db.to_unit()?,
+        })
+    }
+}
+
+/// Opens and fully decodes a mutant, comparing against the oracle.
+/// Panics are caught and reported; the panic hook is suppressed for the
+/// duration of the run by [`run_fuzz`] so expected catches stay silent.
+fn exercise(bytes: Vec<u8>, oracle: &Oracle) -> Verdict {
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<Verdict, DbError> {
+        let db = Database::open(bytes)?;
+        // Touch every read path: statics, every demand-loaded block, the
+        // full re-decode.
+        db.static_assigns()?;
+        for ix in 0..db.objects().len() {
+            db.block(ObjId(ix as u32))?;
+        }
+        let unit = db.to_unit()?;
+        let same = unit.objects == oracle.unit.objects
+            && unit.assigns == oracle.unit.assigns
+            && unit.funsigs == oracle.unit.funsigs
+            && unit.files == oracle.unit.files;
+        Ok(if same {
+            Verdict::Identical
+        } else {
+            Verdict::WrongData
+        })
+    }));
+    match result {
+        Ok(Ok(v)) => v,
+        Ok(Err(_)) => Verdict::Rejected,
+        Err(_) => Verdict::Panicked,
+    }
+}
+
+/// Runs `f` with the default panic hook replaced by a silent one, so the
+/// expected `catch_unwind`s inside don't spam stderr with backtraces.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// Truncates the file at every byte offset and exercises each prefix.
+pub fn truncation_sweep(pristine: &[u8], oracle: &Oracle, report: &mut FuzzReport) {
+    for cut in 0..pristine.len() {
+        let verdict = exercise(pristine[..cut].to_vec(), oracle);
+        report.record(verdict, || format!("truncate at {cut}"));
+    }
+}
+
+/// Flips 1–4 seeded random bits per iteration and exercises the mutant.
+pub fn bit_flip_round(
+    pristine: &[u8],
+    oracle: &Oracle,
+    seed: u64,
+    iters: u64,
+    report: &mut FuzzReport,
+) {
+    let mut rng = SplitMix64(seed);
+    for it in 0..iters {
+        let mut bytes = pristine.to_vec();
+        let nflips = 1 + rng.below(4);
+        let mut flips = Vec::with_capacity(nflips as usize);
+        for _ in 0..nflips {
+            let pos = rng.below(bytes.len() as u64) as usize;
+            let bit = rng.below(8) as u8;
+            bytes[pos] ^= 1 << bit;
+            flips.push((pos, bit));
+        }
+        let verdict = exercise(bytes, oracle);
+        report.record(verdict, || {
+            format!("bit flip iter {it} (seed {seed}): flips {flips:?}")
+        });
+    }
+}
+
+/// Swaps two random section-table entries. On odd iterations the header
+/// checksum is recomputed so the swap is only catchable by the id-tagged
+/// per-section checksums; on even iterations the stale header checksum
+/// must reject it first.
+pub fn section_shuffle_round(
+    pristine: &[u8],
+    oracle: &Oracle,
+    seed: u64,
+    iters: u64,
+    report: &mut FuzzReport,
+) {
+    // Parse just enough of the v2 header to find the table.
+    if pristine.len() < HEADER_FIXED_SIZE {
+        return;
+    }
+    let magic = u32::from_le_bytes(pristine[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(pristine[4..8].try_into().unwrap());
+    if magic != MAGIC || version != VERSION {
+        return;
+    }
+    let nsections = u32::from_le_bytes(pristine[16..20].try_into().unwrap()) as usize;
+    let table_end = HEADER_FIXED_SIZE + nsections * SECTION_ENTRY_SIZE;
+    if nsections < 2 || pristine.len() < table_end {
+        return;
+    }
+    let mut rng = SplitMix64(seed ^ 0x5ec7_1045);
+    for it in 0..iters {
+        let a = rng.below(nsections as u64) as usize;
+        let mut b = rng.below(nsections as u64) as usize;
+        if a == b {
+            b = (b + 1) % nsections;
+        }
+        let mut bytes = pristine.to_vec();
+        let ea = HEADER_FIXED_SIZE + a * SECTION_ENTRY_SIZE;
+        let eb = HEADER_FIXED_SIZE + b * SECTION_ENTRY_SIZE;
+        // Swap the (offset, len, checksum) payloads but keep the ids in
+        // place, so section id A now points at section B's bytes together
+        // with B's matching checksum — only an id-tagged checksum or a
+        // structural decode error can catch this.
+        for k in 4..SECTION_ENTRY_SIZE {
+            bytes.swap(ea + k, eb + k);
+        }
+        let fixed = it % 2 == 1;
+        if fixed {
+            let sum = fnv64(&bytes[16..table_end]);
+            bytes[8..16].copy_from_slice(&sum.to_le_bytes());
+        }
+        let verdict = exercise(bytes, oracle);
+        report.record(verdict, || {
+            format!(
+                "section shuffle iter {it} (seed {seed}): swapped entries {a}<->{b}, \
+                 header checksum {}",
+                if fixed { "recomputed" } else { "stale" }
+            )
+        });
+    }
+}
+
+/// Runs the full deterministic fuzz battery over one pristine object file:
+/// a truncation sweep at every byte offset, `iters` seeded bit-flip mutants,
+/// and `min(iters, 200)` section-table shuffles.
+///
+/// Returns `Err` if the pristine input itself does not decode (the harness
+/// needs a valid oracle before it can judge mutants).
+pub fn run_fuzz(pristine: &[u8], seed: u64, iters: u64) -> Result<FuzzReport, DbError> {
+    let oracle = Oracle::new(pristine)?;
+    let mut report = FuzzReport::default();
+    with_quiet_panics(|| {
+        truncation_sweep(pristine, &oracle, &mut report);
+        bit_flip_round(pristine, &oracle, seed, iters, &mut report);
+        section_shuffle_round(pristine, &oracle, seed, iters.min(200), &mut report);
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{link, write_object};
+    use cla_ir::{compile_source, LowerOptions};
+
+    fn sample_object() -> Vec<u8> {
+        let a = compile_source(
+            "int shared, *p, **pp; void f(void) { p = &shared; pp = &p; }",
+            "a.c",
+            &LowerOptions::default(),
+        )
+        .unwrap();
+        let b = compile_source(
+            "extern int *p; int *q; void g(int *a) { q = p; q = a; }",
+            "b.c",
+            &LowerOptions::default(),
+        )
+        .unwrap();
+        let (prog, _) = link(&[a, b], "prog");
+        write_object(&prog)
+    }
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64(42);
+        let mut b = SplitMix64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fuzz_battery_finds_no_holes_in_sample() {
+        let bytes = sample_object();
+        let report = run_fuzz(&bytes, 1, 150).unwrap();
+        assert!(report.ok(), "fuzz found holes:\n{report}");
+        // The battery really ran: full sweep + flips + shuffles.
+        assert!(report.exercised as usize >= bytes.len() + 150);
+        // Damage is overwhelmingly detected, not silently identical.
+        assert!(report.rejected > report.identical);
+    }
+
+    #[test]
+    fn fuzz_requires_a_valid_oracle() {
+        assert!(run_fuzz(b"garbage", 1, 10).is_err());
+    }
+
+    #[test]
+    fn report_display_mentions_failures() {
+        let mut r = FuzzReport::default();
+        r.record(Verdict::Panicked, || "truncate at 7".into());
+        r.record(Verdict::WrongData, || "bit flip iter 3".into());
+        let text = r.to_string();
+        assert!(text.contains("truncate at 7"));
+        assert!(text.contains("bit flip iter 3"));
+        assert!(!r.ok());
+    }
+}

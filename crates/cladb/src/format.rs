@@ -27,7 +27,59 @@ use std::fmt;
 pub const MAGIC: u32 = 0x014C_4143;
 
 /// Format version written by this crate.
-pub const VERSION: u32 = 1;
+///
+/// * v1 — sectioned container, no integrity data.
+/// * v2 — adds a 64-bit [`fnv64`] checksum per section-table entry, a
+///   header checksum covering the section table, and a per-block checksum
+///   in the dynamic index. v1 files are rejected with
+///   [`DbError::BadVersion`] rather than misparsed.
+pub const VERSION: u32 = 2;
+
+/// Byte size of one section-table entry on the wire
+/// (id `u32`, offset `u64`, len `u64`, checksum `u64`).
+pub const SECTION_ENTRY_SIZE: usize = 28;
+
+/// Byte size of the fixed header before the section table
+/// (magic `u32`, version `u32`, header checksum `u64`, count `u32`).
+pub const HEADER_FIXED_SIZE: usize = 20;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The zero-dependency integrity checksum used throughout the format:
+/// FNV-1a over the bytes, folded to 64 bits. Not cryptographic — it
+/// detects bit rot, truncation, and torn writes, which is the database
+/// failure model (DESIGN.md §10).
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// [`fnv64`] with a 4-byte tag hashed ahead of the payload. Section
+/// checksums are tagged with their section id so that two sections swapped
+/// *together with* their stored checksums still fail verification — the
+/// checksum binds content *and* identity.
+#[must_use]
+pub fn fnv64_tagged(tag: u32, bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in tag.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
 
 /// Section identifiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,11 +150,18 @@ impl fmt::Display for SectionId {
 }
 
 /// One entry of the section table.
+///
+/// `checksum` is [`fnv64`] over the section's *verified prefix*: the whole
+/// body for every section except `dynamic`, whose checksum covers only the
+/// eagerly read index (count + per-object entries). The dynamic blob is
+/// covered block-by-block by the checksums stored in that index, verified
+/// lazily on first demand load so cold data is never hashed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SectionEntry {
     pub id: u32,
     pub offset: u64,
     pub len: u64,
+    pub checksum: u64,
 }
 
 /// Sentinel for "no string" / "no object" references on the wire.
@@ -123,6 +182,11 @@ pub enum DbError {
     /// Structurally invalid data (truncation, bad enum value, out-of-range
     /// reference).
     Corrupt(String),
+    /// Stored and recomputed checksums disagree: the bytes were damaged
+    /// after they were written (bit rot, torn write, tampering).
+    Checksum(String),
+    /// The object file could not be read or written.
+    Io(String),
 }
 
 impl fmt::Display for DbError {
@@ -132,6 +196,8 @@ impl fmt::Display for DbError {
             DbError::BadVersion(v) => write!(f, "unsupported CLA object version {v}"),
             DbError::MissingSection(s) => write!(f, "missing required section `{s}`"),
             DbError::Corrupt(msg) => write!(f, "corrupt object file: {msg}"),
+            DbError::Checksum(what) => write!(f, "checksum mismatch in {what}"),
+            DbError::Io(msg) => write!(f, "object file I/O error: {msg}"),
         }
     }
 }
@@ -163,5 +229,17 @@ mod tests {
         assert!(format!("{}", DbError::BadVersion(9)).contains('9'));
         assert!(format!("{}", DbError::MissingSection("object")).contains("object"));
         assert!(format!("{}", DbError::Corrupt("x".into())).contains('x'));
+        assert!(format!("{}", DbError::Checksum("block 3".into())).contains("block 3"));
+        assert!(format!("{}", DbError::Io("nope".into())).contains("nope"));
+    }
+
+    #[test]
+    fn fnv64_reference_values() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        // Single-bit damage changes the sum.
+        assert_ne!(fnv64(b"foobar"), fnv64(b"foobas"));
     }
 }

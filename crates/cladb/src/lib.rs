@@ -26,6 +26,7 @@
 //! ```
 
 mod dump;
+pub mod fault;
 mod format;
 mod linker;
 mod reader;
@@ -33,10 +34,13 @@ pub mod transform;
 mod writer;
 
 pub use dump::{census, dump, is_static_assign};
-pub use format::{DbError, SectionId, ASSIGN_RECORD_SIZE, MAGIC, VERSION};
+pub use format::{
+    fnv64, DbError, SectionId, ASSIGN_RECORD_SIZE, HEADER_FIXED_SIZE, MAGIC, SECTION_ENTRY_SIZE,
+    VERSION,
+};
 pub use linker::{link, LinkSet, LinkStats};
 pub use reader::{Database, LoadStats};
-pub use writer::{block_key, write_object};
+pub use writer::{atomic_write_bytes, block_key, write_object, write_object_file};
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,14 @@
 //! Object-file writer: serializes a [`CompiledUnit`] into the sectioned
-//! format of [`format`](crate::format).
+//! format of [`format`](crate::format), and provides crash-safe persistence
+//! via [`write_object_file`] (write-to-temp + fsync + atomic rename), so an
+//! interrupted compile or link never leaves a half-written `.clao` behind
+//! for a later phase to load.
 
-use crate::format::{SectionEntry, SectionId, MAGIC, NONE_U32, VERSION};
+use crate::format::{fnv64, fnv64_tagged, SectionEntry, SectionId, MAGIC, NONE_U32, VERSION};
 use cla_ir::{CompiledUnit, ObjId, PrimAssign};
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
 
 /// Little-endian append helpers over a plain byte vector.
 trait Put {
@@ -127,19 +132,24 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
     }
     let mut dyn_sec = Vec::new();
     dyn_sec.put_u32_le(nobjs as u32);
-    // Index: per object, (relative blob offset, count).
+    // Index: per object, (relative blob offset, count, block checksum). The
+    // checksum covers the block's encoded bytes and is verified lazily by
+    // the reader on the block's first demand load.
     let mut blob = Vec::new();
     let mut index = Vec::with_capacity(nobjs);
     for block in &blocks {
-        index.push((blob.len() as u64, block.len() as u32));
+        let start = blob.len();
         for a in block {
             put_assign(&mut blob, a);
         }
+        index.push((start as u64, block.len() as u32, fnv64(&blob[start..])));
     }
-    for (off, count) in &index {
+    for (off, count, sum) in &index {
         dyn_sec.put_u64_le(*off);
         dyn_sec.put_u32_le(*count);
+        dyn_sec.put_u64_le(*sum);
     }
+    let dyn_index_len = dyn_sec.len();
     dyn_sec.extend_from_slice(&blob);
 
     // ---- funsig section ----
@@ -203,33 +213,101 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
         )
         .add(body.len() as u64);
     }
-    let header_len = 4 + 4 + 4 + sections.len() * (4 + 8 + 8);
+    let header_len =
+        crate::format::HEADER_FIXED_SIZE + sections.len() * crate::format::SECTION_ENTRY_SIZE;
     let mut out =
         Vec::with_capacity(header_len + sections.iter().map(|(_, b)| b.len()).sum::<usize>());
-    out.put_u32_le(MAGIC);
-    out.put_u32_le(VERSION);
-    out.put_u32_le(sections.len() as u32);
     let mut offset = header_len as u64;
     let mut entries = Vec::new();
     for (id, body) in &sections {
+        // The dynamic section's checksum covers only its eagerly read index
+        // prefix; the blob behind it is covered by the per-block checksums,
+        // so demand loading never hashes data it does not decode.
+        let verified = if *id == SectionId::Dynamic {
+            &body[..dyn_index_len]
+        } else {
+            &body[..]
+        };
         entries.push(SectionEntry {
             id: *id as u32,
             offset,
             len: body.len() as u64,
+            checksum: fnv64_tagged(*id as u32, verified),
         });
         offset += body.len() as u64;
     }
+    // Section table bytes (count + entries), covered by the header checksum
+    // so damage to any offset/len/checksum field is caught before use.
+    let mut table = Vec::with_capacity(header_len - 16);
+    table.put_u32_le(sections.len() as u32);
     for e in &entries {
-        out.put_u32_le(e.id);
-        out.put_u64_le(e.offset);
-        out.put_u64_le(e.len);
+        table.put_u32_le(e.id);
+        table.put_u64_le(e.offset);
+        table.put_u64_le(e.len);
+        table.put_u64_le(e.checksum);
     }
+    out.put_u32_le(MAGIC);
+    out.put_u32_le(VERSION);
+    out.put_u64_le(fnv64(&table));
+    out.extend_from_slice(&table);
     for (_, body) in sections {
         out.extend_from_slice(&body);
     }
     sp.set("assigns", unit.assigns.len());
     sp.set("bytes", out.len());
     out
+}
+
+/// Writes `bytes` to `path` crash-safely: the data goes to a temporary file
+/// in the same directory, is fsync'd, and is atomically renamed over the
+/// destination, after which the directory itself is fsync'd. A reader (or a
+/// crash at any instant) sees either the complete old file or the complete
+/// new file — never a prefix.
+///
+/// # Errors
+///
+/// Any I/O failure; the temporary file is removed on error.
+pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let base = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{base}.tmp.{}", std::process::id()));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Data must be durable before the rename makes it visible,
+        // otherwise a crash could publish a name pointing at garbage.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Durable rename: fsync the directory entry. Best effort — some
+        // filesystems refuse to open directories for syncing.
+        if let Ok(d) = std::fs::File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
+}
+
+/// Serializes `unit` and persists it crash-safely at `path`
+/// (see [`atomic_write_bytes`]). Returns the encoded size in bytes.
+///
+/// # Errors
+///
+/// Any I/O failure from the write-fsync-rename protocol.
+pub fn write_object_file(unit: &CompiledUnit, path: &Path) -> std::io::Result<usize> {
+    let bytes = write_object(unit);
+    atomic_write_bytes(path, &bytes)?;
+    Ok(bytes.len())
 }
 
 /// Returns the per-source-object block an assignment belongs to, mirroring

@@ -1,8 +1,10 @@
 //! Object-file format tests: forward compatibility (unknown sections are
-//! ignored, as §4 promises for COFF/ELF-style containers) and corruption
-//! detection.
+//! ignored, as §4 promises for COFF/ELF-style containers), version gating,
+//! and corruption detection.
 
-use cla_cladb::{write_object, Database, MAGIC, VERSION};
+use cla_cladb::{
+    fnv64, write_object, Database, DbError, HEADER_FIXED_SIZE, MAGIC, SECTION_ENTRY_SIZE, VERSION,
+};
 use cla_ir::{compile_source, LowerOptions};
 
 fn sample_bytes() -> Vec<u8> {
@@ -23,23 +25,26 @@ fn read_u64_le(buf: &[u8], off: usize) -> u64 {
     u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
 }
 
-/// Rebuilds an object file with one extra (unknown) section appended.
+/// Rebuilds a v2 object file with one extra (unknown) section appended,
+/// recomputing the header checksum over the rewritten section table.
 fn with_extra_section(orig: &[u8], section_id: u32, payload: &[u8]) -> Vec<u8> {
     assert_eq!(read_u32_le(orig, 0), MAGIC);
     assert_eq!(read_u32_le(orig, 4), VERSION);
-    let nsections = read_u32_le(orig, 8) as usize;
-    let mut entries: Vec<(u32, u64, u64)> = (0..nsections)
+    let nsections = read_u32_le(orig, 16) as usize;
+    // (id, offset, len, checksum) entries.
+    let mut entries: Vec<(u32, u64, u64, u64)> = (0..nsections)
         .map(|i| {
-            let base = 12 + i * 20;
+            let base = HEADER_FIXED_SIZE + i * SECTION_ENTRY_SIZE;
             (
                 read_u32_le(orig, base),
                 read_u64_le(orig, base + 4),
                 read_u64_le(orig, base + 12),
+                read_u64_le(orig, base + 20),
             )
         })
         .collect();
-    let old_header_len = 12 + nsections * 20;
-    let new_header_len = 12 + (nsections + 1) * 20;
+    let old_header_len = HEADER_FIXED_SIZE + nsections * SECTION_ENTRY_SIZE;
+    let new_header_len = HEADER_FIXED_SIZE + (nsections + 1) * SECTION_ENTRY_SIZE;
     let shift = (new_header_len - old_header_len) as u64;
     for e in &mut entries {
         e.1 += shift;
@@ -49,17 +54,23 @@ fn with_extra_section(orig: &[u8], section_id: u32, payload: &[u8]) -> Vec<u8> {
         section_id,
         new_header_len as u64 + body.len() as u64,
         payload.len() as u64,
+        0, // unknown sections are skipped before their checksum is used
     ));
 
+    // Table = count + entries; the header checksum covers exactly this.
+    let mut table = Vec::new();
+    table.extend_from_slice(&((nsections + 1) as u32).to_le_bytes());
+    for (id, off, len, sum) in &entries {
+        table.extend_from_slice(&id.to_le_bytes());
+        table.extend_from_slice(&off.to_le_bytes());
+        table.extend_from_slice(&len.to_le_bytes());
+        table.extend_from_slice(&sum.to_le_bytes());
+    }
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC.to_le_bytes());
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&((nsections + 1) as u32).to_le_bytes());
-    for (id, off, len) in &entries {
-        out.extend_from_slice(&id.to_le_bytes());
-        out.extend_from_slice(&off.to_le_bytes());
-        out.extend_from_slice(&len.to_le_bytes());
-    }
+    out.extend_from_slice(&fnv64(&table).to_le_bytes());
+    out.extend_from_slice(&table);
     out.extend_from_slice(body);
     out.extend_from_slice(payload);
     out
@@ -76,6 +87,42 @@ fn unknown_sections_are_ignored() {
         db_orig.to_unit().unwrap().assign_counts(),
         db_ext.to_unit().unwrap().assign_counts()
     );
+}
+
+#[test]
+fn previous_format_version_is_rejected_with_clear_message() {
+    // A v1 file (no checksum fields) must be refused up front with
+    // `BadVersion`, never misparsed under the v2 layout.
+    let orig = sample_bytes();
+    let nsections = read_u32_le(&orig, 16);
+    let mut v1 = Vec::new();
+    v1.extend_from_slice(&MAGIC.to_le_bytes());
+    v1.extend_from_slice(&1u32.to_le_bytes());
+    v1.extend_from_slice(&nsections.to_le_bytes());
+    // v1 entries were (id, offset, len) = 20 bytes; content is irrelevant —
+    // the version gate must fire before any of it is parsed.
+    v1.extend_from_slice(&vec![0u8; nsections as usize * 20]);
+    v1.extend_from_slice(&orig[HEADER_FIXED_SIZE..]);
+    match Database::open(v1) {
+        Err(DbError::BadVersion(1)) => {}
+        other => panic!("expected BadVersion(1), got {other:?}"),
+    }
+    assert_eq!(
+        DbError::BadVersion(1).to_string(),
+        "unsupported CLA object version 1"
+    );
+}
+
+#[test]
+fn header_checksum_catches_section_table_damage() {
+    let orig = sample_bytes();
+    // Flip a byte inside the first section entry's offset field.
+    let mut bytes = orig.clone();
+    bytes[HEADER_FIXED_SIZE + 5] ^= 0x01;
+    match Database::open(bytes) {
+        Err(DbError::Checksum(what)) => assert!(what.contains("section table"), "{what}"),
+        other => panic!("expected a checksum error, got {other:?}"),
+    }
 }
 
 #[test]

@@ -9,9 +9,48 @@
 use crate::pretransitive::{solve_database, SolveOptions, SolveStats};
 use crate::solution::PointsTo;
 use cla_cfront::{CError, FileProvider, PpOptions};
-use cla_cladb::{link, write_object, Database, LinkStats, LoadStats};
+use cla_cladb::{link, write_object, Database, DbError, LinkStats, LoadStats};
 use cla_ir::{compile_file, AssignCounts, CompileStats, CompiledUnit, LowerOptions};
+use std::fmt;
 use std::time::Duration;
+
+/// An error from any phase of the pipeline.
+///
+/// Compile errors come from the frontend; database errors come from opening
+/// the linked object file. The latter were previously treated as impossible
+/// (`expect`), but a pipeline whose output goes through a filesystem — or a
+/// caller that routes pre-built object bytes here — must surface corruption
+/// as a value, not a panic (DESIGN.md §10).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A frontend (preprocess/parse/lower) error.
+    Frontend(CError),
+    /// The linked database failed to open or verify.
+    Db(DbError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "{e}"),
+            PipelineError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CError> for PipelineError {
+    fn from(e: CError) -> Self {
+        PipelineError::Frontend(e)
+    }
+}
+
+impl From<DbError> for PipelineError {
+    fn from(e: DbError) -> Self {
+        PipelineError::Db(e)
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default)]
@@ -80,14 +119,15 @@ pub struct Analysis {
 ///
 /// # Errors
 ///
-/// Returns the first frontend error encountered. Database errors cannot
-/// occur (we just wrote the bytes we read) and would indicate a bug, so
-/// they panic.
+/// Returns the first frontend error encountered, or a database error if the
+/// freshly linked object file fails to open (which would indicate damage
+/// between write and read, or a writer bug — either way a typed error, not
+/// a panic).
 pub fn analyze(
     fs: &dyn FileProvider,
     files: &[&str],
     opts: &PipelineOptions,
-) -> Result<Analysis, CError> {
+) -> Result<Analysis, PipelineError> {
     // Phase times come from the same spans that emit trace events, so the
     // `Report` and a recorded trace can never disagree about a duration.
     let obs = cla_obs::global();
@@ -103,7 +143,7 @@ pub fn analyze(
     compiled.clear();
     let bytes = write_object(&program);
     let object_size = bytes.len();
-    let db = Database::open(bytes).expect("freshly written database must be valid");
+    let db = Database::open(bytes)?;
     sp.set("object_bytes", object_size);
     let link_time = sp.finish();
 

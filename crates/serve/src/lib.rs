@@ -13,6 +13,6 @@ mod session;
 
 pub use server::{serve, serve_with, ServeOptions, ServerHandle};
 pub use session::{
-    AliasAnswer, DependAnswer, DependentLine, PointsToAnswer, ReloadReport, Session, SessionError,
-    SessionStats, SlowQuery, Target, DEFAULT_SLOW_THRESHOLD_US,
+    AliasAnswer, DependAnswer, DependentLine, Health, PointsToAnswer, ReloadReport, Session,
+    SessionError, SessionStats, SlowQuery, Target, DEFAULT_SLOW_THRESHOLD_US,
 };

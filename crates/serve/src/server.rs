@@ -11,6 +11,7 @@
 //! | `{"cmd":"stats"}` | `{"ok":true,"stats":{…}}` |
 //! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":"…"}` — Prometheus text exposition of every registered counter/histogram |
 //! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
+//! | `{"cmd":"health"}` | `{"ok":true,"health":"ok"\|"degraded"\|"loading","epoch":N[,"last_error":S]}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
 //!
 //! Every client gets its own thread; they all share one [`Session`]. Query
@@ -27,12 +28,22 @@
 //! "error":"shutting down"}` and its connection is closed, so
 //! [`ServerHandle::stop`]/[`ServerHandle::join`] never stall behind a
 //! chatty client.
+//!
+//! Fault tolerance (DESIGN.md §10): invalid UTF-8 or unparseable JSON gets
+//! a typed `{"ok":false,"error":"malformed request…"}` reply and the
+//! connection stays open; a panic escaping a query handler is caught per
+//! connection (the client gets `"internal error: query panicked"` and is
+//! disconnected, every other client is unaffected); and ahead of each
+//! request the server gives a degraded session the chance to retry its
+//! failed reload, so recovery is automatic once the underlying file is
+//! fixed.
 
 use crate::json::{obj, parse, Value};
 use crate::session::{Session, SessionStats};
 use cla_cfront::FileProvider;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Arc;
@@ -52,6 +63,9 @@ pub struct ServeOptions {
     /// Queries at or above this latency (µs) enter the session's slow-query
     /// log. `None` keeps the session's current threshold.
     pub slow_query_threshold_us: Option<u64>,
+    /// Enables wire commands used only by the test suite (`__test_panic`).
+    /// Never enable in production; the default is off.
+    pub enable_test_commands: bool,
 }
 
 impl Default for ServeOptions {
@@ -60,6 +74,7 @@ impl Default for ServeOptions {
             read_timeout: Some(Duration::from_secs(300)),
             max_request_bytes: 1 << 20,
             slow_query_threshold_us: None,
+            enable_test_commands: false,
         }
     }
 }
@@ -179,7 +194,9 @@ impl Drop for ServerHandle {
 
 /// One bounded read attempt: a complete request line, or a reason to stop.
 enum Request {
-    Line(String),
+    /// Raw bytes of one line — UTF-8 validation happens at the protocol
+    /// layer so an invalid sequence gets a typed reply, not a lossy parse.
+    Line(Vec<u8>),
     /// Clean EOF (or EOF mid-line; a lineless tail is not a request).
     Eof,
     /// The line exceeded the request-size cap before a newline arrived.
@@ -226,7 +243,7 @@ fn read_request(reader: &mut BufReader<UnixStream>, max: usize) -> Request {
             return Request::TooLarge;
         }
         if done {
-            return Request::Line(String::from_utf8_lossy(&line).into_owned());
+            return Request::Line(line);
         }
     }
 }
@@ -251,8 +268,8 @@ fn serve_client(
         writer.write_all(text.as_bytes()).is_ok()
     };
     loop {
-        let line = match read_request(&mut reader, opts.max_request_bytes) {
-            Request::Line(line) => line,
+        let raw = match read_request(&mut reader, opts.max_request_bytes) {
+            Request::Line(raw) => raw,
             Request::Eof => break,
             Request::TooLarge => {
                 // Reject and close: draining the rest of an unbounded line
@@ -269,6 +286,17 @@ fn serve_client(
                 break;
             }
         };
+        // Malformed bytes are a client mistake, not an attack on the
+        // worker: reply with a typed error and keep the connection usable.
+        let line = match String::from_utf8(raw) {
+            Ok(line) => line,
+            Err(_) => {
+                if !send(&mut writer, &err_reply("malformed request: invalid utf-8")) {
+                    break;
+                }
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -278,9 +306,28 @@ fn serve_client(
             let _ = send(&mut writer, &err_reply("shutting down"));
             break;
         }
-        let reply = handle_line(session, fs, &line, shutdown);
-        if !send(&mut writer, &reply) {
-            break;
+        // A degraded session retries its reload here, piggybacked on
+        // incoming traffic: recovery is automatic once the fault is fixed,
+        // with no background thread to manage.
+        session.maybe_recover(fs.map(|f| f as &dyn FileProvider));
+        // One poisoned query must kill this connection, not the server:
+        // every other client keeps its thread and the accept loop survives.
+        let reply = catch_unwind(AssertUnwindSafe(|| {
+            handle_line(session, fs, &line, shutdown, opts)
+        }));
+        match reply {
+            Ok(reply) => {
+                if !send(&mut writer, &reply) {
+                    break;
+                }
+            }
+            Err(_) => {
+                cla_obs::global()
+                    .counter("cla_serve_query_panics_total")
+                    .inc();
+                let _ = send(&mut writer, &err_reply("internal error: query panicked"));
+                break;
+            }
         }
         if shutdown.load(SeqCst) {
             // This request shut the server down: unblock the accept loop.
@@ -299,10 +346,11 @@ fn handle_line(
     fs: Option<&(dyn FileProvider + Send + Sync)>,
     line: &str,
     shutdown: &AtomicBool,
+    opts: &ServeOptions,
 ) -> Value {
     let req = match parse(line) {
         Ok(v) => v,
-        Err(e) => return err_reply(&format!("bad request: {e}")),
+        Err(e) => return err_reply(&format!("malformed request: {e}")),
     };
     let Some(cmd) = req.get("cmd").and_then(Value::as_str) else {
         return err_reply("missing \"cmd\"");
@@ -400,16 +448,25 @@ fn handle_line(
             }
         }
         "stats" => obj([("ok", true.into()), ("stats", session.stats().to_json())]),
+        "health" => {
+            let health = session.health();
+            let mut pairs = vec![
+                ("ok", Value::from(true)),
+                ("health", health.as_str().into()),
+                ("epoch", session.snapshot().1.into()),
+            ];
+            if let Some(e) = session.last_reload_error() {
+                pairs.push(("last_error", e.into()));
+            }
+            obj(pairs)
+        }
         "metrics" => obj([
             ("ok", true.into()),
             ("metrics", cla_obs::global().prometheus_text().into()),
         ]),
         "reload" => {
-            let Some(fs) = fs else {
-                return err_reply("reload is not available (server has no source tree)");
-            };
             let force = req.get("force").and_then(Value::as_bool).unwrap_or(false);
-            match session.reload(fs, force) {
+            match session.reload(fs.map(|f| f as &dyn FileProvider), force) {
                 Ok(r) => obj([
                     ("ok", true.into()),
                     (
@@ -426,6 +483,11 @@ fn handle_line(
         "shutdown" => {
             shutdown.store(true, SeqCst);
             obj([("ok", true.into()), ("stats", session.stats().to_json())])
+        }
+        // Deliberate panic for exercising the per-connection catch_unwind
+        // from a real client; only honored when the test gate is on.
+        "__test_panic" if opts.enable_test_commands => {
+            panic!("test-injected query panic");
         }
         other => err_reply(&format!("unknown cmd: {other}")),
     }

@@ -18,15 +18,16 @@
 
 use crate::json::{obj, Value};
 use cla_cfront::{CError, FileProvider, PpOptions};
-use cla_cladb::{write_object, Database, LinkSet};
+use cla_cladb::{fnv64, write_object, Database, DbError, LinkSet};
 use cla_core::{SealedGraph, SolveOptions, SolveStats, Warm};
 use cla_depend::{DependOptions, DependenceAnalysis};
 use cla_ir::{compile_file, LowerOptions, ObjId};
-use cla_obs::{nearest_rank, Histogram, LATENCY_BUCKETS_US};
+use cla_obs::{nearest_rank, Counter, Histogram, LATENCY_BUCKETS_US};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How many finished query results the session retains.
 const RESULT_CACHE_CAP: usize = 1024;
@@ -46,12 +47,18 @@ pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
 pub enum SessionError {
     /// No object in the program has this name.
     UnknownVariable(String),
-    /// `reload` on a session opened from a `.clao` file (no sources).
+    /// `reload` on a session with no reload inputs (opened via
+    /// [`Session::from_database`]).
     NoSources,
+    /// `reload` needs to re-read source files but no file provider was
+    /// passed.
+    NoProvider,
     /// A source file disappeared between loads.
     MissingFile(String),
     /// Recompilation of a changed source failed.
     Compile(CError),
+    /// The object file failed to read, open, or verify.
+    Db(DbError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -64,13 +71,38 @@ impl std::fmt::Display for SessionError {
                     "session was opened from a database; reload needs sources"
                 )
             }
+            SessionError::NoProvider => write!(f, "reload is not available (no file provider)"),
             SessionError::MissingFile(p) => write!(f, "source file missing: {p}"),
             SessionError::Compile(e) => write!(f, "recompile failed: {e}"),
+            SessionError::Db(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+/// The serving condition reported by the `health` wire command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Serving from an up-to-date snapshot.
+    Ok,
+    /// A reload failed; queries are answered from the last good snapshot
+    /// while retries back off.
+    Degraded,
+    /// A reload is swapping state right now.
+    Loading,
+}
+
+impl Health {
+    /// The wire string (`ok | degraded | loading`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::Degraded => "degraded",
+            Health::Loading => "loading",
+        }
+    }
+}
 
 /// One points-to target.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -169,6 +201,13 @@ pub struct SessionStats {
     pub result_cache_misses: u64,
     /// Reloads that actually swapped the database.
     pub reloads: u64,
+    /// Reload attempts that failed (the state was left untouched).
+    pub reload_failures: u64,
+    /// Whether the session is currently serving from a last-good snapshot
+    /// after a failed reload.
+    pub degraded: bool,
+    /// The error that put the session into degraded mode, if any.
+    pub last_error: Option<String>,
     /// Current session epoch (bumped by every swap).
     pub epoch: u64,
     /// Median query latency over the recent window, in microseconds
@@ -218,6 +257,15 @@ impl SessionStats {
                 ((self.hit_rate() * 1000.0).round() / 1000.0).into(),
             ),
             ("reloads", self.reloads.into()),
+            ("reload_failures", self.reload_failures.into()),
+            ("degraded", self.degraded.into()),
+            (
+                "last_error",
+                match &self.last_error {
+                    Some(e) => e.as_str().into(),
+                    None => Value::Null,
+                },
+            ),
             ("epoch", self.epoch.into()),
             ("p50_us", self.p50_micros.into()),
             ("p90_us", self.p90_micros.into()),
@@ -316,14 +364,45 @@ struct Sources {
     program: String,
 }
 
+/// What a `reload` re-reads, fixed at session construction.
+enum ReloadInputs {
+    /// No reload (opened straight from in-memory bytes).
+    None,
+    /// C sources: recompile changed files, relink, re-solve.
+    Files(Sources),
+    /// A linked `.clao` on disk: re-read, re-open, re-solve.
+    Object { path: PathBuf, hash: u64 },
+}
+
+/// Book-keeping while the session serves from a last-good snapshot.
+struct Degraded {
+    /// The most recent reload error, verbatim.
+    last_error: String,
+    /// Consecutive failed reload attempts.
+    failures: u32,
+    /// When the first of the consecutive failures happened.
+    since: Instant,
+    /// Earliest time [`Session::maybe_recover`] will try again
+    /// (exponential backoff, capped).
+    next_retry: Instant,
+}
+
 /// A resident analysis session. All methods take `&self`; the session is
 /// `Sync` and designed to be shared (`Arc<Session>`) across server workers.
 /// The query path is lock-free for readers apart from the state `RwLock`
 /// (held shared) and the result cache's own `RwLock`.
 pub struct Session {
     state: RwLock<Loaded>,
-    sources: Mutex<Option<Sources>>,
+    sources: Mutex<ReloadInputs>,
     solve_opts: SolveOptions,
+    /// Degraded-mode book-keeping; `None` while healthy.
+    degraded: Mutex<Option<Degraded>>,
+    reload_in_progress: AtomicBool,
+    backoff_base_ms: AtomicU64,
+    backoff_cap_ms: AtomicU64,
+    reload_failures: AtomicU64,
+    ctr_reload_fail: Counter,
+    ctr_degraded_seconds: Counter,
     epoch: AtomicU64,
     tick: AtomicU64,
     queries: AtomicU64,
@@ -367,12 +446,21 @@ impl Cmd {
 
 fn hash_text(text: &str) -> u64 {
     // FNV-1a: stable across runs (unlike the std hasher's random keys).
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv64(text.as_bytes())
+}
+
+/// Reads, opens, and fully verifies a `.clao` file; returns the database
+/// plus the file-content hash used for reload change detection.
+fn open_object_path(path: &Path) -> Result<(Database, u64), SessionError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| SessionError::Db(DbError::Io(format!("{}: {e}", path.display()))))?;
+    let hash = fnv64(&bytes);
+    let db = Database::open(bytes).map_err(SessionError::Db)?;
+    // Verify every block now: the solver demand-loads blocks mid-solve and
+    // treats the database as already validated, so corruption must be
+    // caught here, where it can become a typed error instead of a panic.
+    db.verify_all().map_err(SessionError::Db)?;
+    Ok((db, hash))
 }
 
 fn load(db: Database, opts: SolveOptions) -> Loaded {
@@ -396,8 +484,15 @@ impl Session {
         };
         Session {
             state: RwLock::new(load(db, opts)),
-            sources: Mutex::new(None),
+            sources: Mutex::new(ReloadInputs::None),
             solve_opts: opts,
+            degraded: Mutex::new(None),
+            reload_in_progress: AtomicBool::new(false),
+            backoff_base_ms: AtomicU64::new(1_000),
+            backoff_cap_ms: AtomicU64::new(60_000),
+            reload_failures: AtomicU64::new(0),
+            ctr_reload_fail: obs.counter("cla_serve_reload_fail_total"),
+            ctr_degraded_seconds: obs.counter("cla_serve_degraded_seconds_total"),
             epoch: AtomicU64::new(0),
             tick: AtomicU64::new(0),
             queries: AtomicU64::new(0),
@@ -439,9 +534,9 @@ impl Session {
             units.upsert(*f, unit);
         }
         let (program, _) = units.link("a.out");
-        let db = Database::open(write_object(&program)).expect("freshly linked database");
+        let db = Database::open(write_object(&program)).map_err(SessionError::Db)?;
         let session = Session::from_database(db, opts);
-        *session.sources.lock().unwrap() = Some(Sources {
+        *session.sources.lock().unwrap() = ReloadInputs::Files(Sources {
             files: files.iter().map(|f| f.to_string()).collect(),
             hashes,
             units,
@@ -449,6 +544,22 @@ impl Session {
             lower: lower.clone(),
             program: "a.out".to_string(),
         });
+        Ok(session)
+    }
+
+    /// Opens a session over a linked `.clao` object file on disk.
+    /// [`Session::reload`] re-reads the file, so the session can pick up a
+    /// rewritten database — and survive a corrupt one in degraded mode.
+    ///
+    /// The whole file (every demand-loaded block included) is verified up
+    /// front: a session must never discover corruption mid-query.
+    pub fn from_object_path(path: &Path, opts: SolveOptions) -> Result<Session, SessionError> {
+        let (db, hash) = open_object_path(path)?;
+        let session = Session::from_database(db, opts);
+        *session.sources.lock().unwrap() = ReloadInputs::Object {
+            path: path.to_path_buf(),
+            hash,
+        };
         Ok(session)
     }
 
@@ -642,40 +753,92 @@ impl Session {
     /// relinks, re-solves, and swaps the resident state. Cached results are
     /// discarded and the epoch is bumped; in-flight queries finish against
     /// the old state. No-op (and no invalidation) when nothing changed.
-    pub fn reload(&self, fs: &dyn FileProvider, force: bool) -> Result<ReloadReport, SessionError> {
+    ///
+    /// For a session opened with [`Session::from_object_path`] the `.clao`
+    /// file is re-read instead (no provider needed — pass `None`).
+    ///
+    /// A failed reload never touches the resident state: queries keep
+    /// answering from the last good snapshot, the session reports
+    /// [`Health::Degraded`], and [`Session::maybe_recover`] retries with
+    /// capped exponential backoff. While degraded, a reload always attempts
+    /// the rebuild even if nothing appears changed — the previous attempt
+    /// may have failed *after* updating its change-detection hashes.
+    pub fn reload(
+        &self,
+        fs: Option<&dyn FileProvider>,
+        force: bool,
+    ) -> Result<ReloadReport, SessionError> {
         self.cmd_reload.fetch_add(1, Relaxed);
         let mut sp = cla_obs::global().span("serve", "serve.reload");
-        let mut sources_slot = self.sources.lock().unwrap();
-        let sources = sources_slot.as_mut().ok_or(SessionError::NoSources)?;
+        let mut inputs = self.sources.lock().unwrap();
+        let force = force || self.degraded.lock().unwrap().is_some();
+        self.reload_in_progress.store(true, Relaxed);
+        let result = self.reload_inner(&mut inputs, fs, force, &mut sp);
+        self.reload_in_progress.store(false, Relaxed);
+        match &result {
+            Ok(_) => self.clear_degraded(),
+            // Usage errors don't mean the data went bad; only real rebuild
+            // failures enter degraded mode.
+            Err(SessionError::NoSources | SessionError::NoProvider) => {}
+            Err(e) => self.note_reload_failure(&e.to_string()),
+        }
+        result
+    }
 
-        let mut recompiled = Vec::new();
-        for f in sources.files.clone() {
-            let text = fs
-                .read(&f)
-                .ok_or_else(|| SessionError::MissingFile(f.clone()))?;
-            let h = hash_text(&text);
-            if !force && sources.hashes.get(&f) == Some(&h) {
-                continue;
+    fn reload_inner(
+        &self,
+        inputs: &mut ReloadInputs,
+        fs: Option<&dyn FileProvider>,
+        force: bool,
+        sp: &mut cla_obs::Span<'_>,
+    ) -> Result<ReloadReport, SessionError> {
+        let (fresh, recompiled) = match inputs {
+            ReloadInputs::None => return Err(SessionError::NoSources),
+            ReloadInputs::Files(sources) => {
+                let fs = fs.ok_or(SessionError::NoProvider)?;
+                let mut recompiled = Vec::new();
+                for f in sources.files.clone() {
+                    let text = fs
+                        .read(&f)
+                        .ok_or_else(|| SessionError::MissingFile(f.clone()))?;
+                    let h = hash_text(&text);
+                    if !force && sources.hashes.get(&f) == Some(&h) {
+                        continue;
+                    }
+                    let (unit, _) = compile_file(fs, &f, &sources.pp, &sources.lower)
+                        .map_err(SessionError::Compile)?;
+                    sources.units.upsert(f.clone(), unit);
+                    sources.hashes.insert(f.clone(), h);
+                    recompiled.push(f);
+                }
+                if recompiled.is_empty() {
+                    sp.set("relinked", false);
+                    return Ok(ReloadReport {
+                        recompiled,
+                        invalidated_results: 0,
+                        epoch: self.epoch.load(Relaxed),
+                        relinked: false,
+                    });
+                }
+                let (program, _) = sources.units.link(&sources.program);
+                let db = Database::open(write_object(&program)).map_err(SessionError::Db)?;
+                (load(db, self.solve_opts), recompiled)
             }
-            let (unit, _) =
-                compile_file(fs, &f, &sources.pp, &sources.lower).map_err(SessionError::Compile)?;
-            sources.units.upsert(f.clone(), unit);
-            sources.hashes.insert(f.clone(), h);
-            recompiled.push(f);
-        }
-        if recompiled.is_empty() {
-            sp.set("relinked", false);
-            return Ok(ReloadReport {
-                recompiled,
-                invalidated_results: 0,
-                epoch: self.epoch.load(Relaxed),
-                relinked: false,
-            });
-        }
-
-        let (program, _) = sources.units.link(&sources.program);
-        let db = Database::open(write_object(&program)).expect("freshly linked database");
-        let fresh = load(db, self.solve_opts);
+            ReloadInputs::Object { path, hash } => {
+                let (db, new_hash) = open_object_path(path)?;
+                if !force && new_hash == *hash {
+                    sp.set("relinked", false);
+                    return Ok(ReloadReport {
+                        recompiled: Vec::new(),
+                        invalidated_results: 0,
+                        epoch: self.epoch.load(Relaxed),
+                        relinked: false,
+                    });
+                }
+                *hash = new_hash;
+                (load(db, self.solve_opts), vec![path.display().to_string()])
+            }
+        };
 
         let mut st = self.state.write().unwrap();
         let invalidated = st.results.read().unwrap().len();
@@ -694,6 +857,81 @@ impl Session {
         })
     }
 
+    /// Health as seen by the `health` wire command.
+    pub fn health(&self) -> Health {
+        if self.reload_in_progress.load(Relaxed) {
+            Health::Loading
+        } else if self.degraded.lock().unwrap().is_some() {
+            Health::Degraded
+        } else {
+            Health::Ok
+        }
+    }
+
+    /// The last reload error while degraded (`None` when healthy).
+    pub fn last_reload_error(&self) -> Option<String> {
+        self.degraded
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|d| d.last_error.clone())
+    }
+
+    /// If the session is degraded and the backoff window has elapsed,
+    /// attempt a recovery reload. Returns `true` when the session became
+    /// healthy. The server calls this ahead of each request, so recovery
+    /// needs no background thread and happens at the first query after the
+    /// underlying fault is fixed.
+    pub fn maybe_recover(&self, fs: Option<&dyn FileProvider>) -> bool {
+        {
+            let slot = self.degraded.lock().unwrap();
+            match slot.as_ref() {
+                Some(d) if Instant::now() >= d.next_retry => {}
+                _ => return false,
+            }
+        }
+        if self.reload_in_progress.load(Relaxed) {
+            return false;
+        }
+        self.reload(fs, true).is_ok()
+    }
+
+    /// Overrides the retry backoff (default: 1 s base, 60 s cap). Mostly
+    /// for tests, which can't wait out real backoff windows.
+    pub fn set_reload_backoff(&self, base: Duration, cap: Duration) {
+        self.backoff_base_ms.store(base.as_millis() as u64, Relaxed);
+        self.backoff_cap_ms.store(cap.as_millis() as u64, Relaxed);
+    }
+
+    fn note_reload_failure(&self, msg: &str) {
+        self.reload_failures.fetch_add(1, Relaxed);
+        self.ctr_reload_fail.inc();
+        let now = Instant::now();
+        let mut slot = self.degraded.lock().unwrap();
+        let (failures, since) = match slot.as_ref() {
+            Some(d) => (d.failures.saturating_add(1), d.since),
+            None => (1, now),
+        };
+        let base = self.backoff_base_ms.load(Relaxed);
+        let cap = self.backoff_cap_ms.load(Relaxed);
+        let delay = base
+            .saturating_mul(1u64 << u64::from((failures - 1).min(16)))
+            .min(cap);
+        *slot = Some(Degraded {
+            last_error: msg.to_string(),
+            failures,
+            since,
+            next_retry: now + Duration::from_millis(delay),
+        });
+    }
+
+    fn clear_degraded(&self) {
+        let mut slot = self.degraded.lock().unwrap();
+        if let Some(d) = slot.take() {
+            self.ctr_degraded_seconds.add(d.since.elapsed().as_secs());
+        }
+    }
+
     // ----- stats ------------------------------------------------------------
 
     /// Snapshot of the session's counters and latency percentiles. The
@@ -704,6 +942,12 @@ impl Session {
         let solver = self.state.read().unwrap().sealed.stats();
         let mut lat = self.latencies.snapshot();
         lat.sort_unstable();
+        // One guarded read for both fields: a guard held inside the struct
+        // literal would still be live when a second `lock()` ran.
+        let (degraded, last_error) = {
+            let d = self.degraded.lock().unwrap();
+            (d.is_some(), d.as_ref().map(|d| d.last_error.clone()))
+        };
         SessionStats {
             queries: self.queries.load(Relaxed),
             cmd_points_to: self.cmd_points_to.load(Relaxed),
@@ -714,6 +958,9 @@ impl Session {
             result_cache_hits: self.hits.load(Relaxed),
             result_cache_misses: self.misses.load(Relaxed),
             reloads: self.reloads.load(Relaxed),
+            reload_failures: self.reload_failures.load(Relaxed),
+            degraded,
+            last_error,
             epoch: self.epoch.load(Relaxed),
             p50_micros: nearest_rank(&lat, 0.50),
             p90_micros: nearest_rank(&lat, 0.90),
@@ -919,7 +1166,7 @@ mod tests {
             vec!["x"]
         );
         // Nothing changed: no-op, cache kept.
-        let r = s.reload(&fs, false).unwrap();
+        let r = s.reload(Some(&fs), false).unwrap();
         assert!(!r.relinked);
         assert!(s.points_to("q").unwrap().cached);
 
@@ -928,7 +1175,7 @@ mod tests {
             "a.c",
             "int x, y; int *p, **pp; void fa(void) { p = &y; pp = &p; }",
         );
-        let r = s.reload(&fs, false).unwrap();
+        let r = s.reload(Some(&fs), false).unwrap();
         assert!(r.relinked);
         assert_eq!(r.recompiled, vec!["a.c".to_string()]);
         assert!(r.invalidated_results >= 1);
@@ -953,7 +1200,10 @@ mod tests {
             compile_file(&fs, "a.c", &PpOptions::default(), &LowerOptions::default()).unwrap();
         let db = Database::open(write_object(&unit)).unwrap();
         let s = Session::from_database(db, SolveOptions::default());
-        assert!(matches!(s.reload(&fs, false), Err(SessionError::NoSources)));
+        assert!(matches!(
+            s.reload(Some(&fs), false),
+            Err(SessionError::NoSources)
+        ));
         assert_eq!(
             s.points_to("p")
                 .unwrap()
@@ -1017,7 +1267,7 @@ mod tests {
             "a.c",
             "int x, y; int *p, **pp; void fa(void) { p = &y; pp = &p; }",
         );
-        s.reload(&fs, false).unwrap();
+        s.reload(Some(&fs), false).unwrap();
         assert_eq!(s.points_to("q").unwrap().epoch, 1);
         assert_eq!(s.alias("p", "q").unwrap().epoch, 1);
         let (snap, epoch) = s.snapshot();

@@ -17,6 +17,10 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --release --workspace
 
+echo "==> db-fuzz smoke (deterministic fault injection over the bundled example)"
+./target/release/cla-tool db-fuzz examples/c/main.c examples/c/store.c \
+    -I examples/c --iters 500 --seed 1
+
 echo "==> trace smoke (analyze the bundled example, validate the trace)"
 trace_out="${TRACE_OUT:-target/trace-smoke.json}"
 ./target/release/cla-tool analyze examples/c/main.c examples/c/store.c \

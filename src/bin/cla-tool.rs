@@ -9,6 +9,7 @@
 //! cla-tool ctx prog.clao -k 4 -o dup.clao    context-duplication transform
 //! cla-tool serve prog.clao --socket S        long-running query server
 //! cla-tool query --socket S points-to p      one query against a server
+//! cla-tool db-fuzz a.c b.c --iters 500       fault-inject the object format
 //! cla-tool trace-validate trace.json         check a recorded trace
 //! ```
 //!
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         Some("ctx") => cmd_ctx(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("db-fuzz") => cmd_db_fuzz(&args[1..]),
         Some("trace-validate") => cmd_trace_validate(&args[1..]),
         Some("help") | None => {
             eprintln!("{USAGE}");
@@ -85,7 +87,8 @@ const USAGE: &str = "usage:
   cla-tool query --socket PATH points-to <var>
   cla-tool query --socket PATH alias <a> <b>
   cla-tool query --socket PATH depend <target> [--non-target NAME]...
-  cla-tool query --socket PATH stats|metrics|reload|shutdown [--force]
+  cla-tool query --socket PATH stats|metrics|reload|health|shutdown [--force]
+  cla-tool db-fuzz <src.c>...|<prog.clao> [--iters N] [--seed N] [-I dir] [-D NAME[=V]]
   cla-tool trace-validate <trace.json>
 global flags (any command):
   --trace FILE   record a Chrome trace_event JSONL trace to FILE
@@ -204,7 +207,10 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
     }
     let (program, stats) = link(&units, &out);
     let bytes = write_object(&program);
-    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    // Temp + fsync + rename: an interrupted compile never leaves a
+    // half-written .clao for a later phase to load.
+    cla_cladb::atomic_write_bytes(std::path::Path::new(&out), &bytes)
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     eprintln!(
         "linked {} units -> {out}: {} objects ({} symbols merged), {} assignments, {} bytes",
         stats.units,
@@ -462,12 +468,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         return Err("serve needs a .clao file or C sources".to_string());
     }
 
-    // A single .clao positional serves the linked database as-is; C sources
-    // are compiled in-process, which also enables the `reload` command.
+    // A single .clao positional serves the linked database; `reload`
+    // re-reads the file, and a corrupt rewrite degrades (last-good answers)
+    // instead of wedging the server. C sources are compiled in-process.
     let (session, reload_fs): (Session, Option<Arc<dyn FileProvider + Send + Sync>>) =
         if pos.len() == 1 && pos[0].ends_with(".clao") {
-            let db = load_database(&pos[0])?;
-            (Session::from_database(db, SolveOptions::default()), None)
+            let session =
+                Session::from_object_path(std::path::Path::new(&pos[0]), SolveOptions::default())
+                    .map_err(|e| e.to_string())?;
+            (session, None)
         } else {
             let pp = PpOptions {
                 include_dirs,
@@ -537,10 +546,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Some("stats") => obj([("cmd", "stats".into())]),
         Some("metrics") => obj([("cmd", "metrics".into())]),
         Some("reload") => obj([("cmd", "reload".into()), ("force", force.into())]),
+        Some("health") => obj([("cmd", "health".into())]),
         Some("shutdown") => obj([("cmd", "shutdown".into())]),
         Some(other) => return Err(format!("unknown query `{other}`")),
         None => return Err(
-            "query needs a command (points-to, alias, depend, stats, metrics, reload, shutdown)"
+            "query needs a command (points-to, alias, depend, stats, metrics, reload, health, shutdown)"
                 .to_string(),
         ),
     };
@@ -584,6 +594,77 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Deterministic fault injection over a real object file: truncation at
+/// every byte offset, seeded bit flips, and section-table shuffles, each
+/// asserting the invariant *open/block either returns correct data or a
+/// typed `DbError` — never a panic, never a wrong answer*.
+fn cmd_db_fuzz(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let iters: u64 = a
+        .take_values("--iters")?
+        .pop()
+        .unwrap_or_else(|| "500".to_string())
+        .parse()
+        .map_err(|_| "--iters needs a number")?;
+    let seed: u64 = a
+        .take_values("--seed")?
+        .pop()
+        .unwrap_or_else(|| "1".to_string())
+        .parse()
+        .map_err(|_| "--seed needs a number")?;
+    let include_dirs = a.take_values("-I")?;
+    let defines = a
+        .take_values("-D")?
+        .into_iter()
+        .map(|d| match d.split_once('=') {
+            Some((n, v)) => (n.to_string(), v.to_string()),
+            None => (d, "1".to_string()),
+        })
+        .collect();
+    let pos = a.positional();
+    if pos.is_empty() {
+        return Err("db-fuzz needs C sources or a .clao file".to_string());
+    }
+
+    // A .clao positional is fuzzed as-is; C sources are compiled and linked
+    // in-memory first, so the harness always works over a real multi-section
+    // object file.
+    let bytes = if pos.len() == 1 && pos[0].ends_with(".clao") {
+        std::fs::read(&pos[0]).map_err(|e| format!("cannot read `{}`: {e}", pos[0]))?
+    } else {
+        let pp = PpOptions {
+            include_dirs,
+            defines,
+            ..PpOptions::default()
+        };
+        let lower = LowerOptions::default();
+        let mut units = Vec::new();
+        for src in &pos {
+            let (unit, _) = compile_file(&OsFs, src, &pp, &lower).map_err(|e| e.to_string())?;
+            units.push(unit);
+        }
+        let (program, _) = link(&units, "fuzz-target");
+        write_object(&program)
+    };
+
+    eprintln!(
+        "db-fuzz: {} bytes, seed {seed}, {iters} bit-flip iters (+ full truncation sweep + section shuffles)",
+        bytes.len()
+    );
+    let report = cla_cladb::fault::run_fuzz(&bytes, seed, iters)
+        .map_err(|e| format!("pristine input does not decode: {e}"))?;
+    println!("{report}");
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "integrity holes found: {} wrong-answer, {} panics",
+            report.wrong.len(),
+            report.panics.len()
+        ))
+    }
+}
+
 fn cmd_ctx(args: &[String]) -> Result<(), String> {
     let mut a = Args::new(args);
     let k: usize = a
@@ -599,7 +680,8 @@ fn cmd_ctx(args: &[String]) -> Result<(), String> {
     let unit = db.to_unit().map_err(|e| e.to_string())?;
     let (dup, stats) = transform::duplicate_contexts(&unit, k);
     let bytes = write_object(&dup);
-    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    cla_cladb::atomic_write_bytes(std::path::Path::new(&out), &bytes)
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     eprintln!(
         "duplicated {} functions ({} sites over up to {k} contexts), +{} objects, +{} assignments -> {out}",
         stats.functions_cloned, stats.sites_distributed, stats.objects_added, stats.assigns_added

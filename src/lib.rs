@@ -50,7 +50,7 @@ pub use cla_workload as workload;
 pub mod prelude {
     pub use cla_cfront::{FileProvider, MemoryFs, OsFs, PpOptions};
     pub use cla_cladb::{dump, link, write_object, Database};
-    pub use cla_core::pipeline::{analyze, Analysis, PipelineOptions, Report};
+    pub use cla_core::pipeline::{analyze, Analysis, PipelineError, PipelineOptions, Report};
     pub use cla_core::{solve_database, solve_unit, PointsTo, SolveOptions};
     pub use cla_depend::{DependOptions, DependenceAnalysis};
     pub use cla_ir::{

@@ -309,7 +309,10 @@ fn indirect_calls_from_multiple_units() {
 fn error_reporting() {
     let fs = fs_of(&[("ok.c", "int x;"), ("bad.c", "int x = ;")]);
     let err = analyze(&fs, &["ok.c", "bad.c"], &PipelineOptions::default()).unwrap_err();
-    assert_eq!(err.loc().line, 1);
+    match &err {
+        PipelineError::Frontend(e) => assert_eq!(e.loc().line, 1),
+        other => panic!("expected a frontend error, got {other}"),
+    }
     let msg = format!("{err}");
     assert!(msg.contains("parse error"), "{msg}");
 }

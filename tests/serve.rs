@@ -590,6 +590,298 @@ fn per_command_counters_monotonic_across_reload_and_metrics_parses() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// Tentpole scenario for the fault-tolerance PR: a reload that fails —
+/// here because the edited source no longer compiles — must leave the
+/// last-good sealed snapshot serving answers, flag the session as
+/// degraded, and recover automatically (no operator command) once the
+/// fault is fixed and the backoff window has passed.
+#[test]
+fn degraded_reload_serves_last_good_and_recovers_automatically() {
+    let (dir, paths) = write_sources(
+        "degraded",
+        &[
+            ("a.c", "int x, y; int *p; void fa(void) { p = &x; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ],
+    );
+    let files: Vec<&str> = paths.iter().map(String::as_str).collect();
+    let session = Arc::new(
+        Session::from_files(
+            &OsFs,
+            &files,
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+        )
+        .unwrap(),
+    );
+    // Tiny backoff so the automatic retry happens within the test.
+    session.set_reload_backoff(
+        std::time::Duration::from_millis(10),
+        std::time::Duration::from_millis(50),
+    );
+    let socket = dir.join("degraded.sock");
+    let server = cla::serve::serve(Arc::clone(&session), Some(Arc::new(OsFs)), &socket).unwrap();
+    let mut c = UnixStream::connect(server.path()).unwrap();
+
+    assert_eq!(
+        target_names(&ask(&mut c, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()])
+    );
+    let h = ask(&mut c, &obj([("cmd", "health".into())]));
+    assert_eq!(h.get("health").and_then(Value::as_str), Some("ok"));
+
+    // Break a.c so the recompile fails, then ask for a reload.
+    std::fs::write(
+        Path::new(&paths[0]),
+        "int x; int *p; void fa(void) { p = &x;",
+    )
+    .unwrap();
+    let reply = ask(&mut c, &obj([("cmd", "reload".into())]));
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(false),
+        "reload over a broken source must fail: {}",
+        reply.encode()
+    );
+
+    // The last-good snapshot still answers, and the session says so.
+    assert_eq!(
+        target_names(&ask(&mut c, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()]),
+        "degraded session lost its last-good answers"
+    );
+    let h = ask(&mut c, &obj([("cmd", "health".into())]));
+    assert_eq!(h.get("health").and_then(Value::as_str), Some("degraded"));
+    assert!(
+        h.get("last_error").and_then(Value::as_str).is_some(),
+        "degraded health must carry the error: {}",
+        h.encode()
+    );
+    let s = ask(&mut c, &obj([("cmd", "stats".into())]));
+    let stats = s.get("stats").unwrap();
+    assert_eq!(stats.get("degraded").and_then(Value::as_bool), Some(true));
+    assert!(
+        stats
+            .get("reload_failures")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    assert!(stats.get("last_error").and_then(Value::as_str).is_some());
+
+    // Fix the source (with a different graph, so recovery is observable),
+    // wait out the backoff, and let an ordinary query trigger the retry.
+    std::fs::write(
+        Path::new(&paths[0]),
+        "int x, y; int *p; void fa(void) { p = &y; }",
+    )
+    .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(60));
+    let reply = ask(&mut c, &points_to_req("q"));
+    assert_eq!(
+        target_names(&reply),
+        BTreeSet::from(["y".to_string()]),
+        "recovered session must serve the fixed sources"
+    );
+    let h = ask(&mut c, &obj([("cmd", "health".into())]));
+    assert_eq!(h.get("health").and_then(Value::as_str), Some("ok"));
+    let s = ask(&mut c, &obj([("cmd", "stats".into())]));
+    assert_eq!(
+        s.get("stats")
+            .unwrap()
+            .get("degraded")
+            .and_then(Value::as_bool),
+        Some(false)
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The same degraded-mode contract for a session serving a linked `.clao`
+/// object directly: a corrupt rewrite is rejected by the checksum layer at
+/// reload time, the last-good graph keeps answering, and restoring the
+/// file brings the session back with an explicit reload.
+#[test]
+fn object_backed_session_survives_a_corrupt_rewrite() {
+    let (dir, paths) = write_sources(
+        "objpath",
+        &[
+            ("a.c", "int x; int *p; void fa(void) { p = &x; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ],
+    );
+    let units: Vec<CompiledUnit> = paths
+        .iter()
+        .map(|p| {
+            compile_file(&OsFs, p, &PpOptions::default(), &LowerOptions::default())
+                .unwrap()
+                .0
+        })
+        .collect();
+    let (program, _) = link(&units, "a.out");
+    let bytes = write_object(&program);
+    let obj_path = dir.join("prog.clao");
+    std::fs::write(&obj_path, &bytes).unwrap();
+
+    let session = Arc::new(Session::from_object_path(&obj_path, SolveOptions::default()).unwrap());
+    let socket = dir.join("objpath.sock");
+    let server = cla::serve::serve(Arc::clone(&session), None, &socket).unwrap();
+    let mut c = UnixStream::connect(server.path()).unwrap();
+    assert_eq!(
+        target_names(&ask(&mut c, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()])
+    );
+
+    // A torn write: only half the object makes it to disk.
+    std::fs::write(&obj_path, &bytes[..bytes.len() / 2]).unwrap();
+    let reply = ask(&mut c, &obj([("cmd", "reload".into())]));
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(false),
+        "reload of a truncated object must fail: {}",
+        reply.encode()
+    );
+    assert_eq!(
+        target_names(&ask(&mut c, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()]),
+        "last-good object answers survive the torn rewrite"
+    );
+    let h = ask(&mut c, &obj([("cmd", "health".into())]));
+    assert_eq!(h.get("health").and_then(Value::as_str), Some("degraded"));
+
+    // Restore the file; an explicit reload recovers even though the bytes
+    // hash the same as the resident epoch (degraded forces the rebuild).
+    std::fs::write(&obj_path, &bytes).unwrap();
+    let reply = ask(&mut c, &obj([("cmd", "reload".into())]));
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(reply.get("relinked").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        target_names(&ask(&mut c, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()])
+    );
+    let h = ask(&mut c, &obj([("cmd", "health".into())]));
+    assert_eq!(h.get("health").and_then(Value::as_str), Some("ok"));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Malformed requests are client mistakes, not attacks: both invalid UTF-8
+/// and syntactically bad JSON must draw a typed error reply and leave the
+/// connection usable for the next request.
+#[test]
+fn malformed_requests_get_typed_errors_and_keep_the_connection() {
+    let (dir, paths) = write_sources(
+        "malformed",
+        &[
+            ("a.c", "int x; int *p; void fa(void) { p = &x; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ],
+    );
+    let server = start_server("malformed", &paths);
+    let mut c = UnixStream::connect(server.path()).unwrap();
+
+    // Invalid UTF-8.
+    c.write_all(b"\xff\xfe\x80garbage\n").unwrap();
+    let mut line = String::new();
+    let mut reader = BufReader::new(c.try_clone().unwrap());
+    reader.read_line(&mut line).unwrap();
+    let v = parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        v.get("error").and_then(Value::as_str),
+        Some("malformed request: invalid utf-8")
+    );
+
+    // Bad JSON on the same connection.
+    c.write_all(b"{this is not json\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+    let err = v.get("error").and_then(Value::as_str).unwrap();
+    assert!(
+        err.starts_with("malformed request:"),
+        "unexpected error text: {err}"
+    );
+
+    // The connection is still live and answers a real query.
+    let reply = ask(&mut c, &points_to_req("q"));
+    assert_eq!(
+        target_names(&reply),
+        BTreeSet::from(["x".to_string()]),
+        "connection died after a malformed request"
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A query that panics must take down only its own connection: the reply
+/// names the failure, the socket closes, and other clients (and the accept
+/// loop) keep working.
+#[test]
+fn query_panic_kills_one_connection_not_the_server() {
+    let (dir, paths) = write_sources(
+        "panic",
+        &[
+            ("a.c", "int x; int *p; void fa(void) { p = &x; }"),
+            ("b.c", "extern int *p; int *q; void fb(void) { q = p; }"),
+        ],
+    );
+    let files: Vec<&str> = paths.iter().map(String::as_str).collect();
+    let session = Session::from_files(
+        &OsFs,
+        &files,
+        &PpOptions::default(),
+        &LowerOptions::default(),
+        SolveOptions::default(),
+    )
+    .unwrap();
+    let socket = dir.join("panic.sock");
+    let server = cla::serve::serve_with(
+        Arc::new(session),
+        Some(Arc::new(OsFs)),
+        &socket,
+        cla::serve::ServeOptions {
+            enable_test_commands: true,
+            ..cla::serve::ServeOptions::default()
+        },
+    )
+    .unwrap();
+
+    let mut victim = UnixStream::connect(server.path()).unwrap();
+    let mut bystander = UnixStream::connect(server.path()).unwrap();
+    let _ = ask(&mut bystander, &points_to_req("q"));
+
+    let reply = ask(&mut victim, &obj([("cmd", "__test_panic".into())]));
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        reply.get("error").and_then(Value::as_str),
+        Some("internal error: query panicked")
+    );
+    // The poisoned connection is closed...
+    let mut rest = String::new();
+    let n = BufReader::new(victim.try_clone().unwrap())
+        .read_line(&mut rest)
+        .unwrap();
+    assert_eq!(n, 0, "victim connection must be closed, got {rest:?}");
+
+    // ...but the bystander and fresh connections still get answers.
+    assert_eq!(
+        target_names(&ask(&mut bystander, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()])
+    );
+    let mut fresh = UnixStream::connect(server.path()).unwrap();
+    assert_eq!(
+        target_names(&ask(&mut fresh, &points_to_req("q"))),
+        BTreeSet::from(["x".to_string()])
+    );
+    server.stop();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn depend_over_socket_matches_in_process() {
     let (dir, paths) = write_sources(
