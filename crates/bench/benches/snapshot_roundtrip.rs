@@ -1,0 +1,119 @@
+//! Snapshot round-trip cost across program scales: encode/save time and
+//! size, open + load time, and first-query latency on the restored graph,
+//! compared against the solve the snapshot replaces.
+//!
+//! The load column is the price of a warm start; the solve column is what
+//! it saves. The gap widens with program size because loading is linear in
+//! the *solution* (representatives + distinct sets) while solving walks
+//! the assignment graph to a fixpoint.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use cla_cfront::PpOptions;
+use cla_cladb::{fnv64, link, write_object, Database};
+use cla_core::pipeline::Provenance;
+use cla_core::{SolveOptions, Warm};
+use cla_ir::{compile_file, LowerOptions, ObjId};
+use cla_snap::{encode_snapshot, save_snapshot, Snapshot};
+use cla_workload::{by_name, generate, GenOptions};
+
+/// Compiles + links one workload profile into a database.
+fn build_database(spec_name: &str, scale: f64) -> Database {
+    let spec = by_name(spec_name).unwrap();
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale,
+            files: 4,
+            ..Default::default()
+        },
+    );
+    let mut fs = cla_cfront::MemoryFs::new();
+    for (p, c) in &w.files {
+        fs.add(p.clone(), c.clone());
+    }
+    let units: Vec<_> = w
+        .source_files()
+        .iter()
+        .map(|f| {
+            compile_file(&fs, f, &PpOptions::default(), &LowerOptions::default())
+                .unwrap()
+                .0
+        })
+        .collect();
+    let (program, _) = link(&units, "bench");
+    Database::open(write_object(&program)).unwrap()
+}
+
+fn main() {
+    cla_bench::header("snapshot round trip: save/load cost vs the solve it replaces");
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>9} {:>9} {:>9} {:>11}",
+        "profile", "objects", "snap size", "solve", "encode", "save", "load", "first query"
+    );
+
+    let opts = SolveOptions::default();
+    let tmp = std::env::temp_dir().join(format!("cla-snap-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    for (spec, scale_frac) in [
+        ("nethack", 0.25),
+        ("nethack", 1.0),
+        ("vortex", 0.5),
+        ("gcc", 0.25),
+    ] {
+        let scale = scale_frac * cla_bench::scale() / 0.1;
+        let db = build_database(spec, scale);
+        let names: Vec<String> = db.objects().iter().map(|o| o.name.clone()).collect();
+        let prov = Provenance {
+            inputs: vec![("bench".to_string(), 0xbeef)],
+            options_fp: 1,
+            solver: opts,
+        };
+
+        let t0 = Instant::now();
+        let sealed = Warm::from_database(&db, opts).seal();
+        let solve = t0.elapsed();
+
+        let t0 = Instant::now();
+        let bytes = encode_snapshot(&prov, &sealed, &names);
+        let encode = t0.elapsed();
+
+        let path = tmp.join(format!("{spec}-{scale_frac}.clasnap"));
+        let t0 = Instant::now();
+        let size = save_snapshot(&path, &prov, &sealed, &names).unwrap();
+        let save = t0.elapsed();
+        assert_eq!(size, bytes.len());
+
+        let t0 = Instant::now();
+        let snap = Snapshot::open(&path).unwrap();
+        let restored = snap.load_sealed().unwrap();
+        let load = t0.elapsed();
+
+        // First query on the restored graph (the end of the warm-start
+        // critical path), on a variable with a nonempty answer.
+        let var = (0..names.len() as u32)
+            .map(ObjId)
+            .find(|&o| !restored.points_to(o).is_empty())
+            .unwrap();
+        let t0 = Instant::now();
+        black_box(restored.points_to(var).len());
+        let first = t0.elapsed();
+
+        println!(
+            "{:<10} {:>8} {:>10} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>9.1}us",
+            format!("{spec}@{scale_frac}"),
+            cla_bench::fmt_count(names.len() as u64),
+            cla_bench::fmt_mb(size),
+            solve.as_secs_f64() * 1e3,
+            encode.as_secs_f64() * 1e3,
+            save.as_secs_f64() * 1e3,
+            load.as_secs_f64() * 1e3,
+            first.as_secs_f64() * 1e6,
+        );
+
+        // The whole point: restoring must beat re-solving.
+        black_box(fnv64(&bytes));
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -81,7 +81,9 @@ impl FuzzReport {
         self.wrong.is_empty() && self.panics.is_empty()
     }
 
-    fn record(&mut self, verdict: Verdict, describe: impl FnOnce() -> String) {
+    /// Folds one mutant's verdict into the tally. Public so other format
+    /// fuzzers (the snapshot harness in `cla-snap`) can reuse the report.
+    pub fn record(&mut self, verdict: Verdict, describe: impl FnOnce() -> String) {
         self.exercised += 1;
         match verdict {
             Verdict::Rejected => self.rejected += 1,

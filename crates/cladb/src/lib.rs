@@ -35,12 +35,12 @@ mod writer;
 
 pub use dump::{census, dump, is_static_assign};
 pub use format::{
-    fnv64, DbError, SectionId, ASSIGN_RECORD_SIZE, HEADER_FIXED_SIZE, MAGIC, SECTION_ENTRY_SIZE,
-    VERSION,
+    fnv64, fnv64_tagged, DbError, SectionId, ASSIGN_RECORD_SIZE, HEADER_FIXED_SIZE, MAGIC,
+    NONE_U32, SECTION_ENTRY_SIZE, VERSION,
 };
 pub use linker::{link, LinkSet, LinkStats};
 pub use reader::{Database, LoadStats};
-pub use writer::{atomic_write_bytes, block_key, write_object, write_object_file};
+pub use writer::{atomic_write_bytes, block_key, sweep_stale_tmp, write_object, write_object_file};
 
 #[cfg(test)]
 mod tests {

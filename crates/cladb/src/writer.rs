@@ -298,6 +298,39 @@ pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     write
 }
 
+/// Removes stale temporaries left in `dir` by a crash mid-write. Matches the
+/// `.{base}.tmp.{pid}` names produced by [`atomic_write_bytes`] plus plain
+/// `*.tmp` leftovers, skipping any temporary owned by the current process
+/// (a concurrent writer in this process may still be mid-rename). Returns
+/// the number of files reclaimed and bumps `cla_db_tmp_reclaimed_total`.
+///
+/// # Errors
+///
+/// Fails only if `dir` cannot be read; per-file removal errors are ignored
+/// (another process may have swept the same file first).
+pub fn sweep_stale_tmp(dir: &Path) -> std::io::Result<usize> {
+    let own = format!(".{}", std::process::id());
+    let mut reclaimed = 0usize;
+    for entry in std::fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        if !entry.file_type().is_ok_and(|t| t.is_file()) {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let stale = (name.starts_with('.') && name.contains(".tmp.") && !name.ends_with(&own))
+            || name.ends_with(".tmp");
+        if stale && std::fs::remove_file(entry.path()).is_ok() {
+            reclaimed += 1;
+        }
+    }
+    if reclaimed > 0 {
+        cla_obs::global()
+            .counter("cla_db_tmp_reclaimed_total")
+            .add(reclaimed as u64);
+    }
+    Ok(reclaimed)
+}
+
 /// Serializes `unit` and persists it crash-safely at `path`
 /// (see [`atomic_write_bytes`]). Returns the encoded size in bytes.
 ///

@@ -6,10 +6,10 @@
 //! database, and demand-driven points-to analysis. Produces the timing and
 //! space measurements the paper's Tables 2 and 3 report.
 
-use crate::pretransitive::{solve_database, SolveOptions, SolveStats};
+use crate::pretransitive::{solve_database, SealedGraph, SolveOptions, SolveStats, Warm};
 use crate::solution::PointsTo;
-use cla_cfront::{CError, FileProvider, PpOptions};
-use cla_cladb::{link, write_object, Database, DbError, LinkStats, LoadStats};
+use cla_cfront::{CError, FileProvider, PpOptions, Preprocessed};
+use cla_cladb::{fnv64, link, write_object, Database, DbError, LinkStats, LoadStats};
 use cla_ir::{compile_file, AssignCounts, CompileStats, CompiledUnit, LowerOptions};
 use std::fmt;
 use std::time::Duration;
@@ -62,6 +62,94 @@ pub struct PipelineOptions {
     pub parallel_compile: bool,
 }
 
+/// A persistent compile cache: preprocessed-source key → serialized object
+/// file. [`analyze_with`] consults it before compiling each file and feeds
+/// it after each miss, so compiles skip across process restarts (the on-disk
+/// implementation lives in `cla-snap`). Implementations must tolerate
+/// concurrent use — the pipeline calls them from its compile thread pool.
+pub trait CompileCache: Send + Sync {
+    /// The object bytes previously stored under `key`, if any. Returning
+    /// damaged bytes is safe: the pipeline re-opens them through the
+    /// checksummed reader and falls back to a fresh compile on any error.
+    fn load(&self, key: u64) -> Option<Vec<u8>>;
+    /// Persists object bytes under `key` (best effort; errors are the
+    /// implementation's to swallow — a failed store only costs a future
+    /// recompile).
+    fn store(&self, key: u64, bytes: &[u8]);
+}
+
+/// Identity of one analysis run: what was analyzed and with which options.
+///
+/// A snapshot saved under one provenance may only be loaded under an equal
+/// provenance — any edited input (headers included: input hashes cover the
+/// whole preprocessed closure), changed preprocessor/lowering option, or
+/// changed solver option forces a full re-solve instead of stale answers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Provenance {
+    /// Per input file, in command order: (file name, hash of the file's
+    /// preprocessed closure — every source read while preprocessing it,
+    /// see [`closure_hash`]).
+    pub inputs: Vec<(String, u64)>,
+    /// Fingerprint of the non-solver options
+    /// (see [`options_fingerprint`]).
+    pub options_fp: u64,
+    /// Solver options the graph was (or will be) solved with.
+    pub solver: SolveOptions,
+}
+
+/// Short-circuits the solve phase of [`analyze_with`] with a persisted
+/// result (the on-disk snapshot store lives in `cla-snap`).
+pub trait SnapshotHook: Send + Sync {
+    /// A sealed graph previously saved under exactly this provenance, or
+    /// `None` (missing, corrupt, or provenance mismatch — the caller
+    /// re-solves in every case).
+    fn load(&self, prov: &Provenance) -> Option<SealedGraph>;
+    /// Persists a freshly solved graph under `prov` (best effort). `names`
+    /// holds the per-object display names, so a snapshot can answer
+    /// by-name queries without the source or the linked database.
+    fn save(&self, prov: &Provenance, sealed: &SealedGraph, names: &[String]);
+}
+
+/// Optional persistence hooks for [`analyze_with`]. The default (no hooks)
+/// makes `analyze_with` behave exactly like [`analyze`].
+#[derive(Default)]
+pub struct AnalyzeHooks<'a> {
+    /// Consulted per file before compiling.
+    pub compile_cache: Option<&'a dyn CompileCache>,
+    /// Consulted once before solving.
+    pub snapshots: Option<&'a dyn SnapshotHook>,
+}
+
+/// Fingerprint of the options that shape compiled objects: include dirs,
+/// defines, include depth, and the lowering configuration. Folded into
+/// compile-cache keys and snapshot provenance.
+#[must_use]
+pub fn options_fingerprint(pp: &PpOptions, lower: &LowerOptions) -> u64 {
+    // Debug formatting is stable within one build of the tool, which is the
+    // strongest guarantee a cache keyed on in-memory options can need; the
+    // object-format version is folded in so cache entries from an older
+    // format are never decoded.
+    fnv64(format!("clav{}|{pp:?}|{lower:?}", cla_cladb::VERSION).as_bytes())
+}
+
+/// Hash of one file's preprocessed closure: every source the preprocessor
+/// read for it (main file and all headers, names and contents, in read
+/// order) plus the options fingerprint. Editing the file, any header it
+/// includes, an include path, or a define all change the hash.
+#[must_use]
+pub fn closure_hash(pre: &Preprocessed, file: &str, options_fp: u64) -> u64 {
+    let mut acc = Vec::new();
+    acc.extend_from_slice(&options_fp.to_le_bytes());
+    acc.extend_from_slice(&(file.len() as u64).to_le_bytes());
+    acc.extend_from_slice(file.as_bytes());
+    for (_, sf) in pre.sources.iter() {
+        acc.extend_from_slice(&(sf.name.len() as u64).to_le_bytes());
+        acc.extend_from_slice(sf.name.as_bytes());
+        acc.extend_from_slice(&fnv64(sf.src.as_bytes()).to_le_bytes());
+    }
+    fnv64(&acc)
+}
+
 /// Everything measured across one pipeline run (one row of Table 2+3).
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -88,6 +176,12 @@ pub struct Report {
     pub compile_time: Duration,
     pub link_time: Duration,
     pub solve_time: Duration,
+    /// Files whose object came out of the compile cache (0 without a cache).
+    pub compile_cache_hits: usize,
+    /// Files that were actually compiled this run.
+    pub compile_cache_misses: usize,
+    /// Whether the solve phase was skipped by loading a snapshot.
+    pub snapshot_loaded: bool,
 }
 
 impl Report {
@@ -128,17 +222,62 @@ pub fn analyze(
     files: &[&str],
     opts: &PipelineOptions,
 ) -> Result<Analysis, PipelineError> {
+    analyze_with(fs, files, opts, &AnalyzeHooks::default())
+}
+
+/// [`analyze`] with persistence hooks: an optional compile cache (per-file
+/// object reuse keyed by the preprocessed closure) and an optional snapshot
+/// hook (skip the solve entirely when a saved graph's provenance matches).
+/// With both hooks a warm restart does no parsing, no lowering, and no
+/// fixpoint — it relinks cached objects and loads the sealed graph.
+///
+/// # Errors
+///
+/// Same as [`analyze`]. Hook failures are never errors: a missing or
+/// mismatched cache entry or snapshot just falls back to the real work.
+pub fn analyze_with(
+    fs: &dyn FileProvider,
+    files: &[&str],
+    opts: &PipelineOptions,
+    hooks: &AnalyzeHooks<'_>,
+) -> Result<Analysis, PipelineError> {
     // Phase times come from the same spans that emit trace events, so the
     // `Report` and a recorded trace can never disagree about a duration.
     let obs = cla_obs::global();
+    // Closure hashes are needed by both hooks; without hooks the keying
+    // preprocess is skipped and the pipeline runs exactly as before.
+    let keyed = hooks.compile_cache.is_some() || hooks.snapshots.is_some();
+    let options_fp = options_fingerprint(&opts.pp, &opts.lower);
 
     let mut sp = obs.span("pipeline", "pipeline.compile");
     sp.set("files", files.len());
-    let units = compile_all(fs, files, opts)?;
+    let units = if keyed {
+        compile_all(files, opts, |f| {
+            compile_one_keyed(fs, f, opts, options_fp, hooks.compile_cache)
+        })?
+    } else {
+        compile_all(files, opts, |f| {
+            compile_file(fs, f, &opts.pp, &opts.lower).map(|(unit, stats)| CompiledFile {
+                unit,
+                stats,
+                key: 0,
+                cache_hit: false,
+            })
+        })?
+    };
+    let compile_cache_hits = units.iter().filter(|u| u.cache_hit).count();
+    let compile_cache_misses = units.len() - compile_cache_hits;
+    let inputs: Vec<(String, u64)> = files
+        .iter()
+        .zip(&units)
+        .map(|(f, u)| ((*f).to_string(), u.key))
+        .collect();
+    sp.set("cache_hits", compile_cache_hits);
     let compile_time = sp.finish();
 
     let mut sp = obs.span("pipeline", "pipeline.link");
-    let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) = units.into_iter().unzip();
+    let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) =
+        units.into_iter().map(|u| (u.unit, u.stats)).unzip();
     let (program, link_stats) = link(&compiled, "a.out");
     compiled.clear();
     let bytes = write_object(&program);
@@ -148,7 +287,27 @@ pub fn analyze(
     let link_time = sp.finish();
 
     let sp = obs.span("pipeline", "pipeline.solve");
-    let (points_to, solve_stats) = solve_database(&db, opts.solver);
+    let mut snapshot_loaded = false;
+    let (points_to, solve_stats) = match hooks.snapshots {
+        None => solve_database(&db, opts.solver),
+        Some(hook) => {
+            let prov = Provenance {
+                inputs,
+                options_fp,
+                solver: opts.solver,
+            };
+            if let Some(sealed) = hook.load(&prov) {
+                snapshot_loaded = true;
+                (sealed.extract_points_to(db.objects()), sealed.stats())
+            } else {
+                let sealed = Warm::from_database(&db, opts.solver).seal();
+                let pts = sealed.extract_points_to(db.objects());
+                let names: Vec<String> = db.objects().iter().map(|o| o.name.clone()).collect();
+                hook.save(&prov, &sealed, &names);
+                (pts, sealed.stats())
+            }
+        }
+    };
     let solve_time = sp.finish();
 
     let report = Report {
@@ -166,6 +325,9 @@ pub fn analyze(
         compile_time,
         link_time,
         solve_time,
+        compile_cache_hits,
+        compile_cache_misses,
+        snapshot_loaded,
     };
     Ok(Analysis {
         points_to,
@@ -174,30 +336,82 @@ pub fn analyze(
     })
 }
 
-/// Compiles every file, optionally in parallel.
-fn compile_all(
+/// One compiled input plus its cache bookkeeping.
+struct CompiledFile {
+    unit: CompiledUnit,
+    stats: CompileStats,
+    /// Preprocessed-closure hash (0 when no hook asked for keys).
+    key: u64,
+    cache_hit: bool,
+}
+
+/// Compiles one file through the compile cache: preprocess (to key the
+/// cache and detect header changes), reuse the stored object on a hit, and
+/// compile + store on a miss. A cache entry that fails to open or decode is
+/// treated as a miss — the checksummed object reader makes feeding damaged
+/// bytes back safe.
+fn compile_one_keyed(
     fs: &dyn FileProvider,
+    f: &str,
+    opts: &PipelineOptions,
+    options_fp: u64,
+    cache: Option<&dyn CompileCache>,
+) -> Result<CompiledFile, CError> {
+    let pre = cla_cfront::pp::preprocess(fs, f, &opts.pp)?;
+    let key = closure_hash(&pre, f, options_fp);
+    if let Some(cache) = cache {
+        if let Some(bytes) = cache.load(key) {
+            if let Ok(unit) = Database::open(bytes).and_then(|db| db.to_unit()) {
+                // The keying preprocess saw the same bytes the original
+                // compile did, so the hit's stats match a fresh compile.
+                let stats = CompileStats {
+                    source_bytes: pre.stats.bytes_in,
+                    preprocessed_lines: pre.stats.lines_out,
+                    tokens: pre.stats.tokens_out,
+                };
+                return Ok(CompiledFile {
+                    unit,
+                    stats,
+                    key,
+                    cache_hit: true,
+                });
+            }
+        }
+    }
+    let (unit, stats) = compile_file(fs, f, &opts.pp, &opts.lower)?;
+    if let Some(cache) = cache {
+        cache.store(key, &write_object(&unit));
+    }
+    Ok(CompiledFile {
+        unit,
+        stats,
+        key,
+        cache_hit: false,
+    })
+}
+
+/// Compiles every file with `one`, optionally on a thread pool.
+fn compile_all(
     files: &[&str],
     opts: &PipelineOptions,
-) -> Result<Vec<(CompiledUnit, CompileStats)>, CError> {
+    one: impl Fn(&str) -> Result<CompiledFile, CError> + Sync,
+) -> Result<Vec<CompiledFile>, CError> {
     if !opts.parallel_compile || files.len() < 2 {
-        return files
-            .iter()
-            .map(|f| compile_file(fs, f, &opts.pp, &opts.lower))
-            .collect();
+        return files.iter().map(|f| one(f)).collect();
     }
     let nthreads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
         .min(files.len());
-    let mut results: Vec<Option<Result<(CompiledUnit, CompileStats), CError>>> =
+    let mut results: Vec<Option<Result<CompiledFile, CError>>> =
         (0..files.len()).map(|_| None).collect();
     let chunk = files.len().div_ceil(nthreads);
+    let one = &one;
     std::thread::scope(|scope| {
         for (slot_chunk, file_chunk) in results.chunks_mut(chunk).zip(files.chunks(chunk)) {
             scope.spawn(move || {
                 for (slot, f) in slot_chunk.iter_mut().zip(file_chunk) {
-                    *slot = Some(compile_file(fs, f, &opts.pp, &opts.lower));
+                    *slot = Some(one(f));
                 }
             });
         }

@@ -40,7 +40,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Tuning knobs for the pre-transitive solver (the §5 ablation).
-#[derive(Debug, Clone, Copy)]
+///
+/// Equality matters: snapshot provenance (`cla-snap`) compares the options a
+/// graph was solved with against the options a loader wants, and falls back
+/// to a full solve on any difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveOptions {
     /// Cache `getLvals` results across queries within one pass.
     pub cache: bool,
@@ -58,7 +62,7 @@ impl Default for SolveOptions {
 }
 
 /// Counters describing one solver run.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SolveStats {
     /// Passes of the iteration algorithm (Figure 5's outer loop).
     pub passes: usize,
@@ -374,6 +378,27 @@ pub struct SealedGraph {
 }
 
 impl SealedGraph {
+    /// Rebuilds a sealed graph from externally stored parts (the `cla-snap`
+    /// snapshot loader). `sets[i]` is object `i`'s points-to set, sorted;
+    /// callers preserve SCC/hash-cons sharing by cloning one `Arc` for every
+    /// object of a shared set, exactly as [`Warm::seal`] produces it — the
+    /// `ptr::eq` fast path in [`SealedGraph::may_alias`] depends on it.
+    pub fn from_parts(sets: Vec<Arc<Vec<ObjId>>>, stats: SolveStats) -> SealedGraph {
+        SealedGraph {
+            sets,
+            empty: Arc::new(Vec::new()),
+            stats,
+        }
+    }
+
+    /// The per-object sets with their sharing structure intact (one `Arc`
+    /// clone per object; SCC members alias the same allocation). This is the
+    /// serialization view used by the snapshot writer — compare with
+    /// [`Arc::as_ptr`] to encode each distinct set once.
+    pub fn sets(&self) -> &[Arc<Vec<ObjId>>] {
+        &self.sets
+    }
+
     /// The points-to set of `o`, as sorted object ids.
     pub fn points_to(&self, o: ObjId) -> &[ObjId] {
         self.sets.get(o.index()).map_or(&self.empty[..], |s| s)

@@ -13,6 +13,7 @@ mod session;
 
 pub use server::{serve, serve_with, ServeOptions, ServerHandle};
 pub use session::{
-    AliasAnswer, DependAnswer, DependentLine, Health, PointsToAnswer, ReloadReport, Session,
-    SessionError, SessionStats, SlowQuery, Target, DEFAULT_SLOW_THRESHOLD_US,
+    object_provenance, AliasAnswer, DependAnswer, DependentLine, Health, PointsToAnswer,
+    ReloadReport, Session, SessionError, SessionStats, SlowQuery, Target,
+    DEFAULT_SLOW_THRESHOLD_US,
 };

@@ -11,7 +11,7 @@
 //! | `{"cmd":"stats"}` | `{"ok":true,"stats":{…}}` |
 //! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":"…"}` — Prometheus text exposition of every registered counter/histogram |
 //! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
-//! | `{"cmd":"health"}` | `{"ok":true,"health":"ok"\|"degraded"\|"loading","epoch":N[,"last_error":S]}` |
+//! | `{"cmd":"health"}` | `{"ok":true,"health":"ok"\|"degraded"\|"loading","epoch":N,"snapshot_loaded":B[,"last_error":S]}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
 //!
 //! Every client gets its own thread; they all share one [`Session`]. Query
@@ -454,6 +454,7 @@ fn handle_line(
                 ("ok", Value::from(true)),
                 ("health", health.as_str().into()),
                 ("epoch", session.snapshot().1.into()),
+                ("snapshot_loaded", session.snapshot_loaded().into()),
             ];
             if let Some(e) = session.last_reload_error() {
                 pairs.push(("last_error", e.into()));

@@ -19,10 +19,12 @@
 use crate::json::{obj, Value};
 use cla_cfront::{CError, FileProvider, PpOptions};
 use cla_cladb::{fnv64, write_object, Database, DbError, LinkSet};
+use cla_core::pipeline::{Provenance, SnapshotHook};
 use cla_core::{SealedGraph, SolveOptions, SolveStats, Warm};
 use cla_depend::{DependOptions, DependenceAnalysis};
 use cla_ir::{compile_file, LowerOptions, ObjId};
 use cla_obs::{nearest_rank, Counter, Histogram, LATENCY_BUCKETS_US};
+use cla_snap::SnapshotStore;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -228,6 +230,17 @@ pub struct SessionStats {
     /// assignments in core, graph nodes, and `getLvals` cache hits (frozen
     /// at seal time).
     pub solver: SolveStats,
+    /// Whether the currently served graph was loaded from a persisted
+    /// snapshot instead of being solved (cold starts and reloads both).
+    pub snapshot_loaded: bool,
+    /// Snapshot loads / saves / provenance-or-decode mismatches since this
+    /// session attached its snapshot store (all 0 without one).
+    pub snapshot_loads: u64,
+    pub snapshot_saves: u64,
+    pub snapshot_mismatches: u64,
+    /// Human-readable provenance of the snapshot on disk, if one exists
+    /// (`None` when the session has no snapshot store).
+    pub snapshot_provenance: Option<String>,
 }
 
 impl SessionStats {
@@ -278,6 +291,17 @@ impl SessionStats {
             ("complex_in_core", self.solver.complex_in_core.into()),
             ("graph_nodes", self.solver.nodes.into()),
             ("approx_bytes", self.solver.approx_bytes.into()),
+            ("snapshot_loaded", self.snapshot_loaded.into()),
+            ("snapshot_loads", self.snapshot_loads.into()),
+            ("snapshot_saves", self.snapshot_saves.into()),
+            ("snapshot_mismatches", self.snapshot_mismatches.into()),
+            (
+                "snapshot_provenance",
+                match &self.snapshot_provenance {
+                    Some(p) => p.as_str().into(),
+                    None => Value::Null,
+                },
+            ),
         ])
     }
 }
@@ -424,6 +448,12 @@ pub struct Session {
     hist_points_to: Histogram,
     hist_alias: Histogram,
     hist_depend: Histogram,
+    /// Snapshot persistence, when the session was opened with a snapshot
+    /// directory: cold starts load from it, successful reloads save to it.
+    snap_store: Option<SnapshotStore>,
+    /// Whether the graph serving the current epoch came from the snapshot
+    /// store rather than a solver run.
+    snapshot_loaded: AtomicBool,
 }
 
 /// Which query command an operation was, for per-command accounting.
@@ -474,16 +504,77 @@ fn load(db: Database, opts: SolveOptions) -> Loaded {
     }
 }
 
+/// Provenance scheme for serve-side snapshots. The sealed graph is a pure
+/// function of the linked object bytes and the solver options, so one
+/// `(tag, object-bytes hash)` input identifies it exactly: any source edit
+/// that changes the linked program changes the hash and forces a re-solve,
+/// while an edit with no semantic effect (whitespace, comments) keeps the
+/// snapshot valid — and correct. The fixed `options_fp` namespaces these
+/// provenances away from the pipeline's preprocessed-closure scheme.
+pub fn object_provenance(tag: &str, object_hash: u64, solver: SolveOptions) -> Provenance {
+    Provenance {
+        inputs: vec![(tag.to_string(), object_hash)],
+        options_fp: fnv64(b"cla-serve/object/v1"),
+        solver,
+    }
+}
+
+/// Opens the snapshot store for `dir` when a directory was requested.
+/// An unopenable store is a hard error: the caller explicitly asked for
+/// persistence, so silently serving without it would be a trap.
+fn open_store(dir: Option<&Path>) -> Result<Option<SnapshotStore>, SessionError> {
+    dir.map(|d| {
+        SnapshotStore::open(d)
+            .map_err(|e| SessionError::Db(DbError::Io(format!("{}: {e}", d.display()))))
+    })
+    .transpose()
+}
+
+/// [`load`], short-circuited through a snapshot store when one is attached:
+/// a provenance match skips the solve entirely; a miss solves and then
+/// persists the fresh graph so the *next* start (or a crashed-and-restarted
+/// server) comes back warm. Returns whether the graph came from the store.
+fn load_or_snapshot(
+    db: Database,
+    opts: SolveOptions,
+    store: Option<&SnapshotStore>,
+    prov: &Provenance,
+) -> (Loaded, bool) {
+    let Some(store) = store else {
+        return (load(db, opts), false);
+    };
+    if let Some(sealed) = store.load(prov) {
+        return (
+            Loaded {
+                db,
+                sealed: Arc::new(sealed),
+                results: RwLock::new(HashMap::new()),
+            },
+            true,
+        );
+    }
+    let loaded = load(db, opts);
+    let names: Vec<String> = loaded.db.objects().iter().map(|o| o.name.clone()).collect();
+    store.save(prov, &loaded.sealed, &names);
+    (loaded, false)
+}
+
 impl Session {
     /// Opens a session over an already linked program database.
     /// [`Session::reload`] is unavailable (there are no sources to watch).
     pub fn from_database(db: Database, opts: SolveOptions) -> Session {
+        Session::build(load(db, opts), opts)
+    }
+
+    /// Assembles a session around an already loaded state (solved or
+    /// restored from a snapshot).
+    fn build(loaded: Loaded, opts: SolveOptions) -> Session {
         let obs = cla_obs::global();
         let hist = |cmd: &str| {
             obs.histogram_with("cla_serve_latency_us", &[("cmd", cmd)], LATENCY_BUCKETS_US)
         };
         Session {
-            state: RwLock::new(load(db, opts)),
+            state: RwLock::new(loaded),
             sources: Mutex::new(ReloadInputs::None),
             solve_opts: opts,
             degraded: Mutex::new(None),
@@ -511,6 +602,8 @@ impl Session {
             hist_points_to: hist("points-to"),
             hist_alias: hist("alias"),
             hist_depend: hist("depend"),
+            snap_store: None,
+            snapshot_loaded: AtomicBool::new(false),
         }
     }
 
@@ -523,6 +616,24 @@ impl Session {
         lower: &LowerOptions,
         opts: SolveOptions,
     ) -> Result<Session, SessionError> {
+        Session::from_files_with(fs, files, pp, lower, opts, None)
+    }
+
+    /// [`Session::from_files`] with an optional snapshot directory: when
+    /// the directory holds a snapshot whose provenance matches the freshly
+    /// linked program, the solver is skipped and the session starts warm;
+    /// otherwise it solves cold and persists a snapshot for next time.
+    /// Every successful reload refreshes the snapshot, so even a server
+    /// that crashes right after a reload restarts warm.
+    pub fn from_files_with(
+        fs: &dyn FileProvider,
+        files: &[&str],
+        pp: &PpOptions,
+        lower: &LowerOptions,
+        opts: SolveOptions,
+        snapshot_dir: Option<&Path>,
+    ) -> Result<Session, SessionError> {
+        let store = open_store(snapshot_dir)?;
         let mut units = LinkSet::new();
         let mut hashes = HashMap::new();
         for f in files {
@@ -534,8 +645,13 @@ impl Session {
             units.upsert(*f, unit);
         }
         let (program, _) = units.link("a.out");
-        let db = Database::open(write_object(&program)).map_err(SessionError::Db)?;
-        let session = Session::from_database(db, opts);
+        let bytes = write_object(&program);
+        let prov = object_provenance("a.out", fnv64(&bytes), opts);
+        let db = Database::open(bytes).map_err(SessionError::Db)?;
+        let (loaded, from_snap) = load_or_snapshot(db, opts, store.as_ref(), &prov);
+        let mut session = Session::build(loaded, opts);
+        session.snap_store = store;
+        session.snapshot_loaded = AtomicBool::new(from_snap);
         *session.sources.lock().unwrap() = ReloadInputs::Files(Sources {
             files: files.iter().map(|f| f.to_string()).collect(),
             hashes,
@@ -554,8 +670,23 @@ impl Session {
     /// The whole file (every demand-loaded block included) is verified up
     /// front: a session must never discover corruption mid-query.
     pub fn from_object_path(path: &Path, opts: SolveOptions) -> Result<Session, SessionError> {
+        Session::from_object_path_with(path, opts, None)
+    }
+
+    /// [`Session::from_object_path`] with an optional snapshot directory
+    /// (see [`Session::from_files_with`] for the cold/warm behavior).
+    pub fn from_object_path_with(
+        path: &Path,
+        opts: SolveOptions,
+        snapshot_dir: Option<&Path>,
+    ) -> Result<Session, SessionError> {
+        let store = open_store(snapshot_dir)?;
         let (db, hash) = open_object_path(path)?;
-        let session = Session::from_database(db, opts);
+        let prov = object_provenance(&path.display().to_string(), hash, opts);
+        let (loaded, from_snap) = load_or_snapshot(db, opts, store.as_ref(), &prov);
+        let mut session = Session::build(loaded, opts);
+        session.snap_store = store;
+        session.snapshot_loaded = AtomicBool::new(from_snap);
         *session.sources.lock().unwrap() = ReloadInputs::Object {
             path: path.to_path_buf(),
             hash,
@@ -792,7 +923,7 @@ impl Session {
         force: bool,
         sp: &mut cla_obs::Span<'_>,
     ) -> Result<ReloadReport, SessionError> {
-        let (fresh, recompiled) = match inputs {
+        let (fresh, from_snap, recompiled) = match inputs {
             ReloadInputs::None => return Err(SessionError::NoSources),
             ReloadInputs::Files(sources) => {
                 let fs = fs.ok_or(SessionError::NoProvider)?;
@@ -821,8 +952,12 @@ impl Session {
                     });
                 }
                 let (program, _) = sources.units.link(&sources.program);
-                let db = Database::open(write_object(&program)).map_err(SessionError::Db)?;
-                (load(db, self.solve_opts), recompiled)
+                let bytes = write_object(&program);
+                let prov = object_provenance(&sources.program, fnv64(&bytes), self.solve_opts);
+                let db = Database::open(bytes).map_err(SessionError::Db)?;
+                let (loaded, from_snap) =
+                    load_or_snapshot(db, self.solve_opts, self.snap_store.as_ref(), &prov);
+                (loaded, from_snap, recompiled)
             }
             ReloadInputs::Object { path, hash } => {
                 let (db, new_hash) = open_object_path(path)?;
@@ -836,13 +971,18 @@ impl Session {
                     });
                 }
                 *hash = new_hash;
-                (load(db, self.solve_opts), vec![path.display().to_string()])
+                let prov =
+                    object_provenance(&path.display().to_string(), new_hash, self.solve_opts);
+                let (loaded, from_snap) =
+                    load_or_snapshot(db, self.solve_opts, self.snap_store.as_ref(), &prov);
+                (loaded, from_snap, vec![path.display().to_string()])
             }
         };
 
         let mut st = self.state.write().unwrap();
         let invalidated = st.results.read().unwrap().len();
         *st = fresh;
+        self.snapshot_loaded.store(from_snap, Relaxed);
         let epoch = self.epoch.fetch_add(1, Relaxed) + 1;
         self.reloads.fetch_add(1, Relaxed);
         sp.set("relinked", true);
@@ -948,6 +1088,24 @@ impl Session {
             let d = self.degraded.lock().unwrap();
             (d.is_some(), d.as_ref().map(|d| d.last_error.clone()))
         };
+        let (snap_loads, snap_saves, snap_mismatches) = self
+            .snap_store
+            .as_ref()
+            .map_or((0, 0, 0), SnapshotStore::counters);
+        let snap_prov = self.snap_store.as_ref().map(|s| {
+            s.stored_provenance().map_or_else(
+                || "none".to_string(),
+                |p| {
+                    format!(
+                        "{} input(s), inputs_hash={:016x}, cache={}, cycle_elim={}",
+                        p.inputs.len(),
+                        fnv64(format!("{:?}", p.inputs).as_bytes()),
+                        p.solver.cache,
+                        p.solver.cycle_elim,
+                    )
+                },
+            )
+        });
         SessionStats {
             queries: self.queries.load(Relaxed),
             cmd_points_to: self.cmd_points_to.load(Relaxed),
@@ -969,7 +1127,18 @@ impl Session {
             latency_samples: lat.len(),
             latency_capacity: self.latencies.capacity(),
             solver,
+            snapshot_loaded: self.snapshot_loaded.load(Relaxed),
+            snapshot_loads: snap_loads,
+            snapshot_saves: snap_saves,
+            snapshot_mismatches: snap_mismatches,
+            snapshot_provenance: snap_prov,
         }
+    }
+
+    /// Whether the graph serving the current epoch came from the snapshot
+    /// store (false when no store is attached or the last load solved).
+    pub fn snapshot_loaded(&self) -> bool {
+        self.snapshot_loaded.load(Relaxed)
     }
 
     // ----- internals --------------------------------------------------------

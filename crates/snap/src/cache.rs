@@ -1,0 +1,163 @@
+//! Content-addressed build cache: preprocessed-source hash → object file.
+//!
+//! Persists what PR 1's in-memory hash-diff reload only kept per process:
+//! a compile whose preprocessed closure hashes to a cached key is skipped
+//! entirely across restarts. Entries are ordinary `.clao` files named by
+//! their 16-hex-digit key, written crash-safely, and re-validated through
+//! the checksummed object reader on every hit — a damaged entry is a miss
+//! that gets recompiled and overwritten, never an error.
+//!
+//! Eviction is a size-capped LRU sweep: when the directory grows past the
+//! configured cap, oldest-modified entries are removed until it fits. Hits
+//! refresh an entry's modified time (`File::set_modified`, best effort) so
+//! recency tracking survives without any sidecar metadata.
+
+use cla_core::pipeline::CompileCache;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default size cap: plenty for every workload profile in this repo while
+/// staying trivial to blow away.
+pub const DEFAULT_MAX_BYTES: u64 = 256 * 1024 * 1024;
+
+/// An open cache directory.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    max_bytes: u64,
+    /// Running estimate of the directory's payload size; a sweep resets it
+    /// to the measured total.
+    approx_bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// Stale temporaries reclaimed when the cache was opened.
+    reclaimed: usize,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory with the default size
+    /// cap. Stale `*.tmp` files from a crashed writer are swept first.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or listing failure.
+    pub fn open(dir: &Path) -> std::io::Result<DiskCache> {
+        DiskCache::with_capacity(dir, DEFAULT_MAX_BYTES)
+    }
+
+    /// [`DiskCache::open`] with an explicit size cap in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or listing failure.
+    pub fn with_capacity(dir: &Path, max_bytes: u64) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        let reclaimed = cla_cladb::sweep_stale_tmp(dir)?;
+        let cache = DiskCache {
+            dir: dir.to_path_buf(),
+            max_bytes,
+            approx_bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            reclaimed,
+        };
+        let total = cache.sweep()?;
+        cache.approx_bytes.store(total, Ordering::Relaxed);
+        Ok(cache)
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.clao"))
+    }
+
+    /// Stale temporaries removed at open.
+    #[must_use]
+    pub fn reclaimed_tmp(&self) -> usize {
+        self.reclaimed
+    }
+
+    /// (hits, misses) so far for this handle.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Enforces the size cap: lists entries, and while the total exceeds
+    /// the cap removes the least-recently-modified ones. Returns the total
+    /// payload bytes remaining. Bumps `cla_snap_cache_evictions_total` per
+    /// removed entry.
+    ///
+    /// # Errors
+    ///
+    /// Directory listing failure (individual removals are best effort).
+    pub fn sweep(&self) -> std::io::Result<u64> {
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "clao") {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let modified = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((modified, meta.len(), path));
+        }
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total > self.max_bytes {
+            entries.sort_by_key(|(modified, _, _)| *modified);
+            let evictions = cla_obs::global().counter("cla_snap_cache_evictions_total");
+            for (_, len, path) in &entries {
+                if total <= self.max_bytes {
+                    break;
+                }
+                if std::fs::remove_file(path).is_ok() {
+                    total -= len;
+                    evictions.inc();
+                }
+            }
+        }
+        self.approx_bytes.store(total, Ordering::Relaxed);
+        Ok(total)
+    }
+}
+
+impl CompileCache for DiskCache {
+    fn load(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.entry_path(key);
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                cla_obs::global().counter("cla_snap_cache_hits_total").inc();
+                // Refresh recency for the LRU sweep; best effort.
+                if let Ok(f) = std::fs::File::options().append(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
+                Some(bytes)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                cla_obs::global()
+                    .counter("cla_snap_cache_misses_total")
+                    .inc();
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: u64, bytes: &[u8]) {
+        // Best effort by contract: a failed store only costs a recompile.
+        if cla_cladb::atomic_write_bytes(&self.entry_path(key), bytes).is_err() {
+            return;
+        }
+        let total = self
+            .approx_bytes
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed)
+            + bytes.len() as u64;
+        if total > self.max_bytes {
+            let _ = self.sweep();
+        }
+    }
+}

@@ -21,6 +21,14 @@ echo "==> db-fuzz smoke (deterministic fault injection over the bundled example)
 ./target/release/cla-tool db-fuzz examples/c/main.c examples/c/store.c \
     -I examples/c --iters 500 --seed 1
 
+echo "==> snapshot fuzz smoke (same battery over the .clasnap format)"
+./target/release/cla-tool db-fuzz examples/c/main.c examples/c/store.c \
+    -I examples/c --snapshot --iters 500 --seed 1
+
+echo "==> snapshot round trip (nethack profile: warm start >= 10x cold, identical answers)"
+cargo run -q --release --example snapshot_bench -- nethack 1.0 \
+    "${BENCH_SNAPSHOT_OUT:-target/BENCH_snapshot.json}"
+
 echo "==> trace smoke (analyze the bundled example, validate the trace)"
 trace_out="${TRACE_OUT:-target/trace-smoke.json}"
 ./target/release/cla-tool analyze examples/c/main.c examples/c/store.c \

@@ -9,9 +9,17 @@
 //! cla-tool ctx prog.clao -k 4 -o dup.clao    context-duplication transform
 //! cla-tool serve prog.clao --socket S        long-running query server
 //! cla-tool query --socket S points-to p      one query against a server
+//! cla-tool snapshot-save prog.clao -o s.clasnap  solve + persist the graph
+//! cla-tool snapshot-info s.clasnap           header/provenance of a snapshot
 //! cla-tool db-fuzz a.c b.c --iters 500       fault-inject the object format
 //! cla-tool trace-validate trace.json         check a recorded trace
 //! ```
+//!
+//! `analyze` and `serve` accept `--snapshot DIR`: analysis results persist
+//! to `DIR/graph.clasnap` (plus a content-addressed compile cache under
+//! `DIR/cache` for `analyze`), so an unchanged program skips the solver on
+//! the next run and starts warm. `db-fuzz --snapshot` points the fault
+//! harness at the snapshot format instead of the object format.
 //!
 //! Compile accepts `-I <dir>` include paths, `-D NAME[=VALUE]` defines,
 //! `--field-independent`, and `--solver pretransitive|worklist|steensgaard|
@@ -54,6 +62,8 @@ fn main() -> ExitCode {
         Some("ctx") => cmd_ctx(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("snapshot-save") => cmd_snapshot_save(&args[1..]),
+        Some("snapshot-info") => cmd_snapshot_info(&args[1..]),
         Some("db-fuzz") => cmd_db_fuzz(&args[1..]),
         Some("trace-validate") => cmd_trace_validate(&args[1..]),
         Some("help") | None => {
@@ -77,18 +87,20 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cla-tool compile <src.c>... [-o out.clao] [-I dir] [-D NAME[=V]] [--field-independent]
-  cla-tool analyze <src.c>... [-I dir] [-D NAME[=V]] [--field-independent] [--parallel] [--print var...]
+  cla-tool analyze <src.c>... [-I dir] [-D NAME[=V]] [--field-independent] [--parallel] [--snapshot DIR] [--print var...]
   cla-tool dump <prog.clao>
   cla-tool solve <prog.clao> [--solver NAME] [--print var...]
   cla-tool depend <prog.clao> --target NAME [--tree] [--non-target NAME]...
   cla-tool ctx <prog.clao> -k N -o out.clao
-  cla-tool serve <prog.clao> --socket PATH
-  cla-tool serve <src.c>... --socket PATH [-I dir] [-D NAME[=V]] [--field-independent]
+  cla-tool serve <prog.clao> --socket PATH [--snapshot DIR]
+  cla-tool serve <src.c>... --socket PATH [-I dir] [-D NAME[=V]] [--field-independent] [--snapshot DIR]
+  cla-tool snapshot-save <prog.clao> [-o out.clasnap]
+  cla-tool snapshot-info <file.clasnap>
   cla-tool query --socket PATH points-to <var>
   cla-tool query --socket PATH alias <a> <b>
   cla-tool query --socket PATH depend <target> [--non-target NAME]...
   cla-tool query --socket PATH stats|metrics|reload|health|shutdown [--force]
-  cla-tool db-fuzz <src.c>...|<prog.clao> [--iters N] [--seed N] [-I dir] [-D NAME[=V]]
+  cla-tool db-fuzz <src.c>...|<prog.clao> [--snapshot] [--iters N] [--seed N] [-I dir] [-D NAME[=V]]
   cla-tool trace-validate <trace.json>
 global flags (any command):
   --trace FILE   record a Chrome trace_event JSONL trace to FILE
@@ -238,6 +250,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         .collect();
     let field_independent = a.take_flag("--field-independent");
     let parallel = a.take_flag("--parallel");
+    let snapshot_dir = a.take_values("--snapshot")?.pop();
     let print = a.take_tail("--print");
     let sources = a.positional();
     if sources.is_empty() {
@@ -259,7 +272,25 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         parallel_compile: parallel,
     };
     let files: Vec<&str> = sources.iter().map(String::as_str).collect();
-    let analysis = analyze(&OsFs, &files, &opts).map_err(|e| e.to_string())?;
+    // With `--snapshot DIR` the run persists its results: compiled objects
+    // land in a content-addressed cache under DIR/cache, and the sealed
+    // graph in DIR/graph.clasnap. An unchanged rerun then skips both the
+    // compiler (per unchanged file) and the solver entirely.
+    let analysis = match &snapshot_dir {
+        None => analyze(&OsFs, &files, &opts).map_err(|e| e.to_string())?,
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let cache = DiskCache::open(&dir.join("cache"))
+                .map_err(|e| format!("cannot open compile cache in `{}`: {e}", dir.display()))?;
+            let store = SnapshotStore::open(dir)
+                .map_err(|e| format!("cannot open snapshot store `{}`: {e}", dir.display()))?;
+            let hooks = AnalyzeHooks {
+                compile_cache: Some(&cache),
+                snapshots: Some(&store),
+            };
+            analyze_with(&OsFs, &files, &opts, &hooks).map_err(|e| e.to_string())?
+        }
+    };
     let r = &analysis.report;
     println!(
         "files={} source-bytes={} variables={} assignments={} object-bytes={}",
@@ -281,6 +312,18 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         r.load_stats.assigns_loaded,
         r.load_stats.assigns_in_file
     );
+    if snapshot_dir.is_some() {
+        println!(
+            "cache-hits={} cache-misses={} snapshot={}",
+            r.compile_cache_hits,
+            r.compile_cache_misses,
+            if r.snapshot_loaded {
+                "loaded (solve skipped)"
+            } else {
+                "written"
+            }
+        );
+    }
     for name in &print {
         let targets = analysis.database.targets(name);
         if targets.is_empty() {
@@ -463,6 +506,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         })
         .collect();
     let field_independent = a.take_flag("--field-independent");
+    let snapshot_dir = a.take_values("--snapshot")?.pop();
+    let snap_dir = snapshot_dir.as_deref().map(std::path::Path::new);
     let pos = a.positional();
     if pos.is_empty() {
         return Err("serve needs a .clao file or C sources".to_string());
@@ -473,9 +518,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // instead of wedging the server. C sources are compiled in-process.
     let (session, reload_fs): (Session, Option<Arc<dyn FileProvider + Send + Sync>>) =
         if pos.len() == 1 && pos[0].ends_with(".clao") {
-            let session =
-                Session::from_object_path(std::path::Path::new(&pos[0]), SolveOptions::default())
-                    .map_err(|e| e.to_string())?;
+            let session = Session::from_object_path_with(
+                std::path::Path::new(&pos[0]),
+                SolveOptions::default(),
+                snap_dir,
+            )
+            .map_err(|e| e.to_string())?;
             (session, None)
         } else {
             let pp = PpOptions {
@@ -489,11 +537,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 LowerOptions::default()
             };
             let files: Vec<&str> = pos.iter().map(String::as_str).collect();
-            let session = Session::from_files(&OsFs, &files, &pp, &lower, SolveOptions::default())
-                .map_err(|e| e.to_string())?;
+            let session = Session::from_files_with(
+                &OsFs,
+                &files,
+                &pp,
+                &lower,
+                SolveOptions::default(),
+                snap_dir,
+            )
+            .map_err(|e| e.to_string())?;
             (session, Some(Arc::new(OsFs)))
         };
 
+    if snap_dir.is_some() {
+        eprintln!(
+            "cla-tool: snapshot {}",
+            if session.snapshot_loaded() {
+                "loaded (warm start, solve skipped)"
+            } else {
+                "written (cold start)"
+            }
+        );
+    }
     let handle = cla::serve::serve(Arc::new(session), reload_fs, std::path::Path::new(&socket))
         .map_err(|e| format!("cannot bind `{socket}`: {e}"))?;
     eprintln!("cla-tool: serving on {socket} (send {{\"cmd\":\"shutdown\"}} to stop)");
@@ -594,10 +659,78 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Solves a linked database and persists the sealed graph as a `.clasnap`
+/// snapshot. The provenance records the object file's content hash under
+/// the serve-side scheme, so `cla-tool serve prog.clao --snapshot DIR`
+/// (with the snapshot saved as `DIR/graph.clasnap`) starts warm from it.
+fn cmd_snapshot_save(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let out = a
+        .take_values("-o")?
+        .pop()
+        .unwrap_or_else(|| "a.clasnap".to_string());
+    let pos = a.positional();
+    let path = pos.first().ok_or("snapshot-save needs a .clao file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let hash = cla_cladb::fnv64(&bytes);
+    let db = Database::open(bytes).map_err(|e| format!("`{path}`: {e}"))?;
+
+    let opts = SolveOptions::default();
+    let t = std::time::Instant::now();
+    let sealed = cla::core::Warm::from_database(&db, opts).seal();
+    let solve_time = t.elapsed();
+    let names: Vec<String> = db.objects().iter().map(|o| o.name.clone()).collect();
+    let prov = cla::serve::object_provenance(path, hash, opts);
+    let written = cla::snap::save_snapshot(std::path::Path::new(&out), &prov, &sealed, &names)
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!(
+        "snapshot {out}: {} objects, {written} bytes, solved in {solve_time:?} ({} passes)",
+        names.len(),
+        sealed.stats().passes
+    );
+    Ok(())
+}
+
+/// Prints a snapshot's header, section table, and provenance without
+/// loading the graph — only the provenance section's checksum is verified,
+/// which is exactly what a warm-start viability check costs.
+fn cmd_snapshot_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("snapshot-info needs a .clasnap file")?;
+    let snap = cla::snap::Snapshot::open(std::path::Path::new(path))
+        .map_err(|e| format!("`{path}`: {e}"))?;
+    let prov = snap.provenance();
+    println!(
+        "snapshot {path}: format v{}, {} objects, {} sections",
+        cla::snap::VERSION,
+        snap.object_count(),
+        snap.section_table().len()
+    );
+    println!(
+        "provenance: options_fp={:016x} cache={} cycle_elim={}",
+        prov.options_fp, prov.solver.cache, prov.solver.cycle_elim
+    );
+    for (name, hash) in &prov.inputs {
+        println!("  input {name} hash={hash:016x}");
+    }
+    println!("sections:");
+    for s in snap.section_table() {
+        let name = cla::snap::SnapSectionId::from_u32(s.id)
+            .map(|i| i.name())
+            .unwrap_or("?");
+        println!(
+            "  {:<8} id={} offset={} len={} checksum={:016x}",
+            name, s.id, s.offset, s.len, s.checksum
+        );
+    }
+    Ok(())
+}
+
 /// Deterministic fault injection over a real object file: truncation at
 /// every byte offset, seeded bit flips, and section-table shuffles, each
 /// asserting the invariant *open/block either returns correct data or a
-/// typed `DbError` — never a panic, never a wrong answer*.
+/// typed `DbError` — never a panic, never a wrong answer*. With
+/// `--snapshot` the same harness targets the `.clasnap` format instead,
+/// fuzzing an in-memory snapshot built from the input program.
 fn cmd_db_fuzz(args: &[String]) -> Result<(), String> {
     let mut a = Args::new(args);
     let iters: u64 = a
@@ -612,6 +745,7 @@ fn cmd_db_fuzz(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| "1".to_string())
         .parse()
         .map_err(|_| "--seed needs a number")?;
+    let fuzz_snapshot = a.take_flag("--snapshot");
     let include_dirs = a.take_values("-I")?;
     let defines = a
         .take_values("-D")?
@@ -647,12 +781,35 @@ fn cmd_db_fuzz(args: &[String]) -> Result<(), String> {
         write_object(&program)
     };
 
+    // `--snapshot` retargets the harness: solve the program, seal it, and
+    // encode the result as a .clasnap — the mutants then attack the
+    // snapshot reader against a pristine-load oracle.
+    let (bytes, format) = if fuzz_snapshot {
+        let hash = cla_cladb::fnv64(&bytes);
+        let db = Database::open(bytes).map_err(|e| e.to_string())?;
+        let opts = SolveOptions::default();
+        let sealed = cla::core::Warm::from_database(&db, opts).seal();
+        let names: Vec<String> = db.objects().iter().map(|o| o.name.clone()).collect();
+        let prov = cla::serve::object_provenance("fuzz-target", hash, opts);
+        (
+            cla::snap::encode_snapshot(&prov, &sealed, &names),
+            "snapshot",
+        )
+    } else {
+        (bytes, "object")
+    };
+
     eprintln!(
-        "db-fuzz: {} bytes, seed {seed}, {iters} bit-flip iters (+ full truncation sweep + section shuffles)",
+        "db-fuzz: {format} format, {} bytes, seed {seed}, {iters} bit-flip iters (+ full truncation sweep + section shuffles)",
         bytes.len()
     );
-    let report = cla_cladb::fault::run_fuzz(&bytes, seed, iters)
-        .map_err(|e| format!("pristine input does not decode: {e}"))?;
+    let report = if fuzz_snapshot {
+        cla::snap::fault::run_snap_fuzz(&bytes, seed, iters)
+            .map_err(|e| format!("pristine snapshot does not decode: {e}"))?
+    } else {
+        cla_cladb::fault::run_fuzz(&bytes, seed, iters)
+            .map_err(|e| format!("pristine input does not decode: {e}"))?
+    };
     println!("{report}");
     if report.ok() {
         Ok(())

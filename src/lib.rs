@@ -18,6 +18,8 @@
 //! * [`serve`] — a long-running query server (in-process [`prelude::Session`]
 //!   or newline-delimited JSON over a Unix socket) that keeps the solved
 //!   graph warm between queries.
+//! * [`snap`] — persistent analysis snapshots (`.clasnap`) and the
+//!   content-addressed on-disk build cache, for instant warm starts.
 //! * [`workload`] — synthetic benchmarks calibrated to the paper's Table 2.
 //!
 //! ## Quickstart
@@ -44,13 +46,16 @@ pub use cla_depend as depend;
 pub use cla_ir as ir;
 pub use cla_obs as obs;
 pub use cla_serve as serve;
+pub use cla_snap as snap;
 pub use cla_workload as workload;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use cla_cfront::{FileProvider, MemoryFs, OsFs, PpOptions};
     pub use cla_cladb::{dump, link, write_object, Database};
-    pub use cla_core::pipeline::{analyze, Analysis, PipelineError, PipelineOptions, Report};
+    pub use cla_core::pipeline::{
+        analyze, analyze_with, Analysis, AnalyzeHooks, PipelineError, PipelineOptions, Report,
+    };
     pub use cla_core::{solve_database, solve_unit, PointsTo, SolveOptions};
     pub use cla_depend::{DependOptions, DependenceAnalysis};
     pub use cla_ir::{
@@ -58,6 +63,7 @@ pub mod prelude {
         ObjKind, Strength,
     };
     pub use cla_serve::{Session, SessionStats};
+    pub use cla_snap::{DiskCache, Snapshot, SnapshotStore};
     pub use cla_workload::{by_name, generate, GenOptions, PAPER_BENCHMARKS};
 }
 
