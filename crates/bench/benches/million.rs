@@ -1,0 +1,86 @@
+//! The headline rate table: cold compile-link-analyze over `cla-genc`
+//! trees of increasing size, reported as lines per second.
+//!
+//! ```sh
+//! cargo bench -p cla-bench --bench million                # quick (ci-small)
+//! cargo bench -p cla-bench --bench million -- million     # the full row
+//! ```
+//!
+//! The full million-line run with JSON output and CI assertions lives in
+//! `examples/million_bench.rs`; this bench is the table-formatted view over
+//! the shipped profiles.
+
+use cla_bench::header;
+use cla_core::pipeline::{analyze, PipelineOptions};
+use cla_genc::{generate_to_dir, Profile};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Locates a shipped profile whether the bench runs from the workspace
+/// root or from the package directory.
+fn profile_path(name: &str) -> PathBuf {
+    let direct = PathBuf::from(format!("profiles/{name}.toml"));
+    if direct.exists() {
+        return direct;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../profiles/{name}.toml"))
+}
+
+fn main() {
+    let which = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "ci-small".to_string());
+    header("the headline rate: a million lines of C in a second");
+    println!(
+        "{:<10} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "profile", "loc", "files", "gen", "compile", "link", "solve", "lines/sec"
+    );
+
+    let profile = Profile::load(&profile_path(&which))
+        .unwrap_or_else(|e| panic!("cannot load profile `{which}`: {e}"));
+    let dir = std::env::temp_dir().join(format!("cla-bench-million-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let t = Instant::now();
+    let gen = generate_to_dir(&profile, profile.seed, &dir).expect("generate");
+    let gen_time = t.elapsed();
+
+    let mut files: Vec<String> = (0..profile.files)
+        .map(|i| {
+            dir.join(cla_genc::file_name(&profile, i))
+                .display()
+                .to_string()
+        })
+        .collect();
+    files.sort();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+    let opts = PipelineOptions {
+        parallel_compile: true,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let analysis = analyze(&cla_cfront::OsFs, &refs, &opts).expect("analyze");
+    let wall = t.elapsed();
+    let r = &analysis.report;
+    println!(
+        "{:<10} {:>10} {:>7} {:>8.2}s {:>8.2}s {:>8.2}s {:>8.2}s {:>12.0}",
+        profile.name,
+        gen.loc,
+        gen.files,
+        gen_time.as_secs_f64(),
+        r.compile_time.as_secs_f64(),
+        r.link_time.as_secs_f64(),
+        r.solve_time.as_secs_f64(),
+        gen.loc as f64 / wall.as_secs_f64(),
+    );
+    println!(
+        "jobs={} peak-buffered-units={} peak-rss={:.0}MB variables={} relations={}",
+        r.jobs,
+        r.peak_buffered_units,
+        r.peak_rss_bytes as f64 / 1e6,
+        r.program_variables,
+        r.relations
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,7 @@
 //! indexing information is recomputed when the result is re-serialized.
 
 use cla_ir::{CompiledUnit, FileIdx, FunSig, ObjId, PrimAssign, SrcLoc};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Statistics from one link.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -25,18 +25,56 @@ pub struct LinkStats {
 /// The result has the same shape as a per-unit database (the paper: "the
 /// 'executable' file produced has the same format as the object files").
 pub fn link(units: &[CompiledUnit], program_name: &str) -> (CompiledUnit, LinkStats) {
-    let mut out = CompiledUnit::new(program_name);
-    let mut by_link_name: HashMap<String, ObjId> = HashMap::new();
-    let mut stats = LinkStats {
-        units: units.len(),
-        ..Default::default()
-    };
-    // Signature merging: linked function objects may carry a signature from
-    // several units (e.g. a definition and extern call sites).
-    let mut sig_by_obj: HashMap<ObjId, FunSig> = HashMap::new();
-    let mut indirect_sigs: Vec<FunSig> = Vec::new();
-
+    let mut linker = Linker::new(program_name);
     for unit in units {
+        linker.add_unit(unit);
+    }
+    linker.finish()
+}
+
+/// The incremental linker: units fold into the program database one at a
+/// time, so a compile pipeline can link each unit the moment it is compiled
+/// and drop it — peak memory holds the program under construction plus one
+/// unit, not every unit at once.
+///
+/// Folding the same units in the same order produces byte-identical output
+/// to [`link`] (which is now a thin wrapper over this type).
+#[derive(Debug)]
+pub struct Linker {
+    out: CompiledUnit,
+    by_link_name: HashMap<String, ObjId>,
+    stats: LinkStats,
+    /// Signature merging: linked function objects may carry a signature
+    /// from several units (e.g. a definition and extern call sites).
+    sig_by_obj: HashMap<ObjId, FunSig>,
+    indirect_sigs: Vec<FunSig>,
+}
+
+impl Linker {
+    /// An empty program database awaiting units.
+    pub fn new(program_name: &str) -> Self {
+        Linker {
+            out: CompiledUnit::new(program_name),
+            by_link_name: HashMap::new(),
+            stats: LinkStats::default(),
+            sig_by_obj: HashMap::new(),
+            indirect_sigs: Vec::new(),
+        }
+    }
+
+    /// Units folded so far.
+    pub fn units(&self) -> usize {
+        self.stats.units
+    }
+
+    /// Folds one compiled unit into the program.
+    pub fn add_unit(&mut self, unit: &CompiledUnit) {
+        let out = &mut self.out;
+        let by_link_name = &mut self.by_link_name;
+        let stats = &mut self.stats;
+        let sig_by_obj = &mut self.sig_by_obj;
+        let indirect_sigs = &mut self.indirect_sigs;
+        stats.units += 1;
         stats.objects_in += unit.objects.len();
         // File table remap.
         let file_map: Vec<FileIdx> = unit
@@ -138,12 +176,91 @@ pub fn link(units: &[CompiledUnit], program_name: &str) -> (CompiledUnit, LinkSt
         }
     }
 
-    out.funsigs = sig_by_obj.into_values().collect();
-    out.funsigs.extend(indirect_sigs);
-    out.funsigs.sort_by_key(|s| s.obj);
-    stats.objects_out = out.objects.len();
-    stats.assigns = out.assigns.len();
-    (out, stats)
+    /// Finalizes the program database and its stats.
+    ///
+    /// Deterministic regardless of `HashMap` iteration order: direct
+    /// signatures are unique per object and the sort is stable, so the
+    /// final `funsigs` order depends only on the units and their order.
+    pub fn finish(self) -> (CompiledUnit, LinkStats) {
+        let mut out = self.out;
+        let mut stats = self.stats;
+        out.funsigs = self.sig_by_obj.into_values().collect();
+        out.funsigs.extend(self.indirect_sigs);
+        out.funsigs.sort_by_key(|s| s.obj);
+        stats.objects_out = out.objects.len();
+        stats.assigns = out.assigns.len();
+        (out, stats)
+    }
+}
+
+/// A [`Linker`] fed by an out-of-order producer (a parallel compile pool).
+///
+/// Units arrive tagged with their position in the input file list and may
+/// arrive in any order; the stream linker folds each one the moment every
+/// earlier unit has been folded, buffering only the out-of-order window in
+/// between. The folded program is therefore byte-identical to linking the
+/// same units serially in input order — completion order never leaks into
+/// the output — while peak memory holds the program under construction
+/// plus the buffered window, not the whole codebase.
+#[derive(Debug)]
+pub struct StreamLinker {
+    inner: Linker,
+    /// Index the next fold is waiting for.
+    next: usize,
+    /// Completed units that arrived ahead of `next`.
+    pending: BTreeMap<usize, CompiledUnit>,
+    peak_buffered: usize,
+}
+
+impl StreamLinker {
+    pub fn new(program_name: &str) -> Self {
+        StreamLinker {
+            inner: Linker::new(program_name),
+            next: 0,
+            pending: BTreeMap::new(),
+            peak_buffered: 0,
+        }
+    }
+
+    /// Accepts the compiled unit for input position `index` (0-based,
+    /// each position exactly once), folding it — and any buffered
+    /// successors it unblocks — as soon as the order allows.
+    pub fn push(&mut self, index: usize, unit: CompiledUnit) {
+        debug_assert!(
+            index >= self.next && !self.pending.contains_key(&index),
+            "unit {index} delivered twice"
+        );
+        self.pending.insert(index, unit);
+        self.peak_buffered = self.peak_buffered.max(self.pending.len());
+        while let Some(unit) = self.pending.remove(&self.next) {
+            self.inner.add_unit(&unit);
+            self.next += 1;
+        }
+    }
+
+    /// Units folded into the program so far (the in-order prefix).
+    pub fn folded(&self) -> usize {
+        self.next
+    }
+
+    /// High-water mark of units buffered while waiting for an earlier one
+    /// to finish compiling — the streaming link's actual memory exposure.
+    pub fn peak_buffered(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Finalizes the program. Panics if any input position never arrived
+    /// (a producer bug: every index below the highest pushed one must be
+    /// delivered before finishing).
+    pub fn finish(self) -> (CompiledUnit, LinkStats) {
+        assert!(
+            self.pending.is_empty(),
+            "stream link finished with {} unfolded units (next expected: {})",
+            self.pending.len(),
+            self.next
+        );
+        self.inner.finish()
+    }
 }
 
 /// An incrementally maintained set of named compilation units.
@@ -196,10 +313,14 @@ impl LinkSet {
         self.units.is_empty()
     }
 
-    /// Links the current set into one program database.
+    /// Links the current set into one program database (folding each unit
+    /// in place — units are borrowed, never cloned).
     pub fn link(&self, program_name: &str) -> (CompiledUnit, LinkStats) {
-        let units: Vec<CompiledUnit> = self.units.iter().map(|(_, u)| u.clone()).collect();
-        link(&units, program_name)
+        let mut linker = Linker::new(program_name);
+        for (_, unit) in &self.units {
+            linker.add_unit(unit);
+        }
+        linker.finish()
     }
 }
 

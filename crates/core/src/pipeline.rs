@@ -9,9 +9,11 @@
 use crate::pretransitive::{solve_database, SealedGraph, SolveOptions, SolveStats, Warm};
 use crate::solution::PointsTo;
 use cla_cfront::{CError, FileProvider, PpOptions, Preprocessed};
-use cla_cladb::{fnv64, link, write_object, Database, DbError, LinkStats, LoadStats};
+use cla_cladb::{fnv64, write_object, Database, DbError, LinkStats, LoadStats, StreamLinker};
 use cla_ir::{compile_file, AssignCounts, CompileStats, CompiledUnit, LowerOptions};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::{mpsc, Condvar, Mutex};
 use std::time::Duration;
 
 /// An error from any phase of the pipeline.
@@ -58,8 +60,23 @@ pub struct PipelineOptions {
     pub pp: PpOptions,
     pub lower: LowerOptions,
     pub solver: SolveOptions,
-    /// Compile source files on a thread pool (one thread per CPU).
+    /// Compile source files on a thread pool.
     pub parallel_compile: bool,
+    /// Cap on the compile thread pool: at most this many worker threads
+    /// (0 = one thread per CPU). Only consulted with `parallel_compile`.
+    pub jobs: usize,
+}
+
+/// Resolves a `jobs` cap (0 = auto) to a concrete thread count.
+#[must_use]
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+    }
 }
 
 /// A persistent compile cache: preprocessed-source key → serialized object
@@ -182,6 +199,16 @@ pub struct Report {
     pub compile_cache_misses: usize,
     /// Whether the solve phase was skipped by loading a snapshot.
     pub snapshot_loaded: bool,
+    /// Compile worker threads actually used (1 without `parallel_compile`).
+    pub jobs: usize,
+    /// High-water mark of compiled units held in memory while the
+    /// streaming link waited for an earlier unit: the compile+link phase's
+    /// real memory exposure, bounded by twice the thread-pool size, never
+    /// by the codebase.
+    pub peak_buffered_units: usize,
+    /// Process peak resident set size in bytes at the end of the run
+    /// (Linux `VmHWM`; 0 where unavailable).
+    pub peak_rss_bytes: u64,
 }
 
 impl Report {
@@ -249,14 +276,18 @@ pub fn analyze_with(
     let keyed = hooks.compile_cache.is_some() || hooks.snapshots.is_some();
     let options_fp = options_fingerprint(&opts.pp, &opts.lower);
 
+    // The streaming compile+link: each unit folds into the program the
+    // moment it (and every earlier unit) is compiled, then drops. Folding
+    // overlaps compilation, so `compile_time` covers both and `link_time`
+    // covers finalization + serialization + open.
     let mut sp = obs.span("pipeline", "pipeline.compile");
     sp.set("files", files.len());
-    let units = if keyed {
-        compile_all(files, opts, |f| {
+    let streamed = if keyed {
+        stream_compile_link(files, opts, |f| {
             compile_one_keyed(fs, f, opts, options_fp, hooks.compile_cache)
         })?
     } else {
-        compile_all(files, opts, |f| {
+        stream_compile_link(files, opts, |f| {
             compile_file(fs, f, &opts.pp, &opts.lower).map(|(unit, stats)| CompiledFile {
                 unit,
                 stats,
@@ -265,22 +296,30 @@ pub fn analyze_with(
             })
         })?
     };
-    let compile_cache_hits = units.iter().filter(|u| u.cache_hit).count();
-    let compile_cache_misses = units.len() - compile_cache_hits;
+    let StreamedCompile {
+        linker,
+        stats,
+        keys,
+        cache_hits: compile_cache_hits,
+        jobs,
+    } = streamed;
+    let compile_cache_misses = files.len() - compile_cache_hits;
     let inputs: Vec<(String, u64)> = files
         .iter()
-        .zip(&units)
-        .map(|(f, u)| ((*f).to_string(), u.key))
+        .zip(&keys)
+        .map(|(f, &k)| ((*f).to_string(), k))
         .collect();
     sp.set("cache_hits", compile_cache_hits);
+    sp.set("jobs", jobs);
     let compile_time = sp.finish();
 
     let mut sp = obs.span("pipeline", "pipeline.link");
-    let (mut compiled, stats): (Vec<CompiledUnit>, Vec<CompileStats>) =
-        units.into_iter().map(|u| (u.unit, u.stats)).unzip();
-    let (program, link_stats) = link(&compiled, "a.out");
-    compiled.clear();
+    let peak_buffered_units = linker.peak_buffered().max(1);
+    let (program, link_stats) = linker.finish();
     let bytes = write_object(&program);
+    let program_variables = program.program_variable_count();
+    let assign_counts = program.assign_counts();
+    drop(program);
     let object_size = bytes.len();
     let db = Database::open(bytes)?;
     sp.set("object_bytes", object_size);
@@ -314,8 +353,8 @@ pub fn analyze_with(
         files: files.len(),
         source_bytes: stats.iter().map(|s| s.source_bytes).sum(),
         preprocessed_lines: stats.iter().map(|s| s.preprocessed_lines).sum(),
-        program_variables: program.program_variable_count(),
-        assign_counts: program.assign_counts(),
+        program_variables,
+        assign_counts,
         object_size,
         link_stats,
         load_stats: db.load_stats(),
@@ -328,6 +367,9 @@ pub fn analyze_with(
         compile_cache_hits,
         compile_cache_misses,
         snapshot_loaded,
+        jobs,
+        peak_buffered_units,
+        peak_rss_bytes: cla_obs::peak_rss_bytes(),
     };
     Ok(Analysis {
         points_to,
@@ -390,36 +432,133 @@ fn compile_one_keyed(
     })
 }
 
-/// Compiles every file with `one`, optionally on a thread pool.
-fn compile_all(
+/// The result of the streaming compile+link phase: the program is already
+/// folded inside `linker`; per-file stats and cache keys ride alongside in
+/// input order.
+struct StreamedCompile {
+    linker: StreamLinker,
+    stats: Vec<CompileStats>,
+    keys: Vec<u64>,
+    cache_hits: usize,
+    jobs: usize,
+}
+
+/// Compiles every file with `one` and folds each unit into a
+/// [`StreamLinker`] as it completes, dropping the unit immediately —
+/// compiled units are never collected into a `Vec`, so peak memory is the
+/// program under construction plus a bounded reorder window (at most
+/// `2 × jobs` units), not the whole codebase.
+///
+/// Units fold strictly in input order regardless of completion order, so
+/// the linked program is byte-identical to a serial compile. Workers take
+/// file indices from a shared counter and block (condvar) whenever they
+/// would run more than the window ahead of the fold, which is what bounds
+/// the buffer.
+fn stream_compile_link(
     files: &[&str],
     opts: &PipelineOptions,
     one: impl Fn(&str) -> Result<CompiledFile, CError> + Sync,
-) -> Result<Vec<CompiledFile>, CError> {
+) -> Result<StreamedCompile, CError> {
+    let mut linker = StreamLinker::new("a.out");
     if !opts.parallel_compile || files.len() < 2 {
-        return files.iter().map(|f| one(f)).collect();
+        let mut stats = Vec::with_capacity(files.len());
+        let mut keys = Vec::with_capacity(files.len());
+        let mut cache_hits = 0usize;
+        for (i, f) in files.iter().enumerate() {
+            let c = one(f)?;
+            stats.push(c.stats);
+            keys.push(c.key);
+            cache_hits += usize::from(c.cache_hit);
+            linker.push(i, c.unit);
+        }
+        return Ok(StreamedCompile {
+            linker,
+            stats,
+            keys,
+            cache_hits,
+            jobs: 1,
+        });
     }
-    let nthreads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(files.len());
-    let mut results: Vec<Option<Result<CompiledFile, CError>>> =
+
+    let jobs = effective_jobs(opts.jobs).min(files.len());
+    let window = jobs * 2;
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    // Fold progress, shared with the workers for backpressure.
+    let progress = Mutex::new(0usize);
+    let unblocked = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, Result<CompiledFile, CError>)>();
+    let mut slots: Vec<Option<(CompileStats, u64, bool)>> =
         (0..files.len()).map(|_| None).collect();
-    let chunk = files.len().div_ceil(nthreads);
+    let mut first_err: Option<CError> = None;
     let one = &one;
+    let (next, abort, progress, unblocked) = (&next, &abort, &progress, &unblocked);
     std::thread::scope(|scope| {
-        for (slot_chunk, file_chunk) in results.chunks_mut(chunk).zip(files.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, f) in slot_chunk.iter_mut().zip(file_chunk) {
-                    *slot = Some(one(f));
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Relaxed);
+                if i >= files.len() || abort.load(Relaxed) {
+                    break;
+                }
+                {
+                    let mut folded = progress.lock().unwrap();
+                    while i >= *folded + window && !abort.load(Relaxed) {
+                        folded = unblocked.wait(folded).unwrap();
+                    }
+                }
+                if abort.load(Relaxed) {
+                    break;
+                }
+                let r = one(files[i]);
+                let failed = r.is_err();
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+                if failed {
+                    abort.store(true, Relaxed);
+                    unblocked.notify_all();
                 }
             });
         }
+        drop(tx);
+        for (i, r) in rx {
+            match r {
+                Ok(c) => {
+                    slots[i] = Some((c.stats, c.key, c.cache_hit));
+                    linker.push(i, c.unit);
+                    let mut folded = progress.lock().unwrap();
+                    *folded = linker.folded();
+                    drop(folded);
+                    unblocked.notify_all();
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let mut stats = Vec::with_capacity(files.len());
+    let mut keys = Vec::with_capacity(files.len());
+    let mut cache_hits = 0usize;
+    for slot in slots {
+        let (s, k, hit) = slot.expect("every file compiled");
+        stats.push(s);
+        keys.push(k);
+        cache_hits += usize::from(hit);
+    }
+    Ok(StreamedCompile {
+        linker,
+        stats,
+        keys,
+        cache_hits,
+        jobs,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,705 @@
+//! The streaming codebase generator.
+//!
+//! One file is rendered at a time into a single `String` and handed to the
+//! sink; nothing global is retained beyond small bookkeeping (a few counters
+//! and the struct-field spoke caps), so peak memory is proportional to one
+//! file, not the codebase. Every random draw comes from a [`SplitMix64`]
+//! stream seeded from `(seed, file index)`, which makes the tree a pure
+//! function of `(profile, seed)` — byte for byte.
+//!
+//! ## Shape control
+//!
+//! The profile's rates (`pointer_density`, `indirect_call_rate`,
+//! `call_fanout`, `cross_file_fraction`) are enforced by *thermostats*: the
+//! generator classifies every body line it emits with the same
+//! [`classify_line`] the conformance measurer uses, and emits whichever
+//! statement class is currently below its declared rate. Measured rates
+//! therefore converge on the declared knobs by construction.
+//!
+//! ## Conflation control
+//!
+//! A million lines of unconstrained pointer soup would drive any
+//! inclusion-based solver quadratic. Like real programs — and like
+//! `cla-workload` — the generator keeps points-to sets sparse: pointer
+//! copies stay inside small clusters, `**`-level traffic is confined to
+//! per-pointer association windows, each function-pointer global receives
+//! exactly two targets, and struct-field spokes are capped globally.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use cla_workload::SplitMix64;
+
+use crate::measure::{classify_line, StmtClass};
+use crate::profile::Profile;
+
+/// Shared header every generated file includes.
+pub const HEADER_NAME: &str = "genc.h";
+
+/// Exported (header-visible) functions per file.
+const EXPORTS: usize = 3;
+/// `int **` association-window width.
+const WINDOW: usize = 4;
+/// Pointer-copy cluster width.
+const CLUSTER: usize = 8;
+/// Maximum statements routed through any one struct field, tree-wide.
+const SPOKE_CAP: u32 = 6;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// What [`generate_with`] produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenReport {
+    /// Profile name the tree was generated from.
+    pub name: String,
+    /// Seed the tree was generated with.
+    pub seed: u64,
+    /// Source files emitted (excluding the shared header).
+    pub files: usize,
+    /// Non-blank physical lines across all emitted files, header included.
+    pub loc: usize,
+    /// Total bytes emitted.
+    pub bytes: u64,
+    /// Function definitions emitted.
+    pub functions: usize,
+    /// Body statements emitted (calls included).
+    pub statements: usize,
+    /// FNV-1a over every `(name, content)` pair in emission order; two trees
+    /// are byte-identical iff their hashes agree.
+    pub tree_hash: u64,
+}
+
+/// Name of generated file `index` under `profile`.
+#[must_use]
+pub fn file_name(profile: &Profile, index: usize) -> String {
+    format!("{}_{index:04}.c", profile.name)
+}
+
+/// Generates the tree into `dir` (created if missing), one file at a time.
+pub fn generate_to_dir(profile: &Profile, seed: u64, dir: &Path) -> io::Result<GenReport> {
+    std::fs::create_dir_all(dir)?;
+    generate_with(profile, seed, &mut |name, text| {
+        std::fs::write(dir.join(name), text)
+    })
+}
+
+/// Generates the tree, streaming each `(file name, content)` pair to `sink`
+/// as soon as it is rendered.
+pub fn generate_with(
+    profile: &Profile,
+    seed: u64,
+    sink: &mut dyn FnMut(&str, &str) -> io::Result<()>,
+) -> io::Result<GenReport> {
+    let l = Layout::new(profile);
+    let mut report = GenReport {
+        name: profile.name.clone(),
+        seed,
+        files: profile.files,
+        loc: 0,
+        bytes: 0,
+        functions: 0,
+        statements: 0,
+        tree_hash: FNV_OFFSET,
+    };
+
+    let header = render_header(profile, seed, &l);
+    absorb(&mut report, HEADER_NAME, &header);
+    sink(HEADER_NAME, &header)?;
+
+    let inits = plan_fptr_inits(profile, seed, &l);
+    let mut spokes: HashMap<(usize, usize), u32> = HashMap::new();
+    for (f, init) in inits.iter().enumerate() {
+        let mut g = FileGen::new(profile, &l, f, seed, &mut spokes);
+        g.render(init);
+        report.functions += g.funcs;
+        report.statements += g.stmts + g.calls;
+        let name = file_name(profile, f);
+        absorb(&mut report, &name, &g.buf);
+        sink(&name, &g.buf)?;
+    }
+    Ok(report)
+}
+
+fn absorb(report: &mut GenReport, name: &str, text: &str) {
+    report.loc += text.lines().filter(|l| !l.trim().is_empty()).count();
+    report.bytes += text.len() as u64;
+    let mut h = report.tree_hash;
+    for chunk in [name.as_bytes(), &[0u8], text.as_bytes()] {
+        for &b in chunk {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    report.tree_hash = h;
+}
+
+/// Pool sizes and other whole-tree constants derived from a profile.
+struct Layout {
+    per_file: Vec<usize>,
+    n_ints: usize,
+    n_ptrs: usize,
+    n_pptrs: usize,
+    n_gints: usize,
+    n_gptrs: usize,
+    n_gpptrs: usize,
+    n_fptrs: usize,
+    inst_per_type: usize,
+    n_gstructs: usize,
+    ptr_fields: usize,
+    int_fields: usize,
+    funcs_per_layer: usize,
+}
+
+impl Layout {
+    fn new(p: &Profile) -> Layout {
+        let budget = p.total_loc / p.files;
+        let round4 = |n: usize| (n - n % WINDOW).max(WINDOW);
+        let n_ptrs = round4((budget / 30).clamp(12, 384));
+        let n_gptrs = round4((p.files * 2).clamp(16, 512));
+        let ptr_fields = ((4.0 * p.struct_field_ptr_mix).round() as usize).min(4);
+        let inst_per_type = if p.files >= 16 { 2 } else { 1 };
+        // ~18 lines per function (12 mix statements + statics, signature,
+        // keep, return, brace); used only to slice the call DAG into layers.
+        let est_funcs = (budget / 18).max(p.call_depth);
+        let mut per_file = vec![budget; p.files];
+        for slot in per_file.iter_mut().take(p.total_loc % p.files) {
+            *slot += 1;
+        }
+        Layout {
+            per_file,
+            n_ints: (budget / 40).clamp(8, 256),
+            n_ptrs,
+            n_pptrs: n_ptrs / WINDOW,
+            n_gints: p.files.clamp(16, 384),
+            n_gptrs,
+            n_gpptrs: n_gptrs / WINDOW,
+            n_fptrs: (p.files / 2).clamp(2, 192),
+            inst_per_type,
+            n_gstructs: p.struct_types * inst_per_type,
+            ptr_fields,
+            int_fields: 4 - ptr_fields,
+            funcs_per_layer: (est_funcs / p.call_depth).max(1),
+        }
+    }
+}
+
+fn render_header(p: &Profile, seed: u64, l: &Layout) -> String {
+    let mut h = String::new();
+    let mut line = |s: String| {
+        h.push_str(&s);
+        h.push('\n');
+    };
+    line(format!(
+        "/* {HEADER_NAME} — generated by cla-genc: {} (seed {seed}) */",
+        p.name
+    ));
+    line("#ifndef GENC_H".to_owned());
+    line("#define GENC_H".to_owned());
+    for t in 0..p.struct_types {
+        line(format!("struct GT{t} {{"));
+        line(format!("    struct GT{t} *next;"));
+        for j in 0..l.ptr_fields {
+            line(format!("    int *fp{j};"));
+        }
+        for j in 0..l.int_fields {
+            line(format!("    int fi{j};"));
+        }
+        line("};".to_owned());
+    }
+    for k in 0..l.n_gints {
+        line(format!("extern int gi{k};"));
+    }
+    for k in 0..l.n_gptrs {
+        line(format!("extern int *gp{k};"));
+    }
+    for k in 0..l.n_gpptrs {
+        line(format!("extern int **gq{k};"));
+    }
+    for k in 0..l.n_gstructs {
+        line(format!("extern struct GT{} gs{k};", k % p.struct_types));
+    }
+    for t in 0..p.struct_types {
+        line(format!("extern struct GT{t} *gsp{t};"));
+    }
+    for k in 0..l.n_fptrs {
+        line(format!("extern int *(*fp{k})(int *);"));
+    }
+    for f in 0..p.files {
+        for j in 0..EXPORTS {
+            line(format!("int *x{f}_{j}(int *a);"));
+        }
+    }
+    line("#endif".to_owned());
+    h
+}
+
+/// Chooses the two exported targets every function-pointer global is
+/// assigned, keyed off the tree seed so owner files stay independent.
+fn plan_fptr_inits(p: &Profile, seed: u64, l: &Layout) -> Vec<Vec<String>> {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xf17a_55e7);
+    let mut per_file = vec![Vec::new(); p.files];
+    for k in 0..l.n_fptrs {
+        let owner = k % p.files;
+        for _ in 0..2 {
+            let g = rng.random_range(0..p.files);
+            let j = rng.random_range(0..EXPORTS);
+            per_file[owner].push(format!("fp{k} = x{g}_{j};"));
+        }
+    }
+    per_file
+}
+
+struct FileGen<'a> {
+    p: &'a Profile,
+    l: &'a Layout,
+    f: usize,
+    rng: SplitMix64,
+    buf: String,
+    lines: usize,
+    // Thermostat counters, fed by the shared line classifier.
+    stmts: usize,
+    ptr_stmts: usize,
+    calls: usize,
+    indirect: usize,
+    direct: usize,
+    cross: usize,
+    funcs: usize,
+    mix_fns: Vec<String>,
+    spokes: &'a mut HashMap<(usize, usize), u32>,
+}
+
+impl<'a> FileGen<'a> {
+    fn new(
+        p: &'a Profile,
+        l: &'a Layout,
+        f: usize,
+        seed: u64,
+        spokes: &'a mut HashMap<(usize, usize), u32>,
+    ) -> FileGen<'a> {
+        FileGen {
+            p,
+            l,
+            f,
+            rng: SplitMix64::seed_from_u64(
+                seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(f as u64 + 1),
+            ),
+            buf: String::with_capacity(l.per_file[f] * 24),
+            lines: 0,
+            stmts: 0,
+            ptr_stmts: 0,
+            calls: 0,
+            indirect: 0,
+            direct: 0,
+            cross: 0,
+            funcs: 0,
+            mix_fns: Vec::new(),
+            spokes,
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        self.buf.push_str(s);
+        self.buf.push('\n');
+        self.lines += 1;
+    }
+
+    fn blank(&mut self) {
+        self.buf.push('\n');
+    }
+
+    /// Emits one indented body line and feeds the thermostats with the same
+    /// classification the conformance measurer will derive from the text.
+    fn stmt(&mut self, s: &str) {
+        self.buf.push_str("    ");
+        self.buf.push_str(s);
+        self.buf.push('\n');
+        self.lines += 1;
+        match classify_line(s) {
+            Some(StmtClass::DirectCall) => {
+                self.calls += 1;
+                self.direct += 1;
+            }
+            Some(StmtClass::IndirectCall) => {
+                self.calls += 1;
+                self.indirect += 1;
+            }
+            Some(StmtClass::Pointer) => {
+                self.stmts += 1;
+                self.ptr_stmts += 1;
+            }
+            Some(StmtClass::Int) => self.stmts += 1,
+            None => {}
+        }
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.rng.random_range(0..1_000_000usize) as f64) < p * 1_000_000.0
+    }
+
+    fn render(&mut self, fptr_inits: &[String]) {
+        self.line(&format!(
+            "/* generated by cla-genc: {} file {} of {} */",
+            self.p.name, self.f, self.p.files
+        ));
+        self.line(&format!("#include \"{HEADER_NAME}\""));
+        self.blank();
+        self.declare_owned_globals();
+        self.declare_locals();
+        if !fptr_inits.is_empty() {
+            self.blank();
+            self.line(&format!("void ifn{}(void) {{", self.f));
+            for init in fptr_inits {
+                self.stmt(init);
+            }
+            self.line("}");
+            self.funcs += 1;
+        }
+        let budget = self.l.per_file[self.f];
+        while self.lines < budget || self.mix_fns.len() <= EXPORTS {
+            self.emit_function();
+        }
+    }
+
+    /// Definitions for the header globals this file owns (round-robin by
+    /// index, so every extern is defined exactly once across the tree).
+    fn declare_owned_globals(&mut self) {
+        let (f, n) = (self.f, self.p.files);
+        let owned = |count: usize| (f..count).step_by(n);
+        for k in owned(self.l.n_gints) {
+            self.line(&format!("int gi{k};"));
+        }
+        for k in owned(self.l.n_gptrs) {
+            self.line(&format!("int *gp{k};"));
+        }
+        for k in owned(self.l.n_gpptrs) {
+            self.line(&format!("int **gq{k};"));
+        }
+        for k in owned(self.l.n_gstructs) {
+            self.line(&format!("struct GT{} gs{k};", k % self.p.struct_types));
+        }
+        for t in owned(self.p.struct_types) {
+            self.line(&format!("struct GT{t} *gsp{t};"));
+        }
+        for k in owned(self.l.n_fptrs) {
+            self.line(&format!("int *(*fp{k})(int *);"));
+        }
+    }
+
+    fn declare_locals(&mut self) {
+        let f = self.f;
+        for k in 0..self.l.n_ints {
+            let st = if k % 7 == 0 { "static " } else { "" };
+            self.line(&format!("{st}int i{f}_{k};"));
+        }
+        for k in 0..self.l.n_ptrs {
+            let st = if k % 7 == 0 { "static " } else { "" };
+            self.line(&format!("{st}int *p{f}_{k};"));
+        }
+        for k in 0..self.l.n_pptrs {
+            self.line(&format!("int **q{f}_{k};"));
+        }
+    }
+
+    // ---- operand pickers -------------------------------------------------
+
+    fn global_scope(&mut self) -> bool {
+        self.chance(self.p.global_traffic)
+    }
+
+    fn pick_int(&mut self) -> String {
+        if self.global_scope() {
+            format!("gi{}", self.rng.random_range(0..self.l.n_gints))
+        } else {
+            format!("i{}_{}", self.f, self.rng.random_range(0..self.l.n_ints))
+        }
+    }
+
+    /// Two distinct pointers from one copy cluster of the chosen scope,
+    /// returned `(higher index, lower index)`.
+    fn ptr_pair(&mut self) -> (String, String) {
+        let global = self.global_scope();
+        let pool = if global {
+            self.l.n_gptrs
+        } else {
+            self.l.n_ptrs
+        };
+        let clusters = (pool / CLUSTER).max(1);
+        let c = self.rng.random_range(0..clusters) * CLUSTER;
+        let width = CLUSTER.min(pool - c);
+        let a = self.rng.random_range(0..width);
+        let mut b = self.rng.random_range(0..width);
+        if a == b {
+            b = (b + 1) % width;
+        }
+        let (hi, lo) = (c + a.max(b), c + a.min(b));
+        let name = |k: usize| {
+            if global {
+                format!("gp{k}")
+            } else {
+                format!("p{}_{k}", self.f)
+            }
+        };
+        (name(hi), name(lo))
+    }
+
+    fn pick_ptr(&mut self) -> String {
+        self.ptr_pair().0
+    }
+
+    /// A `**` pointer plus a `*` pointer from its association window.
+    /// `offsets` picks which window slots are eligible — stores and loads
+    /// use overlapping but not identical slots, which creates store→load
+    /// flow without turning every window into a relay.
+    fn pptr_pair(&mut self, offsets: std::ops::Range<usize>) -> (String, String) {
+        let global = self.global_scope();
+        let pool = if global {
+            self.l.n_gpptrs
+        } else {
+            self.l.n_pptrs
+        };
+        let k = self.rng.random_range(0..pool);
+        let slot = k * WINDOW + self.rng.random_range(offsets);
+        if global {
+            (format!("gq{k}"), format!("gp{slot}"))
+        } else {
+            (format!("q{}_{k}", self.f), format!("p{}_{slot}", self.f))
+        }
+    }
+
+    // ---- statement emitters ----------------------------------------------
+
+    fn emit_function(&mut self) {
+        let idx = self.mix_fns.len();
+        let layer = (idx / self.l.funcs_per_layer).min(self.p.call_depth - 1);
+        let name = if idx < EXPORTS {
+            format!("x{}_{idx}", self.f)
+        } else {
+            format!("l{}_{idx}", self.f)
+        };
+        self.blank();
+        self.line(&format!("static int {name}_own;"));
+        self.line(&format!("static int *{name}_keep;"));
+        self.line(&format!("int *{name}(int *a) {{"));
+
+        let slots = self.rng.random_range(8..17usize);
+        // Fanout thermostat: bring total calls up to fanout × functions.
+        let want = self.p.call_fanout * (self.funcs + 1) as f64 - self.calls as f64;
+        let mut calls_left = (want.round().max(0.0) as usize).min(slots);
+        for s in 0..slots {
+            // Spread the calls evenly through the body.
+            if calls_left > 0 && self.rng.random_range(0..slots - s) < calls_left {
+                calls_left -= 1;
+                self.emit_call(layer);
+            } else if (self.ptr_stmts as f64) < self.p.pointer_density * (self.stmts + 1) as f64 {
+                self.emit_ptr_stmt();
+            } else {
+                self.emit_int_stmt();
+            }
+        }
+        self.stmt(&format!("{name}_keep = a;"));
+        self.stmt(&format!("return &{name}_own;"));
+        self.line("}");
+        self.funcs += 1;
+        self.mix_fns.push(name);
+    }
+
+    fn emit_call(&mut self, layer: usize) {
+        let (dst, arg) = self.ptr_pair();
+        let go_indirect =
+            (self.indirect as f64) < self.p.indirect_call_rate * (self.calls + 1) as f64;
+        if go_indirect {
+            let k = self.rng.random_range(0..self.l.n_fptrs);
+            self.stmt(&format!("{dst} = fp{k}({arg});"));
+            return;
+        }
+        let go_cross = (self.cross as f64) < self.p.cross_file_fraction * (self.direct + 1) as f64;
+        let callee = if go_cross {
+            None
+        } else {
+            self.in_file_callee(layer)
+        };
+        let callee = match callee {
+            Some(c) => c,
+            None => {
+                self.cross += 1;
+                self.export_of_other_file()
+            }
+        };
+        self.stmt(&format!("{dst} = {callee}({arg});"));
+    }
+
+    /// A previously defined function from a lower layer of this file's DAG
+    /// (usually the layer just below, sometimes any lower layer for longer
+    /// chains). `None` for leaves — their calls go cross-file.
+    fn in_file_callee(&mut self, layer: usize) -> Option<String> {
+        if layer == 0 || self.mix_fns.is_empty() {
+            return None;
+        }
+        let lo_layer = if self.chance(0.2) { 0 } else { layer - 1 };
+        let lo = (lo_layer * self.l.funcs_per_layer).min(self.mix_fns.len() - 1);
+        let hi = (layer * self.l.funcs_per_layer).min(self.mix_fns.len());
+        if lo >= hi {
+            return None;
+        }
+        Some(self.mix_fns[self.rng.random_range(lo..hi)].clone())
+    }
+
+    fn export_of_other_file(&mut self) -> String {
+        let mut g = self.rng.random_range(0..self.p.files);
+        if g == self.f && self.p.files > 1 {
+            g = (g + 1) % self.p.files;
+        }
+        format!("x{g}_{}", self.rng.random_range(0..EXPORTS))
+    }
+
+    fn emit_int_stmt(&mut self) {
+        let roll = self.rng.random_range(0..100usize);
+        let x = self.pick_int();
+        let y = self.pick_int();
+        let s = if roll < 40 {
+            format!("{x} = {y};")
+        } else if roll < 65 {
+            let z = self.pick_int();
+            format!("{x} = {y} + {z};")
+        } else if roll < 80 {
+            format!("{x} = {x} + 1;")
+        } else {
+            let z = self.pick_int();
+            format!("if ({x}) {{ {y} = {z}; }}")
+        };
+        self.stmt(&s);
+    }
+
+    fn emit_ptr_stmt(&mut self) {
+        let roll = self.rng.random_range(0..100usize);
+        if roll < 30 {
+            let p = self.pick_ptr();
+            let x = self.pick_int();
+            self.stmt(&format!("{p} = &{x};"));
+        } else if roll < 52 {
+            let (mut dst, mut src) = self.ptr_pair();
+            // Mostly one direction per cluster keeps chains acyclic; a few
+            // reversals create realistic cycles.
+            if self.rng.random_range(0..8usize) == 0 {
+                std::mem::swap(&mut dst, &mut src);
+            }
+            self.stmt(&format!("{dst} = {src};"));
+        } else if roll < 66 {
+            let (q, p) = self.pptr_pair(0..3);
+            self.stmt(&format!("*{q} = {p};"));
+        } else if roll < 80 {
+            let (q, p) = self.pptr_pair(2..WINDOW);
+            self.stmt(&format!("{p} = *{q};"));
+        } else if roll < 90 {
+            let (q, p) = self.pptr_pair(0..WINDOW);
+            self.stmt(&format!("{q} = &{p};"));
+        } else {
+            self.emit_struct_stmt();
+        }
+    }
+
+    fn emit_struct_stmt(&mut self) {
+        let t = self.rng.random_range(0..self.p.struct_types);
+        let inst = t + self.p.struct_types * self.rng.random_range(0..self.l.inst_per_type);
+        let roll = self.rng.random_range(0..100usize);
+        if self.l.ptr_fields > 0 && roll >= 40 {
+            let j = self.rng.random_range(0..self.l.ptr_fields);
+            let used = self.spokes.entry((t, j)).or_insert(0);
+            if *used < SPOKE_CAP {
+                *used += 1;
+                let p = self.pick_ptr();
+                let s = match roll % 3 {
+                    0 => format!("gs{inst}.fp{j} = {p};"),
+                    1 => format!("{p} = gs{inst}.fp{j};"),
+                    _ => format!("gsp{t}->fp{j} = {p};"),
+                };
+                self.stmt(&s);
+                return;
+            }
+        }
+        if roll.is_multiple_of(2) {
+            self.stmt(&format!("gsp{t} = &gs{inst};"));
+        } else {
+            self.stmt(&format!("gsp{t} = gsp{t}->next;"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Profile {
+        Profile {
+            name: "tiny".to_owned(),
+            total_loc: 2_000,
+            files: 3,
+            ..Profile::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_streamed_in_order() {
+        let p = tiny();
+        let mut names_a = Vec::new();
+        let run = |names: Option<&mut Vec<String>>| {
+            let mut tree = Vec::new();
+            let mut names = names;
+            let r = generate_with(&p, 7, &mut |n, t| {
+                if let Some(names) = names.as_deref_mut() {
+                    names.push(n.to_owned());
+                }
+                tree.push((n.to_owned(), t.to_owned()));
+                Ok(())
+            })
+            .unwrap();
+            (r, tree)
+        };
+        let (ra, ta) = run(Some(&mut names_a));
+        let (rb, tb) = run(None);
+        assert_eq!(ra, rb);
+        assert_eq!(ta, tb);
+        assert_eq!(names_a[0], HEADER_NAME);
+        assert_eq!(names_a[1], "tiny_0000.c");
+        let (rc, tc) = {
+            let mut tree = Vec::new();
+            let r = generate_with(&p, 8, &mut |n, t| {
+                tree.push((n.to_owned(), t.to_owned()));
+                Ok(())
+            })
+            .unwrap();
+            (r, tree)
+        };
+        assert_ne!(ra.tree_hash, rc.tree_hash);
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn report_counts_match_the_measurer() {
+        let p = tiny();
+        let mut m = crate::measure::Measure::default();
+        let r = generate_with(&p, 1, &mut |_, t| {
+            m.add_source(t);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(r.loc, m.loc);
+        assert_eq!(r.functions, m.functions);
+        assert_eq!(r.statements, m.statements);
+        assert_eq!(r.files + 1, m.files);
+    }
+
+    #[test]
+    fn loc_lands_near_the_declared_total() {
+        let p = tiny();
+        let r = generate_with(&p, 3, &mut |_, _| Ok(())).unwrap();
+        // Header and final-function overshoot are the only slack.
+        assert!(
+            r.loc >= p.total_loc && r.loc <= p.total_loc + p.total_loc / 2,
+            "loc {} for target {}",
+            r.loc,
+            p.total_loc
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! # cla-genc — declarative million-line C codebase generator
+//!
+//! The paper's headline is a *rate*: a million lines of C analyzed in about
+//! a second. Reproducing the rate needs a million-line input, and none of
+//! the paper's benchmarks ship with this repository — so this crate grows
+//! one. A [`Profile`] declares the shape of a codebase (total LOC, file
+//! count, call-graph fan-out and depth, pointer density, struct mix,
+//! indirect-call rate, global traffic) and [`generate_to_dir`] turns it
+//! into a real multi-file C tree, deterministically for a given seed,
+//! streaming one file at a time so peak memory never scales with the
+//! codebase.
+//!
+//! The shipped profiles live in `profiles/`: `million.toml` (the headline
+//! input, ≥1M lines over hundreds of files) and `ci-small.toml` (the same
+//! shape at PR-gate scale). `cla-tool gen profiles/ci-small.toml --out DIR`
+//! is the CLI entry point, and `examples/million_bench.rs` runs the full
+//! generate → compile → link → analyze pipeline against the result.
+//!
+//! [`Measure`] closes the loop: it re-derives LOC, pointer density, and
+//! call rates from the emitted text, and the generator steers emission with
+//! the same classifier, so every shipped profile is checked against what
+//! the generator actually wrote. Rates are text-level by declaration — for
+//! example, the hidden pointer copy a function's `…_keep = a;` epilogue
+//! performs is counted as plain traffic by both sides of the contract.
+//!
+//! ```
+//! use cla_genc::{generate_with, Measure, Profile};
+//!
+//! let profile = Profile::parse("total_loc = 2000\nfiles = 3\n").unwrap();
+//! let mut m = Measure::default();
+//! let report = generate_with(&profile, 42, &mut |_name, text| {
+//!     m.add_source(text);
+//!     Ok(())
+//! })
+//! .unwrap();
+//! assert!(report.loc >= 2000);
+//! assert_eq!(report.loc, m.loc);
+//! ```
+
+mod gen;
+mod measure;
+mod profile;
+
+pub use gen::{file_name, generate_to_dir, generate_with, GenReport, HEADER_NAME};
+pub use measure::{classify_line, is_pointer_name, measure_tree, Measure, StmtClass};
+pub use profile::{Profile, ProfileError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cla_cfront::{MemoryFs, PpOptions};
+    use cla_ir::{compile_file, LowerOptions};
+
+    /// Every construct the generator emits must stay inside the C subset the
+    /// front end proves out: generate a small tree and push every file
+    /// through the real compile phase.
+    #[test]
+    fn generated_tree_compiles_and_lowers() {
+        let profile = Profile::parse(
+            "name = \"sub\"\ntotal_loc = 3000\nfiles = 4\npointer_density = 0.5\n\
+             indirect_call_rate = 0.1\nglobal_traffic = 0.2\nstruct_field_ptr_mix = 0.75\n",
+        )
+        .unwrap();
+        let mut fs = MemoryFs::new();
+        let mut names = Vec::new();
+        generate_with(&profile, 11, &mut |name, text| {
+            if name.ends_with(".c") {
+                names.push(name.to_owned());
+            }
+            fs.add(name.to_owned(), text.to_owned());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(names.len(), 4);
+        let mut assigns = 0usize;
+        for name in &names {
+            let (unit, _) =
+                compile_file(&fs, name, &PpOptions::default(), &LowerOptions::default())
+                    .unwrap_or_else(|e| panic!("{name}: generated code failed to compile: {e}"));
+            assigns += unit.assigns.len();
+        }
+        assert!(assigns > 500, "suspiciously few assignments: {assigns}");
+    }
+
+    /// The declared rates hold on the emitted text, per the measurer.
+    #[test]
+    fn emitted_rates_track_the_profile() {
+        let profile = Profile::parse(
+            "total_loc = 20000\nfiles = 6\npointer_density = 0.4\n\
+             indirect_call_rate = 0.05\ncall_fanout = 2.5\n",
+        )
+        .unwrap();
+        let mut m = Measure::default();
+        generate_with(&profile, 5, &mut |_, text| {
+            m.add_source(text);
+            Ok(())
+        })
+        .unwrap();
+        assert!(
+            (m.pointer_density() - 0.4).abs() < 0.03,
+            "pointer density {}",
+            m.pointer_density()
+        );
+        assert!(
+            (m.indirect_call_rate() - 0.05).abs() < 0.02,
+            "indirect rate {}",
+            m.indirect_call_rate()
+        );
+        assert!(
+            (m.call_fanout() - 2.5).abs() < 0.5,
+            "fanout {}",
+            m.call_fanout()
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Conformance measurement for generated trees.
+//!
+//! The generator promises that the code it writes matches the profile it was
+//! given. This module checks that promise *from the text on disk*, not from
+//! the generator's internal bookkeeping: it re-derives LOC, statement
+//! counts, pointer density, and call rates by scanning the emitted C.
+//! The generator steers its emission with the same classifier
+//! ([`classify_line`]), so measured rates converge on the declared knobs by
+//! construction rather than by tuning fudge factors.
+
+use std::io;
+use std::path::Path;
+
+/// What a single body line is, as far as the profile knobs care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtClass {
+    /// A direct call statement (`p = x3_0(q);`).
+    DirectCall,
+    /// An indirect call through a function-pointer global (`p = fp2(q);`).
+    IndirectCall,
+    /// A statement that moves pointers (`p = &x;`, `*q = p;`, `s.fp0 = p;`).
+    Pointer,
+    /// Plain integer traffic (`x = y + z;`, `if (x) { y = z; }`).
+    Int,
+}
+
+/// Classifies one trimmed line that sits inside a function body.
+/// Returns `None` for lines that are not mix statements (returns, braces,
+/// blank lines) — those are excluded from every rate the profile declares.
+#[must_use]
+pub fn classify_line(trimmed: &str) -> Option<StmtClass> {
+    if trimmed.is_empty() || trimmed == "}" || trimmed == "};" || trimmed.starts_with("return") {
+        return None;
+    }
+    if trimmed.starts_with("if ") || trimmed.starts_with("for ") {
+        return Some(StmtClass::Int);
+    }
+    if trimmed.ends_with(");") && trimmed.contains('(') {
+        let callee = match trimmed.split_once('=') {
+            Some((_, rhs)) => rhs.trim_start(),
+            None => trimmed,
+        };
+        if callee.starts_with("fp") {
+            return Some(StmtClass::IndirectCall);
+        }
+        return Some(StmtClass::DirectCall);
+    }
+    if trimmed.contains('&')
+        || trimmed.contains('*')
+        || trimmed.contains("->")
+        || trimmed.contains(".fp")
+    {
+        return Some(StmtClass::Pointer);
+    }
+    if !trimmed.ends_with(';') {
+        return None;
+    }
+    // Plain pointer copies carry no operator marker; the generator's naming
+    // convention (`p…`/`q…`/`gp…`/`gq…`/`fp…` are pointers) disambiguates.
+    if let Some((dst, _)) = trimmed.split_once('=') {
+        if is_pointer_name(dst.trim()) {
+            return Some(StmtClass::Pointer);
+        }
+    }
+    Some(StmtClass::Int)
+}
+
+/// Whether an identifier names a pointer under the generator's conventions:
+/// `p3_1`, `q3_0` (locals), `gp7`, `gq2` (globals), `fp4` (function
+/// pointers).
+#[must_use]
+pub fn is_pointer_name(name: &str) -> bool {
+    let rest = ["gp", "gq", "fp", "p", "q"]
+        .iter()
+        .find_map(|pre| name.strip_prefix(pre));
+    match rest {
+        Some(rest) => !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit() || c == '_'),
+        None => false,
+    }
+}
+
+/// Aggregate measurements over one or more source files.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Measure {
+    /// Files scanned.
+    pub files: usize,
+    /// Non-blank physical lines.
+    pub loc: usize,
+    /// Mix statements inside function bodies (calls included).
+    pub statements: usize,
+    /// Statements classified as pointer-moving.
+    pub pointer_stmts: usize,
+    /// Call statements, direct and indirect.
+    pub calls: usize,
+    /// Calls routed through a function-pointer global.
+    pub indirect_calls: usize,
+    /// Function definitions.
+    pub functions: usize,
+}
+
+impl Measure {
+    /// Scans one source file's text and accumulates its counts.
+    pub fn add_source(&mut self, text: &str) {
+        self.files += 1;
+        let mut depth = 0usize;
+        // Struct definitions also nest braces; only classify inside regions
+        // opened by a line with a parameter list (a function body).
+        let mut in_function = false;
+        for raw in text.lines() {
+            let line = raw.trim();
+            if !line.is_empty() {
+                self.loc += 1;
+            }
+            if depth > 0 && in_function {
+                match classify_line(line) {
+                    Some(StmtClass::DirectCall) => {
+                        self.statements += 1;
+                        self.calls += 1;
+                    }
+                    Some(StmtClass::IndirectCall) => {
+                        self.statements += 1;
+                        self.calls += 1;
+                        self.indirect_calls += 1;
+                    }
+                    Some(StmtClass::Pointer) => {
+                        self.statements += 1;
+                        self.pointer_stmts += 1;
+                    }
+                    Some(StmtClass::Int) => self.statements += 1,
+                    None => {}
+                }
+            }
+            if depth == 0 && line.ends_with('{') {
+                in_function = line.contains('(');
+                if in_function {
+                    self.functions += 1;
+                }
+            }
+            let opens = line.matches('{').count();
+            let closes = line.matches('}').count();
+            depth = (depth + opens).saturating_sub(closes);
+        }
+    }
+
+    /// Pointer-moving fraction of non-call body statements.
+    /// This is what a profile's `pointer_density` declares.
+    #[must_use]
+    pub fn pointer_density(&self) -> f64 {
+        let base = self.statements - self.calls;
+        if base == 0 {
+            return 0.0;
+        }
+        self.pointer_stmts as f64 / base as f64
+    }
+
+    /// Indirect fraction of all call statements
+    /// (a profile's `indirect_call_rate`).
+    #[must_use]
+    pub fn indirect_call_rate(&self) -> f64 {
+        if self.calls == 0 {
+            return 0.0;
+        }
+        self.indirect_calls as f64 / self.calls as f64
+    }
+
+    /// Average calls per function definition (a profile's `call_fanout`).
+    #[must_use]
+    pub fn call_fanout(&self) -> f64 {
+        if self.functions == 0 {
+            return 0.0;
+        }
+        self.calls as f64 / self.functions as f64
+    }
+}
+
+/// Measures every `.c` and `.h` file in a generated tree. Statement
+/// classification only ever fires inside function bodies, so including the
+/// header affects nothing but the LOC count.
+pub fn measure_tree(dir: &Path) -> io::Result<Measure> {
+    let mut m = Measure::default();
+    let mut names: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("c") | Some("h")
+            )
+        })
+        .collect();
+    names.sort();
+    for path in names {
+        m.add_source(&std::fs::read_to_string(path)?);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_the_generator_statement_forms() {
+        assert_eq!(classify_line("p0_1 = &i0_2;"), Some(StmtClass::Pointer));
+        assert_eq!(classify_line("*q0_0 = p0_1;"), Some(StmtClass::Pointer));
+        assert_eq!(classify_line("p0_1 = *q0_0;"), Some(StmtClass::Pointer));
+        assert_eq!(classify_line("gs3.fp0 = p0_1;"), Some(StmtClass::Pointer));
+        assert_eq!(
+            classify_line("gsp2 = gsp2->next;"),
+            Some(StmtClass::Pointer)
+        );
+        assert_eq!(classify_line("fp3 = x4_1;"), Some(StmtClass::Pointer));
+        assert_eq!(classify_line("p0_1 = p0_0;"), Some(StmtClass::Pointer));
+        assert_eq!(classify_line("gp3 = gp1;"), Some(StmtClass::Pointer));
+        assert_eq!(classify_line("x0_0_keep = a;"), Some(StmtClass::Int));
+        assert_eq!(
+            classify_line("p0_1 = x4_0(p0_2);"),
+            Some(StmtClass::DirectCall)
+        );
+        assert_eq!(
+            classify_line("p0_1 = fp7(p0_2);"),
+            Some(StmtClass::IndirectCall)
+        );
+        assert_eq!(classify_line("i0_1 = i0_2 + i0_3;"), Some(StmtClass::Int));
+        assert_eq!(
+            classify_line("if (i0_1) { i0_2 = i0_3; }"),
+            Some(StmtClass::Int)
+        );
+        assert_eq!(classify_line("return &x0_0_own;"), None);
+        assert_eq!(classify_line("}"), None);
+    }
+
+    #[test]
+    fn measures_a_tiny_body() {
+        let src =
+            "int gi0;\nint *f(int *a) {\n    gi0 = gi0 + 1;\n    a = &gi0;\n    return a;\n}\n";
+        let mut m = Measure::default();
+        m.add_source(src);
+        assert_eq!(m.functions, 1);
+        assert_eq!(m.statements, 2);
+        assert_eq!(m.pointer_stmts, 1);
+        assert_eq!(m.loc, 6);
+        assert!((m.pointer_density() - 0.5).abs() < 1e-9);
+    }
+}

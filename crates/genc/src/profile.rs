@@ -1,0 +1,282 @@
+//! Declarative codebase profiles.
+//!
+//! A profile is a flat TOML-like file of `key = value` lines describing the
+//! *shape* of a generated codebase: how big it is, how it is split into
+//! files, what the call graph looks like, and how pointer-heavy the code is.
+//! The parser is deliberately tiny (the workspace is zero-dependency): it
+//! accepts comments, blank lines, quoted strings, integers with `_`
+//! separators, and floats — nothing else. Unknown keys are errors so that a
+//! typo in a profile fails loudly instead of silently falling back to a
+//! default.
+
+use std::fmt;
+use std::path::Path;
+
+/// The shape of a generated codebase. See `profiles/*.toml` for the
+/// ship-with-the-repo instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Codebase name; becomes the source-file prefix (`{name}_0001.c`).
+    pub name: String,
+    /// Default RNG seed (the CLI `--seed` flag overrides it).
+    pub seed: u64,
+    /// Target total physical lines across all generated `.c` files.
+    pub total_loc: usize,
+    /// Number of `.c` files the lines are spread over.
+    pub files: usize,
+    /// Average direct calls emitted per function body.
+    pub call_fanout: f64,
+    /// Layers in each file's call DAG; callers sit above their callees.
+    pub call_depth: usize,
+    /// Fraction of calls that target another file's exported functions.
+    pub cross_file_fraction: f64,
+    /// Fraction of calls routed through function-pointer globals.
+    pub indirect_call_rate: f64,
+    /// Fraction of non-call body statements that move pointers.
+    pub pointer_density: f64,
+    /// Distinct struct types declared in the shared header.
+    pub struct_types: usize,
+    /// Fraction of each struct's fields that are pointers.
+    pub struct_field_ptr_mix: f64,
+    /// Fraction of statement operands drawn from shared globals.
+    pub global_traffic: f64,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Profile {
+            name: "genc".to_owned(),
+            seed: 1,
+            total_loc: 10_000,
+            files: 8,
+            call_fanout: 2.0,
+            call_depth: 6,
+            cross_file_fraction: 0.15,
+            indirect_call_rate: 0.03,
+            pointer_density: 0.35,
+            struct_types: 12,
+            struct_field_ptr_mix: 0.5,
+            global_traffic: 0.08,
+        }
+    }
+}
+
+/// A profile that failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError {
+    /// 1-based line the problem was found on; 0 for whole-file problems.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "profile: {}", self.message)
+        } else {
+            write!(f, "profile line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn err(line: usize, message: impl Into<String>) -> ProfileError {
+    ProfileError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Profile {
+    /// Parses a profile from TOML-like text. Required keys: `total_loc`,
+    /// `files`. Everything else falls back to [`Profile::default`].
+    pub fn parse(text: &str) -> Result<Profile, ProfileError> {
+        let mut p = Profile::default();
+        let mut saw_total = false;
+        let mut saw_files = false;
+        for (ix, raw) in text.lines().enumerate() {
+            let lineno = ix + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(lineno, format!("expected `key = value`, got {line:?}")));
+            };
+            let key = key.trim();
+            let value = strip_comment(value).trim();
+            if value.is_empty() {
+                return Err(err(lineno, format!("missing value for `{key}`")));
+            }
+            match key {
+                "name" => p.name = parse_string(value, lineno)?,
+                "seed" => p.seed = parse_int(value, lineno)?,
+                "total_loc" => {
+                    p.total_loc = parse_int(value, lineno)? as usize;
+                    saw_total = true;
+                }
+                "files" => {
+                    p.files = parse_int(value, lineno)? as usize;
+                    saw_files = true;
+                }
+                "call_fanout" => p.call_fanout = parse_float(value, lineno)?,
+                "call_depth" => p.call_depth = parse_int(value, lineno)? as usize,
+                "cross_file_fraction" => p.cross_file_fraction = parse_float(value, lineno)?,
+                "indirect_call_rate" => p.indirect_call_rate = parse_float(value, lineno)?,
+                "pointer_density" => p.pointer_density = parse_float(value, lineno)?,
+                "struct_types" => p.struct_types = parse_int(value, lineno)? as usize,
+                "struct_field_ptr_mix" => p.struct_field_ptr_mix = parse_float(value, lineno)?,
+                "global_traffic" => p.global_traffic = parse_float(value, lineno)?,
+                _ => return Err(err(lineno, format!("unknown key `{key}`"))),
+            }
+        }
+        if !saw_total {
+            return Err(err(0, "missing required key `total_loc`"));
+        }
+        if !saw_files {
+            return Err(err(0, "missing required key `files`"));
+        }
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Reads and parses a profile file.
+    pub fn load(path: &Path) -> Result<Profile, ProfileError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        let mut p = Profile::parse(&text)?;
+        // An unnamed profile takes its name from the file stem.
+        if !text.contains("name") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                p.name = stem.to_owned();
+            }
+        }
+        Ok(p)
+    }
+
+    /// Checks internal consistency; called by [`Profile::parse`].
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err(err(0, "name must be a non-empty [A-Za-z0-9_]+ identifier"));
+        }
+        if self.files == 0 {
+            return Err(err(0, "files must be at least 1"));
+        }
+        if self.total_loc / self.files < 60 {
+            return Err(err(
+                0,
+                format!(
+                    "per-file budget {} is too small (need at least 60 lines per file)",
+                    self.total_loc / self.files
+                ),
+            ));
+        }
+        if self.call_depth == 0 {
+            return Err(err(0, "call_depth must be at least 1"));
+        }
+        if self.struct_types == 0 {
+            return Err(err(0, "struct_types must be at least 1"));
+        }
+        if self.call_fanout < 0.0 || self.call_fanout > 16.0 {
+            return Err(err(0, "call_fanout must be in [0, 16]"));
+        }
+        for (v, name) in [
+            (self.cross_file_fraction, "cross_file_fraction"),
+            (self.indirect_call_rate, "indirect_call_rate"),
+            (self.pointer_density, "pointer_density"),
+            (self.struct_field_ptr_mix, "struct_field_ptr_mix"),
+            (self.global_traffic, "global_traffic"),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(err(0, format!("{name} must be in [0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn strip_comment(value: &str) -> &str {
+    // `#` never appears inside the values we accept (names are identifiers),
+    // so everything after one is a trailing comment.
+    match value.find('#') {
+        Some(ix) => &value[..ix],
+        None => value,
+    }
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, ProfileError> {
+    let v = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| err(line, format!("expected a quoted string, got {value}")))?;
+    Ok(v.to_owned())
+}
+
+fn parse_int(value: &str, line: usize) -> Result<u64, ProfileError> {
+    value
+        .replace('_', "")
+        .parse()
+        .map_err(|_| err(line, format!("expected an integer, got {value}")))
+}
+
+fn parse_float(value: &str, line: usize) -> Result<f64, ProfileError> {
+    value
+        .replace('_', "")
+        .parse()
+        .map_err(|_| err(line, format!("expected a number, got {value}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_profile() {
+        let p = Profile::parse(
+            r#"
+            # shape of a small codebase
+            name = "tiny"
+            seed = 9
+            total_loc = 12_000   # across all files
+            files = 8
+            call_fanout = 2.5
+            call_depth = 4
+            cross_file_fraction = 0.2
+            indirect_call_rate = 0.04
+            pointer_density = 0.4
+            struct_types = 6
+            struct_field_ptr_mix = 0.5
+            global_traffic = 0.1
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.name, "tiny");
+        assert_eq!(p.total_loc, 12_000);
+        assert_eq!(p.files, 8);
+        assert!((p.call_fanout - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let p = Profile::parse("total_loc = 6000\nfiles = 4\n").unwrap();
+        assert_eq!(p.seed, Profile::default().seed);
+        assert!((p.pointer_density - Profile::default().pointer_density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(Profile::parse("total_loc = 6000\nfiles = 4\nfanout = 2\n").is_err());
+        assert!(Profile::parse("total_loc = 6000\n").is_err());
+        assert!(Profile::parse("total_loc = 6000\nfiles = 4\npointer_density = 1.5\n").is_err());
+        assert!(Profile::parse("total_loc = 100\nfiles = 4\n").is_err());
+        let e = Profile::parse("total_loc = what\nfiles = 4\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

@@ -27,7 +27,7 @@ mod metrics;
 mod trace;
 
 pub use metrics::{
-    escape_label_value, nearest_rank, parse_exposition, Counter, Histogram, Sample,
+    escape_label_value, nearest_rank, parse_exposition, peak_rss_bytes, Counter, Histogram, Sample,
     LATENCY_BUCKETS_US,
 };
 pub use trace::{

@@ -32,6 +32,31 @@ impl Counter {
     }
 }
 
+/// The process's peak resident set size (max RSS high-water mark) in
+/// bytes, read from `/proc/self/status` (`VmHWM`). Returns 0 on platforms
+/// without procfs — callers treat 0 as "unavailable", never as a
+/// measurement. This is the figure the million-line bench records to show
+/// that the streaming link's memory stays proportional to one compiled
+/// unit rather than the whole codebase.
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// Default bucket upper bounds for latency histograms, in microseconds.
 /// Roughly 2.5x steps from 1µs to 4s, 16 finite buckets plus overflow.
 pub const LATENCY_BUCKETS_US: &[u64] = &[

@@ -241,6 +241,10 @@ pub struct SessionStats {
     /// Human-readable provenance of the snapshot on disk, if one exists
     /// (`None` when the session has no snapshot store).
     pub snapshot_provenance: Option<String>,
+    /// Peak resident set size of this process in bytes (`VmHWM`; 0 where
+    /// the platform doesn't expose it). Covers the whole process lifetime,
+    /// so it bounds the compile-link-solve that built this session.
+    pub peak_rss_bytes: u64,
 }
 
 impl SessionStats {
@@ -302,6 +306,7 @@ impl SessionStats {
                     None => Value::Null,
                 },
             ),
+            ("peak_rss_bytes", self.peak_rss_bytes.into()),
         ])
     }
 }
@@ -479,6 +484,56 @@ fn hash_text(text: &str) -> u64 {
     fnv64(text.as_bytes())
 }
 
+/// Compiles `files` with up to `jobs` worker threads (0 = one per CPU),
+/// returning `(text hash, unit)` per file in input order. Errors report the
+/// earliest failing file, exactly as a serial loop would.
+fn compile_pool(
+    fs: &dyn FileProvider,
+    files: &[&str],
+    pp: &PpOptions,
+    lower: &LowerOptions,
+    jobs: usize,
+) -> Result<Vec<(u64, cla_ir::CompiledUnit)>, SessionError> {
+    let one = |f: &str| -> Result<(u64, cla_ir::CompiledUnit), SessionError> {
+        let text = fs
+            .read(f)
+            .ok_or_else(|| SessionError::MissingFile(f.to_string()))?;
+        let (unit, _) = compile_file(fs, f, pp, lower).map_err(SessionError::Compile)?;
+        Ok((hash_text(&text), unit))
+    };
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(4, usize::from)
+    } else {
+        jobs
+    }
+    .min(files.len().max(1));
+    if jobs <= 1 {
+        return files.iter().map(|f| one(f)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<(u64, cla_ir::CompiledUnit), SessionError>>> = Vec::new();
+    slots.resize_with(files.len(), || None);
+    let slots = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Relaxed);
+                if i >= files.len() {
+                    return;
+                }
+                let r = one(files[i]);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .drain(..)
+        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .collect()
+}
+
 /// Reads, opens, and fully verifies a `.clao` file; returns the database
 /// plus the file-content hash used for reload change detection.
 fn open_object_path(path: &Path) -> Result<(Database, u64), SessionError> {
@@ -633,15 +688,28 @@ impl Session {
         opts: SolveOptions,
         snapshot_dir: Option<&Path>,
     ) -> Result<Session, SessionError> {
+        Session::from_files_jobs(fs, files, pp, lower, opts, snapshot_dir, 1)
+    }
+
+    /// [`Session::from_files_with`] with a compile pool: up to `jobs`
+    /// threads compile sources concurrently (0 = one per CPU, 1 = serial).
+    /// Units enter the link set in input order regardless of completion
+    /// order, so the linked database is byte-identical to a serial build.
+    /// Reloads recompile only changed files and stay serial.
+    pub fn from_files_jobs(
+        fs: &dyn FileProvider,
+        files: &[&str],
+        pp: &PpOptions,
+        lower: &LowerOptions,
+        opts: SolveOptions,
+        snapshot_dir: Option<&Path>,
+        jobs: usize,
+    ) -> Result<Session, SessionError> {
         let store = open_store(snapshot_dir)?;
         let mut units = LinkSet::new();
         let mut hashes = HashMap::new();
-        for f in files {
-            let text = fs
-                .read(f)
-                .ok_or_else(|| SessionError::MissingFile(f.to_string()))?;
-            hashes.insert(f.to_string(), hash_text(&text));
-            let (unit, _) = compile_file(fs, f, pp, lower).map_err(SessionError::Compile)?;
+        for (f, (hash, unit)) in files.iter().zip(compile_pool(fs, files, pp, lower, jobs)?) {
+            hashes.insert(f.to_string(), hash);
             units.upsert(*f, unit);
         }
         let (program, _) = units.link("a.out");
@@ -1132,6 +1200,7 @@ impl Session {
             snapshot_saves: snap_saves,
             snapshot_mismatches: snap_mismatches,
             snapshot_provenance: snap_prov,
+            peak_rss_bytes: cla_obs::peak_rss_bytes(),
         }
     }
 

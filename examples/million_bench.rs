@@ -1,0 +1,194 @@
+//! The paper's headline, end to end: generate a million-line C codebase,
+//! then cold compile → link → analyze it and report the rate.
+//!
+//! ```sh
+//! cargo run --release --example million_bench                        # full size
+//! cargo run --release --example million_bench -- profiles/ci-small.toml
+//! ```
+//!
+//! The tree comes from `cla-genc` (deterministic for the profile's seed)
+//! and is written to a temp directory so the compile phase reads real
+//! files, like the paper's `cc -fcla` runs. Phase times are taken from the
+//! pipeline [`Report`], whose durations come from the same `cla-obs` spans
+//! that produce `--trace` output — a recorded trace of this run can never
+//! disagree with the JSON (`tests/obs_trace.rs` holds that equality).
+//!
+//! Environment knobs:
+//!
+//! * `MILLION_JOBS` — compile pool size (default 0 = one thread per CPU).
+//! * `MILLION_CEILING_SECS` — when set, fail if the cold pipeline
+//!   (compile + link + solve, generation excluded) takes longer. CI sets
+//!   a generous ceiling; unset locally, the bench only reports.
+//!
+//! Results land in `target/BENCH_million.json` (override with a second
+//! positional argument).
+
+use cla::prelude::*;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v}")))
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let profile_path = args
+        .next()
+        .unwrap_or_else(|| "profiles/million.toml".to_string());
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "target/BENCH_million.json".to_string());
+    let jobs = env_usize("MILLION_JOBS", 0);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let profile = cla::genc::Profile::load(std::path::Path::new(&profile_path))?;
+    let work_dir = std::env::temp_dir().join(format!("cla-million-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    println!(
+        "generating `{}`: {} lines over {} files ...",
+        profile.name, profile.total_loc, profile.files
+    );
+    let t0 = Instant::now();
+    let gen = generate_to_dir(&profile, profile.seed, &work_dir)?;
+    let gen_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "  {} loc, {} files, {:.1} MB, {} functions in {:.2}s (tree hash {:016x})",
+        gen.loc,
+        gen.files,
+        gen.bytes as f64 / 1e6,
+        gen.functions,
+        gen_secs,
+        gen.tree_hash
+    );
+
+    let mut files: Vec<String> = (0..profile.files)
+        .map(|i| {
+            work_dir
+                .join(cla::genc::file_name(&profile, i))
+                .display()
+                .to_string()
+        })
+        .collect();
+    files.sort();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+
+    // ---- the cold pipeline: compile + stream-link + solve ---------------
+    let opts = PipelineOptions {
+        parallel_compile: true,
+        jobs,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let analysis = analyze(&OsFs, &refs, &opts)?;
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let r = &analysis.report;
+    let lines_per_sec = gen.loc as f64 / wall_secs;
+    println!(
+        "cold pipeline: {:.2}s  (compile {:.2}s, link {:.2}s, solve {:.2}s) — {:.0} lines/s",
+        wall_secs,
+        r.compile_time.as_secs_f64(),
+        r.link_time.as_secs_f64(),
+        r.solve_time.as_secs_f64(),
+        lines_per_sec
+    );
+    println!(
+        "  jobs={} cores={} peak-buffered-units={} peak-rss={:.0} MB",
+        r.jobs,
+        cores,
+        r.peak_buffered_units,
+        r.peak_rss_bytes as f64 / 1e6
+    );
+    println!(
+        "  variables={} assigns={} pointer-vars={} relations={} passes={}",
+        r.program_variables,
+        r.assign_counts.total(),
+        r.pointer_variables,
+        r.relations,
+        r.solve_stats.passes
+    );
+
+    // ---- observational sanity -------------------------------------------
+    // The solver must have reached a fixpoint on a non-trivial program and
+    // the demand loader must have pulled a sane fraction of the database.
+    assert!(r.solve_stats.passes >= 1, "solver never ran a pass");
+    assert!(
+        r.program_variables > profile.files * 10,
+        "suspiciously few variables: {}",
+        r.program_variables
+    );
+    assert!(r.pointer_variables > 0 && r.relations > 0, "empty solution");
+    assert!(
+        r.load_stats.assigns_loaded <= r.load_stats.assigns_in_file,
+        "loader accounting is broken"
+    );
+    // Streaming link: the reorder buffer must stay bounded by the pool,
+    // never approaching the file count (that would mean the old
+    // collect-then-link behavior snuck back in).
+    assert!(
+        r.peak_buffered_units <= (2 * r.jobs).max(1),
+        "reorder buffer held {} units for {} jobs",
+        r.peak_buffered_units,
+        r.jobs
+    );
+    // Spot-check flow the generator guarantees: some shared global pointer
+    // ends up pointing at something.
+    let gp_with_targets = (0..64)
+        .filter_map(|k| {
+            analysis
+                .database
+                .targets(&format!("gp{k}"))
+                .first()
+                .copied()
+        })
+        .filter(|&o| !analysis.points_to.points_to(o).is_empty())
+        .count();
+    assert!(gp_with_targets > 0, "no gp* global points anywhere");
+
+    let json = format!(
+        "{{\n  \"profile\": \"{}\",\n  \"seed\": {},\n  \"loc\": {},\n  \"files\": {},\n  \
+         \"source_bytes\": {},\n  \"functions\": {},\n  \"tree_hash\": \"{:016x}\",\n  \
+         \"gen_secs\": {gen_secs:.3},\n  \"wall_secs\": {wall_secs:.3},\n  \
+         \"lines_per_sec\": {lines_per_sec:.0},\n  \"compile_secs\": {:.3},\n  \
+         \"link_secs\": {:.3},\n  \"solve_secs\": {:.3},\n  \"jobs\": {},\n  \
+         \"cores\": {cores},\n  \"peak_buffered_units\": {},\n  \"peak_rss_bytes\": {},\n  \
+         \"variables\": {},\n  \"assignments\": {},\n  \"pointer_variables\": {},\n  \
+         \"relations\": {},\n  \"object_bytes\": {}\n}}\n",
+        profile.name,
+        gen.seed,
+        gen.loc,
+        gen.files,
+        gen.bytes,
+        gen.functions,
+        gen.tree_hash,
+        r.compile_time.as_secs_f64(),
+        r.link_time.as_secs_f64(),
+        r.solve_time.as_secs_f64(),
+        r.jobs,
+        r.peak_buffered_units,
+        r.peak_rss_bytes,
+        r.program_variables,
+        r.assign_counts.total(),
+        r.pointer_variables,
+        r.relations,
+        r.object_size,
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&out_path, json)?;
+    println!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&work_dir);
+    if let Ok(ceiling) = std::env::var("MILLION_CEILING_SECS") {
+        let ceiling: f64 = ceiling.parse()?;
+        assert!(
+            wall_secs <= ceiling,
+            "cold pipeline took {wall_secs:.2}s — above the {ceiling:.0}s ceiling"
+        );
+    }
+    Ok(())
+}

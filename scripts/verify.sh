@@ -29,6 +29,14 @@ echo "==> snapshot round trip (nethack profile: warm start >= 10x cold, identica
 cargo run -q --release --example snapshot_bench -- nethack 1.0 \
     "${BENCH_SNAPSHOT_OUT:-target/BENCH_snapshot.json}"
 
+echo "==> genc smoke (generate the ci-small profile, analyze it cold)"
+gen_dir="${GENC_SMOKE_DIR:-target/genc-smoke}"
+rm -rf "$gen_dir"
+./target/release/cla-tool gen profiles/ci-small.toml --out "$gen_dir" --seed 1
+./target/release/cla-tool analyze "$gen_dir"/*.c --jobs 0 --print gp0 \
+    | grep -q 'pts(gp0) = {'
+rm -rf "$gen_dir"
+
 echo "==> trace smoke (analyze the bundled example, validate the trace)"
 trace_out="${TRACE_OUT:-target/trace-smoke.json}"
 ./target/release/cla-tool analyze examples/c/main.c examples/c/store.c \

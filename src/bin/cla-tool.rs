@@ -3,6 +3,7 @@
 //! ```text
 //! cla-tool compile a.c b.c -o prog.clao      compile + link to a database
 //! cla-tool analyze a.c b.c                   full compile-link-analyze run
+//! cla-tool gen profiles/million.toml --out m generate a synthetic codebase
 //! cla-tool dump prog.clao                    Figure 4-style object dump
 //! cla-tool solve prog.clao [--print p q]     points-to analysis
 //! cla-tool depend prog.clao --target x       forward dependence query
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
         Some("dump") => cmd_dump(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
         Some("depend") => cmd_depend(&args[1..]),
@@ -87,13 +89,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cla-tool compile <src.c>... [-o out.clao] [-I dir] [-D NAME[=V]] [--field-independent]
-  cla-tool analyze <src.c>... [-I dir] [-D NAME[=V]] [--field-independent] [--parallel] [--snapshot DIR] [--print var...]
+  cla-tool analyze <src.c>... [-I dir] [-D NAME[=V]] [--field-independent] [--parallel] [--jobs N] [--snapshot DIR] [--print var...]
+  cla-tool gen <profile.toml> --out DIR [--seed N]
   cla-tool dump <prog.clao>
   cla-tool solve <prog.clao> [--solver NAME] [--print var...]
   cla-tool depend <prog.clao> --target NAME [--tree] [--non-target NAME]...
   cla-tool ctx <prog.clao> -k N -o out.clao
   cla-tool serve <prog.clao> --socket PATH [--snapshot DIR]
-  cla-tool serve <src.c>... --socket PATH [-I dir] [-D NAME[=V]] [--field-independent] [--snapshot DIR]
+  cla-tool serve <src.c>... --socket PATH [-I dir] [-D NAME[=V]] [--field-independent] [--jobs N] [--snapshot DIR]
   cla-tool snapshot-save <prog.clao> [-o out.clasnap]
   cla-tool snapshot-info <file.clasnap>
   cla-tool query --socket PATH points-to <var>
@@ -249,7 +252,15 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         })
         .collect();
     let field_independent = a.take_flag("--field-independent");
-    let parallel = a.take_flag("--parallel");
+    let mut parallel = a.take_flag("--parallel");
+    let jobs: usize = match a.take_values("--jobs")?.pop() {
+        Some(v) => {
+            let n = v.parse().map_err(|_| "--jobs needs a number")?;
+            parallel = true; // asking for a pool size implies a pool
+            n
+        }
+        None => 0,
+    };
     let snapshot_dir = a.take_values("--snapshot")?.pop();
     let print = a.take_tail("--print");
     let sources = a.positional();
@@ -270,6 +281,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         },
         solver: SolveOptions::default(),
         parallel_compile: parallel,
+        jobs,
     };
     let files: Vec<&str> = sources.iter().map(String::as_str).collect();
     // With `--snapshot DIR` the run persists its results: compiled objects
@@ -301,8 +313,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         r.object_size
     );
     println!(
-        "compile={:?} link={:?} solve={:?}",
-        r.compile_time, r.link_time, r.solve_time
+        "compile={:?} link={:?} solve={:?} jobs={} peak-buffered-units={} peak-rss-bytes={}",
+        r.compile_time, r.link_time, r.solve_time, r.jobs, r.peak_buffered_units, r.peak_rss_bytes
     );
     println!(
         "passes={} pointer-variables={} relations={} assigns-loaded={}/{}",
@@ -339,6 +351,49 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             println!("pts({name}) = {{{}}}", set.join(", "));
         }
     }
+    Ok(())
+}
+
+/// Generates a synthetic C codebase from a declarative profile
+/// (`profiles/*.toml`), streaming one file at a time to the output
+/// directory. The tree is a pure function of `(profile, seed)`.
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let mut a = Args::new(args);
+    let out = a
+        .take_values("--out")?
+        .pop()
+        .ok_or("`gen` needs `--out DIR`")?;
+    let seed = a
+        .take_values("--seed")?
+        .pop()
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --seed `{v}`")))
+        .transpose()?;
+    let positional = a.positional();
+    let [profile_path] = positional.as_slice() else {
+        return Err("usage: cla-tool gen <profile.toml> --out DIR [--seed N]".to_string());
+    };
+    let profile =
+        cla::genc::Profile::load(std::path::Path::new(profile_path)).map_err(|e| e.to_string())?;
+    let seed = seed.unwrap_or(profile.seed);
+    let started = std::time::Instant::now();
+    let report = cla::genc::generate_to_dir(&profile, seed, std::path::Path::new(&out))
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "generated {} ({} files + {}) in {:?}",
+        report.name,
+        report.files,
+        cla::genc::HEADER_NAME,
+        started.elapsed()
+    );
+    println!(
+        "loc={} bytes={} functions={} statements={} seed={} tree-hash={:016x}",
+        report.loc,
+        report.bytes,
+        report.functions,
+        report.statements,
+        report.seed,
+        report.tree_hash
+    );
     Ok(())
 }
 
@@ -506,6 +561,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         })
         .collect();
     let field_independent = a.take_flag("--field-independent");
+    let jobs: usize = match a.take_values("--jobs")?.pop() {
+        Some(v) => v.parse().map_err(|_| "--jobs needs a number")?,
+        None => 1,
+    };
     let snapshot_dir = a.take_values("--snapshot")?.pop();
     let snap_dir = snapshot_dir.as_deref().map(std::path::Path::new);
     let pos = a.positional();
@@ -537,13 +596,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 LowerOptions::default()
             };
             let files: Vec<&str> = pos.iter().map(String::as_str).collect();
-            let session = Session::from_files_with(
+            let session = Session::from_files_jobs(
                 &OsFs,
                 &files,
                 &pp,
                 &lower,
                 SolveOptions::default(),
                 snap_dir,
+                jobs,
             )
             .map_err(|e| e.to_string())?;
             (session, Some(Arc::new(OsFs)))
@@ -559,8 +619,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             }
         );
     }
-    let handle = cla::serve::serve(Arc::new(session), reload_fs, std::path::Path::new(&socket))
-        .map_err(|e| format!("cannot bind `{socket}`: {e}"))?;
+    let handle = cla::serve::serve_with(
+        Arc::new(session),
+        reload_fs,
+        std::path::Path::new(&socket),
+        cla::serve::ServeOptions {
+            jobs,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind `{socket}`: {e}"))?;
     eprintln!("cla-tool: serving on {socket} (send {{\"cmd\":\"shutdown\"}} to stop)");
     let stats = handle.join();
     println!("{}", stats.to_json().encode());

@@ -12,6 +12,8 @@
 //!   (worklist Andersen, Steensgaard) plus the compile-link-analyze
 //!   pipeline.
 //! * [`depend`] — the forward data-dependence (type migration) tool.
+//! * [`genc`] — the declarative million-line codebase generator behind the
+//!   "million lines in a second" harness (profiles in `profiles/`).
 //! * [`obs`] — zero-dependency tracing (Chrome `trace_event` JSONL) and
 //!   metrics (counters, histograms, Prometheus text exposition) wired
 //!   through every layer above.
@@ -43,6 +45,7 @@ pub use cla_cfront as cfront;
 pub use cla_cladb as cladb;
 pub use cla_core as core;
 pub use cla_depend as depend;
+pub use cla_genc as genc;
 pub use cla_ir as ir;
 pub use cla_obs as obs;
 pub use cla_serve as serve;
@@ -58,6 +61,7 @@ pub mod prelude {
     };
     pub use cla_core::{solve_database, solve_unit, PointsTo, SolveOptions};
     pub use cla_depend::{DependOptions, DependenceAnalysis};
+    pub use cla_genc::{generate_to_dir, generate_with, measure_tree, GenReport, Measure, Profile};
     pub use cla_ir::{
         compile_file, compile_source, AssignKind, CompiledUnit, FieldModel, LowerOptions, ObjId,
         ObjKind, Strength,

@@ -1,0 +1,120 @@
+//! Conformance tests for the shipped generator profiles: each profile in
+//! `profiles/` must parse, and the tree the generator emits for it must
+//! actually exhibit the declared shape — measured LOC, pointer density, and
+//! indirect-call rate within tolerance — and be byte-identical for the same
+//! seed. The generator steers emission with the same line classifier the
+//! measurer uses, so these are checks on the emitted text itself, not on
+//! the generator's intentions.
+
+use cla::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn shipped(name: &str) -> Profile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("profiles/{name}.toml"));
+    Profile::load(&path).unwrap_or_else(|e| panic!("profiles/{name}.toml: {e}"))
+}
+
+fn temp_tree(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cla-genc-conform-{tag}-{}", std::process::id()))
+}
+
+/// Generates `profile` at its own seed and asserts the measured tree sits
+/// within tolerance of every declared rate.
+fn assert_conforms(profile: &Profile) {
+    let dir = temp_tree(&profile.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = generate_to_dir(profile, profile.seed, &dir).unwrap();
+    let m = measure_tree(&dir).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(m.files, profile.files + 1, "files on disk (+1 header)");
+    assert_eq!(m.loc, report.loc, "measurer and generator disagree on LOC");
+    assert!(
+        m.loc >= profile.total_loc,
+        "generated {} loc, below the declared floor {}",
+        m.loc,
+        profile.total_loc
+    );
+    assert!(
+        (m.loc as f64) < profile.total_loc as f64 * 1.03,
+        "generated {} loc, more than 3% over the {} target",
+        m.loc,
+        profile.total_loc
+    );
+    assert!(
+        (m.pointer_density() - profile.pointer_density).abs() < 0.05,
+        "pointer density {:.3} vs declared {:.3}",
+        m.pointer_density(),
+        profile.pointer_density
+    );
+    assert!(
+        (m.indirect_call_rate() - profile.indirect_call_rate).abs() < 0.02,
+        "indirect-call rate {:.3} vs declared {:.3}",
+        m.indirect_call_rate(),
+        profile.indirect_call_rate
+    );
+    assert!(
+        (m.call_fanout() - profile.call_fanout).abs() < 0.75,
+        "call fanout {:.2} vs declared {:.2}",
+        m.call_fanout(),
+        profile.call_fanout
+    );
+}
+
+#[test]
+fn shipped_profiles_parse_and_validate() {
+    let small = shipped("ci-small");
+    assert_eq!(small.name, "ci_small");
+    assert!(
+        small.total_loc <= 20_000,
+        "ci-small must stay PR-gate sized"
+    );
+
+    let million = shipped("million");
+    assert_eq!(million.name, "million");
+    assert!(
+        million.total_loc >= 1_000_000,
+        "the headline profile must declare at least a million lines"
+    );
+    assert!(
+        million.files >= 300,
+        "the headline profile must span hundreds of files"
+    );
+}
+
+#[test]
+fn ci_small_tree_conforms_to_its_profile() {
+    assert_conforms(&shipped("ci-small"));
+}
+
+#[test]
+fn same_seed_and_profile_give_a_byte_identical_tree() {
+    let profile = shipped("ci-small");
+    let collect = |seed: u64| {
+        let mut files: Vec<(String, String)> = Vec::new();
+        let report = generate_with(&profile, seed, &mut |name, text| {
+            files.push((name.to_owned(), text.to_owned()));
+            Ok(())
+        })
+        .unwrap();
+        (report, files)
+    };
+    let (r1, f1) = collect(profile.seed);
+    let (r2, f2) = collect(profile.seed);
+    assert_eq!(r1.tree_hash, r2.tree_hash);
+    assert_eq!(f1, f2, "same seed produced different file contents");
+
+    let (r3, f3) = collect(profile.seed + 1);
+    assert_ne!(r1.tree_hash, r3.tree_hash, "seed does not reach the output");
+    assert_ne!(f1, f3);
+}
+
+/// The full headline conformance run: generates the actual million-line
+/// tree and measures it. Several seconds of work, so it is ignored in the
+/// PR gate; the CI `million` job runs it (and the end-to-end bench) in
+/// release mode.
+#[test]
+#[ignore = "full million-line generation; run by the CI million job"]
+fn million_tree_conforms_to_its_profile() {
+    assert_conforms(&shipped("million"));
+}

@@ -4,6 +4,7 @@
 //! still produce a semantically equivalent database — every by-name
 //! points-to answer identical, even though internal ids may differ.
 
+use cla::cladb::StreamLinker;
 use cla::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -64,6 +65,106 @@ fn recompiling_from_scratch_is_also_byte_identical() {
     let (a, _) = link(&compile_units(), "a.out");
     let (b, _) = link(&compile_units(), "a.out");
     assert_eq!(write_object(&a), write_object(&b));
+}
+
+#[test]
+fn stream_link_is_byte_identical_for_every_arrival_order() {
+    // A parallel compile pool finishes units in whatever order the scheduler
+    // picks. The stream linker must absorb any completion order and still
+    // produce the bytes of a serial in-order link: completion order is
+    // allowed to change the buffered window, never the output.
+    let units = compile_units();
+    let (serial, serial_stats) = link(&units, "a.out");
+    let serial_bytes = write_object(&serial);
+
+    let arrivals: [[usize; 3]; 6] = [
+        [0, 1, 2],
+        [0, 2, 1],
+        [1, 0, 2],
+        [1, 2, 0],
+        [2, 0, 1],
+        [2, 1, 0],
+    ];
+    for order in arrivals {
+        let mut stream = StreamLinker::new("a.out");
+        for &i in &order {
+            stream.push(i, units[i].clone());
+        }
+        assert_eq!(
+            stream.folded(),
+            units.len(),
+            "order {order:?} left units buffered"
+        );
+        let peak = stream.peak_buffered();
+        assert!(
+            (1..=units.len()).contains(&peak),
+            "order {order:?}: implausible reorder-buffer peak {peak}"
+        );
+        let (prog, stats) = stream.finish();
+        assert_eq!(
+            write_object(&prog),
+            serial_bytes,
+            "arrival order {order:?} leaked into the linked bytes"
+        );
+        assert_eq!(stats, serial_stats);
+    }
+
+    // The boundary cases of the buffered window: in-order arrival never
+    // holds more than the unit in hand; fully reversed arrival holds all.
+    let mut in_order = StreamLinker::new("a.out");
+    let mut reversed = StreamLinker::new("a.out");
+    for i in 0..units.len() {
+        in_order.push(i, units[i].clone());
+        reversed.push(units.len() - 1 - i, units[units.len() - 1 - i].clone());
+    }
+    assert_eq!(in_order.peak_buffered(), 1);
+    assert_eq!(reversed.peak_buffered(), units.len());
+}
+
+#[test]
+fn parallel_and_serial_compile_link_byte_identically() {
+    // End to end through the pipeline: a generated multi-file tree compiled
+    // with a worker pool must link to the byte-identical database a serial
+    // compile produces, at any pool size.
+    let profile = cla::genc::Profile::parse(
+        "name = \"det\"\ntotal_loc = 2400\nfiles = 6\nindirect_call_rate = 0.05\n",
+    )
+    .unwrap();
+    let mut fs = MemoryFs::new();
+    generate_with(&profile, 7, &mut |name, text| {
+        fs.add(name.to_owned(), text.to_owned());
+        Ok(())
+    })
+    .unwrap();
+    let files: Vec<String> = (0..profile.files)
+        .map(|i| cla::genc::file_name(&profile, i))
+        .collect();
+    let refs: Vec<&str> = files.iter().map(String::as_str).collect();
+
+    let serial = analyze(&fs, &refs, &PipelineOptions::default()).unwrap();
+    let serial_bytes = write_object(&serial.database.to_unit().unwrap());
+    assert_eq!(serial.report.jobs, 1);
+
+    for jobs in [2, 4] {
+        let opts = PipelineOptions {
+            parallel_compile: true,
+            jobs,
+            ..Default::default()
+        };
+        let parallel = analyze(&fs, &refs, &opts).unwrap();
+        assert_eq!(
+            write_object(&parallel.database.to_unit().unwrap()),
+            serial_bytes,
+            "jobs={jobs} changed the linked database bytes"
+        );
+        // Streaming link: the reorder buffer stays bounded by the pool's
+        // backpressure window, never approaching the file count.
+        assert!(
+            parallel.report.peak_buffered_units <= (2 * parallel.report.jobs).max(1),
+            "jobs={jobs}: buffered {} units",
+            parallel.report.peak_buffered_units
+        );
+    }
 }
 
 #[test]
