@@ -1,0 +1,154 @@
+//! Measures what the profiler costs when it is *not* running — the price
+//! every user pays — and when it is.
+//!
+//! Disabled, a span's only profiler work is one relaxed atomic load (the
+//! span-stack enable check), so the pipeline must stay within 2% of a
+//! build with no profiler at all. With the span stacks forced on, every
+//! span push/pops two atomics; with the sampler thread running at the
+//! default 1 kHz, add one registry walk per millisecond. Both enabled
+//! figures are reported; only the disabled one is asserted, since that is
+//! the default state.
+//!
+//! Self-timed like `obs_overhead.rs`: median of repeated runs, no
+//! benchmarking dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use cla_cfront::MemoryFs;
+use cla_core::pipeline::{analyze, PipelineOptions};
+use cla_workload::{by_name, generate, GenOptions};
+
+/// Runs `f` repeatedly and returns the median per-iteration time.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Duration {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let mut samples = Vec::new();
+    let budget = Instant::now();
+    while samples.len() < 30 && budget.elapsed() < Duration::from_secs(3) {
+        let t = Instant::now();
+        black_box(f());
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{name:32} {median:>12.2?}   ({} samples)", samples.len());
+    median
+}
+
+fn main() {
+    let spec = by_name("vortex").unwrap();
+    let w = generate(
+        spec,
+        &GenOptions {
+            scale: 0.05,
+            files: 4,
+            ..Default::default()
+        },
+    );
+    let mut fs = MemoryFs::new();
+    for (p, c) in &w.files {
+        fs.add(p.clone(), c.clone());
+    }
+    let files: Vec<&str> = w.source_files();
+    let opts = PipelineOptions::default();
+    let run = |fs: &MemoryFs| analyze(fs, &files, &opts).expect("pipeline");
+
+    println!("== prof overhead (vortex @ 5%, {} files) ==", files.len());
+
+    // Default state: no profiler, span stacks off.
+    assert!(
+        !cla_obs::spanstack::enabled(),
+        "bench must start with span stacks disabled"
+    );
+    let baseline = bench("pipeline, profiler absent", || run(&fs));
+
+    // Span stacks forced on, no sampler: the pure push/pop cost.
+    cla_obs::spanstack::enable();
+    let stacks_on = bench("pipeline, span stacks on", || run(&fs));
+    cla_obs::spanstack::disable();
+
+    // Full profiler: stacks + 1 kHz sampler thread.
+    let profiler = cla_prof::Profiler::start_default();
+    let sampled = bench("pipeline, sampler at 1 kHz", || run(&fs));
+    let profile = profiler.stop();
+    println!(
+        "  ({} samples collected over the sampled runs)",
+        profile.samples
+    );
+
+    assert!(
+        !cla_obs::spanstack::enabled(),
+        "profiler did not release the span stacks"
+    );
+
+    let pct = |num: Duration, den: Duration| {
+        (num.as_secs_f64() - den.as_secs_f64()) / den.as_secs_f64() * 100.0
+    };
+    println!(
+        "span stacks on: {:+.1}%   sampler on: {:+.1}%",
+        pct(stacks_on, baseline),
+        pct(sampled, baseline)
+    );
+
+    // The <2% assertion. Sequential before/after timing cannot hold a 2%
+    // bound on a shared machine (frequency drift alone exceeds it), so the
+    // two states are *interleaved*: each round runs the pipeline once in
+    // each state. The within-round order alternates too — the second run
+    // of a round is reliably faster (warm caches), and alternating makes
+    // that bias hit both series equally. The median difference then
+    // isolates what a retired profiler actually leaves behind.
+    let mut never = Vec::new();
+    let mut retired = Vec::new();
+    // Every timed run is the second of a back-to-back burst, so both
+    // series are equally cache-warm. The retired burst additionally runs a
+    // full profiler cycle first; its untimed first run also absorbs the
+    // cycle's transient (thread join, Profile teardown), which is not the
+    // durable state this bench asserts on.
+    let measure_never = |never: &mut Vec<Duration>| {
+        black_box(run(&fs));
+        let t = Instant::now();
+        black_box(run(&fs));
+        never.push(t.elapsed());
+    };
+    let measure_retired = |retired: &mut Vec<Duration>| {
+        let p = cla_prof::Profiler::start_default();
+        drop(p.stop());
+        black_box(run(&fs));
+        let t = Instant::now();
+        black_box(run(&fs));
+        retired.push(t.elapsed());
+    };
+    for round in 0..48 {
+        if round % 2 == 0 {
+            measure_never(&mut never);
+            measure_retired(&mut retired);
+        } else {
+            measure_retired(&mut retired);
+            measure_never(&mut never);
+        }
+    }
+    // Matched pairs: each round's two runs are adjacent in time, so drift
+    // cancels within the pair and the per-round relative difference is the
+    // clean signal. The assertion allows two standard errors of headroom
+    // on top of the 2% budget — on a quiet machine that's a fraction of a
+    // percent, and on a noisy shared runner it widens exactly as much as
+    // the measurements themselves are untrustworthy, instead of flaking.
+    let diffs: Vec<f64> = never
+        .iter()
+        .zip(&retired)
+        .map(|(n, r)| (r.as_secs_f64() - n.as_secs_f64()) / n.as_secs_f64() * 100.0)
+        .collect();
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (diffs.len() - 1) as f64;
+    let stderr = (var / diffs.len() as f64).sqrt();
+    println!(
+        "disabled-mode overhead (matched pairs): {mean:+.2}% ± {stderr:.2}% over {} rounds",
+        diffs.len()
+    );
+    assert!(
+        mean < 2.0 + 2.0 * stderr,
+        "profiler-retired runs are {mean:.2}% ± {stderr:.2}% slower than profiler-never runs — state leaked"
+    );
+}

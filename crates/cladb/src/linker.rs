@@ -76,6 +76,9 @@ impl Linker {
         let indirect_sigs = &mut self.indirect_sigs;
         stats.units += 1;
         stats.objects_in += unit.objects.len();
+        // Symbol phase: file-table remap plus link-name unification (the
+        // paper's "hash global symbols into the program database").
+        let sym_sp = cla_obs::global().span("link", "link.symbols");
         // File table remap.
         let file_map: Vec<FileIdx> = unit
             .files
@@ -136,7 +139,11 @@ impl Linker {
                 }
             }
         }
+        drop(sym_sp);
 
+        // Merge phase: assignments and signatures rewritten into program
+        // object-id space.
+        let merge_sp = cla_obs::global().span("link", "link.merge");
         // Assignments.
         for a in &unit.assigns {
             out.push_assign(PrimAssign {
@@ -174,6 +181,7 @@ impl Linker {
                 }
             }
         }
+        drop(merge_sp);
     }
 
     /// Finalizes the program database and its stats.

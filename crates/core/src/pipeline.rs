@@ -209,7 +209,15 @@ pub struct Report {
     /// Process peak resident set size in bytes at the end of the run
     /// (Linux `VmHWM`; 0 where unavailable).
     pub peak_rss_bytes: u64,
+    /// The most expensive files of the compile phase, costliest first
+    /// (wall time of each file's preprocess+parse+lower, capped at
+    /// [`SLOWEST_FILES_CAP`] entries). On generated codebases this is how
+    /// a profile names the outlier files worth shrinking.
+    pub slowest_files: Vec<(String, Duration)>,
 }
+
+/// Number of entries retained in [`Report::slowest_files`].
+pub const SLOWEST_FILES_CAP: usize = 10;
 
 impl Report {
     /// Table 3 "in core": complex assignments retained by the solver.
@@ -300,9 +308,20 @@ pub fn analyze_with(
         linker,
         stats,
         keys,
+        durs,
         cache_hits: compile_cache_hits,
         jobs,
     } = streamed;
+    let slowest_files = {
+        let mut ranked: Vec<(String, Duration)> = files
+            .iter()
+            .zip(&durs)
+            .map(|(f, &d)| ((*f).to_string(), d))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(SLOWEST_FILES_CAP);
+        ranked
+    };
     let compile_cache_misses = files.len() - compile_cache_hits;
     let inputs: Vec<(String, u64)> = files
         .iter()
@@ -370,6 +389,7 @@ pub fn analyze_with(
         jobs,
         peak_buffered_units,
         peak_rss_bytes: cla_obs::peak_rss_bytes(),
+        slowest_files,
     };
     Ok(Analysis {
         points_to,
@@ -439,6 +459,9 @@ struct StreamedCompile {
     linker: StreamLinker,
     stats: Vec<CompileStats>,
     keys: Vec<u64>,
+    /// Wall time each file spent in `one` (compile or cache hit), in
+    /// input order — the raw material for `Report::slowest_files`.
+    durs: Vec<Duration>,
     cache_hits: usize,
     jobs: usize,
 }
@@ -463,9 +486,12 @@ fn stream_compile_link(
     if !opts.parallel_compile || files.len() < 2 {
         let mut stats = Vec::with_capacity(files.len());
         let mut keys = Vec::with_capacity(files.len());
+        let mut durs = Vec::with_capacity(files.len());
         let mut cache_hits = 0usize;
         for (i, f) in files.iter().enumerate() {
+            let t = std::time::Instant::now();
             let c = one(f)?;
+            durs.push(t.elapsed());
             stats.push(c.stats);
             keys.push(c.key);
             cache_hits += usize::from(c.cache_hit);
@@ -475,6 +501,7 @@ fn stream_compile_link(
             linker,
             stats,
             keys,
+            durs,
             cache_hits,
             jobs: 1,
         });
@@ -487,8 +514,8 @@ fn stream_compile_link(
     // Fold progress, shared with the workers for backpressure.
     let progress = Mutex::new(0usize);
     let unblocked = Condvar::new();
-    let (tx, rx) = mpsc::channel::<(usize, Result<CompiledFile, CError>)>();
-    let mut slots: Vec<Option<(CompileStats, u64, bool)>> =
+    let (tx, rx) = mpsc::channel::<(usize, Duration, Result<CompiledFile, CError>)>();
+    let mut slots: Vec<Option<(CompileStats, u64, bool, Duration)>> =
         (0..files.len()).map(|_| None).collect();
     let mut first_err: Option<CError> = None;
     let one = &one;
@@ -510,9 +537,10 @@ fn stream_compile_link(
                 if abort.load(Relaxed) {
                     break;
                 }
+                let t = std::time::Instant::now();
                 let r = one(files[i]);
                 let failed = r.is_err();
-                if tx.send((i, r)).is_err() {
+                if tx.send((i, t.elapsed(), r)).is_err() {
                     break;
                 }
                 if failed {
@@ -522,10 +550,10 @@ fn stream_compile_link(
             });
         }
         drop(tx);
-        for (i, r) in rx {
+        for (i, dur, r) in rx {
             match r {
                 Ok(c) => {
-                    slots[i] = Some((c.stats, c.key, c.cache_hit));
+                    slots[i] = Some((c.stats, c.key, c.cache_hit, dur));
                     linker.push(i, c.unit);
                     let mut folded = progress.lock().unwrap();
                     *folded = linker.folded();
@@ -545,17 +573,20 @@ fn stream_compile_link(
     }
     let mut stats = Vec::with_capacity(files.len());
     let mut keys = Vec::with_capacity(files.len());
+    let mut durs = Vec::with_capacity(files.len());
     let mut cache_hits = 0usize;
     for slot in slots {
-        let (s, k, hit) = slot.expect("every file compiled");
+        let (s, k, hit, d) = slot.expect("every file compiled");
         stats.push(s);
         keys.push(k);
+        durs.push(d);
         cache_hits += usize::from(hit);
     }
     Ok(StreamedCompile {
         linker,
         stats,
         keys,
+        durs,
         cache_hits,
         jobs,
     })
@@ -591,6 +622,10 @@ mod tests {
         assert!(r.pointer_variables >= 2);
         assert!(r.relations >= 2);
         assert!(r.source_bytes > 0);
+        // Per-file attribution: both files ranked, costliest first.
+        assert_eq!(r.slowest_files.len(), 2);
+        assert!(r.slowest_files[0].1 >= r.slowest_files[1].1);
+        assert!(r.slowest_files.iter().any(|(f, _)| f == "a.c"));
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub fn compile_file(
     let mut sp = cla_obs::global().span("front", "compile_file");
     sp.set("file", path);
     let parsed = parse_file(fs, path, pp)?;
+    let gen_sp = cla_obs::global().span("front", "assign_gen");
     let unit = lower_unit(&parsed.tu, &parsed.sources, lower);
+    drop(gen_sp);
     sp.set("objects", unit.objects.len());
     sp.set("assigns", unit.assigns.len());
     let stats = CompileStats {

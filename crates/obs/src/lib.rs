@@ -11,7 +11,13 @@
 //! - **Counters** ([`Counter`]): relaxed atomic monotonic counters. Call
 //!   sites cache the handle, so the hot path is a single `fetch_add`.
 //! - **Histograms** ([`Histogram`]): fixed-bucket, lock-free latency/size
-//!   distributions.
+//!   distributions. [`Gauge`]s cover last-value readings (queue depths,
+//!   high-water marks).
+//!
+//! When the [`spanstack`] refcount is raised (by the `cla-prof` sampling
+//! profiler or its counting allocator), every span additionally maintains a
+//! per-thread stack of interned names that other threads can snapshot;
+//! while nothing is profiling, that costs one relaxed atomic load per span.
 //!
 //! Sinks are pluggable via [`TraceSink`]: [`ChromeTraceWriter`] streams a
 //! `chrome://tracing` / Perfetto-loadable JSON trace, [`MemorySink`] collects
@@ -24,11 +30,12 @@
 //! attached.
 
 mod metrics;
+pub mod spanstack;
 mod trace;
 
 pub use metrics::{
-    escape_label_value, nearest_rank, parse_exposition, peak_rss_bytes, Counter, Histogram, Sample,
-    LATENCY_BUCKETS_US,
+    escape_label_value, nearest_rank, parse_exposition, peak_rss_bytes, Counter, Gauge, Histogram,
+    Sample, LATENCY_BUCKETS_US,
 };
 pub use trace::{
     escape_json, ArgValue, ChromeTraceWriter, MemorySink, NoopSink, Phase, TraceEvent, TraceSink,
@@ -39,10 +46,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
-/// A registered metric: counter or histogram.
+/// A registered metric: counter, gauge, or histogram.
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Counter),
+    Gauge(Gauge),
     Histogram(Histogram),
 }
 
@@ -138,6 +146,15 @@ impl Obs {
         }
     }
 
+    /// Send a fully-formed event to the attached sink (no-op when tracing
+    /// is off). Used by out-of-crate emitters such as the `cla-prof`
+    /// sampler, whose events do not fit the span/instant helpers.
+    pub fn emit_event(&self, ev: &TraceEvent) {
+        if self.tracing() {
+            self.emit(ev);
+        }
+    }
+
     /// Start a span named `name` under category `cat`. The guard emits a
     /// begin event now (if tracing) and an end event carrying any fields set
     /// with [`Span::set`] when dropped or [`Span::finish`]ed.
@@ -154,12 +171,14 @@ impl Obs {
                 args: Vec::new(),
             });
         }
+        let pushed = spanstack::push(name);
         Span {
             obs: self,
             cat,
             name,
             start: Instant::now(),
             emit,
+            pushed,
             args: Vec::new(),
             done: false,
         }
@@ -195,7 +214,25 @@ impl Obs {
             .or_insert_with(|| Metric::Counter(Counter::new()))
         {
             Metric::Counter(c) => c.clone(),
-            Metric::Histogram(_) => panic!("metric {name} already registered as a histogram"),
+            _ => panic!("metric {name} already registered with another type"),
+        }
+    }
+
+    /// Get or register the unlabelled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Get or register gauge `name` with the given label pairs.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = (name.to_string(), render_labels(labels));
+        let mut map = self.metrics.lock().expect("obs metrics lock poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with another type"),
         }
     }
 
@@ -209,7 +246,7 @@ impl Obs {
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
         {
             Metric::Histogram(h) => h.clone(),
-            Metric::Counter(_) => panic!("metric {name} already registered as a counter"),
+            _ => panic!("metric {name} already registered with another type"),
         }
     }
 
@@ -218,6 +255,11 @@ impl Obs {
     /// samples, histograms as cumulative `_bucket{le=...}` series plus
     /// `_sum` and `_count`.
     pub fn prometheus_text(&self) -> String {
+        // Process-level gauges are refreshed at scrape time so they are
+        // always present and current in the exposition, matching the
+        // figures `SessionStats` reports.
+        self.gauge("cla_process_peak_rss_bytes")
+            .set(peak_rss_bytes());
         let snapshot: Vec<(MetricKey, Metric)> = {
             let map = self.metrics.lock().expect("obs metrics lock poisoned");
             map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
@@ -228,6 +270,7 @@ impl Obs {
             if last_typed.as_deref() != Some(name.as_str()) {
                 let kind = match metric {
                     Metric::Counter(_) => "counter",
+                    Metric::Gauge(_) => "gauge",
                     Metric::Histogram(_) => "histogram",
                 };
                 out.push_str("# TYPE ");
@@ -240,6 +283,9 @@ impl Obs {
             match metric {
                 Metric::Counter(c) => {
                     metrics::render_sample_line(&mut out, &name, &labels, None, c.get());
+                }
+                Metric::Gauge(g) => {
+                    metrics::render_sample_line(&mut out, &name, &labels, None, g.get());
                 }
                 Metric::Histogram(h) => {
                     let bucket_name = format!("{name}_bucket");
@@ -310,6 +356,7 @@ pub struct Span<'a> {
     name: &'static str,
     start: Instant,
     emit: bool,
+    pushed: bool,
     args: Vec<(&'static str, ArgValue)>,
     done: bool,
 }
@@ -340,6 +387,11 @@ impl Span<'_> {
             return;
         }
         self.done = true;
+        if self.pushed {
+            // Pop only what this guard pushed: a profiler attaching mid-span
+            // sees spans opened before it started simply as absent frames.
+            spanstack::pop();
+        }
         if self.emit {
             self.obs.emit(&TraceEvent {
                 name: self.name.to_string(),
@@ -427,10 +479,14 @@ mod tests {
         h.observe(5);
         h.observe(50);
         h.observe(5000);
+        obs.gauge("cla_serve_slow_log_depth").set(4);
         let text = obs.prometheus_text();
         // One TYPE line per metric name, even with several label sets.
         assert_eq!(text.matches("# TYPE cla_y_total counter").count(), 1);
         assert!(text.contains("# TYPE cla_lat_us histogram"));
+        assert!(text.contains("# TYPE cla_serve_slow_log_depth gauge"));
+        // The process peak-RSS gauge is refreshed at render time.
+        assert!(text.contains("# TYPE cla_process_peak_rss_bytes gauge"));
         let samples = parse_exposition(&text).expect("rendered exposition must parse");
         let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
             samples
@@ -445,6 +501,9 @@ mod tests {
         };
         assert_eq!(find("cla_x_total", None), 5.0);
         assert_eq!(find("cla_y_total", Some(("section", "static"))), 2.0);
+        assert_eq!(find("cla_serve_slow_log_depth", None), 4.0);
+        // The high-water mark can only grow between render and now.
+        assert!(find("cla_process_peak_rss_bytes", None) as u64 <= peak_rss_bytes());
         assert_eq!(find("cla_lat_us_count", None), 3.0);
         assert_eq!(find("cla_lat_us_bucket", Some(("le", "+Inf"))), 3.0);
         assert_eq!(find("cla_lat_us_bucket", Some(("le", "10"))), 1.0);

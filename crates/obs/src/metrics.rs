@@ -32,6 +32,34 @@ impl Counter {
     }
 }
 
+/// Last-value gauge (set rather than added). Cloning shares the cell, like
+/// [`Counter`]; used for level-style readings such as the slow-query log
+/// depth or the peak-RSS high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// New gauge starting at zero (detached from any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to at least `v` (monotone high-water mark).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// The process's peak resident set size (max RSS high-water mark) in
 /// bytes, read from `/proc/self/status` (`VmHWM`). Returns 0 on platforms
 /// without procfs — callers treat 0 as "unavailable", never as a
@@ -326,6 +354,18 @@ mod tests {
         let c2 = c.clone();
         c2.inc();
         assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauge_sets_and_tracks_high_water() {
+        let g = Gauge::new();
+        g.set(5);
+        let g2 = g.clone();
+        g2.set(3);
+        assert_eq!(g.get(), 3);
+        g.set_max(10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
     }
 
     #[test]

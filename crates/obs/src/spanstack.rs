@@ -1,0 +1,288 @@
+//! Per-thread stacks of active span names, readable from other threads.
+//!
+//! This is the substrate the `cla-prof` sampling profiler stands on. Every
+//! span name is interned to a small `u32` id; each thread that opens a span
+//! while the stacks are enabled owns a fixed-size array of atomic slots plus
+//! an atomic depth. The owning thread pushes and pops; the sampler thread
+//! reads `(depth, slots[0..depth])` without stopping anyone. A sample that
+//! races a push/pop may see a stack that is one frame stale — that is one
+//! mis-attributed sample out of thousands, not a correctness problem.
+//!
+//! The stacks are off by default and cost the span hot path exactly one
+//! relaxed atomic load while off. [`enable`]/[`disable`] form a refcount so
+//! several profilers (or a profiler plus the counting allocator) can overlap.
+//!
+//! Stacks are created lazily, registered in a process-global list, and never
+//! freed: the counting allocator in `cla-prof` reads the current thread's
+//! stack from inside `alloc`, so the backing memory must stay valid for the
+//! life of the process. The leak is bounded by the number of threads that
+//! ever open a span while enabled (~¼ KiB each).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Frames beyond this depth are counted (so pops stay balanced) but not
+/// recorded. CLA span nesting is shallow (pipeline → phase → file → pass);
+/// 32 frames is several times the deepest real stack.
+pub const MAX_DEPTH: usize = 32;
+
+/// Reserved id rendered as `(no span)`: the top of an empty stack, and the
+/// overflow id for stacks deeper than [`MAX_DEPTH`].
+pub const NO_SPAN: u32 = 0;
+
+/// One thread's stack of interned span ids. Single writer (the owning
+/// thread), any number of readers.
+pub struct ThreadStack {
+    tid: u64,
+    depth: AtomicUsize,
+    slots: [AtomicU32; MAX_DEPTH],
+}
+
+impl ThreadStack {
+    fn new(tid: u64) -> Self {
+        Self {
+            tid,
+            depth: AtomicUsize::new(0),
+            slots: [const { AtomicU32::new(NO_SPAN) }; MAX_DEPTH],
+        }
+    }
+
+    #[inline]
+    fn push(&self, id: u32) {
+        let d = self.depth.load(Ordering::Relaxed);
+        if d < MAX_DEPTH {
+            self.slots[d].store(id, Ordering::Relaxed);
+        }
+        // Release so a reader that observes the new depth also observes the
+        // slot written above.
+        self.depth.store(d + 1, Ordering::Release);
+    }
+
+    #[inline]
+    fn pop(&self) {
+        let d = self.depth.load(Ordering::Relaxed);
+        if d > 0 {
+            self.depth.store(d - 1, Ordering::Release);
+        }
+    }
+
+    /// Innermost span id, or [`NO_SPAN`] when the stack is empty.
+    #[inline]
+    pub fn top(&self) -> u32 {
+        let d = self.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+        if d == 0 {
+            NO_SPAN
+        } else {
+            self.slots[d - 1].load(Ordering::Relaxed)
+        }
+    }
+
+    /// Snapshot the stack outermost-first. Empty when the thread has no
+    /// open spans.
+    pub fn snapshot(&self, out: &mut Vec<u32>) {
+        out.clear();
+        let d = self.depth.load(Ordering::Acquire).min(MAX_DEPTH);
+        for slot in &self.slots[..d] {
+            out.push(slot.load(Ordering::Relaxed));
+        }
+    }
+}
+
+/// How many callers currently want stacks maintained.
+static USERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Every thread's stack, in creation order. Entries are `'static` (leaked)
+/// so lock-free readers — including the allocator — never race a free.
+static REGISTRY: Mutex<Vec<&'static ThreadStack>> = Mutex::new(Vec::new());
+
+/// Interner state: name → id and the reverse table. Ids start at 1
+/// ([`NO_SPAN`] is 0).
+static NAMES: Mutex<Option<Interner>> = Mutex::new(None);
+
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+thread_local! {
+    // Raw pointer so access is const-initialised and destructor-free: the
+    // counting allocator reads this from inside `alloc`, where a lazily
+    // initialised thread-local would recurse into the allocator.
+    static CUR: Cell<*const ThreadStack> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Turn span-stack maintenance on (refcounted). Returns a guard-free token;
+/// pair every call with [`disable`].
+pub fn enable() {
+    USERS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Drop one enable refcount.
+pub fn disable() {
+    let prev = USERS.fetch_sub(1, Ordering::SeqCst);
+    debug_assert!(prev > 0, "span-stack disable without matching enable");
+}
+
+/// Are stacks currently being maintained? One relaxed load — this is the
+/// only cost the feature adds to the disabled span hot path.
+#[inline]
+pub fn enabled() -> bool {
+    USERS.load(Ordering::Relaxed) > 0
+}
+
+/// Intern `name`, returning its stable id (> 0).
+pub fn intern(name: &'static str) -> u32 {
+    let mut guard = NAMES.lock().expect("span-name interner poisoned");
+    let interner = guard.get_or_insert_with(|| Interner {
+        ids: HashMap::new(),
+        names: vec!["(no span)"],
+    });
+    if let Some(&id) = interner.ids.get(name) {
+        return id;
+    }
+    let id = interner.names.len() as u32;
+    interner.names.push(name);
+    interner.ids.insert(name, id);
+    id
+}
+
+/// Resolve an interned id back to its span name.
+pub fn name_of(id: u32) -> &'static str {
+    let guard = NAMES.lock().expect("span-name interner poisoned");
+    guard
+        .as_ref()
+        .and_then(|i| i.names.get(id as usize).copied())
+        .unwrap_or("(no span)")
+}
+
+fn this_thread_stack() -> &'static ThreadStack {
+    let p = CUR.with(|c| c.get());
+    if !p.is_null() {
+        // Safety: the pointee is leaked at registration and never freed.
+        return unsafe { &*p };
+    }
+    let stack: &'static ThreadStack = Box::leak(Box::new(ThreadStack::new(crate::current_tid())));
+    REGISTRY
+        .lock()
+        .expect("span-stack registry poisoned")
+        .push(stack);
+    CUR.with(|c| c.set(stack as *const ThreadStack));
+    stack
+}
+
+/// Push `name` onto the current thread's stack if stacks are enabled.
+/// Returns whether a pop is owed — span guards remember this so a profiler
+/// started mid-span still sees balanced stacks.
+#[inline]
+pub(crate) fn push(name: &'static str) -> bool {
+    if !enabled() {
+        return false;
+    }
+    this_thread_stack().push(intern(name));
+    true
+}
+
+/// Pop the current thread's stack (only called when `push` returned true).
+#[inline]
+pub(crate) fn pop() {
+    let p = CUR.with(|c| c.get());
+    if !p.is_null() {
+        unsafe { (*p).pop() };
+    }
+}
+
+/// Innermost span id on the *current* thread, [`NO_SPAN`] when none. Safe
+/// to call from a global allocator: no allocation, no lazy thread-local
+/// init, tolerates being called during thread teardown.
+#[inline]
+pub fn current_span_id() -> u32 {
+    CUR.try_with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            NO_SPAN
+        } else {
+            unsafe { (*p).top() }
+        }
+    })
+    .unwrap_or(NO_SPAN)
+}
+
+/// Snapshot every registered thread's stack as `(tid, outermost-first ids)`.
+/// Threads with no open span are skipped. `scratch` is reused between calls
+/// so the sampler allocates only for non-empty stacks.
+pub fn sample_stacks(out: &mut Vec<(u64, Vec<u32>)>, scratch: &mut Vec<u32>) {
+    out.clear();
+    let registry = REGISTRY.lock().expect("span-stack registry poisoned");
+    for stack in registry.iter() {
+        stack.snapshot(scratch);
+        if !scratch.is_empty() {
+            out.push((stack.tid, scratch.clone()));
+        }
+    }
+}
+
+/// Current depth of the calling thread's stack (test hook).
+pub fn current_depth() -> usize {
+    CUR.with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            0
+        } else {
+            unsafe { (*p).depth.load(Ordering::Relaxed) }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // All tests share the process-global registry and interner, so anything
+    // that flips the enable refcount or inspects this thread's stack lives
+    // in a single test body.
+    #[test]
+    fn stacks_record_nesting_and_survive_overflow() {
+        assert!(!enabled());
+        assert_eq!(current_span_id(), NO_SPAN);
+
+        enable();
+        assert!(enabled());
+        let a = intern("alpha");
+        let b = intern("beta");
+        assert_eq!(intern("alpha"), a, "interning is idempotent");
+        assert_eq!(name_of(a), "alpha");
+        assert_eq!(name_of(NO_SPAN), "(no span)");
+
+        assert!(push("alpha"));
+        assert!(push("beta"));
+        assert_eq!(current_span_id(), b);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        sample_stacks(&mut out, &mut scratch);
+        let mine = out
+            .iter()
+            .find(|(tid, _)| *tid == crate::current_tid())
+            .expect("this thread's stack is registered");
+        assert_eq!(mine.1, vec![a, b]);
+
+        // Push far past MAX_DEPTH; pops must still rebalance exactly.
+        for _ in 0..2 * MAX_DEPTH {
+            assert!(push("deep"));
+        }
+        for _ in 0..2 * MAX_DEPTH {
+            pop();
+        }
+        assert_eq!(current_span_id(), b);
+        pop();
+        assert_eq!(current_span_id(), a);
+        pop();
+        assert_eq!(current_span_id(), NO_SPAN);
+        assert_eq!(current_depth(), 0);
+
+        disable();
+        assert!(!enabled());
+        assert!(!push("alpha"), "disabled stacks refuse pushes");
+    }
+}

@@ -26,6 +26,8 @@ pub enum Phase {
     Counter,
     /// `M` — metadata (process/thread names).
     Meta,
+    /// `P` — profiler sample (emitted by `cla-prof` when tracing is on).
+    Sample,
 }
 
 impl Phase {
@@ -37,6 +39,7 @@ impl Phase {
             Phase::Instant => 'i',
             Phase::Counter => 'C',
             Phase::Meta => 'M',
+            Phase::Sample => 'P',
         }
     }
 }

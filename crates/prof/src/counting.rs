@@ -1,0 +1,219 @@
+//! Feature-gated counting global allocator.
+//!
+//! With `--features count-alloc`, this module installs a
+//! `#[global_allocator]` wrapper around [`std::alloc::System`] that charges
+//! every allocation to the innermost active obs span on the calling thread
+//! (via [`cla_obs::spanstack::current_span_id`], which is allocation-free
+//! and safe to call from inside the allocator). Each span accumulates
+//! cumulative bytes and allocation counts, plus the highest *global* live
+//! heap observed while it was innermost — the attribution rule that makes
+//! "peak heap during link" a well-defined number even though the bytes may
+//! have been allocated earlier.
+//!
+//! Without the feature every entry point compiles to a stub that reports
+//! `enabled: false`, so callers (serve `stats`, `--profile` output) never
+//! need their own `cfg` gates.
+
+/// Allocation totals for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAlloc {
+    /// Span name (`(no span)` collects allocations outside any span).
+    pub span: &'static str,
+    /// Cumulative bytes allocated while this span was innermost.
+    pub bytes: u64,
+    /// Number of allocations charged to this span.
+    pub allocs: u64,
+    /// Highest process-wide live heap observed while this span was
+    /// innermost, in bytes.
+    pub peak_live_bytes: u64,
+}
+
+/// Point-in-time view of the counting allocator.
+#[derive(Debug, Clone, Default)]
+pub struct AllocSnapshot {
+    /// Whether the crate was built with `count-alloc`. All other fields
+    /// are zero/empty when false.
+    pub enabled: bool,
+    /// Cumulative bytes allocated process-wide.
+    pub total_bytes: u64,
+    /// Cumulative allocation count process-wide.
+    pub total_allocs: u64,
+    /// Live heap right now, in bytes.
+    pub live_bytes: u64,
+    /// Highest live heap ever observed, in bytes.
+    pub peak_live_bytes: u64,
+    /// Per-span accounting, heaviest cumulative bytes first. Spans with no
+    /// charged allocations are omitted.
+    pub by_span: Vec<SpanAlloc>,
+}
+
+/// Make span attribution active for allocation accounting even when no
+/// sampler is running. A no-op without `count-alloc`; call once early in
+/// `main` (idempotent).
+pub fn init() {
+    #[cfg(feature = "count-alloc")]
+    {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        // Raise the span-stack refcount permanently: the allocator reads
+        // the current thread's innermost span on every allocation.
+        ONCE.call_once(cla_obs::spanstack::enable);
+    }
+}
+
+/// Snapshot the allocator state. Cheap (a few hundred relaxed loads).
+pub fn alloc_snapshot() -> AllocSnapshot {
+    #[cfg(feature = "count-alloc")]
+    {
+        enabled::snapshot()
+    }
+    #[cfg(not(feature = "count-alloc"))]
+    {
+        AllocSnapshot::default()
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+mod enabled {
+    use super::{AllocSnapshot, SpanAlloc};
+    use cla_obs::spanstack;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Per-span slots, indexed by interned span id. The CLA span namespace
+    /// is a few dozen static names; ids at or past the table edge fall into
+    /// slot 0 (`(no span)`).
+    const SLOTS: usize = 512;
+
+    struct Slot {
+        bytes: AtomicU64,
+        allocs: AtomicU64,
+        peak_live: AtomicU64,
+    }
+
+    static TABLE: [Slot; SLOTS] = [const {
+        Slot {
+            bytes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+        }
+    }; SLOTS];
+
+    static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+    static TOTAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static LIVE: AtomicU64 = AtomicU64::new(0);
+    static PEAK_LIVE: AtomicU64 = AtomicU64::new(0);
+
+    /// The wrapper itself. Every accounting step is a relaxed atomic op;
+    /// nothing here allocates, so reentrancy is impossible.
+    pub struct CountingAlloc;
+
+    #[inline]
+    fn charge(size: u64) {
+        TOTAL_BYTES.fetch_add(size, Ordering::Relaxed);
+        TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK_LIVE.fetch_max(live, Ordering::Relaxed);
+        let id = spanstack::current_span_id() as usize;
+        let slot = &TABLE[if id < SLOTS { id } else { 0 }];
+        slot.bytes.fetch_add(size, Ordering::Relaxed);
+        slot.allocs.fetch_add(1, Ordering::Relaxed);
+        slot.peak_live.fetch_max(live, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn release(size: u64) {
+        LIVE.fetch_sub(size, Ordering::Relaxed);
+    }
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                charge(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() {
+                charge(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            release(layout.size() as u64);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                // Count a grow as a fresh charge for the delta; a shrink
+                // only lowers the live figure.
+                release(layout.size() as u64);
+                charge(new_size as u64);
+            }
+            p
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAlloc = CountingAlloc;
+
+    pub fn snapshot() -> AllocSnapshot {
+        let mut by_span: Vec<SpanAlloc> = TABLE
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.allocs.load(Ordering::Relaxed) > 0)
+            .map(|(id, s)| SpanAlloc {
+                span: spanstack::name_of(id as u32),
+                bytes: s.bytes.load(Ordering::Relaxed),
+                allocs: s.allocs.load(Ordering::Relaxed),
+                peak_live_bytes: s.peak_live.load(Ordering::Relaxed),
+            })
+            .collect();
+        by_span.sort_by(|a, b| b.bytes.cmp(&a.bytes).then_with(|| a.span.cmp(b.span)));
+        AllocSnapshot {
+            enabled: true,
+            total_bytes: TOTAL_BYTES.load(Ordering::Relaxed),
+            total_allocs: TOTAL_ALLOCS.load(Ordering::Relaxed),
+            live_bytes: LIVE.load(Ordering::Relaxed),
+            peak_live_bytes: PEAK_LIVE.load(Ordering::Relaxed),
+            by_span,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn allocations_are_charged_to_the_active_span() {
+            super::super::init();
+            let before = snapshot();
+            assert!(before.enabled && before.total_allocs > 0);
+            let grown;
+            {
+                let _sp = cla_obs::global().span("test", "alloc_probe");
+                let v: Vec<u8> = vec![7; 1 << 20];
+                grown = v.len() as u64;
+                let after = snapshot();
+                assert!(after.total_bytes >= before.total_bytes + grown);
+                assert!(after.live_bytes > 0);
+                assert!(after.peak_live_bytes >= after.live_bytes);
+                let probe = after
+                    .by_span
+                    .iter()
+                    .find(|s| s.span == "alloc_probe")
+                    .expect("span-attributed slot");
+                assert!(probe.bytes >= grown);
+                assert!(probe.allocs >= 1);
+                assert!(probe.peak_live_bytes >= grown);
+            }
+            let released = snapshot();
+            assert!(released.total_bytes >= before.total_bytes + grown);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Append-only bench history: one JSON object per line in
+//! `BENCH_history.jsonl`, written by `examples/million_bench.rs` after
+//! every run and by `cla-tool bench-diff --history`. Append-only means the
+//! perf trajectory of the repo is a `git log` of this file plus whatever CI
+//! appended since — `bench-diff` turns the last committed entry into a
+//! regression gate.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// One history record. Phase entries are `(name, seconds)` pairs taken
+/// from the bench JSON (`compile_secs`, `link_secs`, ...).
+#[derive(Debug, Clone, Default)]
+pub struct HistoryEntry {
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_secs: u64,
+    /// Git revision of the tree that ran (short hash, `GITHUB_SHA`, or
+    /// `unknown`).
+    pub git_rev: String,
+    /// What ran: a bench name (`million`) or `bench-diff`.
+    pub label: String,
+    /// Phase wall times in seconds.
+    pub phases: Vec<(String, f64)>,
+    /// Peak RSS of the run in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+}
+
+impl HistoryEntry {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::from("{\"ts\":");
+        s.push_str(&self.timestamp_secs.to_string());
+        s.push_str(",\"rev\":\"");
+        cla_obs::escape_json(&self.git_rev, &mut s);
+        s.push_str("\",\"label\":\"");
+        cla_obs::escape_json(&self.label, &mut s);
+        s.push_str("\",\"phases\":{");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            cla_obs::escape_json(name, &mut s);
+            s.push_str("\":");
+            if secs.is_finite() {
+                s.push_str(&format!("{secs:.3}"));
+            } else {
+                s.push('0');
+            }
+        }
+        s.push_str("},\"peak_rss_bytes\":");
+        s.push_str(&self.peak_rss_bytes.to_string());
+        s.push('}');
+        s
+    }
+}
+
+/// Append `entry` to the JSONL file at `path`, creating parent directories
+/// and the file as needed.
+pub fn append(path: &Path, entry: &HistoryEntry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", entry.to_jsonl())
+}
+
+/// Seconds since the Unix epoch.
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+/// Best-effort git revision of the working tree: `GITHUB_SHA` when set
+/// (CI), otherwise `git rev-parse --short HEAD`, otherwise `unknown`.
+pub fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_render_and_append_as_jsonl() {
+        let entry = HistoryEntry {
+            timestamp_secs: 1_750_000_000,
+            git_rev: "abc123".to_string(),
+            label: "million".to_string(),
+            phases: vec![
+                ("compile_secs".to_string(), 7.254),
+                ("link_secs".to_string(), 1.8),
+            ],
+            peak_rss_bytes: 382_000_000,
+        };
+        let line = entry.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"ts\":1750000000,\"rev\":\"abc123\",\"label\":\"million\",\
+             \"phases\":{\"compile_secs\":7.254,\"link_secs\":1.800},\
+             \"peak_rss_bytes\":382000000}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("cla-prof-hist-{}", std::process::id()));
+        let path = dir.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        append(&path, &entry).unwrap();
+        append(&path, &entry).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "append-only, one line per run");
+        assert!(text.lines().all(|l| l == line));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_rev_is_always_nonempty() {
+        assert!(!git_rev().is_empty());
+    }
+}

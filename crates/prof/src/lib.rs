@@ -1,0 +1,433 @@
+//! `cla-prof` — in-process profiling for the CLA pipeline, std-only.
+//!
+//! Three pieces, all built on the `cla-obs` span machinery:
+//!
+//! - **Sampling profiler** ([`Profiler`]): a timer thread wakes every
+//!   `interval` (default 1 ms), snapshots every thread's stack of active
+//!   span names via [`cla_obs::spanstack`], and charges the wall time since
+//!   the previous tick to each observed stack. No signal handlers and no
+//!   frame-pointer walking: the obs spans *are* the frames, which makes the
+//!   profile exactly as deep as the instrumentation and safe on any
+//!   platform. Results render as collapsed stacks
+//!   (`flamegraph.pl`/speedscope-compatible) and as a per-span self/total
+//!   table. Because each tick is weighted by the real elapsed time rather
+//!   than a nominal interval, per-span totals track the obs span durations
+//!   to within sampling error.
+//! - **Counting allocator** (feature `count-alloc`, off by default): a
+//!   `#[global_allocator]` wrapper around the system allocator that charges
+//!   every allocation to the innermost active span, giving per-phase
+//!   cumulative bytes, allocation counts, and observed peak live heap
+//!   alongside the OS-level `peak_rss_bytes`. See [`alloc_snapshot`].
+//! - **Bench history** ([`history`]): append-only `BENCH_history.jsonl`
+//!   records (timestamp, git rev, phase seconds, peak RSS) shared by
+//!   `million_bench` and `cla-tool bench-diff`.
+//!
+//! This is a *wall-clock* profiler: a thread blocked in I/O with a span
+//! open accumulates time just like a spinning one. That is the right model
+//! for attributing the paper's end-to-end seconds (compile/link/solve),
+//! where "waiting on the reorder window" is as real a cost as hashing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cla_obs::spanstack;
+use cla_obs::{ArgValue, Phase, TraceEvent};
+
+mod counting;
+pub mod history;
+
+pub use counting::{alloc_snapshot, init, AllocSnapshot, SpanAlloc};
+
+/// Default sampling interval: 1 ms ≈ 1000 samples/s, enough for ±1% on a
+/// one-second phase while keeping the sampler thread invisible in its own
+/// profile.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Aggregated weight for one distinct span path.
+struct PathCount {
+    ns: u64,
+    samples: u64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    interval: Duration,
+    /// Path of interned span ids (outermost first) → accumulated weight.
+    counts: Mutex<HashMap<Vec<u32>, PathCount>>,
+}
+
+/// A running sampling profiler. Create with [`Profiler::start`]; harvest
+/// with [`Profiler::dump`] (keeps sampling) or [`Profiler::stop`].
+pub struct Profiler {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl Profiler {
+    /// Start sampling every `interval`. Raises the span-stack refcount so
+    /// spans begin recording their per-thread stacks; spans already open
+    /// when this is called are invisible until they are re-entered.
+    pub fn start(interval: Duration) -> Self {
+        let interval = interval.max(Duration::from_micros(50));
+        spanstack::enable();
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            interval,
+            counts: Mutex::new(HashMap::new()),
+        });
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("cla-prof-sampler".to_string())
+            .spawn(move || sampler_loop(&worker))
+            .expect("spawn profiler sampler thread");
+        if cla_obs::global().tracing() {
+            cla_obs::global().instant(
+                "prof",
+                "prof.start",
+                vec![("interval_us", ArgValue::U64(interval.as_micros() as u64))],
+            );
+        }
+        Self {
+            shared,
+            thread: Some(thread),
+            started: Instant::now(),
+        }
+    }
+
+    /// Start with the default 1 ms interval.
+    pub fn start_default() -> Self {
+        Self::start(DEFAULT_INTERVAL)
+    }
+
+    /// Snapshot the profile so far without stopping the sampler.
+    pub fn dump(&self) -> Profile {
+        let counts = self.shared.counts.lock().expect("profiler counts poisoned");
+        Profile::from_counts(&counts, self.started.elapsed(), self.shared.interval)
+    }
+
+    /// Stop sampling and return the final profile. Drops the span-stack
+    /// refcount taken by [`start`](Profiler::start).
+    pub fn stop(mut self) -> Profile {
+        self.halt();
+        let counts = self.shared.counts.lock().expect("profiler counts poisoned");
+        Profile::from_counts(&counts, self.started.elapsed(), self.shared.interval)
+    }
+
+    fn halt(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.shared.stop.store(true, Ordering::SeqCst);
+            let _ = t.join();
+            spanstack::disable();
+        }
+    }
+}
+
+impl Drop for Profiler {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Profiler")
+            .field("interval", &self.shared.interval)
+            .finish_non_exhaustive()
+    }
+}
+
+fn sampler_loop(shared: &Shared) {
+    let obs = cla_obs::global();
+    let mut stacks: Vec<(u64, Vec<u32>)> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut last = Instant::now();
+    while !shared.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(shared.interval);
+        let now = Instant::now();
+        let dt = now.duration_since(last).as_nanos() as u64;
+        last = now;
+        spanstack::sample_stacks(&mut stacks, &mut scratch);
+        if stacks.is_empty() {
+            continue;
+        }
+        let tracing = obs.tracing();
+        let mut counts = shared.counts.lock().expect("profiler counts poisoned");
+        for (tid, path) in &stacks {
+            let entry = counts
+                .entry(path.clone())
+                .or_insert(PathCount { ns: 0, samples: 0 });
+            entry.ns += dt;
+            entry.samples += 1;
+            if tracing {
+                obs.emit_event(&TraceEvent {
+                    name: "prof.sample".to_string(),
+                    cat: "prof",
+                    ph: Phase::Sample,
+                    ts_us: obs.now_us(),
+                    pid: std::process::id(),
+                    tid: *tid,
+                    args: vec![
+                        ("stack", ArgValue::Str(join_path(path))),
+                        ("weight_us", ArgValue::U64(dt / 1_000)),
+                    ],
+                });
+            }
+        }
+    }
+}
+
+fn join_path(ids: &[u32]) -> String {
+    let mut s = String::new();
+    for (i, &id) in ids.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        s.push_str(spanstack::name_of(id));
+    }
+    s
+}
+
+/// One distinct span path with its sampled weight.
+#[derive(Debug, Clone)]
+pub struct PathStat {
+    /// Span names, outermost first.
+    pub names: Vec<&'static str>,
+    /// Sampled wall time charged to this exact path, in nanoseconds.
+    pub ns: u64,
+    /// Number of samples that observed this path.
+    pub samples: u64,
+}
+
+/// Per-span roll-up across all paths.
+#[derive(Debug, Clone)]
+pub struct SpanRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Time sampled with this span innermost (its own work).
+    pub self_ns: u64,
+    /// Time sampled with this span anywhere on the stack (self + children).
+    pub total_ns: u64,
+    /// Samples with this span anywhere on the stack.
+    pub samples: u64,
+}
+
+/// A harvested profile: distinct span paths and their sampled weights.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Wall time the profiler ran for.
+    pub wall: Duration,
+    /// Sampling interval in force.
+    pub interval: Duration,
+    /// Total `(tick, thread)` attributions taken.
+    pub samples: u64,
+    /// Distinct paths, heaviest first.
+    pub paths: Vec<PathStat>,
+}
+
+impl Profile {
+    fn from_counts(
+        counts: &HashMap<Vec<u32>, PathCount>,
+        wall: Duration,
+        interval: Duration,
+    ) -> Self {
+        let mut paths: Vec<PathStat> = counts
+            .iter()
+            .map(|(ids, c)| PathStat {
+                names: ids.iter().map(|&id| spanstack::name_of(id)).collect(),
+                ns: c.ns,
+                samples: c.samples,
+            })
+            .collect();
+        paths.sort_by(|a, b| b.ns.cmp(&a.ns).then_with(|| a.names.cmp(&b.names)));
+        let samples = paths.iter().map(|p| p.samples).sum();
+        Self {
+            wall,
+            interval,
+            samples,
+            paths,
+        }
+    }
+
+    /// Render in collapsed-stack form: one `outer;inner weight` line per
+    /// distinct path, weight in microseconds — the input format of
+    /// `flamegraph.pl` and speedscope. Lines are sorted alphabetically so
+    /// identical runs produce byte-identical files.
+    pub fn collapsed(&self) -> String {
+        let mut lines: Vec<String> = self
+            .paths
+            .iter()
+            .filter(|p| p.ns >= 1_000)
+            .map(|p| format!("{} {}", p.names.join(";"), p.ns / 1_000))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Roll paths up into one row per span name, heaviest total first.
+    pub fn rows(&self) -> Vec<SpanRow> {
+        let mut by_name: HashMap<&'static str, SpanRow> = HashMap::new();
+        for p in &self.paths {
+            if let Some(&leaf) = p.names.last() {
+                let row = by_name.entry(leaf).or_insert(SpanRow {
+                    name: leaf,
+                    self_ns: 0,
+                    total_ns: 0,
+                    samples: 0,
+                });
+                row.self_ns += p.ns;
+            }
+            // A name can legitimately appear once per path; guard against
+            // recursive spans double-counting the total.
+            let mut seen: Vec<&str> = Vec::with_capacity(p.names.len());
+            for &name in &p.names {
+                if seen.contains(&name) {
+                    continue;
+                }
+                seen.push(name);
+                let row = by_name.entry(name).or_insert(SpanRow {
+                    name,
+                    self_ns: 0,
+                    total_ns: 0,
+                    samples: 0,
+                });
+                row.total_ns += p.ns;
+                row.samples += p.samples;
+            }
+        }
+        let mut rows: Vec<SpanRow> = by_name.into_values().collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then_with(|| a.name.cmp(b.name)));
+        rows
+    }
+
+    /// Sampled total (self + children) for one span name.
+    pub fn total_of(&self, name: &str) -> Duration {
+        Duration::from_nanos(
+            self.rows()
+                .iter()
+                .find(|r| r.name == name)
+                .map_or(0, |r| r.total_ns),
+        )
+    }
+
+    /// Human-readable self/total table, heaviest first.
+    pub fn render_table(&self) -> String {
+        let rows = self.rows();
+        let busiest: u64 = rows.iter().map(|r| r.total_ns).max().unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "profile: {} samples over {:.2}s at {:?} intervals\n",
+            self.samples,
+            self.wall.as_secs_f64(),
+            self.interval
+        ));
+        out.push_str("   total      self   share  samples  span\n");
+        for r in &rows {
+            let share = if busiest == 0 {
+                0.0
+            } else {
+                r.total_ns as f64 / busiest as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "{:>8.3}s {:>8.3}s {:>6.1}% {:>8}  {}\n",
+                r.total_ns as f64 / 1e9,
+                r.self_ns as f64 / 1e9,
+                share,
+                r.samples,
+                r.name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The span-stack registry, interner, and enable refcount are process
+    // globals shared with cla-obs, so everything that profiles lives in one
+    // test body.
+    #[test]
+    fn samples_attribute_to_the_running_span() {
+        let obs = cla_obs::global();
+        let prof = Profiler::start(Duration::from_micros(200));
+
+        // Two spans with a known 3:1 duration ratio, plus a nested child.
+        {
+            let _long = obs.span("test", "prof_long");
+            let child = obs.span("test", "prof_child");
+            std::thread::sleep(Duration::from_millis(60));
+            drop(child);
+            std::thread::sleep(Duration::from_millis(90));
+        }
+        {
+            let _short = obs.span("test", "prof_short");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let mid = prof.dump();
+        assert!(mid.samples > 0, "dump while running sees samples");
+
+        let profile = prof.stop();
+        // The counting allocator holds its own permanent refcount, so the
+        // "stop releases the stacks" claim only holds without it.
+        #[cfg(not(feature = "count-alloc"))]
+        assert!(!spanstack::enabled(), "stop released the stack refcount");
+
+        let long = profile.total_of("prof_long").as_secs_f64();
+        let short = profile.total_of("prof_short").as_secs_f64();
+        let child = profile.total_of("prof_child").as_secs_f64();
+        // Generous CI-safe tolerances around 150ms / 50ms / 60ms.
+        assert!(
+            (0.10..=0.25).contains(&long),
+            "prof_long sampled {long:.3}s, expected ~0.15s"
+        );
+        assert!(
+            (0.025..=0.10).contains(&short),
+            "prof_short sampled {short:.3}s, expected ~0.05s"
+        );
+        assert!(
+            long > short,
+            "longer span must out-sample the shorter one ({long:.3} vs {short:.3})"
+        );
+        assert!(
+            child > 0.0 && child < long,
+            "child is sampled and bounded by its parent"
+        );
+
+        // The nested period shows up as a two-deep collapsed path, and the
+        // child's time is self-time of the leaf, child-time of the parent.
+        let collapsed = profile.collapsed();
+        assert!(
+            collapsed.contains("prof_long;prof_child "),
+            "collapsed output has the nested path:\n{collapsed}"
+        );
+        let rows = profile.rows();
+        let long_row = rows.iter().find(|r| r.name == "prof_long").unwrap();
+        assert!(long_row.total_ns > long_row.self_ns);
+        for line in collapsed.lines() {
+            let (_, weight) = line.rsplit_once(' ').expect("collapsed line shape");
+            let _: u64 = weight.parse().expect("integer weight");
+        }
+
+        // Table renders every row.
+        let table = profile.render_table();
+        assert!(table.contains("prof_long") && table.contains("samples"));
+
+        // Restarting after a stop works (refcount, not a one-shot latch).
+        let again = Profiler::start(Duration::from_millis(1));
+        let sp = obs.span("test", "prof_again");
+        std::thread::sleep(Duration::from_millis(10));
+        drop(sp);
+        let p2 = again.stop();
+        assert!(p2.total_of("prof_again") > Duration::ZERO);
+    }
+}

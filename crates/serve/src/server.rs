@@ -12,6 +12,8 @@
 //! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":"…"}` — Prometheus text exposition of every registered counter/histogram |
 //! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
 //! | `{"cmd":"health"}` | `{"ok":true,"health":"ok"\|"degraded"\|"loading","epoch":N,"snapshot_loaded":B[,"last_error":S]}` |
+//! | `{"cmd":"profile","action":"start"[,"interval_us":N]}` | `{"ok":true,"profiling":true,"interval_us":N}` — live sampling profiler |
+//! | `{"cmd":"profile","action":"dump"\|"stop"}` | `{"ok":true,"profiling":B,"wall_us":N,"samples":N,"collapsed":S,"spans":[{"span":S,"total_us":N,"self_us":N,"samples":N},…]}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
 //!
 //! Every client gets its own thread; they all share one [`Session`]. Query
@@ -348,6 +350,34 @@ fn err_reply(msg: &str) -> Value {
     obj([("ok", false.into()), ("error", msg.into())])
 }
 
+/// The wire form of a harvested profile: per-span totals plus the
+/// collapsed-stack text a client can feed straight to `flamegraph.pl`.
+fn profile_reply(p: &cla_prof::Profile, stopped: bool) -> Value {
+    obj([
+        ("ok", true.into()),
+        ("profiling", (!stopped).into()),
+        ("wall_us", (p.wall.as_micros() as u64).into()),
+        ("samples", p.samples.into()),
+        ("collapsed", p.collapsed().into()),
+        (
+            "spans",
+            Value::Arr(
+                p.rows()
+                    .iter()
+                    .map(|r| {
+                        obj([
+                            ("span", r.name.into()),
+                            ("total_us", (r.total_ns / 1_000).into()),
+                            ("self_us", (r.self_ns / 1_000).into()),
+                            ("samples", r.samples.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn handle_line(
     session: &Session,
     fs: Option<&(dyn FileProvider + Send + Sync)>,
@@ -486,6 +516,39 @@ fn handle_line(
                     ("relinked", r.relinked.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
+            }
+        }
+        "profile" => {
+            let Some(action) = req.get("action").and_then(Value::as_str) else {
+                return err_reply("profile needs \"action\" (start|stop|dump)");
+            };
+            match action {
+                "start" => {
+                    let interval_us = req
+                        .get("interval_us")
+                        .and_then(Value::as_u64)
+                        .unwrap_or(cla_prof::DEFAULT_INTERVAL.as_micros() as u64);
+                    match session.profile_start(std::time::Duration::from_micros(interval_us)) {
+                        Ok(()) => obj([
+                            ("ok", true.into()),
+                            ("profiling", true.into()),
+                            ("interval_us", interval_us.into()),
+                        ]),
+                        Err(e) => err_reply(&e),
+                    }
+                }
+                "dump" | "stop" => {
+                    let profile = if action == "dump" {
+                        session.profile_dump()
+                    } else {
+                        session.profile_stop()
+                    };
+                    match profile {
+                        Some(p) => profile_reply(&p, action == "stop"),
+                        None => err_reply("no profiler running"),
+                    }
+                }
+                other => err_reply(&format!("unknown profile action: {other}")),
             }
         }
         "shutdown" => {
@@ -711,6 +774,71 @@ mod tests {
             Some("shutting down")
         );
         server.join();
+    }
+
+    #[test]
+    fn profile_wire_command_survives_concurrent_queries() {
+        let fs = sample_fs();
+        let server = sample_server(&fs);
+        let mut c = UnixStream::connect(server.path()).unwrap();
+        // dump/stop without a running profiler: structured error.
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"dump"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        // Start, fast interval so a short run still collects samples.
+        let v = ask(
+            &mut c,
+            r#"{"cmd":"profile","action":"start","interval_us":200}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+        assert_eq!(v.get("profiling").and_then(Value::as_bool), Some(true));
+        // Double start is refused while one is running.
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"start"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        // Hammer the server from several clients while the profiler runs.
+        let path = server.path().to_path_buf();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let path = path.clone();
+                std::thread::spawn(move || {
+                    let mut s = UnixStream::connect(&path).unwrap();
+                    for _ in 0..25 {
+                        let v = ask(&mut s, r#"{"cmd":"points-to","var":"q"}"#);
+                        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+                    }
+                })
+            })
+            .collect();
+        // A mid-run dump leaves the profiler running.
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"dump"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+        assert_eq!(v.get("profiling").and_then(Value::as_bool), Some(true));
+        assert!(v.get("collapsed").and_then(Value::as_str).is_some());
+        for w in workers {
+            w.join().unwrap();
+        }
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"stop"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+        assert_eq!(v.get("profiling").and_then(Value::as_bool), Some(false));
+        assert!(v.get("wall_us").and_then(Value::as_u64).unwrap_or(0) > 0);
+        assert!(v.get("spans").and_then(Value::as_arr).is_some());
+        // Stopped: a second stop errors, and a fresh start works (balanced
+        // enable/disable on the span stacks).
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"stop"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"start"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        let v = ask(&mut c, r#"{"cmd":"profile","action":"stop"}"#);
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        // Stats now report allocation accounting fields (zeroed unless the
+        // count-alloc feature is on) alongside the slow-log gauge.
+        let v = ask(&mut c, r#"{"cmd":"stats"}"#);
+        let stats = v.get("stats").unwrap();
+        assert!(stats
+            .get("alloc_enabled")
+            .and_then(Value::as_bool)
+            .is_some());
+        assert!(stats.get("alloc_by_span").and_then(Value::as_arr).is_some());
+        server.stop();
     }
 
     #[test]

@@ -23,7 +23,7 @@ use cla_core::pipeline::{Provenance, SnapshotHook};
 use cla_core::{SealedGraph, SolveOptions, SolveStats, Warm};
 use cla_depend::{DependOptions, DependenceAnalysis};
 use cla_ir::{compile_file, LowerOptions, ObjId};
-use cla_obs::{nearest_rank, Counter, Histogram, LATENCY_BUCKETS_US};
+use cla_obs::{nearest_rank, Counter, Gauge, Histogram, LATENCY_BUCKETS_US};
 use cla_snap::SnapshotStore;
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
@@ -43,6 +43,10 @@ const SLOW_LOG_CAP: usize = 128;
 /// Default slow-query threshold: queries at or above this latency are
 /// logged. Override with [`Session::set_slow_query_threshold_us`].
 pub const DEFAULT_SLOW_THRESHOLD_US: u64 = 10_000;
+
+/// How many per-span allocation rows the stats wire form carries (the
+/// heaviest spans by cumulative bytes; the full table stays in-process).
+const ALLOC_SPANS_IN_STATS: usize = 8;
 
 /// Errors a query or reload can produce.
 #[derive(Debug)]
@@ -245,6 +249,10 @@ pub struct SessionStats {
     /// the platform doesn't expose it). Covers the whole process lifetime,
     /// so it bounds the compile-link-solve that built this session.
     pub peak_rss_bytes: u64,
+    /// Per-span heap attribution from the counting allocator
+    /// (`--features count-alloc`; `enabled: false` and all zeros without
+    /// it).
+    pub alloc: cla_prof::AllocSnapshot,
 }
 
 impl SessionStats {
@@ -307,6 +315,29 @@ impl SessionStats {
                 },
             ),
             ("peak_rss_bytes", self.peak_rss_bytes.into()),
+            ("alloc_enabled", self.alloc.enabled.into()),
+            ("alloc_total_bytes", self.alloc.total_bytes.into()),
+            ("alloc_total_allocs", self.alloc.total_allocs.into()),
+            ("alloc_live_bytes", self.alloc.live_bytes.into()),
+            ("alloc_peak_live_bytes", self.alloc.peak_live_bytes.into()),
+            (
+                "alloc_by_span",
+                Value::Arr(
+                    self.alloc
+                        .by_span
+                        .iter()
+                        .take(ALLOC_SPANS_IN_STATS)
+                        .map(|s| {
+                            obj([
+                                ("span", s.span.into()),
+                                ("bytes", s.bytes.into()),
+                                ("allocs", s.allocs.into()),
+                                ("peak_live_bytes", s.peak_live_bytes.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -447,6 +478,11 @@ pub struct Session {
     slow_threshold_us: AtomicU64,
     slow_count: AtomicU64,
     slow_log: Mutex<VecDeque<SlowQuery>>,
+    /// Depth of the slow-query log, exported through the Prometheus
+    /// exposition (`cla_serve_slow_log_depth`).
+    gauge_slow_log_depth: Gauge,
+    /// The sampling profiler while a wire `profile start` is live.
+    profiler: Mutex<Option<cla_prof::Profiler>>,
     /// Per-command latency histograms, shared with the global metric
     /// registry (`cla_serve_latency_us{cmd=...}`); handles cached here so
     /// the query path never takes the registry lock.
@@ -654,6 +690,8 @@ impl Session {
             slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_US),
             slow_count: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
+            gauge_slow_log_depth: obs.gauge("cla_serve_slow_log_depth"),
+            profiler: Mutex::new(None),
             hist_points_to: hist("points-to"),
             hist_alias: hist("alias"),
             hist_depend: hist("depend"),
@@ -1201,6 +1239,7 @@ impl Session {
             snapshot_mismatches: snap_mismatches,
             snapshot_provenance: snap_prov,
             peak_rss_bytes: cla_obs::peak_rss_bytes(),
+            alloc: cla_prof::alloc_snapshot(),
         }
     }
 
@@ -1290,6 +1329,7 @@ impl Session {
                 micros,
                 epoch: self.epoch.load(Relaxed),
             });
+            self.gauge_slow_log_depth.set(log.len() as u64);
         }
         micros
     }
@@ -1303,6 +1343,41 @@ impl Session {
     /// entries); older entries are dropped.
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.slow_log.lock().unwrap().iter().cloned().collect()
+    }
+
+    // ----- live profiling ---------------------------------------------------
+
+    /// Start the in-process sampling profiler (the wire `profile start`).
+    /// Errors if one is already running — stop it first; two samplers
+    /// would double-count.
+    pub fn profile_start(&self, interval: Duration) -> Result<(), String> {
+        let mut slot = self.profiler.lock().unwrap();
+        if slot.is_some() {
+            return Err("profiler already running".to_string());
+        }
+        *slot = Some(cla_prof::Profiler::start(interval));
+        Ok(())
+    }
+
+    /// Snapshot the running profiler without stopping it (`profile dump`).
+    /// `None` when no profiler is running.
+    pub fn profile_dump(&self) -> Option<cla_prof::Profile> {
+        self.profiler.lock().unwrap().as_ref().map(|p| p.dump())
+    }
+
+    /// Stop the profiler and return its final profile (`profile stop`).
+    /// `None` when no profiler was running.
+    pub fn profile_stop(&self) -> Option<cla_prof::Profile> {
+        self.profiler
+            .lock()
+            .unwrap()
+            .take()
+            .map(cla_prof::Profiler::stop)
+    }
+
+    /// Whether a wire-started profiler is currently sampling.
+    pub fn profiling(&self) -> bool {
+        self.profiler.lock().unwrap().is_some()
     }
 }
 

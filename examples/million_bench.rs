@@ -19,9 +19,13 @@
 //! * `MILLION_CEILING_SECS` — when set, fail if the cold pipeline
 //!   (compile + link + solve, generation excluded) takes longer. CI sets
 //!   a generous ceiling; unset locally, the bench only reports.
+//! * `MILLION_HISTORY` — history file to append this run to (default
+//!   `benchmarks/BENCH_history.jsonl`; set empty to skip).
 //!
 //! Results land in `target/BENCH_million.json` (override with a second
-//! positional argument).
+//! positional argument), and every run appends one line — timestamp, git
+//! rev, phase times, peak RSS — to the append-only history file, which
+//! `cla-tool bench-diff --history` shares.
 
 use cla::prelude::*;
 use std::time::Instant;
@@ -34,6 +38,7 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    cla::prof::init();
     let mut args = std::env::args().skip(1);
     let profile_path = args
         .next()
@@ -110,6 +115,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.relations,
         r.solve_stats.passes
     );
+    if !r.slowest_files.is_empty() {
+        println!("  slowest files:");
+        for (file, dur) in r.slowest_files.iter().take(5) {
+            let base = file.rsplit('/').next().unwrap_or(file);
+            println!("    {:>8.3}s  {base}", dur.as_secs_f64());
+        }
+    }
 
     // ---- observational sanity -------------------------------------------
     // The solver must have reached a fixpoint on a non-trivial program and
@@ -181,6 +193,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     std::fs::write(&out_path, json)?;
     println!("wrote {out_path}");
+
+    // Append-only perf ledger: one line per run, so regressions have a
+    // timeline and `cla-tool bench-diff` has something to archive against.
+    let history_path = std::env::var("MILLION_HISTORY")
+        .unwrap_or_else(|_| "benchmarks/BENCH_history.jsonl".to_string());
+    if !history_path.is_empty() {
+        let entry = cla::prof::history::HistoryEntry {
+            timestamp_secs: cla::prof::history::unix_now(),
+            git_rev: cla::prof::history::git_rev(),
+            label: profile.name.clone(),
+            phases: vec![
+                ("gen_secs".to_string(), gen_secs),
+                ("wall_secs".to_string(), wall_secs),
+                ("compile_secs".to_string(), r.compile_time.as_secs_f64()),
+                ("link_secs".to_string(), r.link_time.as_secs_f64()),
+                ("solve_secs".to_string(), r.solve_time.as_secs_f64()),
+            ],
+            peak_rss_bytes: r.peak_rss_bytes,
+        };
+        cla::prof::history::append(std::path::Path::new(&history_path), &entry)?;
+        println!("appended run to {history_path}");
+    }
 
     let _ = std::fs::remove_dir_all(&work_dir);
     if let Ok(ceiling) = std::env::var("MILLION_CEILING_SECS") {

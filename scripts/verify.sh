@@ -29,19 +29,30 @@ echo "==> snapshot round trip (nethack profile: warm start >= 10x cold, identica
 cargo run -q --release --example snapshot_bench -- nethack 1.0 \
     "${BENCH_SNAPSHOT_OUT:-target/BENCH_snapshot.json}"
 
-echo "==> genc smoke (generate the ci-small profile, analyze it cold)"
+echo "==> genc smoke (generate the ci-small profile, analyze it under the profiler)"
 gen_dir="${GENC_SMOKE_DIR:-target/genc-smoke}"
+prof_out="${PROF_OUT:-target/prof-smoke.collapsed}"
 rm -rf "$gen_dir"
 ./target/release/cla-tool gen profiles/ci-small.toml --out "$gen_dir" --seed 1
 ./target/release/cla-tool analyze "$gen_dir"/*.c --jobs 0 --print gp0 \
+    --profile "$prof_out" \
     | grep -q 'pts(gp0) = {'
+test -s "$prof_out" || { echo "empty collapsed profile: $prof_out"; exit 1; }
 rm -rf "$gen_dir"
 
-echo "==> trace smoke (analyze the bundled example, validate the trace)"
+echo "==> trace smoke (analyze the bundled example with the profiler on, validate the trace)"
 trace_out="${TRACE_OUT:-target/trace-smoke.json}"
 ./target/release/cla-tool analyze examples/c/main.c examples/c/store.c \
     -I examples/c --trace "$trace_out" --metrics --print latest \
+    --profile target/trace-smoke.collapsed \
     | grep -q 'cla_solve_passes_total'
 ./target/release/cla-tool trace-validate "$trace_out"
+
+echo "==> count-alloc feature check (counting global allocator compiles and links)"
+cargo check -q --release --features count-alloc
+
+echo "==> bench-diff self-check (committed last-good vs itself: zero regressions)"
+./target/release/cla-tool bench-diff benchmarks/BENCH_million.json \
+    benchmarks/BENCH_million.json --ceiling 15 | grep -q 'bench-diff OK'
 
 echo "verify: OK"

@@ -14,6 +14,7 @@
 //! cla-tool snapshot-info s.clasnap           header/provenance of a snapshot
 //! cla-tool db-fuzz a.c b.c --iters 500       fault-inject the object format
 //! cla-tool trace-validate trace.json         check a recorded trace
+//! cla-tool bench-diff OLD.json NEW.json      gate on phase-time regressions
 //! ```
 //!
 //! `analyze` and `serve` accept `--snapshot DIR`: analysis results persist
@@ -26,10 +27,13 @@
 //! `--field-independent`, and `--solver pretransitive|worklist|steensgaard|
 //! bitvector` on `solve`.
 //!
-//! Two observability flags work with every command: `--trace FILE` records
-//! a Chrome `trace_event` JSONL trace (load it in `chrome://tracing` or
-//! Perfetto), and `--metrics` prints Prometheus text exposition to stdout
-//! after the command finishes.
+//! Three observability flags work with every command: `--trace FILE`
+//! records a Chrome `trace_event` JSONL trace (load it in `chrome://tracing`
+//! or Perfetto), `--metrics` prints Prometheus text exposition to stdout
+//! after the command finishes, and `--profile FILE` runs the in-process
+//! sampling profiler for the whole command, writing a collapsed-stack
+//! profile to FILE (feed it to `flamegraph.pl` or speedscope) and a
+//! per-span self/total time table to stderr.
 
 use cla::prelude::*;
 use cla_cladb::transform;
@@ -37,8 +41,9 @@ use cla_depend::{DependOptions, DependenceAnalysis};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    cla::prof::init();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let (trace_path, want_metrics) = match take_obs_flags(&mut args) {
+    let (trace_path, want_metrics, profile_path) = match take_obs_flags(&mut args) {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("cla-tool: {msg}");
@@ -54,6 +59,11 @@ fn main() -> ExitCode {
             }
         }
     }
+    // The profiler covers the whole command, so the collapsed profile and
+    // the span table include compile, link, and solve in one recording.
+    let profiler = profile_path
+        .as_ref()
+        .map(|_| cla::prof::Profiler::start_default());
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -68,12 +78,38 @@ fn main() -> ExitCode {
         Some("snapshot-info") => cmd_snapshot_info(&args[1..]),
         Some("db-fuzz") => cmd_db_fuzz(&args[1..]),
         Some("trace-validate") => cmd_trace_validate(&args[1..]),
+        Some("bench-diff") => cmd_bench_diff(&args[1..]),
         Some("help") | None => {
             eprintln!("{USAGE}");
             return ExitCode::SUCCESS;
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    if let (Some(profiler), Some(path)) = (profiler, &profile_path) {
+        let profile = profiler.stop();
+        if let Err(e) = std::fs::write(path, profile.collapsed()) {
+            eprintln!("cla-tool: cannot write profile `{path}`: {e}");
+        } else {
+            eprintln!(
+                "profile: {} samples over {:?} -> {path} (collapsed stacks)",
+                profile.samples, profile.wall
+            );
+        }
+        eprint!("{}", profile.render_table());
+        let alloc = cla::prof::alloc_snapshot();
+        if alloc.enabled {
+            eprintln!(
+                "alloc: {} bytes in {} allocations, peak live {} bytes",
+                alloc.total_bytes, alloc.total_allocs, alloc.peak_live_bytes
+            );
+            for s in alloc.by_span.iter().take(10) {
+                eprintln!(
+                    "  {:>14} bytes  {:>10} allocs  peak {:>12}  {}",
+                    s.bytes, s.allocs, s.peak_live_bytes, s.span
+                );
+            }
+        }
+    }
     cla::obs::global().flush_trace();
     if want_metrics {
         print!("{}", cla::obs::global().prometheus_text());
@@ -103,15 +139,20 @@ const USAGE: &str = "usage:
   cla-tool query --socket PATH alias <a> <b>
   cla-tool query --socket PATH depend <target> [--non-target NAME]...
   cla-tool query --socket PATH stats|metrics|reload|health|shutdown [--force]
+  cla-tool query --socket PATH profile start|stop|dump [--interval-us N]
   cla-tool db-fuzz <src.c>...|<prog.clao> [--snapshot] [--iters N] [--seed N] [-I dir] [-D NAME[=V]]
   cla-tool trace-validate <trace.json>
+  cla-tool bench-diff <OLD.json> <NEW.json> [--ceiling PCT] [--history FILE]
 global flags (any command):
-  --trace FILE   record a Chrome trace_event JSONL trace to FILE
-  --metrics      print Prometheus metrics text to stdout on exit";
+  --trace FILE    record a Chrome trace_event JSONL trace to FILE
+  --metrics       print Prometheus metrics text to stdout on exit
+  --profile FILE  sample the span stack; write a collapsed-stack profile to FILE";
 
 /// Pulls the global observability flags out of the argument list so every
 /// subcommand parser sees only its own arguments.
-fn take_obs_flags(args: &mut Vec<String>) -> Result<(Option<String>, bool), String> {
+fn take_obs_flags(
+    args: &mut Vec<String>,
+) -> Result<(Option<String>, bool, Option<String>), String> {
     let mut trace = None;
     while let Some(pos) = args.iter().position(|a| a == "--trace") {
         if pos + 1 >= args.len() {
@@ -120,9 +161,17 @@ fn take_obs_flags(args: &mut Vec<String>) -> Result<(Option<String>, bool), Stri
         trace = Some(args.remove(pos + 1));
         args.remove(pos);
     }
+    let mut profile = None;
+    while let Some(pos) = args.iter().position(|a| a == "--profile") {
+        if pos + 1 >= args.len() {
+            return Err("`--profile` needs a file path".to_string());
+        }
+        profile = Some(args.remove(pos + 1));
+        args.remove(pos);
+    }
     let before = args.len();
     args.retain(|a| a != "--metrics");
-    Ok((trace, args.len() != before))
+    Ok((trace, args.len() != before, profile))
 }
 
 /// Splits out flag values of the form `--flag value` / `-f value`.
@@ -324,6 +373,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         r.load_stats.assigns_loaded,
         r.load_stats.assigns_in_file
     );
+    if !r.slowest_files.is_empty() {
+        let shown: Vec<String> = r
+            .slowest_files
+            .iter()
+            .map(|(f, d)| format!("{f}={:.3}s", d.as_secs_f64()))
+            .collect();
+        println!("slowest-files: {}", shown.join(" "));
+    }
     if snapshot_dir.is_some() {
         println!(
             "cache-hits={} cache-misses={} snapshot={}",
@@ -399,7 +456,9 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 
 /// Validates a `--trace` output file: the streaming `trace_event` array
 /// must hold one JSON object per line, every event needs `ph`/`name`/`ts`,
-/// and `B`/`E` pairs must nest properly per thread.
+/// `B`/`E` pairs must nest properly per thread, and profiler sample events
+/// (`ph:"P"`, emitted when `--trace` and `--profile` run together) must
+/// carry their collapsed stack in `args.stack`.
 fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
     use cla::serve::json::{parse, Value};
     use std::collections::HashMap;
@@ -408,6 +467,7 @@ fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let mut events = 0usize;
     let mut spans = 0usize;
+    let mut samples = 0usize;
     let mut open: HashMap<u64, Vec<String>> = HashMap::new();
     for (idx, raw) in text.lines().enumerate() {
         // The streaming format is `[` then one event per line with a
@@ -446,6 +506,22 @@ fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
                     ))
                 }
             },
+            // Profiler samples: one per sampler tick per live stack. The
+            // stack travels in args so flamegraph tooling can rebuild it.
+            "P" => {
+                if v.get("args")
+                    .and_then(|a| a.get("stack"))
+                    .and_then(Value::as_str)
+                    .is_none()
+                {
+                    return Err(format!(
+                        "{path}:{lineno}: sample event missing `args.stack`"
+                    ));
+                }
+                samples += 1;
+            }
+            // Instants, counters, and metadata are self-contained.
+            "i" | "C" | "M" => {}
             _ => {}
         }
         events += 1;
@@ -456,8 +532,133 @@ fn cmd_trace_validate(args: &[String]) -> Result<(), String> {
     if events == 0 {
         return Err(format!("`{path}` contains no trace events"));
     }
-    println!("trace OK: {events} events, {spans} balanced spans");
+    println!("trace OK: {events} events, {spans} balanced spans, {samples} profiler samples");
     Ok(())
+}
+
+/// Diffs two bench JSON reports (the `BENCH_*.json` files written by the
+/// benchmark examples) phase by phase. Every numeric key ending in `_secs`
+/// is a phase; a phase that slowed down past `--ceiling` percent (and past
+/// a small absolute floor, so micro-runs aren't noise-gated) is a
+/// regression and the command exits nonzero naming it. `--history FILE`
+/// appends the new report to an append-only `BENCH_history.jsonl`.
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    use cla::serve::json::{parse, Value};
+    use std::collections::BTreeMap;
+
+    let mut a = Args::new(args);
+    let ceiling: f64 = a
+        .take_values("--ceiling")?
+        .pop()
+        .unwrap_or_else(|| "15".to_string())
+        .parse()
+        .map_err(|_| "--ceiling needs a percentage")?;
+    let history = a.take_values("--history")?.pop();
+    let pos = a.positional();
+    let [old_path, new_path] = pos.as_slice() else {
+        return Err(
+            "usage: cla-tool bench-diff <OLD.json> <NEW.json> [--ceiling PCT] [--history FILE]"
+                .to_string(),
+        );
+    };
+
+    let load = |path: &str| -> Result<Value, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        parse(text.trim()).map_err(|e| format!("`{path}`: bad JSON: {e}"))
+    };
+    let old_v = load(old_path)?;
+    let new_v = load(new_path)?;
+    let old = old_v
+        .as_obj()
+        .ok_or(format!("`{old_path}`: not a JSON object"))?;
+    let new = new_v
+        .as_obj()
+        .ok_or(format!("`{new_path}`: not a JSON object"))?;
+    let num = |m: &BTreeMap<String, Value>, k: &str| -> Option<f64> {
+        match m.get(k) {
+            Some(Value::Num(n)) => Some(*n),
+            _ => None,
+        }
+    };
+
+    let mut phases: Vec<String> = old
+        .keys()
+        .chain(new.keys())
+        .filter(|k| k.ends_with("_secs"))
+        .cloned()
+        .collect();
+    phases.sort();
+    phases.dedup();
+    if phases.is_empty() {
+        return Err("no `*_secs` phase keys found in either report".to_string());
+    }
+
+    // Sub-10ms phases jitter by whole multiples of themselves on shared CI
+    // runners; the absolute floor keeps them from tripping the gate.
+    const ABS_FLOOR_SECS: f64 = 0.01;
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    println!("{:<18} {:>10} {:>10} {:>8}", "phase", "old", "new", "delta");
+    for ph in &phases {
+        match (num(old, ph), num(new, ph)) {
+            (Some(o), Some(n)) => {
+                compared += 1;
+                let pct = if o > 0.0 { (n - o) / o * 100.0 } else { 0.0 };
+                let regressed = n > o * (1.0 + ceiling / 100.0) && n - o > ABS_FLOOR_SECS;
+                println!(
+                    "{ph:<18} {o:>9.3}s {n:>9.3}s {pct:>+7.1}%{}",
+                    if regressed { "  REGRESSION" } else { "" }
+                );
+                if regressed {
+                    regressions.push(format!("{ph} {o:.3}s -> {n:.3}s (+{pct:.1}%)"));
+                }
+            }
+            (None, Some(n)) => println!("{ph:<18} {:>10} {n:>9.3}s    (new)", "-"),
+            (Some(o), None) => println!("{ph:<18} {o:>9.3}s {:>10}  (gone)", "-"),
+            (None, None) => {}
+        }
+    }
+    if let (Some(o), Some(n)) = (num(old, "peak_rss_bytes"), num(new, "peak_rss_bytes")) {
+        let pct = if o > 0.0 { (n - o) / o * 100.0 } else { 0.0 };
+        println!(
+            "{:<18} {:>9.1}M {:>9.1}M {pct:>+7.1}%  (informational)",
+            "peak_rss",
+            o / 1e6,
+            n / 1e6
+        );
+    }
+
+    if let Some(hist) = &history {
+        let entry = cla::prof::history::HistoryEntry {
+            timestamp_secs: cla::prof::history::unix_now(),
+            git_rev: cla::prof::history::git_rev(),
+            label: new
+                .get("profile")
+                .and_then(Value::as_str)
+                .unwrap_or("bench")
+                .to_string(),
+            phases: phases
+                .iter()
+                .filter_map(|p| num(new, p).map(|v| (p.clone(), v)))
+                .collect(),
+            peak_rss_bytes: num(new, "peak_rss_bytes").unwrap_or(0.0) as u64,
+        };
+        cla::prof::history::append(std::path::Path::new(hist), &entry)
+            .map_err(|e| format!("cannot append history `{hist}`: {e}"))?;
+        eprintln!("history: appended `{}` entry to {hist}", entry.label);
+    }
+
+    if regressions.is_empty() {
+        println!("bench-diff OK: {compared} phases within the {ceiling}% ceiling");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} phase regression(s) past the {ceiling}% ceiling:\n  {}",
+            regressions.len(),
+            regressions.join("\n  ")
+        ))
+    }
 }
 
 fn cmd_dump(args: &[String]) -> Result<(), String> {
@@ -647,6 +848,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .ok_or("query needs --socket PATH")?;
     let non_targets = a.take_values("--non-target")?;
     let force = a.take_flag("--force");
+    let interval_us = a.take_values("--interval-us")?.pop();
     let pos = a.positional();
 
     let request = match pos.first().map(String::as_str) {
@@ -680,10 +882,27 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Some("metrics") => obj([("cmd", "metrics".into())]),
         Some("reload") => obj([("cmd", "reload".into()), ("force", force.into())]),
         Some("health") => obj([("cmd", "health".into())]),
+        Some("profile") => {
+            let action = match pos.get(1).map(String::as_str) {
+                Some(a @ ("start" | "stop" | "dump")) => a,
+                _ => return Err("profile needs an action (start, stop, dump)".to_string()),
+            };
+            let mut pairs = vec![
+                ("cmd", Value::from("profile")),
+                ("action", action.into()),
+            ];
+            if let Some(us) = &interval_us {
+                let us: u64 = us
+                    .parse()
+                    .map_err(|_| format!("--interval-us: not a number: `{us}`"))?;
+                pairs.push(("interval_us", us.into()));
+            }
+            obj(pairs)
+        }
         Some("shutdown") => obj([("cmd", "shutdown".into())]),
         Some(other) => return Err(format!("unknown query `{other}`")),
         None => return Err(
-            "query needs a command (points-to, alias, depend, stats, metrics, reload, health, shutdown)"
+            "query needs a command (points-to, alias, depend, stats, metrics, reload, health, profile, shutdown)"
                 .to_string(),
         ),
     };

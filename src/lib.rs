@@ -15,8 +15,12 @@
 //! * [`genc`] — the declarative million-line codebase generator behind the
 //!   "million lines in a second" harness (profiles in `profiles/`).
 //! * [`obs`] — zero-dependency tracing (Chrome `trace_event` JSONL) and
-//!   metrics (counters, histograms, Prometheus text exposition) wired
-//!   through every layer above.
+//!   metrics (counters, gauges, histograms, Prometheus text exposition)
+//!   wired through every layer above.
+//! * [`prof`] — the in-process sampling profiler (span-stack sampling,
+//!   collapsed-stack/flamegraph output), the feature-gated counting
+//!   allocator (`count-alloc`), and the `BENCH_history.jsonl` tooling
+//!   behind `cla-tool bench-diff`.
 //! * [`serve`] — a long-running query server (in-process [`prelude::Session`]
 //!   or newline-delimited JSON over a Unix socket) that keeps the solved
 //!   graph warm between queries.
@@ -48,6 +52,7 @@ pub use cla_depend as depend;
 pub use cla_genc as genc;
 pub use cla_ir as ir;
 pub use cla_obs as obs;
+pub use cla_prof as prof;
 pub use cla_serve as serve;
 pub use cla_snap as snap;
 pub use cla_workload as workload;

@@ -236,6 +236,124 @@ fn db_fuzz_smoke_over_example_sources() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--profile` runs the sampling profiler over the whole command: the
+/// collapsed-stack file is written, the per-span table lands on stderr, and
+/// a combined `--trace` + `--profile` run still validates (sample events
+/// ride in the same streaming trace).
+#[test]
+fn analyze_with_profile_writes_collapsed_stacks() {
+    let dir = tmpdir("prof");
+    // A source big enough that compilation takes many sampler ticks even in
+    // debug builds.
+    let mut src = String::new();
+    for i in 0..1500 {
+        src.push_str(&format!(
+            "int x{i}; int *p{i}; void f{i}(void) {{ p{i} = &x{i}; }}\n"
+        ));
+    }
+    let big = write(&dir, "big.c", &src);
+    let collapsed = dir.join("prof.collapsed").to_string_lossy().into_owned();
+    let trace = dir.join("prof_trace.json").to_string_lossy().into_owned();
+
+    let out = run(tool().args(["analyze", &big, "--profile", &collapsed, "--trace", &trace]));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("profile:"),
+        "no profile summary on stderr: {err}"
+    );
+    assert!(err.contains("span"), "no span table on stderr: {err}");
+
+    // Collapsed format: `name(;name)* weight` per line, flamegraph.pl-ready.
+    let text = std::fs::read_to_string(&collapsed).unwrap();
+    assert!(!text.is_empty(), "empty collapsed profile");
+    for line in text.lines() {
+        let (stack, weight) = line.rsplit_once(' ').expect("stack + weight");
+        assert!(!stack.is_empty(), "bad line: {line}");
+        weight
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("bad weight: {line}"));
+    }
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("pipeline.compile") || l.starts_with("compile_file")),
+        "no compile attribution in:\n{text}"
+    );
+
+    // The trace recorded alongside the profiler still validates, and the
+    // validator counts its sample events.
+    let out = run(tool().args(["trace-validate", &trace]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("profiler samples"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `bench-diff` is the perf-regression gate: identical reports pass, an
+/// inflated phase fails naming the phase, and `--history` appends one
+/// JSONL line per invocation.
+#[test]
+fn bench_diff_gates_on_phase_regressions() {
+    let dir = tmpdir("benchdiff");
+    let old = write(
+        &dir,
+        "old.json",
+        r#"{"profile":"smoke","compile_secs":4.0,"link_secs":1.0,"solve_secs":0.5,"peak_rss_bytes":1000000}"#,
+    );
+
+    // Same file twice: zero regressions, exit 0.
+    let out = run(tool().args(["bench-diff", &old, &old, "--ceiling", "15"]));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("bench-diff OK"), "{text}");
+
+    // One phase 20% slower: nonzero exit, and the message names the phase.
+    let new = write(
+        &dir,
+        "new.json",
+        r#"{"profile":"smoke","compile_secs":4.8,"link_secs":1.0,"solve_secs":0.5,"peak_rss_bytes":1000000}"#,
+    );
+    let history = dir.join("hist.jsonl").to_string_lossy().into_owned();
+    let out = tool()
+        .args([
+            "bench-diff",
+            &old,
+            &new,
+            "--ceiling",
+            "15",
+            "--history",
+            &history,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "20% compile regression passed the gate"
+    );
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("compile_secs"), "regression unnamed: {err}");
+    assert!(!err.contains("link_secs"), "steady phase blamed: {err}");
+
+    // The same slowdown clears a 25% ceiling.
+    run(tool().args([
+        "bench-diff",
+        &old,
+        &new,
+        "--ceiling",
+        "25",
+        "--history",
+        &history,
+    ]));
+
+    // Both runs appended to the ledger, regression or not.
+    let hist = std::fs::read_to_string(&history).unwrap();
+    assert_eq!(hist.lines().count(), 2, "history: {hist}");
+    for line in hist.lines() {
+        assert!(line.contains(r#""label":"smoke""#), "history: {line}");
+        assert!(line.contains("compile_secs"), "history: {line}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn errors_exit_nonzero() {
     let out = tool().args(["dump", "/nonexistent.clao"]).output().unwrap();
