@@ -16,6 +16,14 @@ pub enum CError {
     Pp { msg: String, loc: Loc },
     /// Parse error (unexpected token, malformed declaration).
     Parse { msg: String, loc: Loc },
+    /// A file re-included itself while it was still being processed
+    /// (`a.h` → `b.h` → `a.h`). Distinct from the depth bound: a cycle is
+    /// diagnosed on the second entry, not after 64 levels of churn.
+    IncludeCycle { msg: String, loc: Loc },
+    /// A [`FrontendLimits`](crate::pp::FrontendLimits) budget was exceeded
+    /// (macro fuel, token cap, include depth, parser depth, or the per-unit
+    /// wall-clock deadline). Hostile or pathological input, not a bug.
+    Budget { msg: String, loc: Loc },
 }
 
 impl CError {
@@ -43,18 +51,48 @@ impl CError {
         }
     }
 
+    /// Constructs an include-cycle error.
+    pub fn include_cycle(msg: impl Into<String>, loc: Loc) -> Self {
+        CError::IncludeCycle {
+            msg: msg.into(),
+            loc,
+        }
+    }
+
+    /// Constructs a budget-exceeded error.
+    pub fn budget(msg: impl Into<String>, loc: Loc) -> Self {
+        CError::Budget {
+            msg: msg.into(),
+            loc,
+        }
+    }
+
     /// The location the error points at.
     pub fn loc(&self) -> Loc {
         match self {
-            CError::Lex { loc, .. } | CError::Pp { loc, .. } | CError::Parse { loc, .. } => *loc,
+            CError::Lex { loc, .. }
+            | CError::Pp { loc, .. }
+            | CError::Parse { loc, .. }
+            | CError::IncludeCycle { loc, .. }
+            | CError::Budget { loc, .. } => *loc,
         }
     }
 
     /// The error message without the phase prefix.
     pub fn message(&self) -> &str {
         match self {
-            CError::Lex { msg, .. } | CError::Pp { msg, .. } | CError::Parse { msg, .. } => msg,
+            CError::Lex { msg, .. }
+            | CError::Pp { msg, .. }
+            | CError::Parse { msg, .. }
+            | CError::IncludeCycle { msg, .. }
+            | CError::Budget { msg, .. } => msg,
         }
+    }
+
+    /// True for budget-exceeded errors (drives the
+    /// `cla_front_budget_exceeded_total` counter and fuzz triage).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, CError::Budget { .. })
     }
 }
 
@@ -64,6 +102,8 @@ impl fmt::Display for CError {
             CError::Lex { msg, loc } => write!(f, "lex error at {loc}: {msg}"),
             CError::Pp { msg, loc } => write!(f, "preprocess error at {loc}: {msg}"),
             CError::Parse { msg, loc } => write!(f, "parse error at {loc}: {msg}"),
+            CError::IncludeCycle { msg, loc } => write!(f, "include cycle at {loc}: {msg}"),
+            CError::Budget { msg, loc } => write!(f, "frontend budget exceeded at {loc}: {msg}"),
         }
     }
 }

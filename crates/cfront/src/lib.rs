@@ -27,7 +27,7 @@ pub mod token;
 pub mod types;
 
 pub use error::{CError, Result};
-pub use pp::{FileProvider, MemoryFs, OsFs, PpOptions, PpStats, Preprocessed};
+pub use pp::{FileProvider, FrontendLimits, MemoryFs, OsFs, PpOptions, PpStats, Preprocessed};
 pub use span::{FileId, Loc, SourceMap};
 
 use ast::TranslationUnit;
@@ -74,7 +74,7 @@ pub fn parse_file(fs: &dyn FileProvider, path: &str, opts: &PpOptions) -> Result
     let tu = {
         let mut sp = obs.span("front", "parse");
         sp.set("file", path);
-        match parser::parse(pre.tokens, path) {
+        match parser::parse_with(pre.tokens, path, &opts.limits) {
             Ok(tu) => {
                 sp.set("items", tu.items.len());
                 tu

@@ -587,13 +587,18 @@ impl Parser {
 
     // ----- initializers ---------------------------------------------------
 
-    /// Parses an initializer (expression or braced list).
+    /// Parses an initializer (expression or braced list). Braced lists
+    /// nest, so the recursion is charged against the parser depth budget —
+    /// `x = {{{{...` is a typed budget error, not a stack overflow.
     fn parse_initializer(&mut self) -> Result<Initializer> {
-        if self.at_punct(Punct::LBrace) {
-            Ok(Initializer::List(self.parse_braced_initializer_list()?))
+        let guard = self.enter()?;
+        let result = if self.at_punct(Punct::LBrace) {
+            self.parse_braced_initializer_list().map(Initializer::List)
         } else {
-            Ok(Initializer::Expr(self.parse_assign_expr()?))
-        }
+            self.parse_assign_expr().map(Initializer::Expr)
+        };
+        self.leave(guard);
+        result
     }
 
     /// Parses `{ designator? init, ... }` including the braces.

@@ -11,21 +11,38 @@ mod stmt;
 
 use crate::ast::{Expr, ExprKind, TranslationUnit, UnaryOp};
 use crate::error::{CError, Result};
+use crate::pp::FrontendLimits;
 use crate::span::Loc;
 use crate::token::{Punct, Token, TokenKind};
 use crate::types::{Type, TypeTable};
 use std::collections::{HashMap, HashSet};
 
-/// Parses a preprocessed token stream into a translation unit.
+/// Parses a preprocessed token stream into a translation unit, with the
+/// default [`FrontendLimits`].
 ///
 /// # Errors
 ///
 /// Returns [`CError::Parse`] on any syntax error. The parser does not attempt
 /// error recovery; the first error aborts the unit.
 pub fn parse(tokens: Vec<Token>, file: impl Into<String>) -> Result<TranslationUnit> {
+    parse_with(tokens, file, &FrontendLimits::default())
+}
+
+/// [`parse`] under explicit resource budgets: recursion bounded by
+/// `limits.max_parser_depth`, wall clock by `limits.deadline_ms`. Both
+/// overruns surface as typed [`CError::Budget`] errors.
+pub fn parse_with(
+    tokens: Vec<Token>,
+    file: impl Into<String>,
+    limits: &FrontendLimits,
+) -> Result<TranslationUnit> {
     let mut p = Parser::new(tokens);
+    p.max_depth = limits.parser_depth();
+    p.deadline = limits.deadline_from_now();
+    p.deadline_ms = limits.deadline_ms;
     let mut items = Vec::new();
     while !p.at_eof() {
+        p.check_deadline()?;
         if let Some(item) = p.parse_external_decl()? {
             items.push(item);
         }
@@ -63,6 +80,14 @@ pub(crate) struct Parser {
     /// recursive-descent parser against stack overflow on pathological
     /// nesting).
     depth: u32,
+    /// Recursion bound (from [`FrontendLimits::parser_depth`]).
+    max_depth: u32,
+    /// Per-unit wall-clock deadline, checked between external declarations
+    /// and periodically inside deep recursion.
+    deadline: Option<std::time::Instant>,
+    deadline_ms: u64,
+    /// [`Parser::enter`] calls since the last deadline check.
+    deadline_ticks: u32,
     pub(crate) types: TypeTable,
     scopes: Vec<HashMap<String, NameKind>>,
     pub(crate) enum_constants: HashSet<String>,
@@ -76,6 +101,10 @@ impl Parser {
             toks,
             pos: 0,
             depth: 0,
+            max_depth: 64,
+            deadline: None,
+            deadline_ms: 0,
+            deadline_ticks: 0,
             types: TypeTable::new(),
             scopes: vec![HashMap::new()],
             enum_constants: HashSet::new(),
@@ -125,12 +154,35 @@ impl Parser {
     /// Enters one level of recursive parsing; errors beyond the nesting
     /// limit instead of overflowing the stack.
     pub(crate) fn enter(&mut self) -> Result<DepthGuard> {
-        const MAX_DEPTH: u32 = 64;
-        if self.depth >= MAX_DEPTH {
-            return Err(self.err("expression or declarator nested too deeply"));
+        if self.depth >= self.max_depth {
+            return Err(CError::budget(
+                format!(
+                    "expression or declarator nested too deeply (limit {})",
+                    self.max_depth
+                ),
+                self.loc(),
+            ));
         }
         self.depth += 1;
+        self.deadline_ticks += 1;
+        if self.deadline_ticks >= 4096 {
+            self.deadline_ticks = 0;
+            self.check_deadline()?;
+        }
         Ok(DepthGuard)
+    }
+
+    /// Errors out when the per-unit wall-clock deadline has passed.
+    pub(crate) fn check_deadline(&self) -> Result<()> {
+        if let Some(deadline) = self.deadline {
+            if std::time::Instant::now() > deadline {
+                return Err(CError::budget(
+                    format!("parsing exceeded the {} ms deadline", self.deadline_ms),
+                    self.loc(),
+                ));
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn leave(&mut self, _g: DepthGuard) {
@@ -401,5 +453,25 @@ mod tests {
     #[test]
     fn stray_token_is_error() {
         assert!(parse_str("42;").is_err());
+    }
+
+    #[test]
+    fn parser_depth_is_budgeted_and_configurable() {
+        let src = format!("int x = {}1{};", "(".repeat(40), ")".repeat(40));
+        let toks = lex(&src, FileId(0)).unwrap();
+        let limits = FrontendLimits {
+            max_parser_depth: 16,
+            ..FrontendLimits::default()
+        };
+        let e = parse_with(toks, "deep.c", &limits).unwrap_err();
+        assert!(e.is_budget(), "{e}");
+        // The default bound of 64 accepts the same 40-deep nesting.
+        let toks = lex(&src, FileId(0)).unwrap();
+        assert!(parse(toks, "deep.c").is_ok());
+        // Far past any bound, still a typed error — never a stack overflow.
+        let src = format!("int x = {}1{};", "(".repeat(20_000), ")".repeat(20_000));
+        let toks = lex(&src, FileId(0)).unwrap();
+        let e = parse(toks, "deeper.c").unwrap_err();
+        assert!(e.is_budget(), "{e}");
     }
 }

@@ -34,8 +34,18 @@ impl Parser {
             && matches!(self.peek_ahead(1), TokenKind::Punct(Punct::Colon))
     }
 
-    /// Parses one statement.
+    /// Parses one statement. Statements nest through blocks, `if`/loop
+    /// bodies, and labels, so the recursion shares the parser depth budget
+    /// with expressions — a `{{{{...` flood is a typed budget error, not a
+    /// stack overflow.
     pub(crate) fn parse_stmt(&mut self) -> Result<Stmt> {
+        let guard = self.enter()?;
+        let result = self.parse_stmt_inner();
+        self.leave(guard);
+        result
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt> {
         match self.peek() {
             TokenKind::Punct(Punct::Semi) => {
                 self.bump();

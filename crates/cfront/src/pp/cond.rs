@@ -27,6 +27,7 @@ pub fn eval_condition(
         toks: &expanded,
         pos: 0,
         loc,
+        depth: 0,
     };
     let v = p.ternary()?;
     if p.pos != p.toks.len() {
@@ -68,13 +69,29 @@ fn resolve_defined(tokens: &[Token], macros: &MacroTable, loc: Loc) -> Result<Ve
     Ok(out)
 }
 
+/// Deepest `#if` expression nesting (parens, `?:`, unary chains) before a
+/// typed budget error. Hostile `#if ((((...` must not overflow the stack.
+const MAX_COND_DEPTH: u32 = 256;
+
 struct CondParser<'a> {
     toks: &'a [Token],
     pos: usize,
     loc: Loc,
+    depth: u32,
 }
 
 impl<'a> CondParser<'a> {
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_COND_DEPTH {
+            return Err(CError::budget(
+                format!("#if expression nested too deeply (limit {MAX_COND_DEPTH})"),
+                self.cur_loc(),
+            ));
+        }
+        Ok(())
+    }
+
     fn cur_loc(&self) -> Loc {
         self.toks.get(self.pos).map_or(self.loc, |t| t.loc)
     }
@@ -97,6 +114,13 @@ impl<'a> CondParser<'a> {
     }
 
     fn ternary(&mut self) -> Result<i64> {
+        self.enter()?;
+        let r = self.ternary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn ternary_inner(&mut self) -> Result<i64> {
         let c = self.binary(0)?;
         if self.eat_punct(Punct::Question) {
             let t = self.ternary()?;
@@ -130,6 +154,13 @@ impl<'a> CondParser<'a> {
     }
 
     fn unary(&mut self) -> Result<i64> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<i64> {
         if self.eat_punct(Punct::Bang) {
             return Ok(i64::from(self.unary()? == 0));
         }
@@ -219,7 +250,14 @@ fn apply_bin(op: Punct, l: i64, r: i64, loc: Loc) -> Result<i64> {
             }
             l.wrapping_rem(r)
         }
-        _ => unreachable!("not a binary operator"),
+        // Defensive: the precedence climber only dispatches the operators
+        // above, but a typed error beats a panic if that ever drifts.
+        other => {
+            return Err(CError::pp(
+                format!("`{}` is not a #if binary operator", other.as_str()),
+                loc,
+            ))
+        }
     })
 }
 
@@ -283,6 +321,16 @@ mod tests {
         assert!(eval("~0 == -1", &[]).unwrap());
         assert!(eval("+5 == 5", &[]).unwrap());
         assert!(eval("'A' == 65", &[]).unwrap());
+    }
+
+    #[test]
+    fn deep_nesting_is_budget_error_not_overflow() {
+        let parens = format!("{}1{}", "(".repeat(50_000), ")".repeat(50_000));
+        assert!(eval(&parens, &[]).unwrap_err().is_budget());
+        let bangs = format!("{}1", "!".repeat(50_000));
+        assert!(eval(&bangs, &[]).unwrap_err().is_budget());
+        let ternaries = "1?".repeat(50_000) + "1" + &":1".repeat(50_000);
+        assert!(eval(&ternaries, &[]).unwrap_err().is_budget());
     }
 
     #[test]

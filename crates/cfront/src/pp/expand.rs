@@ -54,11 +54,36 @@ fn extend_hide(hide: &Rc<Vec<String>>, name: &str) -> Rc<Vec<String>> {
     Rc::new(v)
 }
 
-/// Statistics from macro expansion.
+/// Statistics from macro expansion, plus the expansion budget.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ExpandStats {
     /// Number of macro invocations expanded.
     pub expansions: usize,
+    /// Budget: expansions allowed before a typed [`CError::Budget`] fires
+    /// (0 = unlimited). Rides in the stats struct so every expansion site —
+    /// lines, conditionals, `#include` arguments — draws from one tank.
+    pub fuel: usize,
+    /// Live macro-argument pre-expansion nesting depth. Argument expansion
+    /// is the only call-stack recursion in the expander, so `F(F(F(...` is
+    /// bounded here rather than by the thread stack.
+    pub depth: u32,
+}
+
+/// Deepest macro-argument nesting before a typed budget error.
+const MAX_ARG_DEPTH: u32 = 256;
+
+impl ExpandStats {
+    /// Counts one expansion against the fuel budget.
+    fn burn(&mut self, loc: Loc) -> Result<()> {
+        self.expansions += 1;
+        if self.fuel != 0 && self.expansions > self.fuel {
+            return Err(CError::budget(
+                format!("macro expansion fuel exhausted ({} expansions)", self.fuel),
+                loc,
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Fully macro-expands `tokens` against `macros`.
@@ -99,7 +124,7 @@ fn expand_into(
         match macros.get(&name) {
             None => out.push(pt.tok),
             Some(MacroDef::Object { body }) => {
-                stats.expansions += 1;
+                stats.burn(pt.tok.loc)?;
                 let hide = extend_hide(&pt.hide, &name);
                 let replaced = paste_tokens(body.clone(), pt.tok.loc)?;
                 for t in replaced.into_iter().rev() {
@@ -140,7 +165,7 @@ fn expand_into(
                         pt.tok.loc,
                     ));
                 }
-                stats.expansions += 1;
+                stats.burn(pt.tok.loc)?;
                 let substituted =
                     substitute(body, params, *variadic, &args, macros, pt.tok.loc, stats)?;
                 let hide = extend_hide(&pt.hide, &name);
@@ -263,8 +288,17 @@ fn substitute(
         }
         // Ordinary parameter: fully expanded argument.
         if let Some(idx) = t.kind.ident().and_then(param_index) {
-            let expanded = expand(arg_tokens(idx), macros, stats)?;
-            out.extend(expanded);
+            stats.depth += 1;
+            if stats.depth > MAX_ARG_DEPTH {
+                stats.depth -= 1;
+                return Err(CError::budget(
+                    format!("macro arguments nested too deeply (limit {MAX_ARG_DEPTH})"),
+                    loc,
+                ));
+            }
+            let expanded = expand(arg_tokens(idx), macros, stats);
+            stats.depth -= 1;
+            out.extend(expanded?);
             i += 1;
             continue;
         }

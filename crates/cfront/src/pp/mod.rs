@@ -18,6 +18,57 @@ use crate::lexer;
 use crate::span::{Loc, SourceMap};
 use crate::token::{Punct, Token, TokenKind};
 
+/// Per-unit resource budgets protecting the frontend from hostile or
+/// pathological input (DESIGN.md §14). Exceeding any budget produces a
+/// typed [`CError::Budget`], never a panic or an unbounded loop. The
+/// include-nesting budget lives in [`PpOptions::max_include_depth`] for
+/// backward compatibility; overflowing it is also a budget error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendLimits {
+    /// Macro invocations expanded per translation unit (0 = unlimited).
+    /// The default absorbs heavy generated code but stops macro bombs.
+    pub macro_fuel: usize,
+    /// Preprocessed tokens emitted per translation unit (0 = unlimited).
+    pub max_tokens: usize,
+    /// Parser recursion depth for nested expressions/declarators
+    /// (0 = the historical default of 64).
+    pub max_parser_depth: u32,
+    /// Wall-clock deadline for preprocessing + parsing one unit, in
+    /// milliseconds (0 = none). Checked periodically, so overruns are
+    /// bounded by one check interval, not exact.
+    pub deadline_ms: u64,
+}
+
+impl Default for FrontendLimits {
+    fn default() -> Self {
+        FrontendLimits {
+            macro_fuel: 4_000_000,
+            max_tokens: 33_554_432,
+            max_parser_depth: 64,
+            deadline_ms: 0,
+        }
+    }
+}
+
+impl FrontendLimits {
+    /// The parser depth bound with the 0-means-default rule applied.
+    #[must_use]
+    pub fn parser_depth(&self) -> u32 {
+        if self.max_parser_depth == 0 {
+            64
+        } else {
+            self.max_parser_depth
+        }
+    }
+
+    /// The deadline as an absolute instant from now, if one is set.
+    #[must_use]
+    pub fn deadline_from_now(&self) -> Option<std::time::Instant> {
+        (self.deadline_ms > 0)
+            .then(|| std::time::Instant::now() + std::time::Duration::from_millis(self.deadline_ms))
+    }
+}
+
 /// Preprocessor configuration.
 #[derive(Debug, Clone, Default)]
 pub struct PpOptions {
@@ -28,6 +79,8 @@ pub struct PpOptions {
     pub defines: Vec<(String, String)>,
     /// Maximum `#include` nesting depth (default 64).
     pub max_include_depth: usize,
+    /// Resource budgets for hostile-input protection.
+    pub limits: FrontendLimits,
 }
 
 impl PpOptions {
@@ -90,11 +143,17 @@ pub fn preprocess(
         macros: MacroTable::new(),
         out: Vec::new(),
         stats: PpStats::default(),
-        expand_stats: ExpandStats::default(),
+        expand_stats: ExpandStats {
+            fuel: opts.limits.macro_fuel,
+            ..ExpandStats::default()
+        },
         cond_stack: Vec::new(),
         lines_seen: std::collections::HashSet::new(),
         line_adjust: 0,
         line_file: None,
+        include_stack: Vec::new(),
+        deadline: opts.limits.deadline_from_now(),
+        deadline_ticks: 0,
     };
     for (name, body) in &opts.defines {
         let toks = lexer::lex(body, crate::span::FileId::BUILTIN)?;
@@ -147,7 +206,18 @@ struct Pp<'a> {
     /// presumed file).
     line_adjust: i64,
     line_file: Option<crate::span::FileId>,
+    /// Resolved paths of files currently being processed, outermost first —
+    /// re-entering one is an include cycle.
+    include_stack: Vec<String>,
+    /// Absolute wall-clock deadline for this unit, if budgeted.
+    deadline: Option<std::time::Instant>,
+    /// Logical lines processed since the last deadline check.
+    deadline_ticks: u32,
 }
+
+/// How many logical lines may pass between wall-clock deadline checks;
+/// bounds both the overrun and the `Instant::now` overhead on clean input.
+const DEADLINE_CHECK_INTERVAL: u32 = 128;
 
 impl<'a> Pp<'a> {
     fn active(&self) -> bool {
@@ -161,11 +231,27 @@ impl<'a> Pp<'a> {
             self.opts.max_include_depth
         };
         if depth > max_depth {
-            return Err(CError::pp(
-                format!("#include nesting too deep at `{path}`"),
+            return Err(CError::budget(
+                format!("#include nesting deeper than {max_depth} at `{path}`"),
                 from,
             ));
         }
+        if self.include_stack.iter().any(|p| p == path) {
+            return Err(CError::include_cycle(
+                format!(
+                    "`{path}` is included while still being processed ({})",
+                    self.include_stack.join(" -> ")
+                ),
+                from,
+            ));
+        }
+        self.include_stack.push(path.to_string());
+        let r = self.process_file_inner(path, from, depth);
+        self.include_stack.pop();
+        r
+    }
+
+    fn process_file_inner(&mut self, path: &str, from: Loc, depth: usize) -> Result<()> {
         let src = self
             .fs
             .read(path)
@@ -189,6 +275,7 @@ impl<'a> Pp<'a> {
                 j += 1;
             }
             let line = &tokens[i..j];
+            self.check_budgets(line[0].loc)?;
             if line[0].is_punct(Punct::Hash) {
                 self.directive(&line[1..], line[0].loc, path, depth)?;
             } else if self.active() {
@@ -219,6 +306,35 @@ impl<'a> Pp<'a> {
                 "unterminated conditional (#if without #endif)",
                 open.loc,
             ));
+        }
+        Ok(())
+    }
+
+    /// Enforces the per-unit token cap and (periodically) the wall-clock
+    /// deadline. Called once per logical line, so every budget overrun is
+    /// caught within one line of work.
+    fn check_budgets(&mut self, loc: Loc) -> Result<()> {
+        let cap = self.opts.limits.max_tokens;
+        if cap != 0 && self.out.len() > cap {
+            return Err(CError::budget(
+                format!("preprocessed output exceeds {cap} tokens"),
+                loc,
+            ));
+        }
+        if let Some(deadline) = self.deadline {
+            self.deadline_ticks += 1;
+            if self.deadline_ticks >= DEADLINE_CHECK_INTERVAL {
+                self.deadline_ticks = 0;
+                if std::time::Instant::now() > deadline {
+                    return Err(CError::budget(
+                        format!(
+                            "preprocessing exceeded the {} ms deadline",
+                            self.opts.limits.deadline_ms
+                        ),
+                        loc,
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -582,6 +698,94 @@ mod tests {
         let mut fs = MemoryFs::new();
         fs.add("self.h", "#include \"self.h\"\n");
         assert!(preprocess(&fs, "self.h", &PpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn include_cycle_is_a_typed_error() {
+        // Indirect cycle: b.h -> c.h -> b.h.
+        let files = [
+            ("a.c", "#include \"b.h\"\n"),
+            ("b.h", "#include \"c.h\"\n"),
+            ("c.h", "#include \"b.h\"\n"),
+        ];
+        let e = run(&files, PpOptions::default()).unwrap_err();
+        assert!(matches!(e, CError::IncludeCycle { .. }), "{e}");
+        assert!(e.message().contains("b.h"), "{e}");
+        // Direct self-include is the degenerate cycle.
+        let e = run(&[("self.h", "#include \"self.h\"\n")], PpOptions::default()).unwrap_err();
+        assert!(matches!(e, CError::IncludeCycle { .. }), "{e}");
+        // A diamond (two paths to the same header, sequentially) is not.
+        let files = [
+            ("a.c", "#include \"b.h\"\n#include \"c.h\"\n"),
+            ("b.h", "#include \"d.h\"\n"),
+            ("c.h", "#include \"d.h\"\n"),
+            ("d.h", "int d_var;\n"),
+        ];
+        assert!(run(&files, PpOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn include_depth_overflow_is_a_budget_error() {
+        let mut fs = MemoryFs::new();
+        for i in 0..6 {
+            fs.add(format!("f{i}.h"), format!("#include \"f{}.h\"\n", i + 1));
+        }
+        fs.add("f6.h", "int deep;\n");
+        let opts = PpOptions {
+            max_include_depth: 3,
+            ..PpOptions::default()
+        };
+        let e = preprocess(&fs, "f0.h", &opts).unwrap_err();
+        assert!(e.is_budget(), "{e}");
+    }
+
+    #[test]
+    fn macro_fuel_stops_expansion_bombs() {
+        // Each level expands to eight copies of the previous one: the full
+        // expansion is ~8^8 invocations, far over the test budget.
+        let mut src = String::from("#define A0 x\n");
+        for i in 1..9 {
+            let p = i - 1;
+            src.push_str(&format!(
+                "#define A{i} A{p} A{p} A{p} A{p} A{p} A{p} A{p} A{p}\n"
+            ));
+        }
+        src.push_str("int A8;\n");
+        let mut opts = PpOptions::default();
+        opts.limits.macro_fuel = 10_000;
+        let e = run(&[("bomb.c", src.as_str())], opts).unwrap_err();
+        assert!(e.is_budget(), "{e}");
+    }
+
+    #[test]
+    fn token_cap_bounds_output() {
+        let src = "#define ROW int a; int b; int c; int d;\n".to_string() + &"ROW\n".repeat(200);
+        let mut opts = PpOptions::default();
+        opts.limits.max_tokens = 100;
+        let e = run(&[("big.c", src.as_str())], opts).unwrap_err();
+        assert!(e.is_budget(), "{e}");
+        // Unlimited (0) accepts the same input.
+        let mut opts = PpOptions::default();
+        opts.limits.max_tokens = 0;
+        assert!(run(&[("big.c", src.as_str())], opts).is_ok());
+    }
+
+    #[test]
+    fn limit_helpers() {
+        let limits = FrontendLimits {
+            max_parser_depth: 0,
+            deadline_ms: 0,
+            ..FrontendLimits::default()
+        };
+        assert_eq!(limits.parser_depth(), 64);
+        assert!(limits.deadline_from_now().is_none());
+        let limits = FrontendLimits {
+            max_parser_depth: 7,
+            deadline_ms: 1000,
+            ..FrontendLimits::default()
+        };
+        assert_eq!(limits.parser_depth(), 7);
+        assert!(limits.deadline_from_now().is_some());
     }
 
     #[test]

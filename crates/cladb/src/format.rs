@@ -33,7 +33,11 @@ pub const MAGIC: u32 = 0x014C_4143;
 ///   header checksum covering the section table, and a per-block checksum
 ///   in the dynamic index. v1 files are rejected with
 ///   [`DbError::BadVersion`] rather than misparsed.
-pub const VERSION: u32 = 2;
+/// * v3 — adds a per-object flags byte (bit 0 = symbol is *defined*, not
+///   merely referenced) to the object section, so a partial analysis can
+///   find the referenced-but-undefined globals that need conservative
+///   summaries. v1/v2 files are rejected with [`DbError::BadVersion`].
+pub const VERSION: u32 = 3;
 
 /// Byte size of one section-table entry on the wire
 /// (id `u32`, offset `u64`, len `u64`, checksum `u64`).

@@ -110,6 +110,8 @@ impl Linker {
                         if have.ty.is_empty() && !info.ty.is_empty() {
                             have.ty = info.ty.clone();
                         }
+                        // A symbol is defined if *any* unit defines it.
+                        have.defined |= info.defined;
                         existing
                     } else {
                         let mut new_info = info.clone();

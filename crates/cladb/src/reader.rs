@@ -331,7 +331,7 @@ impl Database {
         let count = buf.get_u32_le()? as usize;
         let mut objects = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            if buf.remaining() < 25 {
+            if buf.remaining() < 26 {
                 return Err(DbError::Corrupt("truncated object record".into()));
             }
             let name = get_str(buf.get_u32_le()?)?.to_string();
@@ -344,6 +344,11 @@ impl Database {
             let ty = get_str(buf.get_u32_le()?)?.to_string();
             let kind = ObjKind::from_u8(buf.get_u8()?)
                 .ok_or_else(|| DbError::Corrupt("bad object kind".into()))?;
+            // Flags byte (v3): bit 0 = defined; other bits must be zero.
+            let flags = buf.get_u8()?;
+            if flags > 1 {
+                return Err(DbError::Corrupt("bad object flags".into()));
+            }
             let file = FileIdx(buf.get_u32_le()?);
             let line = buf.get_u32_le()?;
             let in_func_raw = buf.get_u32_le()?;
@@ -359,6 +364,7 @@ impl Database {
                 ty,
                 loc: SrcLoc { file, line },
                 in_func,
+                defined: flags & 1 != 0,
             });
         }
 

@@ -96,6 +96,7 @@ pub fn duplicate_contexts(unit: &CompiledUnit, contexts: usize) -> (CompiledUnit
                     ty: proto.ty.clone(),
                     loc: proto.loc,
                     in_func: Some(f),
+                    defined: proto.defined,
                 };
                 if info.kind == ObjKind::Var {
                     info.kind = ObjKind::Temp;

@@ -91,6 +91,8 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
         }
         obj_sec.put_u32_le(strings.intern(&o.ty));
         obj_sec.put_u8(o.kind as u8);
+        // Flags byte (v3): bit 0 = defined. Spare bits reserved.
+        obj_sec.put_u8(u8::from(o.defined));
         obj_sec.put_u32_le(o.loc.file.0);
         obj_sec.put_u32_le(o.loc.line);
         obj_sec.put_u32_le(o.in_func.map_or(NONE_U32, |f| f.0));
@@ -166,11 +168,14 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
     }
 
     // ---- target section: display name -> object ----
+    // Heap sites ride along with the program objects: they show up inside
+    // points-to sets (`heap@a.c:12`, the `<unknown>` summary object), so
+    // they must be addressable by name in queries too.
     let mut targets: Vec<(u32, u32)> = unit
         .objects
         .iter()
         .enumerate()
-        .filter(|(_, o)| o.kind.is_program_object())
+        .filter(|(_, o)| o.kind.is_program_object() || o.kind == cla_ir::ObjKind::Heap)
         .map(|(i, o)| (strings.intern(&o.name), i as u32))
         .collect();
     targets.sort_unstable();

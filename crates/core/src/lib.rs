@@ -26,6 +26,7 @@
 
 pub mod bitvector;
 pub mod deductive;
+pub mod frontfuzz;
 pub mod pipeline;
 mod pretransitive;
 mod solution;

@@ -55,7 +55,7 @@ impl From<DbError> for PipelineError {
 }
 
 /// Pipeline configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PipelineOptions {
     pub pp: PpOptions,
     pub lower: LowerOptions,
@@ -65,6 +65,67 @@ pub struct PipelineOptions {
     /// Cap on the compile thread pool: at most this many worker threads
     /// (0 = one thread per CPU). Only consulted with `parallel_compile`.
     pub jobs: usize,
+    /// Fail fast: the first frontend error (or compile panic, surfaced as a
+    /// typed error) aborts the run. When false, failing units are
+    /// quarantined into [`Report::quarantined`] and the analysis continues
+    /// over every unit that survived (DESIGN.md §14). The library default
+    /// stays fail-fast; `cla-tool analyze` runs quarantine-and-continue
+    /// unless `--strict` is passed.
+    pub strict: bool,
+    /// With quarantined units present, give every referenced-but-undefined
+    /// global symbol a conservative PIP-style unknown summary at link time
+    /// (see `add_unknown_summaries`): sound-leaning answers instead of
+    /// silently missing flows. Off by default — answers stay minimal.
+    pub unknown_summaries: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            pp: PpOptions::default(),
+            lower: LowerOptions::default(),
+            solver: SolveOptions::default(),
+            parallel_compile: false,
+            jobs: 0,
+            strict: true,
+            unknown_summaries: false,
+        }
+    }
+}
+
+/// Why a unit landed in the quarantine ledger.
+#[derive(Debug, Clone)]
+pub enum QuarantineReason {
+    /// A typed frontend error, including [`CError::Budget`] overruns.
+    Error(CError),
+    /// The compile panicked; the payload carries the panic message. The
+    /// pool catches the panic, so one poisoned unit never kills a worker
+    /// (or strands the backpressure condvar).
+    Panic(String),
+}
+
+impl QuarantineReason {
+    /// True when the unit exceeded a [`cla_cfront::FrontendLimits`] budget.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, QuarantineReason::Error(e) if e.is_budget())
+    }
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Error(e) => write!(f, "{e}"),
+            QuarantineReason::Panic(msg) => write!(f, "compile panicked: {msg}"),
+        }
+    }
+}
+
+/// One entry of the per-file quarantine ledger.
+#[derive(Debug, Clone)]
+pub struct Quarantined {
+    /// The input file as given to [`analyze`].
+    pub file: String,
+    pub reason: QuarantineReason,
 }
 
 /// Resolves a `jobs` cap (0 = auto) to a concrete thread count.
@@ -214,6 +275,14 @@ pub struct Report {
     /// [`SLOWEST_FILES_CAP`] entries). On generated codebases this is how
     /// a profile names the outlier files worth shrinking.
     pub slowest_files: Vec<(String, Duration)>,
+    /// Files whose compile failed, panicked, or overran a budget, in input
+    /// order with typed reasons. Empty in strict mode (the run would have
+    /// aborted instead) and on clean runs.
+    pub quarantined: Vec<Quarantined>,
+    /// Referenced-but-undefined globals that received conservative unknown
+    /// summaries at link time (0 unless quarantine fired with
+    /// [`PipelineOptions::unknown_summaries`] on).
+    pub unknown_summaries: usize,
 }
 
 /// Number of entries retained in [`Report::slowest_files`].
@@ -229,6 +298,12 @@ impl Report {
     /// object metadata (the object file itself is demand-paged).
     pub fn approx_analysis_bytes(&self) -> usize {
         self.solve_stats.approx_bytes
+    }
+
+    /// True when any unit was quarantined: every answer derived from this
+    /// run covers only the surviving units and must be marked partial.
+    pub fn is_partial(&self) -> bool {
+        !self.quarantined.is_empty()
     }
 }
 
@@ -311,7 +386,22 @@ pub fn analyze_with(
         durs,
         cache_hits: compile_cache_hits,
         jobs,
+        quarantined: quarantined_ix,
     } = streamed;
+    let quarantined: Vec<Quarantined> = quarantined_ix
+        .into_iter()
+        .map(|(i, reason)| Quarantined {
+            file: files[i].to_string(),
+            reason,
+        })
+        .collect();
+    for q in &quarantined {
+        obs.counter("cla_front_quarantined_total").inc();
+        if q.reason.is_budget() {
+            obs.counter("cla_front_budget_exceeded_total").inc();
+        }
+    }
+    let partial = !quarantined.is_empty();
     let slowest_files = {
         let mut ranked: Vec<(String, Duration)> = files
             .iter()
@@ -334,7 +424,12 @@ pub fn analyze_with(
 
     let mut sp = obs.span("pipeline", "pipeline.link");
     let peak_buffered_units = linker.peak_buffered().max(1);
-    let (program, link_stats) = linker.finish();
+    let (mut program, link_stats) = linker.finish();
+    let unknown_summaries = if partial && opts.unknown_summaries {
+        add_unknown_summaries(&mut program)
+    } else {
+        0
+    };
     let bytes = write_object(&program);
     let program_variables = program.program_variable_count();
     let assign_counts = program.assign_counts();
@@ -346,7 +441,12 @@ pub fn analyze_with(
 
     let sp = obs.span("pipeline", "pipeline.solve");
     let mut snapshot_loaded = false;
-    let (points_to, solve_stats) = match hooks.snapshots {
+    // Partial runs bypass the snapshot store in both directions: a
+    // quarantined file keys as 0 in the provenance, so persisting (or
+    // serving) a partial graph under it would alias distinct hostile
+    // inputs to one snapshot.
+    let snapshot_hook = if partial { None } else { hooks.snapshots };
+    let (points_to, solve_stats) = match snapshot_hook {
         None => solve_database(&db, opts.solver),
         Some(hook) => {
             let prov = Provenance {
@@ -390,6 +490,8 @@ pub fn analyze_with(
         peak_buffered_units,
         peak_rss_bytes: cla_obs::peak_rss_bytes(),
         slowest_files,
+        quarantined,
+        unknown_summaries,
     };
     Ok(Analysis {
         points_to,
@@ -464,6 +566,99 @@ struct StreamedCompile {
     durs: Vec<Duration>,
     cache_hits: usize,
     jobs: usize,
+    /// Quarantined inputs by index, sorted in input order (empty in strict
+    /// mode — the run errors out instead).
+    quarantined: Vec<(usize, QuarantineReason)>,
+}
+
+/// Renders a `catch_unwind` payload as text (the conventional `&str` /
+/// `String` payloads; anything else gets a placeholder).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Collapses a quarantine reason to a typed error for strict mode: panics
+/// become a `CError` instead of re-raising, so even fail-fast callers get a
+/// value, never a poisoned thread pool.
+fn reason_to_cerror(reason: QuarantineReason) -> CError {
+    match reason {
+        QuarantineReason::Error(e) => e,
+        QuarantineReason::Panic(msg) => CError::parse(
+            format!("internal frontend panic: {msg}"),
+            cla_cfront::Loc::BUILTIN,
+        ),
+    }
+}
+
+/// PIP-style conservative summaries for incomplete programs (*Making
+/// Andersen's Points-to Analysis Sound and Practical for Incomplete C
+/// Programs*): once units are quarantined, any global that is referenced
+/// but never defined may live in a lost unit and do anything. One abstract
+/// object `<unknown>` stands for everything such symbols could reach:
+///
+/// * `g = &<unknown>` for every undefined global `g` — dereferencing it
+///   reaches the unknown blob instead of nothing;
+/// * `<unknown> = &<unknown>` — chains of dereferences stay closed;
+/// * for every call signature of an undefined function: `f$ret =
+///   &<unknown>` and `<unknown> = f$N` — results come from the blob,
+///   arguments escape into it.
+///
+/// Returns how many undefined globals were summarized.
+fn add_unknown_summaries(program: &mut cla_ir::CompiledUnit) -> usize {
+    use cla_ir::{AssignKind, ObjId, ObjKind, ObjectInfo, OpKind, PrimAssign, SrcLoc, Strength};
+    // A global is undefined when no surviving unit defines it (the linker
+    // ORs the per-unit `defined` bits). Param/ret objects are global-linked
+    // too but are summarized through their function's signature, not here.
+    let undefined: Vec<ObjId> = program
+        .objects
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| {
+            o.link_name.is_some() && !o.defined && matches!(o.kind, ObjKind::Var | ObjKind::Func)
+        })
+        .map(|(i, _)| ObjId(i as u32))
+        .collect();
+    if undefined.is_empty() {
+        return 0;
+    }
+    let unknown = program.push_object(ObjectInfo::global(
+        "<unknown>",
+        ObjKind::Heap,
+        "",
+        SrcLoc::NONE,
+    ));
+    let edge = |kind, dst, src| PrimAssign {
+        kind,
+        dst,
+        src,
+        strength: Strength::Weak,
+        op: OpKind::Direct,
+        loc: SrcLoc::NONE,
+    };
+    program.push_assign(edge(AssignKind::Addr, unknown, unknown));
+    let undefined_set: std::collections::HashSet<ObjId> = undefined.iter().copied().collect();
+    let summarized_sigs: Vec<(ObjId, Vec<ObjId>)> = program
+        .funsigs
+        .iter()
+        .filter(|s| undefined_set.contains(&s.obj) && !s.is_indirect)
+        .map(|s| (s.ret, s.params.clone()))
+        .collect();
+    for &g in &undefined {
+        program.push_assign(edge(AssignKind::Addr, g, unknown));
+    }
+    for (ret, params) in summarized_sigs {
+        program.push_assign(edge(AssignKind::Addr, ret, unknown));
+        for p in params {
+            program.push_assign(edge(AssignKind::Copy, unknown, p));
+        }
+    }
+    undefined.len()
 }
 
 /// Compiles every file with `one` and folds each unit into a
@@ -482,7 +677,19 @@ fn stream_compile_link(
     opts: &PipelineOptions,
     one: impl Fn(&str) -> Result<CompiledFile, CError> + Sync,
 ) -> Result<StreamedCompile, CError> {
+    // Every compile runs under `catch_unwind`: a panic in the frontend is a
+    // bug in *our* code, but it is triggered by *their* bytes, and one
+    // hostile file must not take down the run (or, in the parallel path,
+    // kill a worker thread and strand everyone waiting on the condvar).
+    let guarded = |f: &str| -> Result<CompiledFile, QuarantineReason> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| one(f))) {
+            Ok(Ok(c)) => Ok(c),
+            Ok(Err(e)) => Err(QuarantineReason::Error(e)),
+            Err(payload) => Err(QuarantineReason::Panic(panic_message(payload))),
+        }
+    };
     let mut linker = StreamLinker::new("a.out");
+    let mut quarantined: Vec<(usize, QuarantineReason)> = Vec::new();
     if !opts.parallel_compile || files.len() < 2 {
         let mut stats = Vec::with_capacity(files.len());
         let mut keys = Vec::with_capacity(files.len());
@@ -490,12 +697,27 @@ fn stream_compile_link(
         let mut cache_hits = 0usize;
         for (i, f) in files.iter().enumerate() {
             let t = std::time::Instant::now();
-            let c = one(f)?;
-            durs.push(t.elapsed());
-            stats.push(c.stats);
-            keys.push(c.key);
-            cache_hits += usize::from(c.cache_hit);
-            linker.push(i, c.unit);
+            match guarded(f) {
+                Ok(c) => {
+                    durs.push(t.elapsed());
+                    stats.push(c.stats);
+                    keys.push(c.key);
+                    cache_hits += usize::from(c.cache_hit);
+                    linker.push(i, c.unit);
+                }
+                Err(reason) => {
+                    if opts.strict {
+                        return Err(reason_to_cerror(reason));
+                    }
+                    // An empty unit keeps the linker's index sequence
+                    // intact; it contributes no objects and no assignments.
+                    durs.push(t.elapsed());
+                    stats.push(CompileStats::default());
+                    keys.push(0);
+                    quarantined.push((i, reason));
+                    linker.push(i, CompiledUnit::new(*f));
+                }
+            }
         }
         return Ok(StreamedCompile {
             linker,
@@ -504,21 +726,23 @@ fn stream_compile_link(
             durs,
             cache_hits,
             jobs: 1,
+            quarantined,
         });
     }
 
     let jobs = effective_jobs(opts.jobs).min(files.len());
     let window = jobs * 2;
+    let strict = opts.strict;
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     // Fold progress, shared with the workers for backpressure.
     let progress = Mutex::new(0usize);
     let unblocked = Condvar::new();
-    let (tx, rx) = mpsc::channel::<(usize, Duration, Result<CompiledFile, CError>)>();
+    let (tx, rx) = mpsc::channel::<(usize, Duration, Result<CompiledFile, QuarantineReason>)>();
     let mut slots: Vec<Option<(CompileStats, u64, bool, Duration)>> =
         (0..files.len()).map(|_| None).collect();
     let mut first_err: Option<CError> = None;
-    let one = &one;
+    let guarded = &guarded;
     let (next, abort, progress, unblocked) = (&next, &abort, &progress, &unblocked);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -538,12 +762,15 @@ fn stream_compile_link(
                     break;
                 }
                 let t = std::time::Instant::now();
-                let r = one(files[i]);
+                let r = guarded(files[i]);
                 let failed = r.is_err();
                 if tx.send((i, t.elapsed(), r)).is_err() {
                     break;
                 }
-                if failed {
+                // Only strict mode aborts the pool: under quarantine the
+                // remaining files still compile, and the failed index is
+                // folded as an empty unit by the main loop below.
+                if failed && strict {
                     abort.store(true, Relaxed);
                     unblocked.notify_all();
                 }
@@ -560,10 +787,22 @@ fn stream_compile_link(
                     drop(folded);
                     unblocked.notify_all();
                 }
-                Err(e) => {
+                Err(reason) if strict => {
                     if first_err.is_none() {
-                        first_err = Some(e);
+                        first_err = Some(reason_to_cerror(reason));
                     }
+                }
+                Err(reason) => {
+                    // Quarantine: fold an empty placeholder so the strict
+                    // input-order link — and the workers blocked on its
+                    // progress — keep moving.
+                    slots[i] = Some((CompileStats::default(), 0, false, dur));
+                    quarantined.push((i, reason));
+                    linker.push(i, CompiledUnit::new(files[i]));
+                    let mut folded = progress.lock().unwrap();
+                    *folded = linker.folded();
+                    drop(folded);
+                    unblocked.notify_all();
                 }
             }
         }
@@ -582,6 +821,8 @@ fn stream_compile_link(
         durs.push(d);
         cache_hits += usize::from(hit);
     }
+    // Workers finish out of order; the ledger reads in input order.
+    quarantined.sort_by_key(|&(i, _)| i);
     Ok(StreamedCompile {
         linker,
         stats,
@@ -589,6 +830,7 @@ fn stream_compile_link(
         durs,
         cache_hits,
         jobs,
+        quarantined,
     })
 }
 
@@ -663,6 +905,150 @@ mod tests {
         assert!(analyze(&fs, &["bad.c"], &PipelineOptions::default()).is_err());
         let fs = fs_of(&[("missing_include.c", "#include \"nope.h\"\n")]);
         assert!(analyze(&fs, &["missing_include.c"], &PipelineOptions::default()).is_err());
+    }
+
+    #[test]
+    fn quarantine_and_continue_lenient() {
+        let fs = fs_of(&[
+            (
+                "good.c",
+                "int target; int *p; void fa(void) { p = &target; }",
+            ),
+            ("bad.c", "int x = ;"),
+            ("worse.c", "#include \"nope.h\"\n"),
+        ]);
+        let opts = PipelineOptions {
+            strict: false,
+            ..Default::default()
+        };
+        let a = analyze(&fs, &["good.c", "bad.c", "worse.c"], &opts).unwrap();
+        let r = &a.report;
+        assert!(r.is_partial());
+        assert_eq!(r.quarantined.len(), 2);
+        // Ledger is sorted by input order and names exactly the failing files.
+        assert_eq!(r.quarantined[0].file, "bad.c");
+        assert_eq!(r.quarantined[1].file, "worse.c");
+        assert!(matches!(
+            r.quarantined[0].reason,
+            QuarantineReason::Error(_)
+        ));
+        // The surviving unit still answers queries.
+        let p = a.database.targets("p")[0];
+        let target = a.database.targets("target")[0];
+        assert!(a.points_to.may_point_to(p, target));
+    }
+
+    #[test]
+    fn quarantine_parallel_matches_serial() {
+        let mut files: Vec<(String, String)> = (0..12)
+            .map(|i| {
+                (
+                    format!("f{i}.c"),
+                    format!("int g{i}; int *p{i}; void fn{i}(void) {{ p{i} = &g{i}; }}"),
+                )
+            })
+            .collect();
+        files[3].1 = "int broken = ;".to_string();
+        files[9].1 = "#include \"missing.h\"\n".to_string();
+        let mut fs = MemoryFs::new();
+        for (p, c) in &files {
+            fs.add(p.clone(), c.clone());
+        }
+        let names: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let lenient = PipelineOptions {
+            strict: false,
+            ..Default::default()
+        };
+        let serial = analyze(&fs, &names, &lenient).unwrap();
+        let par = analyze(
+            &fs,
+            &names,
+            &PipelineOptions {
+                parallel_compile: true,
+                ..lenient.clone()
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.points_to, par.points_to);
+        let ledger = |a: &Analysis| -> Vec<String> {
+            a.report
+                .quarantined
+                .iter()
+                .map(|q| q.file.clone())
+                .collect()
+        };
+        assert_eq!(ledger(&serial), vec!["f3.c", "f9.c"]);
+        assert_eq!(ledger(&serial), ledger(&par));
+    }
+
+    #[test]
+    fn strict_parallel_still_fails_fast_on_panic_free_error() {
+        let fs = fs_of(&[("ok.c", "int a;"), ("bad.c", "int x = ;")]);
+        let opts = PipelineOptions {
+            parallel_compile: true,
+            ..Default::default()
+        };
+        assert!(analyze(&fs, &["ok.c", "bad.c"], &opts).is_err());
+    }
+
+    #[test]
+    fn unknown_summaries_inject_conservative_answers() {
+        // `ext_p` and `ext_fn` are referenced but never defined (their
+        // defining unit is quarantined), so with `unknown_summaries` every
+        // read of them conservatively yields the `<unknown>` object.
+        let fs = fs_of(&[
+            (
+                "use.c",
+                "extern int *ext_p; extern int *ext_fn(int *a);
+                 int *q, *r, local;
+                 void f(void) { q = ext_p; r = ext_fn(&local); }",
+            ),
+            ("def.c", "int x = ;"),
+        ]);
+        let opts = PipelineOptions {
+            strict: false,
+            unknown_summaries: true,
+            ..Default::default()
+        };
+        let a = analyze(&fs, &["use.c", "def.c"], &opts).unwrap();
+        assert!(a.report.unknown_summaries >= 2);
+        let unknown = a.database.targets("<unknown>")[0];
+        let q = a.database.targets("q")[0];
+        let r = a.database.targets("r")[0];
+        assert!(a.points_to.may_point_to(q, unknown));
+        assert!(a.points_to.may_point_to(r, unknown));
+
+        // Without the flag the flows are silently missing (minimal answers).
+        let bare = analyze(
+            &fs,
+            &["use.c", "def.c"],
+            &PipelineOptions {
+                strict: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(bare.report.unknown_summaries, 0);
+        assert!(bare.database.targets("<unknown>").is_empty());
+    }
+
+    #[test]
+    fn budget_overrun_is_quarantined_with_budget_reason() {
+        let bomb = "#define A0 x\n#define A1 A0 A0\n#define A2 A1 A1\n\
+                    #define A3 A2 A2\n#define A4 A3 A3\n#define A5 A4 A4\n\
+                    #define A6 A5 A5\n#define A7 A6 A6\n#define A8 A7 A7\n\
+                    int arr[1] = {0}; /* A8 */\nint y = A8;\n";
+        let fs = fs_of(&[("bomb.c", bomb), ("ok.c", "int fine;")]);
+        let mut opts = PipelineOptions {
+            strict: false,
+            ..Default::default()
+        };
+        opts.pp.limits.macro_fuel = 64;
+        let a = analyze(&fs, &["bomb.c", "ok.c"], &opts).unwrap();
+        assert_eq!(a.report.quarantined.len(), 1);
+        assert_eq!(a.report.quarantined[0].file, "bomb.c");
+        assert!(a.report.quarantined[0].reason.is_budget());
+        assert!(!a.database.targets("fine").is_empty());
     }
 
     #[test]

@@ -881,6 +881,13 @@ impl<'a> Lowerer<'a> {
         }
         for item in &d.items {
             let obj = self.global_object(&item.name, &item.ty, d.storage, item.loc);
+            // A file-scope declarator defines the object unless it is a
+            // function prototype or `extern` without an initializer
+            // (tentative definitions `int x;` count as definitions).
+            let is_proto = matches!(item.ty, Type::Function(_));
+            if !is_proto && (d.storage != Storage::Extern || item.init.is_some()) {
+                self.unit.objects[obj.index()].defined = true;
+            }
             if let Some(init) = &item.init {
                 self.lower_init(Place::Obj(obj), &item.ty, init, item.loc);
             }
@@ -981,6 +988,7 @@ impl<'a> Lowerer<'a> {
     fn lower_function(&mut self, f: &FunctionDef) {
         let fty = Type::Function(Box::new(f.ty.clone()));
         let fobj = self.global_object(&f.name, &fty, f.storage, f.loc);
+        self.unit.objects[fobj.index()].defined = true;
         let sig = self.ensure_funsig(fobj, false);
         self.cur_func = Some(fobj);
         self.scopes.push(HashMap::new());

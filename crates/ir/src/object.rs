@@ -89,6 +89,14 @@ pub struct ObjectInfo {
     /// "information for each local variable that identifies the function in
     /// which it is defined").
     pub in_func: Option<ObjId>,
+    /// True when some unit *defines* this symbol (a function with a body, a
+    /// file-scope variable that is not `extern`-without-initializer). An
+    /// `extern` declaration or implicit function reference leaves it false;
+    /// the linker ORs the flag across units, so after linking a global with
+    /// `defined == false` is referenced but defined nowhere — the symbols a
+    /// partial analysis must treat as potentially living in a quarantined
+    /// (or simply absent) unit.
+    pub defined: bool,
 }
 
 impl ObjectInfo {
@@ -106,6 +114,7 @@ impl ObjectInfo {
             ty: ty.into(),
             loc,
             in_func: None,
+            defined: false,
         }
     }
 
@@ -124,6 +133,7 @@ impl ObjectInfo {
             ty: ty.into(),
             loc,
             in_func: None,
+            defined: false,
         }
     }
 

@@ -5,13 +5,13 @@
 //!
 //! | request | reply |
 //! |---|---|
-//! | `{"cmd":"points-to","var":V}` | `{"ok":true,"var":V,"resolved":N,"targets":[{"id":I,"name":S},…],"cached":B,"us":N,"epoch":N}` |
-//! | `{"cmd":"alias","a":A,"b":B}` | `{"ok":true,"a":A,"b":B,"alias":B,"cached":B,"us":N,"epoch":N}` |
-//! | `{"cmd":"depend","target":T,"non-targets":[S,…]}` | `{"ok":true,"target":T,"dependents":[{"name":S,"weak_links":N,"length":N},…],"cached":B,"us":N,"epoch":N}` |
+//! | `{"cmd":"points-to","var":V}` | `{"ok":true,"var":V,"resolved":N,"targets":[{"id":I,"name":S},…],"cached":B,"us":N,"epoch":N,"partial":B}` |
+//! | `{"cmd":"alias","a":A,"b":B}` | `{"ok":true,"a":A,"b":B,"alias":B,"cached":B,"us":N,"epoch":N,"partial":B}` |
+//! | `{"cmd":"depend","target":T,"non-targets":[S,…]}` | `{"ok":true,"target":T,"dependents":[{"name":S,"weak_links":N,"length":N},…],"cached":B,"us":N,"epoch":N,"partial":B}` |
 //! | `{"cmd":"stats"}` | `{"ok":true,"stats":{…}}` |
 //! | `{"cmd":"metrics"}` | `{"ok":true,"metrics":"…"}` — Prometheus text exposition of every registered counter/histogram |
-//! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B}` |
-//! | `{"cmd":"health"}` | `{"ok":true,"health":"ok"\|"degraded"\|"loading","epoch":N,"snapshot_loaded":B[,"last_error":S]}` |
+//! | `{"cmd":"reload","force":B}` | `{"ok":true,"recompiled":[S,…],"invalidated":N,"epoch":N,"relinked":B,"quarantined":[S,…]}` |
+//! | `{"cmd":"health"}` | `{"ok":true,"health":"ok"\|"partial"\|"degraded"\|"loading","epoch":N,"snapshot_loaded":B,"quarantined":N[,"last_error":S]}` |
 //! | `{"cmd":"profile","action":"start"[,"interval_us":N]}` | `{"ok":true,"profiling":true,"interval_us":N}` — live sampling profiler |
 //! | `{"cmd":"profile","action":"dump"\|"stop"}` | `{"ok":true,"profiling":B,"wall_us":N,"samples":N,"collapsed":S,"spans":[{"span":S,"total_us":N,"self_us":N,"samples":N},…]}` |
 //! | `{"cmd":"shutdown"}` | `{"ok":true,"stats":{…}}`, then the server stops accepting |
@@ -419,6 +419,7 @@ fn handle_line(
                     ("cached", a.cached.into()),
                     ("us", a.micros.into()),
                     ("epoch", a.epoch.into()),
+                    ("partial", a.partial.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -439,6 +440,7 @@ fn handle_line(
                     ("cached", ans.cached.into()),
                     ("us", ans.micros.into()),
                     ("epoch", ans.epoch.into()),
+                    ("partial", ans.partial.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -480,6 +482,7 @@ fn handle_line(
                     ("cached", a.cached.into()),
                     ("us", a.micros.into()),
                     ("epoch", a.epoch.into()),
+                    ("partial", a.partial.into()),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }
@@ -492,6 +495,7 @@ fn handle_line(
                 ("health", health.as_str().into()),
                 ("epoch", session.snapshot().1.into()),
                 ("snapshot_loaded", session.snapshot_loaded().into()),
+                ("quarantined", (session.quarantined().len() as u64).into()),
             ];
             if let Some(e) = session.last_reload_error() {
                 pairs.push(("last_error", e.into()));
@@ -514,6 +518,10 @@ fn handle_line(
                     ("invalidated", r.invalidated_results.into()),
                     ("epoch", r.epoch.into()),
                     ("relinked", r.relinked.into()),
+                    (
+                        "quarantined",
+                        Value::Arr(r.quarantined.iter().map(|f| f.as_str().into()).collect()),
+                    ),
                 ]),
                 Err(e) => err_reply(&e.to_string()),
             }

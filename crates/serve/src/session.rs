@@ -19,13 +19,14 @@
 use crate::json::{obj, Value};
 use cla_cfront::{CError, FileProvider, PpOptions};
 use cla_cladb::{fnv64, write_object, Database, DbError, LinkSet};
-use cla_core::pipeline::{Provenance, SnapshotHook};
+use cla_core::pipeline::{panic_message, Provenance, QuarantineReason, Quarantined, SnapshotHook};
 use cla_core::{SealedGraph, SolveOptions, SolveStats, Warm};
 use cla_depend::{DependOptions, DependenceAnalysis};
 use cla_ir::{compile_file, LowerOptions, ObjId};
 use cla_obs::{nearest_rank, Counter, Gauge, Histogram, LATENCY_BUCKETS_US};
 use cla_snap::SnapshotStore;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex, RwLock};
@@ -92,6 +93,9 @@ impl std::error::Error for SessionError {}
 pub enum Health {
     /// Serving from an up-to-date snapshot.
     Ok,
+    /// Serving, but one or more source units are quarantined (a lenient
+    /// session compiled past them): answers describe the surviving subset.
+    Partial,
     /// A reload failed; queries are answered from the last good snapshot
     /// while retries back off.
     Degraded,
@@ -100,10 +104,11 @@ pub enum Health {
 }
 
 impl Health {
-    /// The wire string (`ok | degraded | loading`).
+    /// The wire string (`ok | partial | degraded | loading`).
     pub fn as_str(self) -> &'static str {
         match self {
             Health::Ok => "ok",
+            Health::Partial => "partial",
             Health::Degraded => "degraded",
             Health::Loading => "loading",
         }
@@ -130,6 +135,9 @@ pub struct PointsToAnswer {
     pub micros: u64,
     /// The session epoch whose snapshot answered this query.
     pub epoch: u64,
+    /// True when the answering snapshot has quarantined units: the answer
+    /// covers the surviving subset only (DESIGN.md §14).
+    pub partial: bool,
 }
 
 /// Answer to an alias query.
@@ -142,6 +150,8 @@ pub struct AliasAnswer {
     pub micros: u64,
     /// The session epoch whose snapshot answered this query.
     pub epoch: u64,
+    /// True when the answering snapshot has quarantined units.
+    pub partial: bool,
 }
 
 /// One forward dependent of a queried target.
@@ -161,6 +171,8 @@ pub struct DependAnswer {
     pub micros: u64,
     /// The session epoch whose snapshot answered this query.
     pub epoch: u64,
+    /// True when the answering snapshot has quarantined units.
+    pub partial: bool,
 }
 
 /// Outcome of a reload.
@@ -174,6 +186,9 @@ pub struct ReloadReport {
     pub epoch: u64,
     /// Whether the database was relinked and the solver re-run.
     pub relinked: bool,
+    /// Files still quarantined after this reload (lenient sessions retry
+    /// every quarantined file on each reload; survivors stay listed).
+    pub quarantined: Vec<String>,
 }
 
 /// One entry of the slow-query log.
@@ -212,6 +227,17 @@ pub struct SessionStats {
     /// Whether the session is currently serving from a last-good snapshot
     /// after a failed reload.
     pub degraded: bool,
+    /// Whether the serving snapshot has quarantined units (lenient
+    /// sessions): answers cover the surviving subset only.
+    pub partial: bool,
+    /// Units in the current quarantine ledger.
+    pub quarantined: u64,
+    /// Process-wide `cla_front_quarantined_total` counter: units
+    /// quarantined by any lenient build or `analyze` in this process.
+    pub front_quarantined_total: u64,
+    /// Process-wide `cla_front_budget_exceeded_total` counter: quarantines
+    /// caused by a [`cla_cfront::FrontendLimits`] budget.
+    pub front_budget_exceeded_total: u64,
     /// The error that put the session into degraded mode, if any.
     pub last_error: Option<String>,
     /// Current session epoch (bumped by every swap).
@@ -284,6 +310,16 @@ impl SessionStats {
             ("reloads", self.reloads.into()),
             ("reload_failures", self.reload_failures.into()),
             ("degraded", self.degraded.into()),
+            ("partial", self.partial.into()),
+            ("quarantined", self.quarantined.into()),
+            (
+                "front_quarantined_total",
+                self.front_quarantined_total.into(),
+            ),
+            (
+                "front_budget_exceeded_total",
+                self.front_budget_exceeded_total.into(),
+            ),
             (
                 "last_error",
                 match &self.last_error {
@@ -372,6 +408,10 @@ struct Loaded {
     db: Database,
     sealed: Arc<SealedGraph>,
     results: RwLock<HashMap<QueryKey, CacheEntry>>,
+    /// Units that failed to compile and were skipped (lenient sessions
+    /// only; always empty for strict ones). Swapped with the state, so the
+    /// ledger always describes the snapshot answering queries.
+    quarantined: Vec<Quarantined>,
 }
 
 /// A fixed-capacity, lock-free ring of recent latency samples.
@@ -422,6 +462,9 @@ struct Sources {
     pp: PpOptions,
     lower: LowerOptions,
     program: String,
+    /// Quarantine-and-continue: a failing unit is skipped (empty unit, a
+    /// ledger entry) instead of failing the build or the reload.
+    lenient: bool,
 }
 
 /// What a `reload` re-reads, fixed at session construction.
@@ -429,7 +472,8 @@ enum ReloadInputs {
     /// No reload (opened straight from in-memory bytes).
     None,
     /// C sources: recompile changed files, relink, re-solve.
-    Files(Sources),
+    /// Boxed: `Sources` dwarfs the other variants.
+    Files(Box<Sources>),
     /// A linked `.clao` on disk: re-read, re-open, re-solve.
     Object { path: PathBuf, hash: u64 },
 }
@@ -520,23 +564,59 @@ fn hash_text(text: &str) -> u64 {
     fnv64(text.as_bytes())
 }
 
+/// Bumps the global frontend-quarantine counters (the same ones the
+/// pipeline's `analyze` bumps), so the `metrics` exposition covers both
+/// batch runs and lenient sessions.
+fn note_quarantine(reason: &QuarantineReason) {
+    let obs = cla_obs::global();
+    obs.counter("cla_front_quarantined_total").inc();
+    if reason.is_budget() {
+        obs.counter("cla_front_budget_exceeded_total").inc();
+    }
+}
+
+/// One compiled slot: the source text hash plus the unit, or the reason it
+/// was quarantined instead.
+type CompiledSlot = (u64, Result<cla_ir::CompiledUnit, QuarantineReason>);
+
+/// Compiles one file for the session, optionally quarantine-and-continue:
+/// when `lenient`, a typed frontend error or a panic becomes an `Err` item
+/// (the caller substitutes an empty unit) instead of failing the build.
+fn compile_one(
+    fs: &dyn FileProvider,
+    f: &str,
+    pp: &PpOptions,
+    lower: &LowerOptions,
+    lenient: bool,
+) -> Result<CompiledSlot, SessionError> {
+    let text = fs
+        .read(f)
+        .ok_or_else(|| SessionError::MissingFile(f.to_string()))?;
+    let hash = hash_text(&text);
+    if !lenient {
+        let (unit, _) = compile_file(fs, f, pp, lower).map_err(SessionError::Compile)?;
+        return Ok((hash, Ok(unit)));
+    }
+    let unit = match catch_unwind(AssertUnwindSafe(|| compile_file(fs, f, pp, lower))) {
+        Ok(Ok((unit, _))) => Ok(unit),
+        Ok(Err(e)) => Err(QuarantineReason::Error(e)),
+        Err(payload) => Err(QuarantineReason::Panic(panic_message(payload))),
+    };
+    Ok((hash, unit))
+}
+
 /// Compiles `files` with up to `jobs` worker threads (0 = one per CPU),
-/// returning `(text hash, unit)` per file in input order. Errors report the
-/// earliest failing file, exactly as a serial loop would.
+/// returning `(text hash, unit-or-quarantine)` per file in input order.
+/// Errors report the earliest failing file, exactly as a serial loop would.
 fn compile_pool(
     fs: &dyn FileProvider,
     files: &[&str],
     pp: &PpOptions,
     lower: &LowerOptions,
     jobs: usize,
-) -> Result<Vec<(u64, cla_ir::CompiledUnit)>, SessionError> {
-    let one = |f: &str| -> Result<(u64, cla_ir::CompiledUnit), SessionError> {
-        let text = fs
-            .read(f)
-            .ok_or_else(|| SessionError::MissingFile(f.to_string()))?;
-        let (unit, _) = compile_file(fs, f, pp, lower).map_err(SessionError::Compile)?;
-        Ok((hash_text(&text), unit))
-    };
+    lenient: bool,
+) -> Result<Vec<CompiledSlot>, SessionError> {
+    let one = |f: &str| compile_one(fs, f, pp, lower, lenient);
     let jobs = if jobs == 0 {
         std::thread::available_parallelism().map_or(4, usize::from)
     } else {
@@ -546,8 +626,9 @@ fn compile_pool(
     if jobs <= 1 {
         return files.iter().map(|f| one(f)).collect();
     }
+    type Compiled = Result<CompiledSlot, SessionError>;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<Result<(u64, cla_ir::CompiledUnit), SessionError>>> = Vec::new();
+    let mut slots: Vec<Option<Compiled>> = Vec::new();
     slots.resize_with(files.len(), || None);
     let slots = Mutex::new(&mut slots);
     std::thread::scope(|scope| {
@@ -592,6 +673,7 @@ fn load(db: Database, opts: SolveOptions) -> Loaded {
         db,
         sealed,
         results: RwLock::new(HashMap::new()),
+        quarantined: Vec::new(),
     }
 }
 
@@ -640,6 +722,7 @@ fn load_or_snapshot(
                 db,
                 sealed: Arc::new(sealed),
                 results: RwLock::new(HashMap::new()),
+                quarantined: Vec::new(),
             },
             true,
         );
@@ -743,29 +826,79 @@ impl Session {
         snapshot_dir: Option<&Path>,
         jobs: usize,
     ) -> Result<Session, SessionError> {
+        Session::from_files_impl(fs, files, pp, lower, opts, snapshot_dir, jobs, false)
+    }
+
+    /// [`Session::from_files_jobs`] in quarantine-and-continue mode: a
+    /// source that fails to compile (typed error, panic, or budget overrun)
+    /// is skipped — an empty unit keeps its slot in the link order, the
+    /// failure lands in the [`Session::quarantined`] ledger, queries answer
+    /// over the surviving subset with `partial: true`, and every
+    /// [`Session::reload`] retries the quarantined files (DESIGN.md §14).
+    pub fn from_files_lenient(
+        fs: &dyn FileProvider,
+        files: &[&str],
+        pp: &PpOptions,
+        lower: &LowerOptions,
+        opts: SolveOptions,
+        snapshot_dir: Option<&Path>,
+        jobs: usize,
+    ) -> Result<Session, SessionError> {
+        Session::from_files_impl(fs, files, pp, lower, opts, snapshot_dir, jobs, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_files_impl(
+        fs: &dyn FileProvider,
+        files: &[&str],
+        pp: &PpOptions,
+        lower: &LowerOptions,
+        opts: SolveOptions,
+        snapshot_dir: Option<&Path>,
+        jobs: usize,
+        lenient: bool,
+    ) -> Result<Session, SessionError> {
         let store = open_store(snapshot_dir)?;
         let mut units = LinkSet::new();
         let mut hashes = HashMap::new();
-        for (f, (hash, unit)) in files.iter().zip(compile_pool(fs, files, pp, lower, jobs)?) {
+        let mut ledger = Vec::new();
+        for (f, (hash, unit)) in files
+            .iter()
+            .zip(compile_pool(fs, files, pp, lower, jobs, lenient)?)
+        {
             hashes.insert(f.to_string(), hash);
-            units.upsert(*f, unit);
+            match unit {
+                Ok(unit) => {
+                    units.upsert(*f, unit);
+                }
+                Err(reason) => {
+                    note_quarantine(&reason);
+                    ledger.push(Quarantined {
+                        file: f.to_string(),
+                        reason,
+                    });
+                    units.upsert(*f, cla_ir::CompiledUnit::new(*f));
+                }
+            }
         }
         let (program, _) = units.link("a.out");
         let bytes = write_object(&program);
         let prov = object_provenance("a.out", fnv64(&bytes), opts);
         let db = Database::open(bytes).map_err(SessionError::Db)?;
-        let (loaded, from_snap) = load_or_snapshot(db, opts, store.as_ref(), &prov);
+        let (mut loaded, from_snap) = load_or_snapshot(db, opts, store.as_ref(), &prov);
+        loaded.quarantined = ledger;
         let mut session = Session::build(loaded, opts);
         session.snap_store = store;
         session.snapshot_loaded = AtomicBool::new(from_snap);
-        *session.sources.lock().unwrap() = ReloadInputs::Files(Sources {
+        *session.sources.lock().unwrap() = ReloadInputs::Files(Box::new(Sources {
             files: files.iter().map(|f| f.to_string()).collect(),
             hashes,
             units,
             pp: pp.clone(),
             lower: lower.clone(),
             program: "a.out".to_string(),
-        });
+            lenient,
+        }));
         Ok(session)
     }
 
@@ -815,6 +948,7 @@ impl Session {
         // The epoch is bumped while the write lock is held, so reading it
         // under the read lock pins it to the snapshot answering the query.
         let epoch = self.epoch.load(Relaxed);
+        let partial = !st.quarantined.is_empty();
         if let Some(CachedAnswer::Pts { resolved, targets }) = self.cache_get(&st, &key) {
             return Ok(PointsToAnswer {
                 var: var.to_string(),
@@ -823,6 +957,7 @@ impl Session {
                 cached: true,
                 micros: self.done(t0, true, Cmd::PointsTo, var),
                 epoch,
+                partial,
             });
         }
         let ids = st.db.targets(var);
@@ -859,6 +994,7 @@ impl Session {
             cached: false,
             micros: self.done(t0, false, Cmd::PointsTo, var),
             epoch,
+            partial,
         })
     }
 
@@ -875,6 +1011,7 @@ impl Session {
         };
         let st = self.state.read().unwrap();
         let epoch = self.epoch.load(Relaxed);
+        let partial = !st.quarantined.is_empty();
         if let Some(CachedAnswer::Alias(alias)) = self.cache_get(&st, &key) {
             return Ok(AliasAnswer {
                 a: a.to_string(),
@@ -883,6 +1020,7 @@ impl Session {
                 cached: true,
                 micros: self.done(t0, true, Cmd::Alias, &format!("{a},{b}")),
                 epoch,
+                partial,
             });
         }
         let ids_a = st.db.targets(a);
@@ -904,6 +1042,7 @@ impl Session {
             cached: false,
             micros: self.done(t0, false, Cmd::Alias, &format!("{a},{b}")),
             epoch,
+            partial,
         })
     }
 
@@ -922,6 +1061,7 @@ impl Session {
         };
         let st = self.state.read().unwrap();
         let epoch = self.epoch.load(Relaxed);
+        let partial = !st.quarantined.is_empty();
         if let Some(CachedAnswer::Depend(dependents)) = self.cache_get(&st, &key) {
             return Ok(DependAnswer {
                 target: target.to_string(),
@@ -929,6 +1069,7 @@ impl Session {
                 cached: true,
                 micros: self.done(t0, true, Cmd::Depend, target),
                 epoch,
+                partial,
             });
         }
         // The dependence walk reads the sealed snapshot directly; no
@@ -959,6 +1100,7 @@ impl Session {
             cached: false,
             micros: self.done(t0, false, Cmd::Depend, target),
             epoch,
+            partial,
         })
     }
 
@@ -1033,36 +1175,71 @@ impl Session {
             ReloadInputs::None => return Err(SessionError::NoSources),
             ReloadInputs::Files(sources) => {
                 let fs = fs.ok_or(SessionError::NoProvider)?;
+                // A lenient session retries every quarantined file on each
+                // reload, even when its text did not change — the fault may
+                // have been environmental (a header restored, a deadline).
+                let retry: HashSet<String> = self
+                    .state
+                    .read()
+                    .unwrap()
+                    .quarantined
+                    .iter()
+                    .map(|q| q.file.clone())
+                    .collect();
                 let mut recompiled = Vec::new();
+                let mut ledger = Vec::new();
                 for f in sources.files.clone() {
                     let text = fs
                         .read(&f)
                         .ok_or_else(|| SessionError::MissingFile(f.clone()))?;
                     let h = hash_text(&text);
-                    if !force && sources.hashes.get(&f) == Some(&h) {
+                    if !force && sources.hashes.get(&f) == Some(&h) && !retry.contains(&f) {
                         continue;
                     }
-                    let (unit, _) = compile_file(fs, &f, &sources.pp, &sources.lower)
-                        .map_err(SessionError::Compile)?;
-                    sources.units.upsert(f.clone(), unit);
-                    sources.hashes.insert(f.clone(), h);
-                    recompiled.push(f);
+                    let (_, unit) =
+                        compile_one(fs, &f, &sources.pp, &sources.lower, sources.lenient)?;
+                    match unit {
+                        Ok(unit) => {
+                            sources.units.upsert(f.clone(), unit);
+                            recompiled.push(f.clone());
+                        }
+                        Err(reason) => {
+                            note_quarantine(&reason);
+                            sources
+                                .units
+                                .upsert(f.clone(), cla_ir::CompiledUnit::new(&f));
+                            ledger.push(Quarantined {
+                                file: f.clone(),
+                                reason,
+                            });
+                        }
+                    }
+                    sources.hashes.insert(f, h);
                 }
-                if recompiled.is_empty() {
+                // No text changed and no quarantined file recovered: the
+                // linked program would be byte-identical, so keep the state
+                // (and the result cache) as is.
+                let still_failing: HashSet<&str> = ledger.iter().map(|q| q.file.as_str()).collect();
+                let unchanged = recompiled.is_empty()
+                    && still_failing.len() == retry.len()
+                    && retry.iter().all(|f| still_failing.contains(f.as_str()));
+                if unchanged {
                     sp.set("relinked", false);
                     return Ok(ReloadReport {
                         recompiled,
                         invalidated_results: 0,
                         epoch: self.epoch.load(Relaxed),
                         relinked: false,
+                        quarantined: ledger.into_iter().map(|q| q.file).collect(),
                     });
                 }
                 let (program, _) = sources.units.link(&sources.program);
                 let bytes = write_object(&program);
                 let prov = object_provenance(&sources.program, fnv64(&bytes), self.solve_opts);
                 let db = Database::open(bytes).map_err(SessionError::Db)?;
-                let (loaded, from_snap) =
+                let (mut loaded, from_snap) =
                     load_or_snapshot(db, self.solve_opts, self.snap_store.as_ref(), &prov);
+                loaded.quarantined = ledger;
                 (loaded, from_snap, recompiled)
             }
             ReloadInputs::Object { path, hash } => {
@@ -1074,6 +1251,7 @@ impl Session {
                         invalidated_results: 0,
                         epoch: self.epoch.load(Relaxed),
                         relinked: false,
+                        quarantined: Vec::new(),
                     });
                 }
                 *hash = new_hash;
@@ -1088,30 +1266,43 @@ impl Session {
         let mut st = self.state.write().unwrap();
         let invalidated = st.results.read().unwrap().len();
         *st = fresh;
+        let quarantined: Vec<String> = st.quarantined.iter().map(|q| q.file.clone()).collect();
         self.snapshot_loaded.store(from_snap, Relaxed);
         let epoch = self.epoch.fetch_add(1, Relaxed) + 1;
         self.reloads.fetch_add(1, Relaxed);
         sp.set("relinked", true);
         sp.set("recompiled", recompiled.len());
         sp.set("invalidated", invalidated);
+        sp.set("quarantined", quarantined.len());
         sp.set("epoch", epoch);
         Ok(ReloadReport {
             recompiled,
             invalidated_results: invalidated,
             epoch,
             relinked: true,
+            quarantined,
         })
     }
 
-    /// Health as seen by the `health` wire command.
+    /// Health as seen by the `health` wire command. A session with
+    /// quarantined units reports [`Health::Partial`]: it serves, but the
+    /// answers cover only the units that compiled.
     pub fn health(&self) -> Health {
         if self.reload_in_progress.load(Relaxed) {
             Health::Loading
         } else if self.degraded.lock().unwrap().is_some() {
             Health::Degraded
+        } else if !self.state.read().unwrap().quarantined.is_empty() {
+            Health::Partial
         } else {
             Health::Ok
         }
+    }
+
+    /// The quarantine ledger of the snapshot currently answering queries
+    /// (empty for strict sessions).
+    pub fn quarantined(&self) -> Vec<Quarantined> {
+        self.state.read().unwrap().quarantined.clone()
     }
 
     /// The last reload error while degraded (`None` when healthy).
@@ -1185,7 +1376,10 @@ impl Session {
     /// [`LATENCY_WINDOW`] samples no matter how long the session has run.
     pub fn stats(&self) -> SessionStats {
         self.cmd_stats.fetch_add(1, Relaxed);
-        let solver = self.state.read().unwrap().sealed.stats();
+        let (solver, quarantined) = {
+            let st = self.state.read().unwrap();
+            (st.sealed.stats(), st.quarantined.len() as u64)
+        };
         let mut lat = self.latencies.snapshot();
         lat.sort_unstable();
         // One guarded read for both fields: a guard held inside the struct
@@ -1224,6 +1418,14 @@ impl Session {
             reloads: self.reloads.load(Relaxed),
             reload_failures: self.reload_failures.load(Relaxed),
             degraded,
+            partial: quarantined > 0,
+            quarantined,
+            front_quarantined_total: cla_obs::global()
+                .counter("cla_front_quarantined_total")
+                .get(),
+            front_budget_exceeded_total: cla_obs::global()
+                .counter("cla_front_budget_exceeded_total")
+                .get(),
             last_error,
             epoch: self.epoch.load(Relaxed),
             p50_micros: nearest_rank(&lat, 0.50),
@@ -1586,6 +1788,83 @@ mod tests {
         let (snap, epoch) = s.snapshot();
         assert_eq!(epoch, 1);
         assert!(snap.object_count() > 0);
+    }
+
+    #[test]
+    fn lenient_session_serves_partial_and_reload_recovers() {
+        let mut fs = memfs(&[
+            (
+                "a.c",
+                "int x, y; int *p, **pp; void fa(void) { p = &x; pp = &p; }",
+            ),
+            ("b.c", "int broken = ;"),
+        ]);
+        let s = Session::from_files_lenient(
+            &fs,
+            &["a.c", "b.c"],
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+            None,
+            1,
+        )
+        .unwrap();
+        assert_eq!(s.health(), Health::Partial);
+        let ledger = s.quarantined();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].file, "b.c");
+        // The surviving unit answers, flagged partial.
+        let a = s.points_to("p").unwrap();
+        assert!(a.partial);
+        assert_eq!(
+            a.targets
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["x"]
+        );
+        let st = s.stats();
+        assert!(st.partial);
+        assert_eq!(st.quarantined, 1);
+        assert!(st.front_quarantined_total >= 1);
+
+        // Reload with b.c unchanged: the quarantined file is retried, still
+        // fails, and nothing is relinked (ledger stable).
+        let r = s.reload(Some(&fs), false).unwrap();
+        assert!(!r.relinked);
+        assert_eq!(r.quarantined, vec!["b.c".to_string()]);
+        assert_eq!(s.health(), Health::Partial);
+
+        // Fix b.c: the retry recovers it, the ledger empties, answers stop
+        // being partial.
+        fs.add("b.c", "extern int *p; int *q; void fb(void) { q = p; }");
+        let r = s.reload(Some(&fs), false).unwrap();
+        assert!(r.relinked);
+        assert!(r.quarantined.is_empty());
+        assert!(r.recompiled.contains(&"b.c".to_string()));
+        assert_eq!(s.health(), Health::Ok);
+        let a = s.points_to("q").unwrap();
+        assert!(!a.partial);
+        assert_eq!(
+            a.targets
+                .iter()
+                .map(|t| t.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["x"]
+        );
+    }
+
+    #[test]
+    fn strict_session_still_fails_fast() {
+        let fs = memfs(&[("a.c", "int x;"), ("b.c", "int broken = ;")]);
+        let r = Session::from_files(
+            &fs,
+            &["a.c", "b.c"],
+            &PpOptions::default(),
+            &LowerOptions::default(),
+            SolveOptions::default(),
+        );
+        assert!(matches!(r, Err(SessionError::Compile(_))));
     }
 
     #[test]

@@ -25,6 +25,10 @@ echo "==> snapshot fuzz smoke (same battery over the .clasnap format)"
 ./target/release/cla-tool db-fuzz examples/c/main.c examples/c/store.c \
     -I examples/c --snapshot --iters 500 --seed 1
 
+echo "==> front-fuzz smoke (hostile C source through the real compile path)"
+./target/release/cla-tool front-fuzz examples/c/main.c examples/c/store.c \
+    --iters 1000 --seed 1 --deadline-ms 5000
+
 echo "==> snapshot round trip (nethack profile: warm start >= 10x cold, identical answers)"
 cargo run -q --release --example snapshot_bench -- nethack 1.0 \
     "${BENCH_SNAPSHOT_OUT:-target/BENCH_snapshot.json}"

@@ -59,10 +59,11 @@ pub use cla_workload as workload;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use cla_cfront::{FileProvider, MemoryFs, OsFs, PpOptions};
+    pub use cla_cfront::{FileProvider, FrontendLimits, MemoryFs, OsFs, PpOptions};
     pub use cla_cladb::{dump, link, write_object, Database};
     pub use cla_core::pipeline::{
-        analyze, analyze_with, Analysis, AnalyzeHooks, PipelineError, PipelineOptions, Report,
+        analyze, analyze_with, Analysis, AnalyzeHooks, PipelineError, PipelineOptions,
+        QuarantineReason, Quarantined, Report,
     };
     pub use cla_core::{solve_database, solve_unit, PointsTo, SolveOptions};
     pub use cla_depend::{DependOptions, DependenceAnalysis};
