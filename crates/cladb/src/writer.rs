@@ -273,6 +273,11 @@ pub fn write_object(unit: &CompiledUnit) -> Vec<u8> {
 ///
 /// Any I/O failure; the temporary file is removed on error.
 pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    // A per-write sequence number keeps concurrent writers *within* one
+    // process (e.g. two serve sessions sharing a snapshot directory) from
+    // colliding on the temporary name — a collision would let one writer
+    // truncate the other's half-written temp and rename garbage into place.
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let dir = match path.parent() {
         Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
         _ => std::path::PathBuf::from("."),
@@ -282,7 +287,8 @@ pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         .ok_or_else(|| std::io::Error::other("path has no file name"))?
         .to_string_lossy()
         .into_owned();
-    let tmp = dir.join(format!(".{base}.tmp.{}", std::process::id()));
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!(".{base}.tmp.{}.{seq}", std::process::id()));
     let write = (|| {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(bytes)?;
@@ -304,17 +310,20 @@ pub fn atomic_write_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 }
 
 /// Removes stale temporaries left in `dir` by a crash mid-write. Matches the
-/// `.{base}.tmp.{pid}` names produced by [`atomic_write_bytes`] plus plain
-/// `*.tmp` leftovers, skipping any temporary owned by the current process
-/// (a concurrent writer in this process may still be mid-rename). Returns
-/// the number of files reclaimed and bumps `cla_db_tmp_reclaimed_total`.
+/// `.{base}.tmp.{pid}.{seq}` names produced by [`atomic_write_bytes`] (and
+/// the older `.{base}.tmp.{pid}` form) plus plain `*.tmp` leftovers,
+/// skipping any temporary owned by the current process — a concurrent
+/// writer in this process may still be mid-rename, so sweeping its temp
+/// would turn an in-flight save into a lost write. Returns the number of
+/// files reclaimed and bumps `cla_db_tmp_reclaimed_total`.
 ///
 /// # Errors
 ///
 /// Fails only if `dir` cannot be read; per-file removal errors are ignored
 /// (another process may have swept the same file first).
 pub fn sweep_stale_tmp(dir: &Path) -> std::io::Result<usize> {
-    let own = format!(".{}", std::process::id());
+    let own_suffix = format!(".{}", std::process::id());
+    let own_infix = format!(".tmp.{}.", std::process::id());
     let mut reclaimed = 0usize;
     for entry in std::fs::read_dir(dir)? {
         let Ok(entry) = entry else { continue };
@@ -322,8 +331,9 @@ pub fn sweep_stale_tmp(dir: &Path) -> std::io::Result<usize> {
             continue;
         }
         let name = entry.file_name().to_string_lossy().into_owned();
-        let stale = (name.starts_with('.') && name.contains(".tmp.") && !name.ends_with(&own))
-            || name.ends_with(".tmp");
+        let ours = name.ends_with(&own_suffix) || name.contains(&own_infix);
+        let stale =
+            (name.starts_with('.') && name.contains(".tmp.") && !ours) || name.ends_with(".tmp");
         if stale && std::fs::remove_file(entry.path()).is_ok() {
             reclaimed += 1;
         }

@@ -8,10 +8,15 @@
 
 pub mod json;
 
+mod client;
 mod server;
 mod session;
 
-pub use server::{serve, serve_with, ServeOptions, ServerHandle};
+pub use client::{Client, ClientError, Endpoint};
+pub use server::{
+    handle_request, publish_latency_percentiles, serve, serve_connection, serve_with, ServeOptions,
+    ServerHandle,
+};
 pub use session::{
     object_provenance, AliasAnswer, DependAnswer, DependentLine, Health, PointsToAnswer,
     ReloadReport, Session, SessionError, SessionStats, SlowQuery, Target,

@@ -202,7 +202,7 @@ impl Drop for ServerHandle {
 }
 
 /// One bounded read attempt: a complete request line, or a reason to stop.
-enum Request {
+pub(crate) enum Request {
     /// Raw bytes of one line — UTF-8 validation happens at the protocol
     /// layer so an invalid sequence gets a typed reply, not a lossy parse.
     Line(Vec<u8>),
@@ -216,7 +216,9 @@ enum Request {
 
 /// Reads one `\n`-terminated line without ever buffering more than `max`
 /// bytes — the defense against a client streaming an endless line.
-fn read_request(reader: &mut BufReader<UnixStream>, max: usize) -> Request {
+/// Generic over the buffered transport so the Unix-socket server and the
+/// TCP hub share one bounded reader.
+pub(crate) fn read_request<R: BufRead>(reader: &mut R, max: usize) -> Request {
     let mut line: Vec<u8> = Vec::new();
     loop {
         let (used, done) = {
@@ -257,27 +259,40 @@ fn read_request(reader: &mut BufReader<UnixStream>, max: usize) -> Request {
     }
 }
 
-fn serve_client(
-    session: &Session,
-    fs: Option<&(dyn FileProvider + Send + Sync)>,
-    stream: UnixStream,
+/// Serves one already-accepted connection: reads newline-delimited
+/// requests, enforces every [`ServeOptions`] limit (bounded request size,
+/// idle timeout, shutdown refusal, UTF-8 validation), catches panics
+/// escaping the dispatcher, and writes one JSON reply per request —
+/// requests pipeline naturally, replies return in request order.
+///
+/// This loop is transport agnostic: the Unix-socket server and the TCP hub
+/// both run their connections through it, so every front end inherits the
+/// same DoS hardening. The caller must arm the transport's read timeout
+/// (`set_read_timeout`) so an idle read surfaces as `WouldBlock`/`TimedOut`
+/// rather than blocking forever.
+///
+/// `before_request` runs ahead of each dispatched request (the servers use
+/// it for degraded-session recovery). `dispatch` answers one request line;
+/// a panic inside it is caught and counted, the client gets a structured
+/// error, and only this connection dies. `on_shutdown` runs when a
+/// dispatched request flips the shutdown flag (used to unblock the accept
+/// loop with a throwaway connection).
+pub fn serve_connection<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
     shutdown: &AtomicBool,
-    path: &Path,
     opts: &ServeOptions,
+    mut before_request: impl FnMut(),
+    mut dispatch: impl FnMut(&str) -> Value,
+    mut on_shutdown: impl FnMut(),
 ) {
-    let _ = stream.set_read_timeout(opts.read_timeout);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    let send = |writer: &mut UnixStream, reply: &Value| -> bool {
+    let send = |writer: &mut W, reply: &Value| -> bool {
         let mut text = reply.encode();
         text.push('\n');
         writer.write_all(text.as_bytes()).is_ok()
     };
     loop {
-        let raw = match read_request(&mut reader, opts.max_request_bytes) {
+        let raw = match read_request(reader, opts.max_request_bytes) {
             Request::Line(raw) => raw,
             Request::Eof => break,
             Request::TooLarge => {
@@ -285,13 +300,13 @@ fn serve_client(
                 // would keep the thread busy on the attacker's behalf.
                 let cap = opts.max_request_bytes;
                 let _ = send(
-                    &mut writer,
+                    writer,
                     &err_reply(&format!("request too large (cap {cap} bytes)")),
                 );
                 break;
             }
             Request::TimedOut => {
-                let _ = send(&mut writer, &err_reply("idle timeout"));
+                let _ = send(writer, &err_reply("idle timeout"));
                 break;
             }
         };
@@ -300,7 +315,7 @@ fn serve_client(
         let line = match String::from_utf8(raw) {
             Ok(line) => line,
             Err(_) => {
-                if !send(&mut writer, &err_reply("malformed request: invalid utf-8")) {
+                if !send(writer, &err_reply("malformed request: invalid utf-8")) {
                     break;
                 }
                 continue;
@@ -312,21 +327,16 @@ fn serve_client(
         if shutdown.load(SeqCst) {
             // Another client shut the server down: refuse and disconnect so
             // stop()/join() never wait behind this connection.
-            let _ = send(&mut writer, &err_reply("shutting down"));
+            let _ = send(writer, &err_reply("shutting down"));
             break;
         }
-        // A degraded session retries its reload here, piggybacked on
-        // incoming traffic: recovery is automatic once the fault is fixed,
-        // with no background thread to manage.
-        session.maybe_recover(fs.map(|f| f as &dyn FileProvider));
+        before_request();
         // One poisoned query must kill this connection, not the server:
         // every other client keeps its thread and the accept loop survives.
-        let reply = catch_unwind(AssertUnwindSafe(|| {
-            handle_line(session, fs, &line, shutdown, opts)
-        }));
+        let reply = catch_unwind(AssertUnwindSafe(|| dispatch(&line)));
         match reply {
             Ok(reply) => {
-                if !send(&mut writer, &reply) {
+                if !send(writer, &reply) {
                     break;
                 }
             }
@@ -334,20 +344,69 @@ fn serve_client(
                 cla_obs::global()
                     .counter("cla_serve_query_panics_total")
                     .inc();
-                let _ = send(&mut writer, &err_reply("internal error: query panicked"));
+                let _ = send(writer, &err_reply("internal error: query panicked"));
                 break;
             }
         }
         if shutdown.load(SeqCst) {
-            // This request shut the server down: unblock the accept loop.
-            let _ = UnixStream::connect(path);
+            // This request shut the server down: let the caller unblock
+            // its accept loop.
+            on_shutdown();
             break;
         }
     }
 }
 
+fn serve_client(
+    session: &Session,
+    fs: Option<&(dyn FileProvider + Send + Sync)>,
+    stream: UnixStream,
+    shutdown: &AtomicBool,
+    path: &Path,
+    opts: &ServeOptions,
+) {
+    let _ = stream.set_read_timeout(opts.read_timeout);
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    serve_connection(
+        &mut reader,
+        &mut writer,
+        shutdown,
+        opts,
+        // A degraded session retries its reload here, piggybacked on
+        // incoming traffic: recovery is automatic once the fault is fixed,
+        // with no background thread to manage.
+        || {
+            session.maybe_recover(fs.map(|f| f as &dyn FileProvider));
+        },
+        |line| handle_request(session, fs, line, shutdown, opts),
+        || {
+            let _ = UnixStream::connect(path);
+        },
+    );
+}
+
 fn err_reply(msg: &str) -> Value {
     obj([("ok", false.into()), ("error", msg.into())])
+}
+
+/// Refreshes the `cla_serve_latency_p{50,90,99}_us` gauges from the
+/// session's latency ring so the Prometheus exposition carries the same
+/// percentiles the `stats` command reports. Histogram buckets alone force
+/// the scraper to interpolate; the exact nearest-rank numbers are what the
+/// hub's p99 gate and dashboards want.
+pub fn publish_latency_percentiles(session: &Session) {
+    let stats = session.stats();
+    let obs = cla_obs::global();
+    for (name, v) in [
+        ("cla_serve_latency_p50_us", stats.p50_micros),
+        ("cla_serve_latency_p90_us", stats.p90_micros),
+        ("cla_serve_latency_p99_us", stats.p99_micros),
+    ] {
+        obs.gauge(name).set(v);
+    }
 }
 
 /// The wire form of a harvested profile: per-span totals plus the
@@ -378,7 +437,14 @@ fn profile_reply(p: &cla_prof::Profile, stopped: bool) -> Value {
     ])
 }
 
-fn handle_line(
+/// Dispatches one request line against `session` and returns the reply.
+/// This is the whole wire protocol minus transport concerns: the
+/// Unix-socket server calls it per line, and the TCP hub routes
+/// session-scoped commands here after resolving the `session` field
+/// (unknown request fields are ignored, so the hub can pass lines
+/// through verbatim). A `shutdown` command stores into `shutdown`; the
+/// caller decides what that means for its accept loop.
+pub fn handle_request(
     session: &Session,
     fs: Option<&(dyn FileProvider + Send + Sync)>,
     line: &str,
@@ -502,10 +568,13 @@ fn handle_line(
             }
             obj(pairs)
         }
-        "metrics" => obj([
-            ("ok", true.into()),
-            ("metrics", cla_obs::global().prometheus_text().into()),
-        ]),
+        "metrics" => {
+            publish_latency_percentiles(session);
+            obj([
+                ("ok", true.into()),
+                ("metrics", cla_obs::global().prometheus_text().into()),
+            ])
+        }
         "reload" => {
             let force = req.get("force").and_then(Value::as_bool).unwrap_or(false);
             match session.reload(fs.map(|f| f as &dyn FileProvider), force) {

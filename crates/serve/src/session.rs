@@ -1126,6 +1126,16 @@ impl Session {
         (Arc::clone(&st.sealed), self.epoch.load(Relaxed))
     }
 
+    /// Seeds the session epoch. A freshly built session starts at 0;
+    /// a multiplexing front end that evicts and rebuilds sessions (the
+    /// hub) seeds the replacement past the last epoch its tenant served,
+    /// so `(session name, epoch)` stays monotonic — and uniquely
+    /// identifies one graph — across evict/rehydrate cycles. Call before
+    /// publishing the session to clients; later reloads bump from here.
+    pub fn set_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Relaxed);
+    }
+
     // ----- reload -----------------------------------------------------------
 
     /// Recompiles sources whose text changed (all of them when `force`),

@@ -1,0 +1,252 @@
+//! Multi-tenant hub throughput and tail latency, at benchmark scale.
+//!
+//! ```sh
+//! cargo run --release --example hub_bench -- target/BENCH_hub.json
+//! ```
+//!
+//! Stands up one `cla-hub` over TCP with twelve named sessions — each an
+//! independently generated codebase calibrated to a paper Table 2 row —
+//! behind an LRU with room for only six resident graphs, then drives it
+//! with 64 concurrent clients while mutator threads race forced reloads
+//! against the evictions and snapshot rehydrations the capacity squeeze
+//! causes. Every reply must be a correct answer for its session (or a
+//! typed busy refusal); the run reports aggregate throughput and the
+//! client-observed p50/p99, and fails if any reply is wrong or the tail
+//! blows past a generous ceiling. Results land in `target/BENCH_hub.json`
+//! for the `bench-diff` regression gate.
+
+use cla::hub::{Hub, HubOptions, SessionSource, SessionSpec};
+use cla::prelude::*;
+use cla::serve::json::{obj, Value};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const SESSIONS: usize = 12;
+const CAPACITY: usize = 6;
+const CLIENTS: usize = 64;
+const REQUESTS_PER_CLIENT: usize = 50;
+const MUTATORS: usize = 2;
+const RELOADS_PER_MUTATOR: usize = 10;
+const P99_CEILING_SECS: f64 = 2.0;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/BENCH_hub.json".to_string());
+
+    let work_dir = std::env::temp_dir().join(format!("cla-hub-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work_dir);
+    std::fs::create_dir_all(&work_dir)?;
+
+    // ---- twelve codebases, one per session ------------------------------
+    // Each tenant is a distinct generated program (different seed) plus a
+    // probe file with session-suffixed names, so a misrouted query fails
+    // as an unknown variable instead of silently looking plausible.
+    let spec = by_name("nethack").expect("nethack profile");
+    let mut source_bytes = 0usize;
+    let mut session_files: Vec<Vec<String>> = Vec::new();
+    for i in 0..SESSIONS {
+        let dir = work_dir.join(format!("src-{i}"));
+        std::fs::create_dir_all(&dir)?;
+        let w = generate(
+            spec,
+            &GenOptions {
+                scale: 0.05,
+                files: 3,
+                seed: 100 + i as u64,
+                ..Default::default()
+            },
+        );
+        let mut files = Vec::new();
+        for (p, c) in &w.files {
+            let path = dir.join(p);
+            std::fs::write(&path, c)?;
+            source_bytes += c.len();
+        }
+        for p in w.source_files() {
+            files.push(dir.join(p).to_string_lossy().into_owned());
+        }
+        let probe = dir.join(format!("probe_s{i}.c"));
+        std::fs::write(
+            &probe,
+            format!("int x_s{i}; int *p_s{i};\nvoid probe_s{i}(void) {{ p_s{i} = &x_s{i}; }}\n"),
+        )?;
+        files.push(probe.to_string_lossy().into_owned());
+        session_files.push(files);
+    }
+
+    // ---- open the hub ---------------------------------------------------
+    let hub = Arc::new(Hub::new(HubOptions {
+        capacity: CAPACITY,
+        max_inflight: 64,
+        rebuild_slots: 2,
+        ..HubOptions::default()
+    }));
+    let t0 = Instant::now();
+    for (i, files) in session_files.iter().enumerate() {
+        let snap = work_dir.join(format!("snap-{i}"));
+        std::fs::create_dir_all(&snap)?;
+        hub.open(
+            &format!("s{i}"),
+            SessionSpec {
+                source: SessionSource::Files {
+                    fs: Arc::new(OsFs),
+                    files: files.clone(),
+                    pp: PpOptions::default(),
+                    lower: LowerOptions::default(),
+                    lenient: false,
+                },
+                solve: SolveOptions::default(),
+                snapshot_dir: Some(snap),
+                jobs: 1,
+            },
+        )
+        .map_err(|e| format!("open s{i}: {e}"))?;
+    }
+    let open_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "opened {SESSIONS} sessions ({source_bytes} source bytes) in {:.1} ms, capacity {CAPACITY}",
+        open_secs * 1e3
+    );
+
+    let handle = cla::hub::hub_serve(Arc::clone(&hub), "127.0.0.1:0")?;
+    let addr = handle.addr().to_string();
+
+    // ---- drive it -------------------------------------------------------
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let busy = AtomicU64::new(0);
+    let wrong: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for m in 0..MUTATORS {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&Endpoint::Tcp(addr)).unwrap();
+                let mut rng = 0x9e3779b97f4a7c15u64.wrapping_add(m as u64);
+                for _ in 0..RELOADS_PER_MUTATOR {
+                    let i = (lcg(&mut rng) as usize) % SESSIONS;
+                    let _ = client.request(&obj([
+                        ("cmd", "reload".into()),
+                        ("session", format!("s{i}").into()),
+                        ("force", true.into()),
+                    ]));
+                }
+            });
+        }
+        for c in 0..CLIENTS {
+            let addr = addr.clone();
+            let (latencies, busy, wrong) = (&latencies, &busy, &wrong);
+            scope.spawn(move || {
+                let mut client = Client::connect(&Endpoint::Tcp(addr)).unwrap();
+                let mut rng = 0x243f6a8885a308d3u64.wrapping_add(c as u64);
+                let mut local = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let i = if r == 0 {
+                        c % SESSIONS
+                    } else {
+                        (lcg(&mut rng) as usize) % SESSIONS
+                    };
+                    let req = obj([
+                        ("cmd", "points-to".into()),
+                        ("session", format!("s{i}").into()),
+                        ("var", format!("p_s{i}").into()),
+                    ]);
+                    let t = Instant::now();
+                    let reply = client.request(&req).expect("hub reply");
+                    local.push(t.elapsed().as_micros() as u64);
+                    if reply.get("ok").and_then(Value::as_bool) == Some(true) {
+                        let hits = reply
+                            .get("targets")
+                            .and_then(Value::as_arr)
+                            .map(|t| t.len())
+                            .unwrap_or(0);
+                        if hits != 1 {
+                            wrong
+                                .lock()
+                                .unwrap()
+                                .push(format!("s{i}: {hits} targets for p_s{i}"));
+                        }
+                    } else if reply.get("busy").and_then(Value::as_bool) == Some(true) {
+                        busy.fetch_add(1, Relaxed);
+                    } else {
+                        wrong
+                            .lock()
+                            .unwrap()
+                            .push(format!("s{i}: error reply {}", reply.encode()));
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    handle.stop();
+
+    // ---- report ---------------------------------------------------------
+    let wrong = wrong.into_inner().unwrap();
+    assert!(
+        wrong.is_empty(),
+        "wrong answers: {:?}",
+        &wrong[..wrong.len().min(5)]
+    );
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_unstable();
+    let total = lat.len();
+    let pct = |p: usize| lat[(total * p / 100).saturating_sub(1).min(total - 1)];
+    let (p50_us, p90_us, p99_us) = (pct(50), pct(90), pct(99));
+    let throughput = total as f64 / wall_secs;
+    let busy = busy.load(Relaxed);
+    let (evictions, rehydrations) = (0..SESSIONS)
+        .map(|i| hub.tenant_counters(&format!("s{i}")))
+        .fold((0u64, 0u64), |(e, r), t| {
+            (e + t.evictions, r + t.rehydrations)
+        });
+
+    println!(
+        "{total} requests from {CLIENTS} clients across {SESSIONS} sessions in {:.2} s \
+         ({throughput:.0} req/s)",
+        wall_secs
+    );
+    println!(
+        "latency p50 {p50_us} us, p90 {p90_us} us, p99 {p99_us} us; \
+         {busy} busy refusals, {evictions} evictions, {rehydrations} rehydrations"
+    );
+    assert!(
+        evictions > 0 && rehydrations > 0,
+        "the capacity squeeze never exercised eviction/rehydration"
+    );
+    let p99_secs = p99_us as f64 / 1e6;
+    assert!(
+        p99_secs < P99_CEILING_SECS,
+        "p99 {p99_secs:.3}s blew the {P99_CEILING_SECS}s ceiling"
+    );
+
+    let json = format!(
+        "{{\n  \"sessions\": {SESSIONS},\n  \"capacity\": {CAPACITY},\n  \
+         \"clients\": {CLIENTS},\n  \"requests\": {total},\n  \
+         \"source_bytes\": {source_bytes},\n  \"throughput_rps\": {throughput:.0},\n  \
+         \"busy_refusals\": {busy},\n  \"evictions\": {evictions},\n  \
+         \"rehydrations\": {rehydrations},\n  \"open_secs\": {open_secs:.3},\n  \
+         \"wall_secs\": {wall_secs:.3},\n  \"p50_secs\": {:.6},\n  \
+         \"p90_secs\": {:.6},\n  \"p99_secs\": {p99_secs:.6}\n}}\n",
+        p50_us as f64 / 1e6,
+        p90_us as f64 / 1e6,
+    );
+    if let Some(parent) = Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&out_path, &json)?;
+    println!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&work_dir);
+    Ok(())
+}

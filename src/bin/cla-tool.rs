@@ -9,7 +9,9 @@
 //! cla-tool depend prog.clao --target x       forward dependence query
 //! cla-tool ctx prog.clao -k 4 -o dup.clao    context-duplication transform
 //! cla-tool serve prog.clao --socket S        long-running query server
+//! cla-tool hub app=src lib=lib.clao          multi-tenant TCP hub
 //! cla-tool query --socket S points-to p      one query against a server
+//! cla-tool query --tcp H:P --session app ... one query against a hub session
 //! cla-tool snapshot-save prog.clao -o s.clasnap  solve + persist the graph
 //! cla-tool snapshot-info s.clasnap           header/provenance of a snapshot
 //! cla-tool db-fuzz a.c b.c --iters 500       fault-inject the object format
@@ -74,6 +76,7 @@ fn main() -> ExitCode {
         Some("depend") => cmd_depend(&args[1..]),
         Some("ctx") => cmd_ctx(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("hub") => cmd_hub(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("snapshot-save") => cmd_snapshot_save(&args[1..]),
         Some("snapshot-info") => cmd_snapshot_info(&args[1..]),
@@ -135,13 +138,14 @@ const USAGE: &str = "usage:
   cla-tool ctx <prog.clao> -k N -o out.clao
   cla-tool serve <prog.clao> --socket PATH [--snapshot DIR]
   cla-tool serve <src.c>... --socket PATH [-I dir] [-D NAME[=V]] [--field-independent] [--jobs N] [--snapshot DIR] [--lenient]
+  cla-tool hub NAME=PATH... [--listen HOST:PORT] [--capacity N] [--max-inflight N] [--rebuild-slots N] [--jobs N] [--lenient] [--snapshot-root DIR] [-I dir] [-D NAME[=V]]
   cla-tool snapshot-save <prog.clao> [-o out.clasnap]
   cla-tool snapshot-info <file.clasnap>
-  cla-tool query --socket PATH points-to <var>
-  cla-tool query --socket PATH alias <a> <b>
-  cla-tool query --socket PATH depend <target> [--non-target NAME]...
-  cla-tool query --socket PATH stats|metrics|reload|health|shutdown [--force]
-  cla-tool query --socket PATH profile start|stop|dump [--interval-us N]
+  cla-tool query (--socket PATH | --tcp HOST:PORT [--session NAME]) points-to <var>
+  cla-tool query (--socket PATH | --tcp HOST:PORT [--session NAME]) alias <a> <b>
+  cla-tool query (--socket PATH | --tcp HOST:PORT [--session NAME]) depend <target> [--non-target NAME]...
+  cla-tool query (--socket PATH | --tcp HOST:PORT [--session NAME]) stats|metrics|reload|health|sessions|shutdown [--force]
+  cla-tool query (--socket PATH | --tcp HOST:PORT [--session NAME]) profile start|stop|dump [--interval-us N]
   cla-tool db-fuzz <src.c>...|<prog.clao> [--snapshot] [--iters N] [--seed N] [-I dir] [-D NAME[=V]]
   cla-tool front-fuzz <src.c>... [--gen profile.toml] [--iters N] [--seed N] [--deadline-ms N]
   cla-tool trace-validate <trace.json>
@@ -878,14 +882,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     use cla::serve::json::{obj, Value};
-    use std::io::{BufRead, BufReader, Write};
-    use std::os::unix::net::UnixStream;
+    use cla::serve::{Client, Endpoint};
 
     let mut a = Args::new(args);
-    let socket = a
-        .take_values("--socket")?
-        .pop()
-        .ok_or("query needs --socket PATH")?;
+    let socket = a.take_values("--socket")?.pop();
+    let tcp = a.take_values("--tcp")?.pop();
+    let session = a.take_values("--session")?.pop();
+    let endpoint = match (socket, tcp) {
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".to_string()),
+        (Some(path), None) => Endpoint::Unix(std::path::PathBuf::from(path)),
+        (None, Some(addr)) => Endpoint::Tcp(addr),
+        (None, None) => return Err("query needs --socket PATH or --tcp HOST:PORT".to_string()),
+    };
     let non_targets = a.take_values("--non-target")?;
     let force = a.take_flag("--force");
     let interval_us = a.take_values("--interval-us")?.pop();
@@ -940,50 +948,164 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             obj(pairs)
         }
         Some("shutdown") => obj([("cmd", "shutdown".into())]),
+        Some("sessions") => obj([("cmd", "sessions".into())]),
         Some(other) => return Err(format!("unknown query `{other}`")),
         None => return Err(
-            "query needs a command (points-to, alias, depend, stats, metrics, reload, health, profile, shutdown)"
+            "query needs a command (points-to, alias, depend, stats, metrics, reload, health, profile, sessions, shutdown)"
                 .to_string(),
         ),
     };
+    // A hub routes by the `session` field; the Unix-socket server ignores
+    // unknown fields, so attaching it is harmless there.
+    let request = match (request, &session) {
+        (Value::Obj(mut map), Some(name)) => {
+            map.insert("session".to_string(), name.as_str().into());
+            Value::Obj(map)
+        }
+        (request, _) => request,
+    };
 
-    let stream =
-        UnixStream::connect(&socket).map_err(|e| format!("cannot connect to `{socket}`: {e}"))?;
-    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
-    writer
-        .write_all(format!("{}\n", request.encode()).as_bytes())
-        .map_err(|e| format!("cannot send request: {e}"))?;
-    let mut reply = String::new();
-    BufReader::new(stream)
-        .read_line(&mut reply)
-        .map_err(|e| format!("cannot read reply: {e}"))?;
-    let reply = reply.trim();
-    if reply.is_empty() {
-        return Err("server closed the connection without replying".to_string());
-    }
+    // The typed client turns a refusal into a hint, not a backtrace.
+    let mut client = Client::connect(&endpoint).map_err(|e| e.to_string())?;
+    let v = client.request(&request).map_err(|e| e.to_string())?;
     // Non-zero exit when the server reports an error. A `metrics` reply
     // carries multi-line Prometheus text; print it unescaped.
-    match cla::serve::json::parse(reply) {
-        Ok(v) if v.get("ok").and_then(Value::as_bool) == Some(false) => {
-            println!("{reply}");
-            Err(v
-                .get("error")
-                .and_then(Value::as_str)
-                .unwrap_or("server error")
-                .to_string())
-        }
-        Ok(v) => {
-            match v.get("metrics").and_then(Value::as_str) {
-                Some(text) => print!("{text}"),
-                None => println!("{reply}"),
-            }
-            Ok(())
-        }
-        Err(_) => {
-            println!("{reply}");
-            Ok(())
-        }
+    if v.get("ok").and_then(Value::as_bool) == Some(false) {
+        println!("{}", v.encode());
+        return Err(v
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("server error")
+            .to_string());
     }
+    match v.get("metrics").and_then(Value::as_str) {
+        Some(text) => print!("{text}"),
+        None => println!("{}", v.encode()),
+    }
+    Ok(())
+}
+
+/// Starts the multi-tenant TCP hub: each `NAME=PATH` positional opens one
+/// named session over a `.clao` object, a C source file, or a directory
+/// of C sources. With `--snapshot-root DIR` every session evicts to (and
+/// warm-starts from) `DIR/NAME/graph.clasnap`.
+fn cmd_hub(args: &[String]) -> Result<(), String> {
+    use cla::hub::{hub_serve, Hub, HubOptions, SessionSource, SessionSpec};
+    use std::sync::Arc;
+
+    let mut a = Args::new(args);
+    let listen = a
+        .take_values("--listen")?
+        .pop()
+        .unwrap_or_else(|| "127.0.0.1:4577".to_string());
+    let capacity: usize = match a.take_values("--capacity")?.pop() {
+        Some(v) => v.parse().map_err(|_| "--capacity needs a number")?,
+        None => 8,
+    };
+    let max_inflight: u64 = match a.take_values("--max-inflight")?.pop() {
+        Some(v) => v.parse().map_err(|_| "--max-inflight needs a number")?,
+        None => 64,
+    };
+    let rebuild_slots: usize = match a.take_values("--rebuild-slots")?.pop() {
+        Some(v) => v.parse().map_err(|_| "--rebuild-slots needs a number")?,
+        None => 2,
+    };
+    let jobs: usize = match a.take_values("--jobs")?.pop() {
+        Some(v) => v.parse().map_err(|_| "--jobs needs a number")?,
+        None => 1,
+    };
+    let lenient = a.take_flag("--lenient");
+    let include_dirs = a.take_values("-I")?;
+    let defines: Vec<(String, String)> = a
+        .take_values("-D")?
+        .into_iter()
+        .map(|d| match d.split_once('=') {
+            Some((n, v)) => (n.to_string(), v.to_string()),
+            None => (d, "1".to_string()),
+        })
+        .collect();
+    let snapshot_root = a.take_values("--snapshot-root")?.pop();
+    let pos = a.positional();
+    if pos.is_empty() {
+        return Err("hub needs at least one NAME=PATH session".to_string());
+    }
+
+    let hub = Arc::new(Hub::new(HubOptions {
+        serve: cla::serve::ServeOptions {
+            jobs,
+            ..Default::default()
+        },
+        capacity,
+        max_inflight,
+        rebuild_slots,
+    }));
+    for entry in &pos {
+        let (name, path) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("session `{entry}` is not NAME=PATH"))?;
+        let snapshot_dir = snapshot_root
+            .as_ref()
+            .map(|root| std::path::Path::new(root).join(name));
+        let source = if path.ends_with(".clao") {
+            SessionSource::Object {
+                path: std::path::PathBuf::from(path),
+            }
+        } else {
+            let meta =
+                std::fs::metadata(path).map_err(|e| format!("session `{name}`: {path}: {e}"))?;
+            let (files, mut dirs) = if meta.is_dir() {
+                let mut files: Vec<String> = std::fs::read_dir(path)
+                    .map_err(|e| format!("session `{name}`: {path}: {e}"))?
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path().to_string_lossy().into_owned())
+                    .filter(|p| p.ends_with(".c"))
+                    .collect();
+                files.sort();
+                if files.is_empty() {
+                    return Err(format!("session `{name}`: no .c files in {path}"));
+                }
+                (files, vec![path.to_string()])
+            } else {
+                (vec![path.to_string()], Vec::new())
+            };
+            dirs.extend(include_dirs.iter().cloned());
+            SessionSource::Files {
+                fs: Arc::new(OsFs),
+                files,
+                pp: PpOptions {
+                    include_dirs: dirs,
+                    defines: defines.clone(),
+                    ..PpOptions::default()
+                },
+                lower: LowerOptions::default(),
+                lenient,
+            }
+        };
+        let (epoch, warm) = hub
+            .open(
+                name,
+                SessionSpec {
+                    source,
+                    solve: SolveOptions::default(),
+                    snapshot_dir,
+                    jobs,
+                },
+            )
+            .map_err(|e| format!("session `{name}`: {e}"))?;
+        eprintln!(
+            "cla-tool: opened session {name} (epoch {epoch}{})",
+            if warm { ", warm from snapshot" } else { "" }
+        );
+    }
+
+    let handle = hub_serve(hub, &listen).map_err(|e| format!("cannot bind `{listen}`: {e}"))?;
+    eprintln!(
+        "cla-tool: hub serving {} sessions on {} (capacity {capacity}; send {{\"cmd\":\"shutdown\"}} to stop)",
+        pos.len(),
+        handle.addr(),
+    );
+    handle.join();
+    Ok(())
 }
 
 /// Solves a linked database and persists the sealed graph as a `.clasnap`

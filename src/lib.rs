@@ -24,6 +24,9 @@
 //! * [`serve`] — a long-running query server (in-process [`prelude::Session`]
 //!   or newline-delimited JSON over a Unix socket) that keeps the solved
 //!   graph warm between queries.
+//! * [`hub`] — the multi-tenant TCP front end: many named sessions behind
+//!   one server, with an LRU of resident graphs that evicts to `.clasnap`
+//!   snapshots and warm-starts on demand.
 //! * [`snap`] — persistent analysis snapshots (`.clasnap`) and the
 //!   content-addressed on-disk build cache, for instant warm starts.
 //! * [`workload`] — synthetic benchmarks calibrated to the paper's Table 2.
@@ -50,6 +53,7 @@ pub use cla_cladb as cladb;
 pub use cla_core as core;
 pub use cla_depend as depend;
 pub use cla_genc as genc;
+pub use cla_hub as hub;
 pub use cla_ir as ir;
 pub use cla_obs as obs;
 pub use cla_prof as prof;
@@ -68,11 +72,12 @@ pub mod prelude {
     pub use cla_core::{solve_database, solve_unit, PointsTo, SolveOptions};
     pub use cla_depend::{DependOptions, DependenceAnalysis};
     pub use cla_genc::{generate_to_dir, generate_with, measure_tree, GenReport, Measure, Profile};
+    pub use cla_hub::{Hub, HubOptions, SessionSource, SessionSpec};
     pub use cla_ir::{
         compile_file, compile_source, AssignKind, CompiledUnit, FieldModel, LowerOptions, ObjId,
         ObjKind, Strength,
     };
-    pub use cla_serve::{Session, SessionStats};
+    pub use cla_serve::{Client, Endpoint, Session, SessionStats};
     pub use cla_snap::{DiskCache, Snapshot, SnapshotStore};
     pub use cla_workload::{by_name, generate, GenOptions, PAPER_BENCHMARKS};
 }

@@ -585,6 +585,25 @@ fn per_command_counters_monotonic_across_reload_and_metrics_parses() {
                 && s.labels.iter().any(|(k, v)| k == "cmd" && v == "points-to")),
         "latency histogram not labelled per command"
     );
+    // The session's p50/p90/p99 order statistics are published as gauges
+    // at scrape time, so a Prometheus scrape sees the same tail figures
+    // that `stats` reports — no histogram-bucket estimation needed.
+    let gauge = |name: &str| -> u64 {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing percentile gauge {name}"))
+            .value as u64
+    };
+    let (g50, g90, g99) = (
+        gauge("cla_serve_latency_p50_us"),
+        gauge("cla_serve_latency_p90_us"),
+        gauge("cla_serve_latency_p99_us"),
+    );
+    assert!(
+        g50 <= g90 && g90 <= g99,
+        "exposed percentile gauges out of order: {g50}/{g90}/{g99}"
+    );
 
     server.stop();
     let _ = std::fs::remove_dir_all(dir);
